@@ -1,0 +1,50 @@
+//! Ablation benches for the design choices DESIGN.md calls out: chunk
+//! granularity, timeout margin, parity conditioning, predictor choice.
+//!
+//! Each prints its ablation table (Quick scale) once, then times the
+//! sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2c2_bench::experiments::{ablations, Scale};
+
+fn bench_chunks(c: &mut Criterion) {
+    println!("{}", ablations::chunk_granularity(Scale::Quick).render());
+    let mut group = c.benchmark_group("ablation_chunks");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| {
+        b.iter(|| ablations::chunk_granularity(Scale::Quick))
+    });
+    group.finish();
+}
+
+fn bench_timeout(c: &mut Criterion) {
+    println!("{}", ablations::timeout_margin(Scale::Quick).render());
+    let mut group = c.benchmark_group("ablation_timeout");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| b.iter(|| ablations::timeout_margin(Scale::Quick)));
+    group.finish();
+}
+
+fn bench_conditioning(c: &mut Criterion) {
+    println!("{}", ablations::parity_conditioning(Scale::Quick).render());
+    c.bench_function("ablation_conditioning", |b| {
+        b.iter(|| ablations::parity_conditioning(Scale::Quick))
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    println!("{}", ablations::predictor_choice(Scale::Quick).render());
+    let mut group = c.benchmark_group("ablation_predictor");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| b.iter(|| ablations::predictor_choice(Scale::Quick)));
+    group.finish();
+}
+
+criterion_group!(
+    ablation_suite,
+    bench_chunks,
+    bench_timeout,
+    bench_conditioning,
+    bench_predictor
+);
+criterion_main!(ablation_suite);

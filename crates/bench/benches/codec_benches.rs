@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the coding substrate: encode and decode throughput
+//! for the paper's MDS configurations and the polynomial codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s2c2_coding::mds::{MdsCode, MdsParams};
+use s2c2_coding::polynomial::{PolyParams, PolynomialCode};
+use s2c2_linalg::{Matrix, Vector};
+
+fn bench_mds_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mds_encode");
+    for (n, k) in [(12usize, 10usize), (12, 6), (10, 7), (50, 40)] {
+        let a = Matrix::from_fn(k * 40, 64, |r, cc| ((r * 3 + cc) % 17) as f64);
+        let code = MdsCode::new(MdsParams::new(n, k)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("({n},{k})")), &a, |b, a| {
+            b.iter(|| code.encode(a, 8).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mds_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mds_decode_worst_case");
+    for (n, k) in [(12usize, 10usize), (10, 7), (50, 40)] {
+        let a = Matrix::from_fn(k * 40, 64, |r, cc| ((r * 3 + cc) % 17) as f64);
+        let code = MdsCode::new(MdsParams::new(n, k)).unwrap();
+        let enc = code.encode(&a, 8).unwrap();
+        let x = Vector::filled(64, 1.0);
+        // Worst case: the last k workers (max parity involvement).
+        let chunks: Vec<usize> = (0..8).collect();
+        let responses: Vec<_> = (n - k..n)
+            .flat_map(|w| enc.worker_compute_chunks(w, &chunks, &x))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("({n},{k})")),
+            &responses,
+            |b, responses| b.iter(|| code.decode_matvec(enc.layout(), responses).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_poly_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polynomial_hessian");
+    group.sample_size(20);
+    let dim = 96;
+    let a = Matrix::from_fn(dim, dim, |r, cc| ((r + cc * 5) % 13) as f64 * 0.1);
+    let a_t = a.transpose();
+    let code = PolynomialCode::new(PolyParams::new(12, 3, 3)).unwrap();
+    let enc = code.encode_pair(&a_t, &a, 4).unwrap();
+    let w = Vector::filled(dim, 0.25);
+    group.bench_function("encode_pair", |b| {
+        b.iter(|| code.encode_pair(&a_t, &a, 4).unwrap())
+    });
+    let chunks: Vec<usize> = (0..4).collect();
+    let responses: Vec<_> = (3..12)
+        .flat_map(|wk| enc.worker_compute_chunks(wk, &chunks, Some(&w)))
+        .collect();
+    group.bench_function("decode_product", |b| {
+        b.iter(|| code.decode_product(enc.layout(), &responses).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_allocator");
+    for n in [12usize, 50, 200] {
+        let speeds: Vec<f64> = (0..n).map(|i| 0.3 + 0.7 * ((i * 7 % 10) as f64 / 10.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &speeds, |b, speeds| {
+            b.iter(|| s2c2_core::allocate_chunks(speeds, n * 4 / 5, 32).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    codecs,
+    bench_mds_encode,
+    bench_mds_decode,
+    bench_poly_roundtrip,
+    bench_allocator
+);
+criterion_main!(codecs);

@@ -1,0 +1,105 @@
+//! Criterion benches — one per paper figure.
+//!
+//! Each bench first regenerates its figure's table (Quick scale) and
+//! prints it, then times the full experiment so regressions in the
+//! scheduling stack show up as bench regressions. Run
+//! `cargo run -p s2c2-bench --release --bin figures -- all` for the
+//! Full-scale tables recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2c2_bench::experiments::{
+    fig01_motivation, fig02_traces, fig03_storage, fig06_logreg, fig07_pagerank, fig08_cloud,
+    fig12_polynomial, fig13_scale, prediction, Scale,
+};
+
+fn bench_fig01(c: &mut Criterion) {
+    println!("{}", fig01_motivation::run(Scale::Quick).render());
+    c.bench_function("fig01_motivation", |b| {
+        b.iter(|| fig01_motivation::run(Scale::Quick))
+    });
+}
+
+fn bench_fig02(c: &mut Criterion) {
+    let out = fig02_traces::run(Scale::Quick);
+    println!("{}", out.traces.render());
+    c.bench_function("fig02_traces", |b| b.iter(|| fig02_traces::run(Scale::Quick)));
+}
+
+fn bench_fig03(c: &mut Criterion) {
+    println!("{}", fig03_storage::run(Scale::Quick).render());
+    c.bench_function("fig03_storage", |b| b.iter(|| fig03_storage::run(Scale::Quick)));
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    println!("{}", prediction::run(Scale::Quick).render());
+    let mut group = c.benchmark_group("prediction_6_1");
+    group.sample_size(10);
+    group.bench_function("train_and_score", |b| {
+        b.iter(|| prediction::run(Scale::Quick))
+    });
+    group.finish();
+}
+
+fn bench_fig06(c: &mut Criterion) {
+    println!("{}", fig06_logreg::run(Scale::Quick).render());
+    let mut group = c.benchmark_group("fig06_logreg");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| b.iter(|| fig06_logreg::run(Scale::Quick)));
+    group.finish();
+}
+
+fn bench_fig07(c: &mut Criterion) {
+    println!("{}", fig07_pagerank::run(Scale::Quick).render());
+    let mut group = c.benchmark_group("fig07_pagerank");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| b.iter(|| fig07_pagerank::run(Scale::Quick)));
+    group.finish();
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    let figs = fig08_cloud::run(Scale::Quick);
+    println!("{}", figs.fig8.render());
+    println!("{}", figs.fig9.render());
+    println!("{}", figs.fig10.render());
+    println!("{}", figs.fig11.render());
+    let mut group = c.benchmark_group("fig08_to_11_cloud");
+    group.sample_size(10);
+    group.bench_function("both_environments", |b| {
+        b.iter(|| fig08_cloud::run(Scale::Quick))
+    });
+    group.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    println!("{}", fig12_polynomial::run(Scale::Quick).render());
+    let mut group = c.benchmark_group("fig12_polynomial");
+    group.sample_size(10);
+    group.bench_function("both_environments", |b| {
+        b.iter(|| fig12_polynomial::run(Scale::Quick))
+    });
+    group.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    println!("{}", fig13_scale::run(Scale::Quick).render());
+    let mut group = c.benchmark_group("fig13_scale");
+    group.sample_size(10);
+    group.bench_function("both_environments", |b| {
+        b.iter(|| fig13_scale::run(Scale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig01,
+    bench_fig02,
+    bench_fig03,
+    bench_prediction,
+    bench_fig06,
+    bench_fig07,
+    bench_fig08,
+    bench_fig12,
+    bench_fig13
+);
+criterion_main!(figures);

@@ -1,0 +1,94 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p s2c2-bench --release --bin figures -- all
+//! cargo run -p s2c2-bench --release --bin figures -- fig6 fig8
+//! cargo run -p s2c2-bench --release --bin figures -- --quick all
+//! ```
+//!
+//! Tables are printed to stdout and written as CSV under `results/`.
+
+use s2c2_bench::experiments::{
+    ablations, fig01_motivation, fig02_traces, fig03_storage, fig06_logreg, fig07_pagerank,
+    fig08_cloud, fig12_polynomial, fig13_scale, prediction, Scale,
+};
+use s2c2_bench::report::Table;
+use std::path::PathBuf;
+
+fn out_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+fn emit(table: &Table, file: &str) {
+    println!("{}", table.render());
+    let path = out_dir().join(file);
+    if let Err(e) = table.write_csv(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[written {}]", path.display());
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let selected = if selected.is_empty() {
+        vec!["all"]
+    } else {
+        selected
+    };
+    let want = |name: &str| selected.contains(&"all") || selected.contains(&name);
+
+    if want("fig1") {
+        emit(&fig01_motivation::run(scale), "fig01_motivation.csv");
+    }
+    if want("fig2") {
+        let out = fig02_traces::run(scale);
+        emit(&out.traces, "fig02_traces.csv");
+        emit(&out.stats, "fig02_stats.csv");
+    }
+    if want("fig3") {
+        emit(&fig03_storage::run(scale), "fig03_storage.csv");
+    }
+    if want("prediction") {
+        emit(&prediction::run(scale), "prediction_6_1.csv");
+    }
+    if want("fig6") {
+        emit(&fig06_logreg::run(scale), "fig06_logreg.csv");
+    }
+    if want("fig7") {
+        emit(&fig07_pagerank::run(scale), "fig07_pagerank.csv");
+    }
+    if want("fig8") || want("fig9") || want("fig10") || want("fig11") {
+        let out = fig08_cloud::run(scale);
+        emit(&out.fig8, "fig08_cloud_low.csv");
+        emit(&out.fig9, "fig09_waste_low.csv");
+        emit(&out.fig10, "fig10_cloud_high.csv");
+        emit(&out.fig11, "fig11_waste_high.csv");
+    }
+    if want("fig12") {
+        emit(&fig12_polynomial::run(scale), "fig12_polynomial.csv");
+    }
+    if want("fig13") {
+        emit(&fig13_scale::run(scale), "fig13_scale.csv");
+    }
+    if want("ablations") {
+        emit(&ablations::chunk_granularity(scale), "ablation_chunks.csv");
+        emit(&ablations::timeout_margin(scale), "ablation_timeout.csv");
+        emit(
+            &ablations::parity_conditioning(scale),
+            "ablation_conditioning.csv",
+        );
+        emit(
+            &ablations::predictor_choice(scale),
+            "ablation_predictor.csv",
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Shared experiment plumbing.
+
+use s2c2_cluster::ClusterSpec;
+use s2c2_coding::mds::MdsParams;
+use s2c2_core::speed_tracker::PredictorSource;
+use s2c2_core::strategy::StrategyKind;
+use s2c2_predict::lstm::{train, LstmConfig, TrainedLstm};
+use s2c2_trace::{CloudTraceConfig, TraceSet};
+use s2c2_workloads::exec::ExecConfig;
+
+/// The controlled-cluster (§7.1) spec: `n` workers, the first
+/// `stragglers` of them 5× slow, everyone with up-to-20% jitter.
+///
+/// Straggler ids are spread (not clustered at 0) so replication's replica
+/// sets are stressed the way random placement would be.
+#[must_use]
+pub fn controlled_cluster(n: usize, stragglers: usize, seed: u64) -> ClusterSpec {
+    let ids: Vec<usize> = (0..stragglers).map(|i| (i * 5 + 2) % n).collect();
+    let mut uniq = ids.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    // Fall back to sequential ids if the spread pattern collides.
+    let ids = if uniq.len() == stragglers {
+        ids
+    } else {
+        (0..stragglers).collect()
+    };
+    ClusterSpec::builder(n)
+        .compute_bound()
+        .seed(seed)
+        .straggler_slowdown(5.0)
+        .stragglers(&ids, 0.2)
+        .build()
+}
+
+/// A cloud cluster (§7.2) under the given trace preset.
+#[must_use]
+pub fn cloud_cluster(n: usize, preset: &CloudTraceConfig, seed: u64) -> ClusterSpec {
+    ClusterSpec::builder(n)
+        .compute_bound()
+        .seed(seed)
+        .cloud(preset)
+        .build()
+}
+
+/// Trains the paper's LSTM (1→4→1) on traces generated from `preset` and
+/// returns a per-worker predictor source for deployment in S²C².
+#[must_use]
+pub fn lstm_predictor(preset: &CloudTraceConfig, seed: u64) -> PredictorSource {
+    let traces = TraceSet::generate(preset, 20, 160, seed);
+    let series: Vec<Vec<f64>> = traces
+        .traces()
+        .iter()
+        .map(|t| t.samples().to_vec())
+        .collect();
+    let refs: Vec<&[f64]> = series.iter().map(Vec::as_slice).collect();
+    let cfg = LstmConfig {
+        epochs: 20,
+        ..LstmConfig::default()
+    };
+    let model: TrainedLstm = train(&cfg, &refs);
+    PredictorSource::Prototype(Box::new(model.online()))
+}
+
+/// Builds an `ExecConfig` for one experiment column.
+#[must_use]
+pub fn exec(
+    params: MdsParams,
+    cluster: ClusterSpec,
+    strategy: StrategyKind,
+    predictor: PredictorSource,
+    chunks: usize,
+) -> ExecConfig {
+    ExecConfig::new(params, cluster)
+        .strategy(strategy)
+        .predictor(predictor)
+        .chunks_per_worker(chunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controlled_cluster_has_requested_stragglers() {
+        let mut spec = controlled_cluster(12, 3, 1);
+        let slow = spec
+            .workers
+            .iter_mut()
+            .map(|m| m.speed_at(0))
+            .filter(|&s| s < 0.5)
+            .count();
+        assert_eq!(slow, 3);
+    }
+
+    #[test]
+    fn controlled_cluster_handles_max_stragglers() {
+        for s in 0..=6 {
+            let spec = controlled_cluster(12, s, 2);
+            assert_eq!(spec.n(), 12);
+        }
+    }
+
+    #[test]
+    fn lstm_predictor_trains() {
+        let p = lstm_predictor(&CloudTraceConfig::calm(), 3);
+        assert!(matches!(p, PredictorSource::Prototype(_)));
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 3 — effective per-node storage over 270 LR iterations:
+//! "uncoded with perfect prediction" vs S²C² on (12,10)-MDS data.
+//!
+//! Expected shape: the uncoded working set grows toward a large fraction
+//! of the whole matrix (the paper measures ~67%) while the coded layout
+//! stays flat at 1/k = 10%.
+
+use crate::experiments::Scale;
+use crate::report::Table;
+use s2c2_core::storage_model::simulate_storage;
+use s2c2_trace::{BoxedSpeedModel, CloudTraceConfig};
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let iterations = scale.pick(60, 270);
+    let rows = scale.pick(600, 2400);
+    let preset = CloudTraceConfig::paper();
+    let workers: Vec<BoxedSpeedModel> = (0..12)
+        .map(|i| Box::new(preset.model_for_node(i, 0xF3)) as BoxedSpeedModel)
+        .collect();
+    let series = simulate_storage(workers, rows, 10, iterations);
+
+    let mut table = Table::new(
+        "Fig 3 — mean per-node storage fraction over LR iterations",
+        vec!["uncoded (perfect prediction)".into(), "s2c2 (12,10)".into()],
+    );
+    let stride = (iterations / 27).max(1);
+    for t in (0..iterations).step_by(stride) {
+        table.push_row(
+            format!("iter {t}"),
+            vec![series.uncoded_fraction[t], series.coded_fraction[t]],
+        );
+    }
+    // Always include the endpoint.
+    table.push_row(
+        format!("iter {}", iterations - 1),
+        vec![
+            series.uncoded_fraction[iterations - 1],
+            series.coded_fraction[iterations - 1],
+        ],
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncoded_grows_coded_flat() {
+        let t = run(Scale::Quick);
+        let first = &t.rows[0].1;
+        let last = &t.rows[t.rows.len() - 1].1;
+        assert!(last[0] > first[0] * 1.5, "uncoded grows: {} -> {}", first[0], last[0]);
+        assert!((last[1] - 0.1).abs() < 1e-9, "coded pinned at 1/k");
+        assert!(last[0] > 2.0 * last[1], "uncoded ends well above coded");
+    }
+}

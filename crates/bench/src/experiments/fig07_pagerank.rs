@@ -1,0 +1,101 @@
+//! Figure 7 — PageRank on the controlled cluster (same sweep as Fig 6).
+
+use crate::experiments::{common, Scale};
+use crate::report::Table;
+use s2c2_coding::mds::MdsParams;
+use s2c2_core::speed_tracker::PredictorSource;
+use s2c2_core::strategy::StrategyKind;
+use s2c2_workloads::datasets::power_law_graph;
+use s2c2_workloads::pagerank::DistributedPageRank;
+
+/// Runs Figure 7.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let nodes = scale.pick(480, 2400);
+    let iters = scale.pick(5, 15);
+    let graph = power_law_graph(nodes, 3, 0xF7);
+
+    let schemes: Vec<(&str, MdsParams, StrategyKind, PredictorSource)> = vec![
+        (
+            "uncoded-3rep+spec",
+            MdsParams::new(12, 12),
+            StrategyKind::Replication,
+            PredictorSource::LastValue,
+        ),
+        (
+            "mds(12,10)",
+            MdsParams::new(12, 10),
+            StrategyKind::MdsCoded,
+            PredictorSource::LastValue,
+        ),
+        (
+            "mds(12,6)",
+            MdsParams::new(12, 6),
+            StrategyKind::MdsCoded,
+            PredictorSource::LastValue,
+        ),
+        (
+            "s2c2-basic(12,6)",
+            MdsParams::new(12, 6),
+            StrategyKind::S2c2Basic,
+            PredictorSource::LastValue,
+        ),
+        (
+            "s2c2-general(12,6)",
+            MdsParams::new(12, 6),
+            StrategyKind::S2c2General,
+            PredictorSource::Oracle,
+        ),
+    ];
+
+    let mut table = Table::new(
+        "Fig 7 — PageRank relative execution time (normalized to replication @ 0)",
+        schemes.iter().map(|(l, _, _, _)| (*l).to_string()).collect(),
+    );
+    let max_stragglers = scale.pick(4, 6);
+    let mut baseline = None;
+    for stragglers in 0..=max_stragglers {
+        let mut values = Vec::with_capacity(schemes.len());
+        for (_, params, kind, predictor) in &schemes {
+            let cluster = common::controlled_cluster(12, stragglers, 0xF7);
+            let cfg = common::exec(*params, cluster, *kind, predictor.clone(), 12);
+            let mut pr = DistributedPageRank::new(&graph, &cfg, 0.85)
+                .expect("experiment configuration is valid");
+            for _ in 0..iters {
+                pr.step().expect("iteration succeeds");
+            }
+            values.push(pr.total_latency());
+        }
+        if baseline.is_none() {
+            baseline = Some(values[0]);
+        }
+        let base = baseline.expect("set on first row");
+        table.push_row(
+            format!("{stragglers} stragglers"),
+            values.iter().map(|v| v / base).collect(),
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s2c2_wins_and_mds_collapses() {
+        let t = run(Scale::Quick);
+        let s0 = t.value("0 stragglers", "s2c2-general(12,6)");
+        let c0 = t.value("0 stragglers", "mds(12,6)");
+        assert!(c0 / s0 > 1.3, "s2c2 {s0} vs conservative mds {c0}");
+        let m0 = t.value("0 stragglers", "mds(12,10)");
+        let m3 = t.value("3 stragglers", "mds(12,10)");
+        assert!(m3 / m0 > 2.5, "(12,10) collapse: {m0} -> {m3}");
+        // General <= basic at every straggler count.
+        for row in ["0 stragglers", "2 stragglers", "4 stragglers"] {
+            let b = t.value(row, "s2c2-basic(12,6)");
+            let g = t.value(row, "s2c2-general(12,6)");
+            assert!(g <= b * 1.05, "{row}: general {g} vs basic {b}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 12 — S²C² on polynomial codes: Hessian `Aᵀ·diag(w)·A`, 12
+//! nodes, 3×3 grid (any 9 of 12 decode), under low and high
+//! mis-prediction environments.
+//!
+//! Expected shape: conventional ≈ 1.19× S²C² (low), ≈ 1.14× (high); the
+//! gain is capped below the ideal (12−9)/9 = 33% because the
+//! `diag(w)·B̃ᵢ` pass is not schedulable.
+
+use crate::experiments::{common, Scale};
+use crate::report::Table;
+use s2c2_coding::mds::MdsParams;
+use s2c2_core::strategy::StrategyKind;
+use s2c2_linalg::Vector;
+use s2c2_trace::CloudTraceConfig;
+use s2c2_workloads::datasets::gisette_like;
+use s2c2_workloads::exec::ExecConfig;
+use s2c2_workloads::hessian::{DistributedHessian, PolyStrategyKind};
+
+fn environment(name: &str, preset: &CloudTraceConfig, scale: Scale, seed: u64) -> Vec<f64> {
+    let dim = scale.pick(72, 360);
+    let iters = scale.pick(4, 15);
+    let data = gisette_like(dim, dim, seed);
+    let w = Vector::from_fn(dim, |i| 0.05 + 0.2 / (1.0 + i as f64 * 0.01));
+
+    let mut latencies = Vec::with_capacity(2);
+    for kind in [PolyStrategyKind::Conventional, PolyStrategyKind::S2c2] {
+        let cluster = common::cloud_cluster(12, preset, seed);
+        let cfg = ExecConfig::new(MdsParams::new(12, 9), cluster)
+            .strategy(StrategyKind::S2c2General)
+            .predictor(common::lstm_predictor(preset, seed))
+            .chunks_per_worker(12);
+        let mut hess = DistributedHessian::new(&data.features, &cfg, 3, kind)
+            .expect("experiment configuration is valid");
+        for _ in 0..2 {
+            let _ = hess.compute(&w).expect("warmup iteration succeeds");
+        }
+        let mut total = 0.0;
+        for _ in 0..iters {
+            total += hess.compute(&w).expect("iteration succeeds").latency;
+        }
+        latencies.push(total);
+    }
+    let base = latencies[1]; // normalize to S2C2
+    let _ = name;
+    latencies.iter().map(|l| l / base).collect()
+}
+
+/// Runs Figure 12.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig 12 — polynomial codes ± S2C2 (normalized to poly-s2c2)",
+        vec!["conventional poly".into(), "poly with s2c2".into()],
+    );
+    table.push_row(
+        "low mis-prediction",
+        environment("low", &CloudTraceConfig::calm(), scale, 0xF12),
+    );
+    table.push_row(
+        "high mis-prediction",
+        environment("high", &CloudTraceConfig::volatile(), scale, 0xF13),
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s2c2_wins_but_gains_capped() {
+        let t = run(Scale::Quick);
+        for row in ["low mis-prediction", "high mis-prediction"] {
+            let conv = t.value(row, "conventional poly");
+            assert!(conv > 1.0, "{row}: conventional {conv} should trail s2c2");
+            assert!(
+                conv < 12.0 / 9.0 + 0.05,
+                "{row}: gain {conv} cannot exceed the n/ab bound plus slack"
+            );
+        }
+    }
+}

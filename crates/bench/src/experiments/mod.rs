@@ -1,0 +1,39 @@
+//! One module per paper figure (plus the §6.1 prediction table and the
+//! DESIGN.md ablations). Every experiment is a pure function
+//! `run(Scale) -> Table` (or a small struct of tables).
+
+pub mod ablations;
+pub mod common;
+pub mod fig01_motivation;
+pub mod fig02_traces;
+pub mod fig03_storage;
+pub mod fig06_logreg;
+pub mod fig07_pagerank;
+pub mod fig08_cloud;
+pub mod fig12_polynomial;
+pub mod fig13_scale;
+pub mod prediction;
+
+/// Experiment size selector.
+///
+/// `Full` is what the `figures` binary and EXPERIMENTS.md use; `Quick`
+/// shrinks matrices and iteration counts so Criterion benches and smoke
+/// tests stay fast while exercising the identical code paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes for benches/tests.
+    Quick,
+    /// Paper-shaped sizes for the recorded results.
+    Full,
+}
+
+impl Scale {
+    /// Picks between the quick and full variant of a parameter.
+    #[must_use]
+    pub fn pick(self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}

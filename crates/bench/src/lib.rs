@@ -1,0 +1,20 @@
+//! Benchmark harness regenerating every figure of the S²C² paper.
+//!
+//! Each module under [`experiments`] implements one figure (or figure
+//! family) as a pure function from a scale-reduced but shape-preserving
+//! configuration to a [`report::Table`]. Two front-ends consume them:
+//!
+//! * the `figures` binary (`cargo run -p s2c2-bench --release --bin
+//!   figures -- all`) prints paper-vs-measured tables and writes CSVs
+//!   under `results/`;
+//! * the Criterion benches (`cargo bench`) print the same tables once and
+//!   then time the core operation of each experiment.
+//!
+//! Absolute numbers differ from the paper (our substrate is a simulator,
+//! not a 13-node Xeon cluster) — EXPERIMENTS.md records the shape
+//! comparison figure by figure.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,164 @@
+//! Tiny table type for experiment outputs.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A labelled numeric table: one header per value column, one label per
+/// row. This is the exchange format between experiments and front-ends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title (e.g. `"Fig 6 — Logistic Regression, 12 workers"`).
+    pub title: String,
+    /// Value column headers.
+    pub columns: Vec<String>,
+    /// Rows: `(label, values)` with `values.len() == columns.len()`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count disagrees with the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Value at `(row_label, column)` — convenience for assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row or column does not exist.
+    #[must_use]
+    pub fn value(&self, row_label: &str, column: &str) -> f64 {
+        let col = self
+            .columns
+            .iter()
+            .position(|c| c == column)
+            .unwrap_or_else(|| panic!("no column {column}"));
+        let row = self
+            .rows
+            .iter()
+            .find(|(l, _)| l == row_label)
+            .unwrap_or_else(|| panic!("no row {row_label}"));
+        row.1[col]
+    }
+
+    /// Renders a fixed-width text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8)
+            + 2;
+        let col_width = self
+            .columns
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(8)
+            .max(10)
+            + 2;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:<label_width$}", "");
+        for c in &self.columns {
+            let _ = write!(out, "{c:>col_width$}");
+        }
+        let _ = writeln!(out);
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{label:<label_width$}");
+            for v in values {
+                let _ = write!(out, "{v:>col_width$.4}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        use std::io::Write;
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "label,{}", self.columns.join(","))?;
+        for (label, values) in &self.rows {
+            let vals: Vec<String> = values.iter().map(|v| format!("{v:?}")).collect();
+            writeln!(f, "{label},{}", vals.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", vec!["a".into(), "b".into()]);
+        t.push_row("row1", vec![1.0, 2.0]);
+        t.push_row("row2", vec![3.5, 4.25]);
+        t
+    }
+
+    #[test]
+    fn value_lookup() {
+        let t = sample();
+        assert_eq!(t.value("row2", "b"), 4.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn missing_column_panics() {
+        let _ = sample().value("row1", "zzz");
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = sample().render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("row1"));
+        assert!(s.contains("4.2500"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let dir = std::env::temp_dir().join("s2c2_bench_report_test");
+        let path = dir.join("t.csv");
+        sample().write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("label,a,b"));
+        assert_eq!(content.lines().count(), 3);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_enforced() {
+        let mut t = Table::new("x", vec!["a".into()]);
+        t.push_row("r", vec![1.0, 2.0]);
+    }
+}

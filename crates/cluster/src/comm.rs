@@ -1,0 +1,138 @@
+//! Communication and computation cost models.
+//!
+//! Both models are deliberately simple — a linear latency/bandwidth link
+//! and a linear elements-per-second processor — because that is the level
+//! of detail at which the paper reasons about its own cluster: what makes
+//! or breaks each strategy is *how many rows a worker is assigned*, *how
+//! much data has to move when rebalancing*, and *how long the master's
+//! decode takes*, all of which these two models capture.
+
+/// Point-to-point link model: `latency + bytes / bandwidth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommModel {
+    /// Link bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// Per-message latency in seconds.
+    pub latency: f64,
+}
+
+impl CommModel {
+    /// Creates a link model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless bandwidth is positive and latency non-negative.
+    #[must_use]
+    pub fn new(bandwidth: f64, latency: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        assert!(latency >= 0.0, "latency must be non-negative");
+        CommModel { bandwidth, latency }
+    }
+
+    /// A LAN-ish default: 1 GB/s, 1 ms latency (between the paper's
+    /// InfiniBand local cluster and its shared-droplet cloud).
+    #[must_use]
+    pub fn lan() -> Self {
+        CommModel::new(1e9, 1e-3)
+    }
+
+    /// Time to move `bytes` over one link.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+impl Default for CommModel {
+    fn default() -> Self {
+        CommModel::lan()
+    }
+}
+
+/// Worker computation model: `elements / (relative_speed · throughput)`.
+///
+/// "Elements" are matrix elements touched (`rows × cols` for a matvec
+/// chunk), so doubling either the assigned rows or the matrix width
+/// doubles compute time — the same proportionality the paper relies on
+/// when it equates "rows assigned" with "work".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeModel {
+    /// Elements per second processed by a worker at relative speed 1.0.
+    pub elements_per_sec: f64,
+}
+
+impl ComputeModel {
+    /// Creates a compute model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless throughput is positive.
+    #[must_use]
+    pub fn new(elements_per_sec: f64) -> Self {
+        assert!(elements_per_sec > 0.0, "throughput must be positive");
+        ComputeModel { elements_per_sec }
+    }
+
+    /// Time for a worker at `relative_speed` to process `elements`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `relative_speed > 0` (dead workers are modelled as
+    /// never responding, not as zero speed).
+    #[must_use]
+    pub fn time(&self, elements: u64, relative_speed: f64) -> f64 {
+        assert!(relative_speed > 0.0, "relative speed must be positive");
+        elements as f64 / (relative_speed * self.elements_per_sec)
+    }
+}
+
+impl Default for ComputeModel {
+    fn default() -> Self {
+        // 100M elements/s: a deliberately modest single-core figure so
+        // compute dominates communication for the paper's matrix sizes.
+        ComputeModel::new(1e8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_linear_in_bytes() {
+        let c = CommModel::new(1e6, 0.5);
+        assert_eq!(c.transfer_time(0), 0.0);
+        assert!((c.transfer_time(1_000_000) - 1.5).abs() < 1e-12);
+        assert!((c.transfer_time(2_000_000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_time_scales_with_speed() {
+        let m = ComputeModel::new(1e6);
+        let full = m.time(1_000_000, 1.0);
+        let slow = m.time(1_000_000, 0.2);
+        assert!((full - 1.0).abs() < 1e-12);
+        assert!((slow - 5.0).abs() < 1e-12, "5x slower worker takes 5x longer");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = CommModel::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "relative speed must be positive")]
+    fn zero_speed_rejected() {
+        let _ = ComputeModel::default().time(10, 0.0);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        assert!(CommModel::default().transfer_time(8_000_000) < 0.1);
+        assert!(ComputeModel::default().time(100_000_000, 1.0) <= 1.0 + 1e-9);
+    }
+}

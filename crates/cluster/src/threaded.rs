@@ -1,0 +1,308 @@
+//! Real multi-threaded master/worker executor.
+//!
+//! One OS thread per worker, crossbeam channels for task dispatch and
+//! result collection. The scheduling layer uses this engine to validate
+//! the concurrency path — out-of-order completion, fastest-k collection,
+//! straggler results arriving after the master has moved on, clean
+//! shutdown — with the *same* strategy code it runs against the timing
+//! simulator.
+//!
+//! Per-worker slowdowns are injected by busy-wait delays proportional to
+//! task size, so the "who finishes first" structure of a straggler
+//! scenario is reproduced with real threads.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A task envelope addressed to one worker.
+#[derive(Debug)]
+struct Envelope<T> {
+    task_id: u64,
+    payload: T,
+}
+
+/// A worker's reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReply<R> {
+    /// Worker that produced the result.
+    pub worker: usize,
+    /// Task id the result answers.
+    pub task_id: u64,
+    /// The computed payload.
+    pub result: R,
+}
+
+/// A running pool of worker threads.
+///
+/// `T` is the task payload, `R` the result payload. Workers execute a
+/// user-supplied closure per task; replies arrive on a shared channel in
+/// completion order (not submission order).
+pub struct ThreadedCluster<T, R> {
+    senders: Vec<Sender<Envelope<T>>>,
+    results: Receiver<WorkerReply<R>>,
+    handles: Vec<JoinHandle<()>>,
+    next_task: u64,
+}
+
+impl<T, R> ThreadedCluster<T, R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+{
+    /// Spawns `n` workers. `make_worker(i)` builds the closure executed by
+    /// worker `i` for each task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn spawn<F>(n: usize, mut make_worker: impl FnMut(usize) -> F) -> Self
+    where
+        F: FnMut(T) -> R + Send + 'static,
+    {
+        assert!(n > 0, "need at least one worker");
+        let (result_tx, result_rx) = unbounded::<WorkerReply<R>>();
+        let mut senders = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for worker in 0..n {
+            // Bounded mailbox: a runaway master cannot queue unbounded work.
+            let (tx, rx) = bounded::<Envelope<T>>(1024);
+            let results = result_tx.clone();
+            let mut work = make_worker(worker);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("s2c2-worker-{worker}"))
+                    .spawn(move || {
+                        while let Ok(env) = rx.recv() {
+                            let result = work(env.payload);
+                            // The master may have shut down early (it got
+                            // its k results); a send failure is then fine.
+                            if results
+                                .send(WorkerReply {
+                                    worker,
+                                    task_id: env.task_id,
+                                    result,
+                                })
+                                .is_err()
+                            {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("failed to spawn worker thread"),
+            );
+            senders.push(tx);
+        }
+        ThreadedCluster {
+            senders,
+            results: result_rx,
+            handles,
+            next_task: 0,
+        }
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Sends a task to `worker`; returns the task id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker's thread has died (its mailbox is closed) or
+    /// `worker` is out of range.
+    pub fn submit(&mut self, worker: usize, payload: T) -> u64 {
+        let task_id = self.next_task;
+        self.next_task += 1;
+        self.senders[worker]
+            .send(Envelope { task_id, payload })
+            .expect("worker thread has terminated");
+        task_id
+    }
+
+    /// Receives the next completed result, waiting up to `timeout`.
+    ///
+    /// Returns `None` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<WorkerReply<R>> {
+        match self.results.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Blocks for the next completed result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all workers have terminated and the channel drained.
+    #[must_use]
+    pub fn recv(&self) -> WorkerReply<R> {
+        self.results.recv().expect("all workers terminated")
+    }
+
+    /// Collects results until `pred` says the round is complete or
+    /// `timeout` elapses. Results arriving after completion remain queued
+    /// (they belong to cancelled stragglers and are drained next round —
+    /// exactly the paper's "ignore the slow nodes" semantics).
+    pub fn collect_until(
+        &self,
+        timeout: Duration,
+        mut pred: impl FnMut(&[WorkerReply<R>]) -> bool,
+    ) -> Vec<WorkerReply<R>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut got = Vec::new();
+        while !pred(&got) {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.recv_timeout(deadline - now) {
+                Some(r) => got.push(r),
+                None => break,
+            }
+        }
+        got
+    }
+
+    /// Drains any stale results without blocking (start-of-round hygiene).
+    pub fn drain_stale(&self) -> usize {
+        let mut n = 0;
+        while self.results.try_recv().is_ok() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Stops all workers and joins their threads.
+    pub fn shutdown(self) {
+        drop(self.senders); // closing mailboxes ends the worker loops
+        drop(self.results);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Busy-wait for approximately `micros` microseconds — the slowdown
+/// injection primitive. A busy-wait (rather than `sleep`) keeps timing
+/// meaningful at tens-of-microsecond scale where OS sleep granularity
+/// would swamp the signal.
+pub fn spin_delay_micros(micros: u64) {
+    let start = std::time::Instant::now();
+    let dur = Duration::from_micros(micros);
+    while start.elapsed() < dur {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_tasks() {
+        let mut cluster: ThreadedCluster<u64, u64> = ThreadedCluster::spawn(4, |_| |x: u64| x * 2);
+        for w in 0..4 {
+            cluster.submit(w, w as u64 + 10);
+        }
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            got.push(cluster.recv());
+        }
+        got.sort_by_key(|r| r.worker);
+        for (w, r) in got.iter().enumerate() {
+            assert_eq!(r.worker, w);
+            assert_eq!(r.result, (w as u64 + 10) * 2);
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn results_arrive_in_completion_order() {
+        // Worker 0 is slow: its result should arrive after worker 1's.
+        let mut cluster: ThreadedCluster<(), usize> = ThreadedCluster::spawn(2, |w| {
+            move |()| {
+                if w == 0 {
+                    spin_delay_micros(20_000);
+                }
+                w
+            }
+        });
+        cluster.submit(0, ());
+        cluster.submit(1, ());
+        let first = cluster.recv();
+        let second = cluster.recv();
+        assert_eq!(first.result, 1, "fast worker first");
+        assert_eq!(second.result, 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn collect_until_k_of_n() {
+        let mut cluster: ThreadedCluster<(), usize> = ThreadedCluster::spawn(4, |w| {
+            move |()| {
+                if w == 3 {
+                    spin_delay_micros(50_000); // straggler
+                }
+                w
+            }
+        });
+        for w in 0..4 {
+            cluster.submit(w, ());
+        }
+        let got = cluster.collect_until(Duration::from_secs(5), |rs| rs.len() >= 3);
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|r| r.worker != 3), "straggler not awaited");
+        // The straggler's late reply is stale for the next round.
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(cluster.drain_stale(), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn timeout_returns_partial_results() {
+        let mut cluster: ThreadedCluster<(), usize> = ThreadedCluster::spawn(2, |w| {
+            move |()| {
+                if w == 1 {
+                    std::thread::sleep(Duration::from_secs(2));
+                }
+                w
+            }
+        });
+        cluster.submit(0, ());
+        cluster.submit(1, ());
+        let got = cluster.collect_until(Duration::from_millis(300), |rs| rs.len() >= 2);
+        assert_eq!(got.len(), 1, "only the fast worker inside the timeout");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn task_ids_are_unique_and_monotonic() {
+        let mut cluster: ThreadedCluster<(), ()> = ThreadedCluster::spawn(2, |_| |()| ());
+        let a = cluster.submit(0, ());
+        let b = cluster.submit(1, ());
+        let c = cluster.submit(0, ());
+        assert!(a < b && b < c);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_with_pending_results() {
+        let mut cluster: ThreadedCluster<u32, u32> = ThreadedCluster::spawn(3, |_| |x: u32| x + 1);
+        for w in 0..3 {
+            cluster.submit(w, 7);
+        }
+        // Never read the results; shutdown must still join.
+        cluster.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn zero_workers_rejected() {
+        let _: ThreadedCluster<(), ()> = ThreadedCluster::spawn(0, |_| |()| ());
+    }
+}

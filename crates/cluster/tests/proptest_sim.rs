@@ -1,0 +1,81 @@
+//! Property tests for the cluster simulator's conservation laws.
+
+use proptest::prelude::*;
+use s2c2_cluster::metrics::{JobMetrics, RoundMetrics};
+use s2c2_cluster::sim::{kth_completion, round_completion_times, ClusterSim};
+use s2c2_cluster::ClusterSpec;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn completion_times_monotone_in_rows(
+        n in 2usize..=16,
+        rows_base in 1usize..=500,
+        cols in 1usize..=64,
+        seed in any::<u64>(),
+    ) {
+        let spec = ClusterSpec::builder(n).compute_bound().seed(seed).stragglers(&[], 0.2).build();
+        let mut sim = ClusterSim::new(spec);
+        sim.begin_iteration(0);
+        // Same worker, more rows -> strictly later completion.
+        let mut a = vec![0usize; n];
+        let mut b = vec![0usize; n];
+        a[0] = rows_base;
+        b[0] = rows_base * 2;
+        let ta = round_completion_times(&sim, 64, &a, cols, 8);
+        let tb = round_completion_times(&sim, 64, &b, cols, 8);
+        prop_assert!(tb[0] > ta[0], "{} !> {}", tb[0], ta[0]);
+        // Idle workers never respond.
+        for w in 1..n {
+            prop_assert!(ta[w].is_infinite());
+        }
+    }
+
+    #[test]
+    fn kth_completion_is_monotone_in_k(
+        times in proptest::collection::vec(0.01f64..100.0, 1..20),
+    ) {
+        for k in 1..times.len() {
+            prop_assert!(kth_completion(&times, k) <= kth_completion(&times, k + 1));
+        }
+    }
+
+    #[test]
+    fn speeds_are_always_positive_and_finite(
+        n in 1usize..=12,
+        iters in 1usize..=40,
+        seed in any::<u64>(),
+    ) {
+        let spec = ClusterSpec::builder(n)
+            .seed(seed)
+            .cloud(&s2c2_trace::CloudTraceConfig::volatile())
+            .build();
+        let mut sim = ClusterSim::new(spec);
+        for iter in 0..iters {
+            for &s in sim.begin_iteration(iter) {
+                prop_assert!(s.is_finite() && s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn job_metrics_aggregate_consistently(
+        latencies in proptest::collection::vec(0.0f64..10.0, 1..30),
+    ) {
+        let mut job = JobMetrics::new();
+        for (i, &l) in latencies.iter().enumerate() {
+            let mut r = RoundMetrics::new(i, 3);
+            r.latency = l;
+            r.assigned_rows = vec![10, 10, 10];
+            r.computed_rows = vec![10, 10, 5];
+            r.useful_rows = vec![10, 8, 0];
+            job.push(r);
+        }
+        let total: f64 = latencies.iter().sum();
+        prop_assert!((job.total_latency() - total).abs() < 1e-9);
+        prop_assert!((job.mean_latency() - total / latencies.len() as f64).abs() < 1e-9);
+        // Wasted = (2 + 5) per round.
+        prop_assert_eq!(job.total_wasted_rows(), 7 * latencies.len());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for encode/decode operations.
+
+use std::fmt;
+
+/// Errors produced by the coded-computation codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodingError {
+    /// `(n, k)` (or `(n, a, b)`) parameters are out of the valid domain.
+    InvalidParams(String),
+    /// A chunk did not receive enough responses to decode.
+    NotEnoughResponses {
+        /// Chunk index that failed to decode.
+        chunk: usize,
+        /// Responses available for that chunk.
+        got: usize,
+        /// Responses required (`k` for MDS, `a·b` for polynomial codes).
+        need: usize,
+    },
+    /// Two responses claim the same `(worker, chunk)` pair.
+    DuplicateResponse {
+        /// Worker that responded twice.
+        worker: usize,
+        /// Chunk it responded for.
+        chunk: usize,
+    },
+    /// A response references a worker or chunk outside the code geometry,
+    /// or carries a payload of the wrong length.
+    MalformedResponse(String),
+    /// The decode linear system was singular — cannot happen for distinct
+    /// Cauchy/Chebyshev nodes, so this indicates corrupted responses.
+    DecodeSingular {
+        /// Chunk whose decode system was singular.
+        chunk: usize,
+    },
+}
+
+impl fmt::Display for CodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodingError::InvalidParams(msg) => write!(f, "invalid code parameters: {msg}"),
+            CodingError::NotEnoughResponses { chunk, got, need } => write!(
+                f,
+                "chunk {chunk} has {got} responses but needs {need} to decode"
+            ),
+            CodingError::DuplicateResponse { worker, chunk } => {
+                write!(f, "duplicate response from worker {worker} for chunk {chunk}")
+            }
+            CodingError::MalformedResponse(msg) => write!(f, "malformed response: {msg}"),
+            CodingError::DecodeSingular { chunk } => {
+                write!(f, "decode system for chunk {chunk} is singular")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CodingError::InvalidParams("k > n".into())
+            .to_string()
+            .contains("k > n"));
+        assert_eq!(
+            CodingError::NotEnoughResponses { chunk: 3, got: 2, need: 5 }.to_string(),
+            "chunk 3 has 2 responses but needs 5 to decode"
+        );
+        assert!(CodingError::DuplicateResponse { worker: 1, chunk: 2 }
+            .to_string()
+            .contains("worker 1"));
+        assert!(CodingError::DecodeSingular { chunk: 0 }.to_string().contains("chunk 0"));
+    }
+}

@@ -1,0 +1,577 @@
+//! Systematic `(n, k)`-MDS codes for linear (matrix–vector) computations.
+//!
+//! The data matrix `A` is split into `k` row blocks `A_0 … A_{k−1}`; worker
+//! `i < k` stores `A_i` unchanged (systematic part) and worker `i ≥ k`
+//! stores the combination `Σ_j P[i−k][j] · A_j` (parity part). The code is
+//! MDS iff every square submatrix of `P` is nonsingular, in which case
+//! *any* `k` of the `n` per-chunk results reconstruct that chunk of `A·x`.
+//!
+//! **Parity construction.** Over the reals, the classic structured MDS
+//! generators (Vandermonde, Cauchy) have *exponentially* ill-conditioned
+//! submatrices — a 10×10 Cauchy block is Hilbert-like (κ ≈ 10¹³) and
+//! destroys `f64` decoding at the paper's `(50, 40)` scale. Following the
+//! established practice for real-number erasure codes (Chen & Dongarra,
+//! *Numerically stable real-number codes based on random matrices*), the
+//! parity block is a **seeded random matrix**: every square submatrix is
+//! nonsingular with probability 1, submatrix condition numbers stay small
+//! (tens, not 10¹³), and the fixed per-`(n,k)` seed keeps encodings
+//! deterministic and reproducible. The conditioning ablation bench
+//! (`ablation_conditioning`) quantifies this choice against Cauchy and
+//! Vandermonde parities.
+//!
+//! Because the code is systematic, decoding a chunk with `m` missing
+//! systematic blocks solves only an `m × m` system (`m ≤ n − k` ≤ 10 in
+//! every configuration the paper evaluates).
+
+use crate::chunks::{group_by_chunk, ChunkLayout, WorkerChunkResult};
+use crate::error::CodingError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s2c2_linalg::{LuFactors, Matrix, Vector};
+
+/// `(n, k)` MDS code parameters: `n` workers, any `k` responses decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MdsParams {
+    /// Total number of coded partitions (= workers).
+    pub n: usize,
+    /// Number of data partitions; any `k` of `n` responses decode.
+    pub k: usize,
+}
+
+impl MdsParams {
+    /// Creates the parameter pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k <= n` (use [`MdsCode::new`] for a fallible
+    /// constructor; this one is for literals in examples/benches).
+    #[must_use]
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k > 0 && k <= n, "require 0 < k <= n, got ({n},{k})");
+        MdsParams { n, k }
+    }
+
+    /// Number of stragglers the code tolerates (`n − k`).
+    #[must_use]
+    pub fn straggler_tolerance(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Storage overhead factor relative to uncoded even partitioning
+    /// (`n/k`, e.g. 1.2 for (12,10)).
+    #[must_use]
+    pub fn storage_overhead(&self) -> f64 {
+        self.n as f64 / self.k as f64
+    }
+}
+
+/// A constructed `(n, k)` MDS code (generator rows materialized).
+#[derive(Debug, Clone)]
+pub struct MdsCode {
+    params: MdsParams,
+    /// Parity block: `(n − k) × k` seeded random matrix (see module docs).
+    parity: Matrix,
+}
+
+impl MdsCode {
+    /// Builds the code with the default deterministic parity seed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::InvalidParams`] unless `0 < k ≤ n`.
+    pub fn new(params: MdsParams) -> Result<Self, CodingError> {
+        Self::with_seed(params, 0x5C2C_0DE5)
+    }
+
+    /// Builds the code with an explicit parity seed.
+    ///
+    /// Different seeds give different (equally valid) codes; encoders and
+    /// decoders must agree on the seed. Exposed for tests that want to
+    /// exercise many code instances.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::InvalidParams`] unless `0 < k ≤ n`.
+    pub fn with_seed(params: MdsParams, seed: u64) -> Result<Self, CodingError> {
+        if params.k == 0 || params.k > params.n {
+            return Err(CodingError::InvalidParams(format!(
+                "require 0 < k <= n, got (n={}, k={})",
+                params.n, params.k
+            )));
+        }
+        // Mix (n, k) into the seed so each configuration gets an
+        // independent parity block even under the same user seed.
+        let mixed = seed
+            ^ (params.n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (params.k as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        let mut rng = StdRng::seed_from_u64(mixed);
+        let rows = params.n - params.k;
+        // Uniform in [-1, 1] \ {0}: a.s. every square submatrix is
+        // nonsingular, magnitudes stay O(1).
+        let parity = Matrix::from_fn(rows, params.k, |_, _| loop {
+            let v: f64 = rng.gen_range(-1.0..=1.0);
+            if v.abs() > 1e-3 {
+                break v;
+            }
+        });
+        Ok(MdsCode { params, parity })
+    }
+
+    /// Code parameters.
+    #[must_use]
+    pub fn params(&self) -> MdsParams {
+        self.params
+    }
+
+    /// Generator row for worker `i` (length `k`): unit vector for
+    /// systematic workers, Cauchy row for parity workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    #[must_use]
+    pub fn generator_row(&self, i: usize) -> Vec<f64> {
+        assert!(i < self.params.n, "worker index out of range");
+        let k = self.params.k;
+        if i < k {
+            let mut row = vec![0.0; k];
+            row[i] = 1.0;
+            row
+        } else {
+            (0..k).map(|j| self.parity.get(i - k, j)).collect()
+        }
+    }
+
+    /// Encodes a data matrix into `n` coded partitions with
+    /// `chunks_per_partition`-way over-decomposition.
+    ///
+    /// Systematic partitions are plain row blocks of (zero-padded) `A`;
+    /// parity partitions are Cauchy-weighted sums of all `k` blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout errors for degenerate shapes.
+    pub fn encode(
+        &self,
+        a: &Matrix,
+        chunks_per_partition: usize,
+    ) -> Result<EncodedMatrix, CodingError> {
+        let layout = ChunkLayout::new(a.rows(), self.params.k, chunks_per_partition)?;
+        let prow = layout.partition_rows();
+        let cols = a.cols();
+        let k = self.params.k;
+
+        // Zero-padded view of A's row r (rows past the original are zero).
+        let padded_row = |r: usize| -> Option<&[f64]> {
+            if r < a.rows() {
+                Some(a.row(r))
+            } else {
+                None
+            }
+        };
+
+        let mut partitions = Vec::with_capacity(self.params.n);
+        // Systematic partitions: copy (and pad) block i.
+        for i in 0..k {
+            let mut part = Matrix::zeros(prow, cols);
+            for r in 0..prow {
+                if let Some(src) = padded_row(i * prow + r) {
+                    part.row_mut(r).copy_from_slice(src);
+                }
+            }
+            partitions.push(part);
+        }
+        // Parity partitions: weighted sums across blocks.
+        for p in 0..self.params.n - k {
+            let mut part = Matrix::zeros(prow, cols);
+            for j in 0..k {
+                let w = self.parity.get(p, j);
+                for r in 0..prow {
+                    if let Some(src) = padded_row(j * prow + r) {
+                        let dst = part.row_mut(r);
+                        for (d, s) in dst.iter_mut().zip(src.iter()) {
+                            *d += w * s;
+                        }
+                    }
+                }
+            }
+            partitions.push(part);
+        }
+
+        Ok(EncodedMatrix {
+            params: self.params,
+            layout,
+            partitions,
+        })
+    }
+
+    /// Decodes the full `A·x` product from per-chunk worker results.
+    ///
+    /// Every chunk index must be covered by at least `k` distinct workers;
+    /// extra responses beyond `k` are ignored (the fastest-`k` rule).
+    /// Returns the product truncated to the original (unpadded) row count.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodingError::NotEnoughResponses`] if any chunk has < `k` results.
+    /// * [`CodingError::MalformedResponse`] / [`CodingError::DuplicateResponse`]
+    ///   for inconsistent inputs.
+    pub fn decode_matvec(
+        &self,
+        layout: &ChunkLayout,
+        responses: &[WorkerChunkResult],
+    ) -> Result<Vector, CodingError> {
+        let k = self.params.k;
+        let rpc = layout.rows_per_chunk();
+        let per_chunk = group_by_chunk(responses, self.params.n, layout, rpc)?;
+
+        let mut out = vec![0.0; layout.padded_rows];
+        for (chunk, mut resps) in per_chunk.into_iter().enumerate() {
+            if resps.len() < k {
+                return Err(CodingError::NotEnoughResponses {
+                    chunk,
+                    got: resps.len(),
+                    need: k,
+                });
+            }
+            // Deterministic preference for systematic responses: they decode
+            // for free, minimizing the solve size.
+            resps.sort_by_key(|r| r.worker);
+            resps.truncate(k);
+
+            // Place systematic results directly; collect missing blocks.
+            let mut have = vec![false; k];
+            for r in &resps {
+                if r.worker < k {
+                    have[r.worker] = true;
+                    let dst = layout.output_range(r.worker, chunk);
+                    out[dst].copy_from_slice(&r.values);
+                }
+            }
+            let missing: Vec<usize> = (0..k).filter(|j| !have[*j]).collect();
+            if missing.is_empty() {
+                continue;
+            }
+            let parity_resps: Vec<&&WorkerChunkResult> =
+                resps.iter().filter(|r| r.worker >= k).collect();
+            debug_assert!(parity_resps.len() >= missing.len());
+
+            // Build the m×m sub-Cauchy system over the missing coordinates.
+            let m = missing.len();
+            let sys = Matrix::from_fn(m, m, |pi, mj| {
+                self.parity.get(parity_resps[pi].worker - k, missing[mj])
+            });
+            let lu = LuFactors::factor(&sys)
+                .map_err(|_| CodingError::DecodeSingular { chunk })?;
+
+            // RHS: parity values minus contributions from known blocks,
+            // one column per row inside the chunk.
+            let mut rhs = Matrix::zeros(m, rpc);
+            for (pi, pr) in parity_resps.iter().enumerate() {
+                let prow_idx = pr.worker - k;
+                for c in 0..rpc {
+                    let mut v = pr.values[c];
+                    for j in 0..k {
+                        if have[j] {
+                            let known = out[layout.output_range(j, chunk)][c];
+                            v -= self.parity.get(prow_idx, j) * known;
+                        }
+                    }
+                    rhs.set(pi, c, v);
+                }
+            }
+            let solved = lu.solve_matrix(&rhs);
+            for (mi, &j) in missing.iter().enumerate() {
+                let dst = layout.output_range(j, chunk);
+                for c in 0..rpc {
+                    out[dst.start + c] = solved.get(mi, c);
+                }
+            }
+        }
+        out.truncate(layout.original_rows);
+        Ok(Vector::from(out))
+    }
+
+    /// Estimated floating-point operations to decode one iteration given
+    /// `missing` systematic blocks per chunk on average — used by the
+    /// cluster engine to charge master-side decode time.
+    #[must_use]
+    pub fn decode_flops_estimate(&self, layout: &ChunkLayout, avg_missing: f64) -> f64 {
+        let m = avg_missing.max(0.0);
+        let rpc = layout.rows_per_chunk() as f64;
+        let chunks = layout.chunks_per_partition as f64;
+        // LU factor m^3/3 + per-column triangular solves m^2 each,
+        // + RHS adjustment m·k·rpc.
+        chunks * (m.powi(3) / 3.0 + rpc * m.powi(2) + m * self.params.k as f64 * rpc)
+    }
+}
+
+/// The result of encoding: `n` coded partitions plus the shared layout.
+#[derive(Debug, Clone)]
+pub struct EncodedMatrix {
+    params: MdsParams,
+    layout: ChunkLayout,
+    partitions: Vec<Matrix>,
+}
+
+impl EncodedMatrix {
+    /// Code parameters used for the encoding.
+    #[must_use]
+    pub fn params(&self) -> MdsParams {
+        self.params
+    }
+
+    /// Chunk/padding geometry.
+    #[must_use]
+    pub fn layout(&self) -> &ChunkLayout {
+        &self.layout
+    }
+
+    /// Coded partition stored by worker `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    #[must_use]
+    pub fn partition(&self, i: usize) -> &Matrix {
+        &self.partitions[i]
+    }
+
+    /// All partitions, indexed by worker.
+    #[must_use]
+    pub fn partitions(&self) -> &[Matrix] {
+        &self.partitions
+    }
+
+    /// Per-worker stored bytes (each worker holds one partition).
+    #[must_use]
+    pub fn bytes_per_worker(&self) -> u64 {
+        self.partitions.first().map_or(0, Matrix::payload_bytes)
+    }
+
+    /// Computes worker `i`'s result for `chunk` given input `x` — the
+    /// numeric work a worker performs when assigned that chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or mismatched `x` length.
+    #[must_use]
+    pub fn worker_compute_chunk(&self, worker: usize, chunk: usize, x: &Vector) -> WorkerChunkResult {
+        let range = self.layout.chunk_range_in_partition(chunk);
+        let values = self.partitions[worker]
+            .matvec_rows(x, range.start, range.end)
+            .into_vec();
+        WorkerChunkResult::new(worker, chunk, values)
+    }
+
+    /// Computes worker `i`'s results for every chunk in `chunks`.
+    #[must_use]
+    pub fn worker_compute_chunks(
+        &self,
+        worker: usize,
+        chunks: &[usize],
+        x: &Vector,
+    ) -> Vec<WorkerChunkResult> {
+        chunks
+            .iter()
+            .map(|&c| self.worker_compute_chunk(worker, c, x))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2c2_linalg::assert_slices_close;
+
+    fn data_matrix(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| ((r * 31 + c * 17) % 23) as f64 - 11.0)
+    }
+
+    fn full_responses(
+        enc: &EncodedMatrix,
+        workers: &[usize],
+        x: &Vector,
+    ) -> Vec<WorkerChunkResult> {
+        let chunks: Vec<usize> = (0..enc.layout().chunks_per_partition).collect();
+        workers
+            .iter()
+            .flat_map(|&w| enc.worker_compute_chunks(w, &chunks, x))
+            .collect()
+    }
+
+    #[test]
+    fn params_helpers() {
+        let p = MdsParams::new(12, 10);
+        assert_eq!(p.straggler_tolerance(), 2);
+        assert!((p.storage_overhead() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "require 0 < k <= n")]
+    fn params_rejects_bad_k() {
+        let _ = MdsParams::new(3, 4);
+    }
+
+    #[test]
+    fn invalid_params_error() {
+        assert!(MdsCode::new(MdsParams { n: 3, k: 0 }).is_err());
+        assert!(MdsCode::new(MdsParams { n: 3, k: 4 }).is_err());
+    }
+
+    #[test]
+    fn generator_rows_systematic_and_parity() {
+        let code = MdsCode::new(MdsParams::new(4, 2)).unwrap();
+        assert_eq!(code.generator_row(0), vec![1.0, 0.0]);
+        assert_eq!(code.generator_row(1), vec![0.0, 1.0]);
+        // Parity rows are dense Cauchy rows.
+        assert!(code.generator_row(2).iter().all(|&v| v != 0.0));
+        assert_ne!(code.generator_row(2), code.generator_row(3));
+    }
+
+    #[test]
+    fn encode_systematic_partitions_match_blocks() {
+        let a = data_matrix(40, 6);
+        let code = MdsCode::new(MdsParams::new(4, 2)).unwrap();
+        let enc = code.encode(&a, 2).unwrap();
+        assert_eq!(enc.partition(0), &a.row_block(0, 20));
+        assert_eq!(enc.partition(1), &a.row_block(20, 40));
+        // Parity for (4,2) first parity node: weighted sum of both blocks.
+        let g = code.generator_row(2);
+        let mut expect = a.row_block(0, 20);
+        expect.scale(g[0]);
+        expect.axpy(g[1], &a.row_block(20, 40));
+        assert!(enc.partition(2).max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn decode_from_systematic_workers_only() {
+        let a = data_matrix(60, 5);
+        let x = Vector::from_fn(5, |i| 1.0 + i as f64);
+        let code = MdsCode::new(MdsParams::new(5, 3)).unwrap();
+        let enc = code.encode(&a, 4).unwrap();
+        let resp = full_responses(&enc, &[0, 1, 2], &x);
+        let y = code.decode_matvec(enc.layout(), &resp).unwrap();
+        assert_slices_close(y.as_slice(), a.matvec(&x).as_slice(), 1e-9);
+    }
+
+    #[test]
+    fn decode_from_any_k_of_n() {
+        let a = data_matrix(48, 7);
+        let x = Vector::from_fn(7, |i| (i as f64 * 0.7).cos());
+        let code = MdsCode::new(MdsParams::new(6, 4)).unwrap();
+        let enc = code.encode(&a, 3).unwrap();
+        let expect = a.matvec(&x);
+        // Every 4-subset of 6 workers must decode.
+        for w0 in 0..6 {
+            for w1 in w0 + 1..6 {
+                for w2 in w1 + 1..6 {
+                    for w3 in w2 + 1..6 {
+                        let resp = full_responses(&enc, &[w0, w1, w2, w3], &x);
+                        let y = code.decode_matvec(enc.layout(), &resp).unwrap();
+                        assert_slices_close(y.as_slice(), expect.as_slice(), 1e-8);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_mixed_coverage_per_chunk() {
+        // Different chunks covered by different worker subsets — the exact
+        // situation S2C2 scheduling creates.
+        let a = data_matrix(36, 4);
+        let x = Vector::from_fn(4, |i| i as f64 - 1.5);
+        let code = MdsCode::new(MdsParams::new(4, 2)).unwrap();
+        let enc = code.encode(&a, 3).unwrap();
+        let mut resp = Vec::new();
+        // chunk 0: workers 0,1 (systematic); chunk 1: 0,3; chunk 2: 2,3.
+        for (chunk, ws) in [(0usize, [0usize, 1]), (1, [0, 3]), (2, [2, 3])] {
+            for w in ws {
+                resp.push(enc.worker_compute_chunk(w, chunk, &x));
+            }
+        }
+        let y = code.decode_matvec(enc.layout(), &resp).unwrap();
+        assert_slices_close(y.as_slice(), a.matvec(&x).as_slice(), 1e-9);
+    }
+
+    #[test]
+    fn decode_with_padding() {
+        // 50 rows with k=4, chunks=3 pads to 60.
+        let a = data_matrix(50, 3);
+        let x = Vector::from_fn(3, |i| 2.0 - i as f64);
+        let code = MdsCode::new(MdsParams::new(6, 4)).unwrap();
+        let enc = code.encode(&a, 3).unwrap();
+        assert_eq!(enc.layout().padded_rows, 60);
+        let resp = full_responses(&enc, &[1, 2, 4, 5], &x);
+        let y = code.decode_matvec(enc.layout(), &resp).unwrap();
+        assert_eq!(y.len(), 50);
+        assert_slices_close(y.as_slice(), a.matvec(&x).as_slice(), 1e-9);
+    }
+
+    #[test]
+    fn paper_configurations_roundtrip() {
+        // The exact (n,k) pairs used in the paper's evaluation.
+        let x_cols = 8;
+        for (n, k) in [(12usize, 10usize), (12, 9), (12, 6), (10, 7), (9, 7), (8, 7), (50, 40)] {
+            let a = data_matrix(2 * n * k, x_cols);
+            let x = Vector::from_fn(x_cols, |i| (i as f64).sin() + 1.5);
+            let code = MdsCode::new(MdsParams::new(n, k)).unwrap();
+            let enc = code.encode(&a, 2).unwrap();
+            // Slowest n-k workers ignored: use the *last* k workers (worst
+            // case: all parity workers involved).
+            let workers: Vec<usize> = (n - k..n).collect();
+            let resp = full_responses(&enc, &workers, &x);
+            let y = code.decode_matvec(enc.layout(), &resp).unwrap();
+            assert_slices_close(y.as_slice(), a.matvec(&x).as_slice(), 1e-6);
+        }
+    }
+
+    #[test]
+    fn not_enough_responses_is_reported() {
+        let a = data_matrix(40, 3);
+        let x = Vector::filled(3, 1.0);
+        let code = MdsCode::new(MdsParams::new(4, 2)).unwrap();
+        let enc = code.encode(&a, 2).unwrap();
+        let mut resp = full_responses(&enc, &[0, 1], &x);
+        // Remove one response from chunk 1.
+        resp.retain(|r| !(r.chunk == 1 && r.worker == 1));
+        let err = code.decode_matvec(enc.layout(), &resp).unwrap_err();
+        assert_eq!(
+            err,
+            CodingError::NotEnoughResponses { chunk: 1, got: 1, need: 2 }
+        );
+    }
+
+    #[test]
+    fn extra_responses_are_ignored() {
+        let a = data_matrix(40, 3);
+        let x = Vector::filled(3, 0.5);
+        let code = MdsCode::new(MdsParams::new(5, 2)).unwrap();
+        let enc = code.encode(&a, 2).unwrap();
+        let resp = full_responses(&enc, &[0, 1, 2, 3, 4], &x);
+        let y = code.decode_matvec(enc.layout(), &resp).unwrap();
+        assert_slices_close(y.as_slice(), a.matvec(&x).as_slice(), 1e-9);
+    }
+
+    #[test]
+    fn n_equals_k_degenerates_to_uncoded() {
+        let a = data_matrix(30, 4);
+        let x = Vector::filled(4, 2.0);
+        let code = MdsCode::new(MdsParams::new(3, 3)).unwrap();
+        let enc = code.encode(&a, 2).unwrap();
+        let resp = full_responses(&enc, &[0, 1, 2], &x);
+        let y = code.decode_matvec(enc.layout(), &resp).unwrap();
+        assert_slices_close(y.as_slice(), a.matvec(&x).as_slice(), 1e-9);
+    }
+
+    #[test]
+    fn decode_flops_estimate_monotone_in_missing() {
+        let code = MdsCode::new(MdsParams::new(10, 7)).unwrap();
+        let layout = ChunkLayout::new(700, 7, 10).unwrap();
+        let f0 = code.decode_flops_estimate(&layout, 0.0);
+        let f1 = code.decode_flops_estimate(&layout, 1.0);
+        let f3 = code.decode_flops_estimate(&layout, 3.0);
+        assert!(f0 <= f1 && f1 < f3);
+    }
+}

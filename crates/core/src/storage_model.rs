@@ -1,0 +1,185 @@
+//! Effective-storage model behind Figure 3.
+//!
+//! The paper's argument for coding over "uncoded + perfect prediction":
+//! even if the master could predict speeds exactly and assign each node
+//! the optimal fraction of rows each iteration, the *set* of rows a node
+//! touches drifts as speeds drift. Either every node eventually stores a
+//! large fraction of the whole matrix (the union of all its assignments —
+//! the paper measures ~67% over 270 iterations) or data moves every
+//! round. A coded partition, by contrast, is fixed at `1/k` of the data
+//! forever, because the *same* coded rows serve any assignment.
+
+use s2c2_trace::BoxedSpeedModel;
+
+/// Result series of the storage simulation.
+#[derive(Debug, Clone)]
+pub struct StorageSeries {
+    /// Mean (over nodes) fraction of the full data each node must hold
+    /// after iteration `t` to have served every assignment so far
+    /// without runtime data movement.
+    pub uncoded_fraction: Vec<f64>,
+    /// The coded equivalent: constant `1/k`.
+    pub coded_fraction: Vec<f64>,
+    /// Bytes-equivalent rows moved at iteration `t` by the uncoded scheme
+    /// (new rows entering some node's working set).
+    pub uncoded_rows_moved: Vec<usize>,
+}
+
+/// Simulates `iterations` rounds of speed-proportional uncoded assignment
+/// over `rows` data rows, tracking the growth of each node's row-range
+/// union, and compares with a `(·, k)`-coded layout's constant `1/k`.
+///
+/// Assignment model: workers are laid out in fixed order; each iteration
+/// the row space is split into contiguous spans proportional to that
+/// iteration's speeds (the optimal uncoded assignment). A node's working
+/// set is the union of its spans so far, tracked at row granularity.
+///
+/// # Panics
+///
+/// Panics on an empty cluster or zero rows/k.
+#[must_use]
+pub fn simulate_storage(
+    mut workers: Vec<BoxedSpeedModel>,
+    rows: usize,
+    k: usize,
+    iterations: usize,
+) -> StorageSeries {
+    assert!(!workers.is_empty(), "need at least one worker");
+    assert!(rows > 0 && k > 0, "rows and k must be positive");
+    let n = workers.len();
+    // Working set per node as a boolean row map (rows are few enough for
+    // the figure's purposes; intervals would be premature cleverness).
+    let mut held: Vec<Vec<bool>> = vec![vec![false; rows]; n];
+    let mut held_counts = vec![0usize; n];
+
+    let mut uncoded_fraction = Vec::with_capacity(iterations);
+    let mut uncoded_rows_moved = Vec::with_capacity(iterations);
+    let coded = 1.0 / k as f64;
+
+    for iter in 0..iterations {
+        let speeds: Vec<f64> = workers.iter_mut().map(|m| m.speed_at(iter)).collect();
+        let total: f64 = speeds.iter().sum();
+        // Contiguous spans proportional to speed (largest remainder).
+        let mut sizes = vec![0usize; n];
+        let mut assigned = 0usize;
+        let mut rema: Vec<(f64, usize)> = Vec::with_capacity(n);
+        for w in 0..n {
+            let ideal = speeds[w] / total * rows as f64;
+            sizes[w] = ideal.floor() as usize;
+            assigned += sizes[w];
+            rema.push((ideal - sizes[w] as f64, w));
+        }
+        rema.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        for i in 0..rows - assigned {
+            sizes[rema[i % n].1] += 1;
+        }
+
+        let mut moved = 0usize;
+        let mut begin = 0usize;
+        for w in 0..n {
+            for r in begin..begin + sizes[w] {
+                if !held[w][r] {
+                    held[w][r] = true;
+                    held_counts[w] += 1;
+                    moved += 1;
+                }
+            }
+            begin += sizes[w];
+        }
+        debug_assert_eq!(begin, rows);
+
+        let mean_fraction =
+            held_counts.iter().map(|&c| c as f64 / rows as f64).sum::<f64>() / n as f64;
+        uncoded_fraction.push(mean_fraction);
+        uncoded_rows_moved.push(moved);
+    }
+
+    StorageSeries {
+        uncoded_fraction,
+        coded_fraction: vec![coded; iterations],
+        uncoded_rows_moved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2c2_trace::model::{ConstantSpeed, JitterSpeed, MarkovRegimeSpeed};
+    use s2c2_trace::BoxedSpeedModel;
+
+    fn constant_cluster(n: usize) -> Vec<BoxedSpeedModel> {
+        (0..n)
+            .map(|_| Box::new(ConstantSpeed::new(1.0)) as BoxedSpeedModel)
+            .collect()
+    }
+
+    #[test]
+    fn constant_speeds_need_exactly_one_nth() {
+        let series = simulate_storage(constant_cluster(10), 1000, 10, 50);
+        // Identical spans every iteration: working set never grows.
+        for &f in &series.uncoded_fraction {
+            assert!((f - 0.1).abs() < 1e-9, "fraction {f}");
+        }
+        // Only the first iteration moves data.
+        assert_eq!(series.uncoded_rows_moved[0], 1000);
+        assert!(series.uncoded_rows_moved[1..].iter().all(|&m| m == 0));
+    }
+
+    #[test]
+    fn varying_speeds_grow_the_working_set() {
+        let workers: Vec<BoxedSpeedModel> = (0..12)
+            .map(|i| {
+                Box::new(MarkovRegimeSpeed::new(
+                    vec![1.0, 0.6, 0.3],
+                    8.0,
+                    0.05,
+                    0,
+                    100 + i,
+                )) as BoxedSpeedModel
+            })
+            .collect();
+        let series = simulate_storage(workers, 1200, 10, 270);
+        let first = series.uncoded_fraction[0];
+        let last = *series.uncoded_fraction.last().unwrap();
+        assert!(last > first * 2.0, "working set must grow: {first} -> {last}");
+        assert!(
+            last > 0.3,
+            "paper-like drift should need a large fraction, got {last}"
+        );
+        // Monotone non-decreasing (unions only grow).
+        for w in series.uncoded_fraction.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        // Coded stays at 1/k.
+        assert!(series.coded_fraction.iter().all(|&f| (f - 0.1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn jitter_only_growth_is_modest() {
+        let workers: Vec<BoxedSpeedModel> = (0..10)
+            .map(|i| Box::new(JitterSpeed::new(1.0, 0.05, i as u64)) as BoxedSpeedModel)
+            .collect();
+        let series = simulate_storage(workers, 1000, 10, 100);
+        let last = *series.uncoded_fraction.last().unwrap();
+        // Small jitter wiggles boundaries a little; nothing like regime drift.
+        assert!(last < 0.3, "jitter-only growth should stay small, got {last}");
+    }
+
+    #[test]
+    fn coded_beats_uncoded_in_steady_state() {
+        let workers: Vec<BoxedSpeedModel> = (0..12)
+            .map(|i| {
+                Box::new(MarkovRegimeSpeed::new(vec![1.0, 0.5], 10.0, 0.03, 0, i)) as BoxedSpeedModel
+            })
+            .collect();
+        let series = simulate_storage(workers, 600, 10, 150);
+        let last = *series.uncoded_fraction.last().unwrap();
+        assert!(last > series.coded_fraction[0] * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows and k must be positive")]
+    fn zero_rows_rejected() {
+        let _ = simulate_storage(constant_cluster(2), 0, 2, 5);
+    }
+}

@@ -1,0 +1,124 @@
+//! Workload-distribution strategies.
+//!
+//! Everything the paper compares lives here behind one trait:
+//!
+//! | Strategy | Paper role |
+//! |---|---|
+//! | [`UncodedStrategy`] | even split, wait for all (§2's strawman) |
+//! | [`ReplicationStrategy`] | uncoded r-replication + speculative re-execution (Hadoop/LATE-like, §7.1 baseline) |
+//! | [`MdsStrategy`] | conventional (n,k)-MDS coded computation (Lee et al., §7.1/7.2 baseline) |
+//! | [`S2c2Strategy`] | **the contribution**: basic & general S²C² (§4) |
+//! | [`OverDecompositionStrategy`] | Charm++-style over-decomposition + prediction-driven rebalancing (§7.2 baseline) |
+//! | [`poly`] | polynomial-coded Hessian, conventional vs S²C²-scheduled (§5, Fig 12) |
+
+pub mod coded_common;
+pub mod mds;
+pub mod overdecomp;
+pub mod poly;
+pub mod replication;
+pub mod s2c2;
+pub mod uncoded;
+
+pub use mds::MdsStrategy;
+pub use overdecomp::OverDecompositionStrategy;
+pub use replication::ReplicationStrategy;
+pub use s2c2::S2c2Strategy;
+pub use uncoded::UncodedStrategy;
+
+use crate::error::S2c2Error;
+use s2c2_cluster::metrics::RoundMetrics;
+use s2c2_cluster::ClusterSim;
+use s2c2_linalg::Vector;
+
+/// Result of one strategy iteration.
+#[derive(Debug, Clone)]
+pub struct IterationOutcome {
+    /// The computed `A·x` (exact, up to floating point round-off).
+    pub result: Vector,
+    /// Accounting for the round.
+    pub metrics: RoundMetrics,
+}
+
+/// A workload-distribution strategy for iterative distributed matvec jobs.
+///
+/// The contract: `run_iteration` must call
+/// [`ClusterSim::begin_iteration`] exactly once, produce the numerically
+/// correct product, and fill a [`RoundMetrics`] that satisfies work
+/// conservation.
+pub trait MatvecStrategy: Send {
+    /// Human-readable name (used by the bench harness's tables).
+    fn name(&self) -> String;
+
+    /// Executes iteration `iteration` with input vector `x`.
+    ///
+    /// # Errors
+    ///
+    /// Strategy-specific failures (not enough live workers, decode
+    /// failures) surface as [`S2c2Error`].
+    fn run_iteration(
+        &mut self,
+        sim: &mut ClusterSim,
+        iteration: usize,
+        x: &Vector,
+    ) -> Result<IterationOutcome, S2c2Error>;
+
+    /// Bytes of input data each worker must store up front.
+    fn storage_bytes_per_worker(&self) -> u64;
+}
+
+/// Selector used by the [`crate::job::CodedJobBuilder`] facade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Even uncoded split, wait for every worker.
+    Uncoded,
+    /// Uncoded r-replication with speculative re-execution.
+    Replication,
+    /// Conventional (n,k)-MDS coded computation.
+    MdsCoded,
+    /// Basic S²C²: stragglers excluded, equal split among the rest.
+    S2c2Basic,
+    /// General S²C²: Algorithm 1 on predicted speeds.
+    S2c2General,
+    /// Charm++-style over-decomposition with prediction-driven rebalancing.
+    OverDecomposition,
+}
+
+impl StrategyKind {
+    /// All kinds, in the order the paper's figures list them.
+    #[must_use]
+    pub fn all() -> [StrategyKind; 6] {
+        [
+            StrategyKind::Uncoded,
+            StrategyKind::Replication,
+            StrategyKind::MdsCoded,
+            StrategyKind::S2c2Basic,
+            StrategyKind::S2c2General,
+            StrategyKind::OverDecomposition,
+        ]
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StrategyKind::Uncoded => "uncoded",
+            StrategyKind::Replication => "replication",
+            StrategyKind::MdsCoded => "mds",
+            StrategyKind::S2c2Basic => "s2c2-basic",
+            StrategyKind::S2c2General => "s2c2-general",
+            StrategyKind::OverDecomposition => "over-decomposition",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display_names() {
+        assert_eq!(StrategyKind::S2c2General.to_string(), "s2c2-general");
+        assert_eq!(StrategyKind::all().len(), 6);
+    }
+}

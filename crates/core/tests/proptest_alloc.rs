@@ -1,0 +1,160 @@
+//! Property-based tests for Algorithm 1 and its bilinear extension.
+//!
+//! The invariant every figure rests on: whatever speeds the predictor
+//! reports, the allocator must emit an assignment in which *every* chunk
+//! index is covered by exactly `k` distinct workers (otherwise decoding
+//! fails), no worker exceeds its partition, total slots equal `k·C`, and
+//! faster workers never get less work than slower ones.
+
+use proptest::prelude::*;
+use s2c2_core::alloc::{allocate_chunks, allocate_chunks_basic, allocate_chunks_with_fixed_cost};
+
+/// Strategy: a cluster's worth of speeds, some possibly zero (dead).
+fn speeds(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => 0.05f64..1.2,   // live
+            1 => Just(0.0),      // presumed dead
+        ],
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn coverage_is_exactly_k_for_any_speeds(
+        n in 3usize..=20,
+        seedspeeds in speeds(20),
+        k_frac in 0.2f64..0.95,
+        chunks in 1usize..=24,
+    ) {
+        let speeds = &seedspeeds[..n];
+        let alive = speeds.iter().filter(|&&s| s > 0.0).count();
+        let k = ((n as f64 * k_frac) as usize).clamp(1, n);
+        let result = allocate_chunks(speeds, k, chunks);
+        if alive < k {
+            prop_assert!(result.is_err(), "must refuse infeasible coverage");
+        } else {
+            let a = result.unwrap();
+            prop_assert!(a.is_decodable(), "coverage invariant violated");
+            prop_assert_eq!(a.total_slots(), k * chunks);
+            // Dead workers get nothing.
+            for (w, &s) in speeds.iter().enumerate() {
+                if s == 0.0 {
+                    prop_assert!(a.chunks[w].is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_is_monotone_in_speed(
+        n in 4usize..=16,
+        seedspeeds in speeds(16),
+        chunks in 2usize..=16,
+    ) {
+        let speeds = &seedspeeds[..n];
+        let alive = speeds.iter().filter(|&&s| s > 0.0).count();
+        let k = (n / 2).max(1);
+        prop_assume!(alive >= k);
+        let a = allocate_chunks(speeds, k, chunks).unwrap();
+        // Strictly faster workers receive at least as many chunks, up to
+        // integer rounding (±1 slot tolerance from the greedy leftover).
+        for i in 0..n {
+            for j in 0..n {
+                if speeds[i] > speeds[j] * 1.5 && speeds[j] > 0.0 {
+                    prop_assert!(
+                        a.chunks[i].len() + 1 >= a.chunks[j].len(),
+                        "worker {i} ({}) got {} chunks, worker {j} ({}) got {}",
+                        speeds[i], a.chunks[i].len(), speeds[j], a.chunks[j].len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn basic_mode_splits_evenly_among_available(
+        n in 3usize..=16,
+        mask in proptest::collection::vec(any::<bool>(), 16),
+        chunks in 1usize..=12,
+    ) {
+        let available = &mask[..n];
+        let alive = available.iter().filter(|&&a| a).count();
+        let k = (n / 2).max(1);
+        let result = allocate_chunks_basic(available, k, chunks);
+        if alive < k {
+            prop_assert!(result.is_err());
+        } else {
+            let a = result.unwrap();
+            prop_assert!(a.is_decodable());
+            // Even split: all available workers within 1 chunk of each other.
+            let sizes: Vec<usize> = (0..n)
+                .filter(|&w| available[w])
+                .map(|w| a.chunks[w].len())
+                .collect();
+            let max = sizes.iter().max().unwrap();
+            let min = sizes.iter().min().unwrap();
+            prop_assert!(max - min <= 1, "uneven basic split: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn water_filling_preserves_coverage_and_caps(
+        n in 4usize..=16,
+        seedspeeds in speeds(16),
+        chunks in 2usize..=16,
+        fixed_ratio in 0.0f64..4.0,
+    ) {
+        let speeds = &seedspeeds[..n];
+        let alive = speeds.iter().filter(|&&s| s > 0.0).count();
+        let k = (n * 3 / 4).max(1);
+        prop_assume!(alive >= k);
+        let unit = 100.0;
+        let fixed = fixed_ratio * unit;
+        let a = allocate_chunks_with_fixed_cost(speeds, k, chunks, fixed, unit).unwrap();
+        prop_assert!(a.is_decodable(), "water-filling broke coverage");
+        prop_assert_eq!(a.total_slots(), k * chunks);
+        for per_worker in &a.chunks {
+            prop_assert!(per_worker.len() <= chunks);
+        }
+    }
+
+    #[test]
+    fn water_filling_with_zero_fixed_matches_plain(
+        n in 4usize..=12,
+        seedspeeds in speeds(12),
+        chunks in 2usize..=12,
+    ) {
+        let speeds = &seedspeeds[..n];
+        let alive = speeds.iter().filter(|&&s| s > 0.0).count();
+        let k = (n / 2).max(1);
+        prop_assume!(alive >= k);
+        let plain = allocate_chunks(speeds, k, chunks).unwrap();
+        let wf = allocate_chunks_with_fixed_cost(speeds, k, chunks, 0.0, 1.0).unwrap();
+        prop_assert_eq!(plain, wf, "zero fixed cost must reduce to Algorithm 1");
+    }
+
+    #[test]
+    fn heavy_fixed_cost_idles_the_slowest(
+        chunks in 4usize..=16,
+    ) {
+        // One worker at 10% speed with a fixed cost comparable to the
+        // whole round: water-filling should give it zero chunks rather
+        // than making it the bottleneck.
+        let speeds = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.1];
+        let k = 5;
+        let unit = 100.0;
+        let fixed = unit * chunks as f64; // fixed pass ~ a full partition
+        let a = allocate_chunks_with_fixed_cost(&speeds, k, chunks, fixed, unit).unwrap();
+        prop_assert!(a.is_decodable());
+        let slow_share = a.chunks[7].len();
+        let fast_share = a.chunks[0].len();
+        prop_assert!(
+            slow_share * 3 <= fast_share.max(1),
+            "slow worker overloaded: {slow_share} vs {fast_share}"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type shared by the linear-algebra substrate.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ///
+    /// Carries a human-readable description of the two shapes involved.
+    ShapeMismatch {
+        /// Description of the expected shape.
+        expected: String,
+        /// Description of the shape actually supplied.
+        found: String,
+    },
+    /// A factorization or solve encountered a (numerically) singular matrix.
+    Singular {
+        /// Pivot column at which elimination broke down.
+        pivot: usize,
+    },
+    /// An argument was out of the function's documented domain
+    /// (e.g. an empty matrix where a non-empty one is required).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (elimination broke down at pivot {pivot})")
+            }
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch {
+            expected: "2x3".into(),
+            found: "3x2".into(),
+        };
+        assert_eq!(e.to_string(), "shape mismatch: expected 2x3, found 3x2");
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = LinalgError::Singular { pivot: 4 };
+        assert!(e.to_string().contains("pivot 4"));
+    }
+
+    #[test]
+    fn display_invalid_argument() {
+        let e = LinalgError::InvalidArgument("k must be positive".into());
+        assert!(e.to_string().contains("k must be positive"));
+    }
+}

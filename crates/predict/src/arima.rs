@@ -1,0 +1,421 @@
+//! ARIMA baselines: AR(1), AR(2) by ordinary least squares and
+//! ARIMA(1,1,1) by Hannan–Rissanen two-stage estimation.
+//!
+//! §6.1 evaluates exactly these three; ARIMA(1,0,0) — "just the speed from
+//! the past iteration" (plus an intercept) — is their best, and the LSTM
+//! beats it by ~5 points of MAPE. The fits here are closed-form least
+//! squares, which for these small model orders matches what statsmodels
+//! would produce up to optimizer noise.
+
+use crate::predictor::{BoxedPredictor, SpeedPredictor};
+
+/// Model order selector for [`ArimaModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArimaOrder {
+    /// ARIMA(1,0,0): `x̂_{t+1} = c + φ₁·x_t`.
+    Ar1,
+    /// ARIMA(2,0,0): `x̂_{t+1} = c + φ₁·x_t + φ₂·x_{t−1}`.
+    Ar2,
+    /// ARIMA(1,1,1) on first differences with one MA term.
+    Arima111,
+}
+
+/// A fitted ARIMA model (shared, immutable parameters).
+#[derive(Debug, Clone)]
+pub struct ArimaModel {
+    order: ArimaOrder,
+    /// AR coefficients (φ₁[, φ₂]).
+    phi: Vec<f64>,
+    /// MA coefficient (ARIMA(1,1,1) only).
+    theta: f64,
+    /// Intercept.
+    intercept: f64,
+    /// Mean of the training data — the cold-start prediction.
+    train_mean: f64,
+}
+
+impl ArimaModel {
+    /// Fits the model on a collection of training series (one per node).
+    ///
+    /// Series shorter than the model order contribute nothing; the fit
+    /// pools lagged observations across all series, matching how the paper
+    /// trains one model over the whole cluster's traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no usable training pairs exist.
+    #[must_use]
+    pub fn fit(order: ArimaOrder, series: &[&[f64]]) -> Self {
+        let all: Vec<f64> = series.iter().flat_map(|s| s.iter().copied()).collect();
+        assert!(!all.is_empty(), "no training data");
+        let train_mean = all.iter().sum::<f64>() / all.len() as f64;
+
+        match order {
+            ArimaOrder::Ar1 => {
+                let (phi, intercept) = fit_ar(series, 1);
+                ArimaModel {
+                    order,
+                    phi,
+                    theta: 0.0,
+                    intercept,
+                    train_mean,
+                }
+            }
+            ArimaOrder::Ar2 => {
+                let (phi, intercept) = fit_ar(series, 2);
+                ArimaModel {
+                    order,
+                    phi,
+                    theta: 0.0,
+                    intercept,
+                    train_mean,
+                }
+            }
+            ArimaOrder::Arima111 => {
+                let (phi, theta, intercept) = fit_arima111(series);
+                ArimaModel {
+                    order,
+                    phi: vec![phi],
+                    theta,
+                    intercept,
+                    train_mean,
+                }
+            }
+        }
+    }
+
+    /// Model order.
+    #[must_use]
+    pub fn order(&self) -> ArimaOrder {
+        self.order
+    }
+
+    /// Fitted AR coefficients.
+    #[must_use]
+    pub fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// Fitted MA coefficient (0 for pure AR orders).
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Creates a stateful online predictor backed by this model.
+    #[must_use]
+    pub fn online(&self) -> ArimaPredictor {
+        ArimaPredictor {
+            model: self.clone(),
+            lags: Vec::new(),
+            last_err: 0.0,
+            last_pred: None,
+        }
+    }
+}
+
+/// Pooled OLS fit of an AR(p) model with intercept.
+///
+/// Solves the 2×2 / 3×3 normal equations directly.
+fn fit_ar(series: &[&[f64]], p: usize) -> (Vec<f64>, f64) {
+    // Design: rows [1, x_{t-1}, ..., x_{t-p}] -> target x_t.
+    let dim = p + 1;
+    let mut xtx = vec![vec![0.0; dim]; dim];
+    let mut xty = vec![0.0; dim];
+    let mut count = 0usize;
+    for s in series {
+        if s.len() <= p {
+            continue;
+        }
+        for t in p..s.len() {
+            let mut row = Vec::with_capacity(dim);
+            row.push(1.0);
+            for lag in 1..=p {
+                row.push(s[t - lag]);
+            }
+            for i in 0..dim {
+                for j in 0..dim {
+                    xtx[i][j] += row[i] * row[j];
+                }
+                xty[i] += row[i] * s[t];
+            }
+            count += 1;
+        }
+    }
+    assert!(count > dim, "not enough training pairs for AR({p})");
+    let sol = solve_small(&mut xtx, &mut xty);
+    let intercept = sol[0];
+    let phi = sol[1..].to_vec();
+    (phi, intercept)
+}
+
+/// Hannan–Rissanen estimation of ARIMA(1,1,1).
+///
+/// Stage 1: long-AR fit on the differenced series yields residual
+/// estimates. Stage 2: OLS of `d_t` on `[1, d_{t−1}, e_{t−1}]`.
+fn fit_arima111(series: &[&[f64]]) -> (f64, f64, f64) {
+    // Differenced series per node.
+    let diffs: Vec<Vec<f64>> = series
+        .iter()
+        .filter(|s| s.len() >= 3)
+        .map(|s| s.windows(2).map(|w| w[1] - w[0]).collect())
+        .collect();
+    assert!(!diffs.is_empty(), "not enough training data for ARIMA(1,1,1)");
+
+    // Stage 1: AR(3) on differences to estimate innovations.
+    let diff_refs: Vec<&[f64]> = diffs.iter().map(Vec::as_slice).collect();
+    let p_long = 3;
+    let (phi_long, c_long) = fit_ar(&diff_refs, p_long);
+    let mut residuals: Vec<Vec<f64>> = Vec::with_capacity(diffs.len());
+    for d in &diffs {
+        let mut r = vec![0.0; d.len()];
+        for t in p_long..d.len() {
+            let mut pred = c_long;
+            for (lag, ph) in phi_long.iter().enumerate() {
+                pred += ph * d[t - lag - 1];
+            }
+            r[t] = d[t] - pred;
+        }
+        residuals.push(r);
+    }
+
+    // Stage 2: d_t = c + phi*d_{t-1} + theta*e_{t-1}.
+    let mut xtx = vec![vec![0.0; 3]; 3];
+    let mut xty = vec![0.0; 3];
+    let mut count = 0usize;
+    for (d, e) in diffs.iter().zip(residuals.iter()) {
+        for t in p_long + 1..d.len() {
+            let row = [1.0, d[t - 1], e[t - 1]];
+            for i in 0..3 {
+                for j in 0..3 {
+                    xtx[i][j] += row[i] * row[j];
+                }
+                xty[i] += row[i] * d[t];
+            }
+            count += 1;
+        }
+    }
+    assert!(count > 3, "not enough training pairs for ARIMA(1,1,1)");
+    let sol = solve_small(&mut xtx, &mut xty);
+    (sol[1], sol[2], sol[0])
+}
+
+/// Tiny Gaussian-elimination solve for the ≤4×4 normal equations, with a
+/// ridge fallback for degenerate designs (e.g. constant training series).
+fn solve_small(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    // Ridge: the normal matrix is PSD, a tiny diagonal bump guarantees
+    // invertibility without visibly biasing healthy fits.
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += 1e-9;
+    }
+    for col in 0..n {
+        let mut piv = col;
+        for r in col + 1..n {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let d = a[col][col];
+        for r in col + 1..n {
+            let f = a[r][col] / d;
+            for c in col..n {
+                a[r][c] -= f * a[col][c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in i + 1..n {
+            s -= a[i][j] * x[j];
+        }
+        x[i] = s / a[i][i];
+    }
+    x
+}
+
+/// Stateful online ARIMA forecaster for one worker.
+#[derive(Debug, Clone)]
+pub struct ArimaPredictor {
+    model: ArimaModel,
+    /// Most recent observations, newest last (holds ≤ 2).
+    lags: Vec<f64>,
+    /// Last innovation estimate (ARIMA(1,1,1)).
+    last_err: f64,
+    /// The prediction issued last call (to compute the innovation).
+    last_pred: Option<f64>,
+}
+
+impl SpeedPredictor for ArimaPredictor {
+    fn observe_and_predict(&mut self, observed: f64) -> f64 {
+        // Update innovation from the previous prediction.
+        if let Some(p) = self.last_pred {
+            self.last_err = observed - p;
+        }
+        self.lags.push(observed);
+        if self.lags.len() > 2 {
+            self.lags.remove(0);
+        }
+        let m = &self.model;
+        let pred = match m.order {
+            ArimaOrder::Ar1 => m.intercept + m.phi[0] * observed,
+            ArimaOrder::Ar2 => {
+                if self.lags.len() < 2 {
+                    m.intercept + (m.phi[0] + m.phi[1]) * observed
+                } else {
+                    m.intercept + m.phi[0] * self.lags[1] + m.phi[1] * self.lags[0]
+                }
+            }
+            ArimaOrder::Arima111 => {
+                let d = if self.lags.len() < 2 {
+                    0.0
+                } else {
+                    self.lags[1] - self.lags[0]
+                };
+                observed + m.intercept + m.phi[0] * d + m.theta * self.last_err
+            }
+        };
+        // Speeds are positive; clamp pathological extrapolations.
+        let pred = pred.max(1e-6);
+        self.last_pred = Some(pred);
+        pred
+    }
+
+    fn predict_cold(&self) -> f64 {
+        self.last_pred.unwrap_or(self.model.train_mean)
+    }
+
+    fn clone_box(&self) -> BoxedPredictor {
+        Box::new(self.clone())
+    }
+
+    fn reset(&mut self) {
+        self.lags.clear();
+        self.last_err = 0.0;
+        self.last_pred = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Generate a synthetic AR(1) process x_t = c + phi x_{t-1} + noise.
+    fn ar1_series(c: f64, phi: f64, n: usize, noise: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = c / (1.0 - phi);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            x = c + phi * x + rng.gen_range(-noise..noise);
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn ar1_recovers_true_coefficients() {
+        let s = ar1_series(0.3, 0.7, 5000, 0.02, 1);
+        let model = ArimaModel::fit(ArimaOrder::Ar1, &[&s]);
+        assert!((model.phi()[0] - 0.7).abs() < 0.05, "phi = {}", model.phi()[0]);
+        assert!((model.intercept - 0.3).abs() < 0.06, "c = {}", model.intercept);
+    }
+
+    #[test]
+    fn ar2_recovers_true_coefficients() {
+        // x_t = 0.1 + 0.5 x_{t-1} + 0.3 x_{t-2} + eps.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut xs = vec![0.5, 0.5];
+        for _ in 0..8000 {
+            let t = xs.len();
+            let v = 0.1 + 0.5 * xs[t - 1] + 0.3 * xs[t - 2] + rng.gen_range(-0.02..0.02);
+            xs.push(v);
+        }
+        let model = ArimaModel::fit(ArimaOrder::Ar2, &[&xs]);
+        assert!((model.phi()[0] - 0.5).abs() < 0.08, "phi1 = {}", model.phi()[0]);
+        assert!((model.phi()[1] - 0.3).abs() < 0.08, "phi2 = {}", model.phi()[1]);
+    }
+
+    #[test]
+    fn pooled_fit_uses_all_series() {
+        let a = ar1_series(0.2, 0.6, 500, 0.02, 3);
+        let b = ar1_series(0.2, 0.6, 500, 0.02, 4);
+        let model = ArimaModel::fit(ArimaOrder::Ar1, &[&a, &b]);
+        assert!((model.phi()[0] - 0.6).abs() < 0.08);
+    }
+
+    #[test]
+    fn online_ar1_predictions_track_process() {
+        let s = ar1_series(0.3, 0.7, 2000, 0.01, 5);
+        let (train, test) = s.split_at(1600);
+        let model = ArimaModel::fit(ArimaOrder::Ar1, &[train]);
+        let mut online = model.online();
+        // One-step-ahead predictions should be closer than the naive mean.
+        let mut err_model = 0.0;
+        let mut err_mean = 0.0;
+        let mean = train.iter().sum::<f64>() / train.len() as f64;
+        for w in test.windows(2) {
+            let pred = online.observe_and_predict(w[0]);
+            err_model += (pred - w[1]).abs();
+            err_mean += (mean - w[1]).abs();
+        }
+        assert!(err_model < err_mean, "AR(1) should beat the mean forecaster");
+    }
+
+    #[test]
+    fn arima111_fits_and_predicts_finite() {
+        // Trend + noise: differencing handles the trend.
+        let mut rng = StdRng::seed_from_u64(6);
+        let s: Vec<f64> = (0..3000)
+            .map(|i| 1.0 + 0.0001 * i as f64 + rng.gen_range(-0.01..0.01))
+            .collect();
+        let model = ArimaModel::fit(ArimaOrder::Arima111, &[&s]);
+        let mut online = model.online();
+        for w in s.windows(1).take(50) {
+            let p = online.observe_and_predict(w[0]);
+            assert!(p.is_finite() && p > 0.0);
+        }
+    }
+
+    #[test]
+    fn constant_series_degenerate_fit_is_safe() {
+        let s = vec![0.5; 100];
+        let model = ArimaModel::fit(ArimaOrder::Ar1, &[&s]);
+        let mut online = model.online();
+        let p = online.observe_and_predict(0.5);
+        assert!(p.is_finite());
+        assert!((p - 0.5).abs() < 0.05, "constant series should predict ~0.5, got {p}");
+    }
+
+    #[test]
+    fn cold_start_uses_train_mean() {
+        let s = ar1_series(0.3, 0.5, 200, 0.01, 7);
+        let model = ArimaModel::fit(ArimaOrder::Ar1, &[&s]);
+        let online = model.online();
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((online.predict_cold() - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_online_state() {
+        let s = ar1_series(0.3, 0.5, 200, 0.01, 8);
+        let model = ArimaModel::fit(ArimaOrder::Ar1, &[&s]);
+        let mut online = model.online();
+        let cold = online.predict_cold();
+        let _ = online.observe_and_predict(0.9);
+        assert_ne!(online.predict_cold(), cold);
+        online.reset();
+        assert_eq!(online.predict_cold(), cold);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training data")]
+    fn empty_fit_panics() {
+        let _ = ArimaModel::fit(ArimaOrder::Ar1, &[]);
+    }
+}

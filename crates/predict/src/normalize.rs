@@ -1,0 +1,98 @@
+//! Train-set normalization shared by the learned predictors.
+//!
+//! Speeds live roughly in `(0, 1.1]`; the LSTM's tanh nonlinearities want
+//! zero-centred, unit-scale inputs. The normalizer is fit on training data
+//! only (no test leakage) and travels with the trained model so online
+//! inference sees the same transform.
+
+/// Affine normalizer `z = (x − mean) / std`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normalizer {
+    /// Training-set mean.
+    pub mean: f64,
+    /// Training-set standard deviation (floored to avoid division blowup).
+    pub std: f64,
+}
+
+impl Normalizer {
+    /// Fits mean/std over a sample slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    #[must_use]
+    pub fn fit(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot fit a normalizer on no data");
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        Normalizer {
+            mean,
+            std: var.sqrt().max(1e-6),
+        }
+    }
+
+    /// Identity transform (mean 0, std 1).
+    #[must_use]
+    pub fn identity() -> Self {
+        Normalizer { mean: 0.0, std: 1.0 }
+    }
+
+    /// Forward transform.
+    #[must_use]
+    pub fn normalize(&self, x: f64) -> f64 {
+        (x - self.mean) / self.std
+    }
+
+    /// Inverse transform.
+    #[must_use]
+    pub fn denormalize(&self, z: f64) -> f64 {
+        z * self.std + self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_and_roundtrip() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let n = Normalizer::fit(&data);
+        assert!((n.mean - 2.5).abs() < 1e-12);
+        for x in data {
+            assert!((n.denormalize(n.normalize(x)) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalized_stats_are_standard() {
+        let data: Vec<f64> = (0..100).map(|i| 0.5 + 0.01 * i as f64).collect();
+        let n = Normalizer::fit(&data);
+        let z: Vec<f64> = data.iter().map(|&x| n.normalize(x)).collect();
+        let mean = z.iter().sum::<f64>() / z.len() as f64;
+        let var = z.iter().map(|x| x * x).sum::<f64>() / z.len() as f64 - mean * mean;
+        assert!(mean.abs() < 1e-10);
+        assert!((var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let n = Normalizer::fit(&[2.0; 10]);
+        assert!(n.normalize(2.0).abs() < 1e-6);
+        assert!(n.normalize(3.0).is_finite());
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let n = Normalizer::identity();
+        assert_eq!(n.normalize(1.5), 1.5);
+        assert_eq!(n.denormalize(1.5), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn empty_fit_panics() {
+        let _ = Normalizer::fit(&[]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Minimal CSV persistence for trace sets.
+//!
+//! One column per node, one row per iteration, full `f64` round-trip
+//! precision. Hand-rolled rather than pulling in a serialization framework:
+//! the format is two lines of logic and the workspace stays dependency-light.
+
+use crate::{Trace, TraceSet};
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a trace set as CSV (header `node0,node1,...`).
+///
+/// # Errors
+///
+/// Propagates I/O errors; fails with [`io::ErrorKind::InvalidInput`] when
+/// traces have unequal lengths (the on-disk format is rectangular).
+pub fn write_trace_set<W: Write>(out: W, set: &TraceSet) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    let nodes = set.len();
+    if nodes == 0 {
+        return Ok(());
+    }
+    let len = set.node(0).len();
+    for i in 0..nodes {
+        if set.node(i).len() != len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("trace {i} has length {} != {len}", set.node(i).len()),
+            ));
+        }
+    }
+    // Header.
+    let header: Vec<String> = (0..nodes).map(|i| format!("node{i}")).collect();
+    writeln!(w, "{}", header.join(","))?;
+    // Rows.
+    for t in 0..len {
+        let mut row = String::new();
+        for i in 0..nodes {
+            if i > 0 {
+                row.push(',');
+            }
+            // {:?} for f64 prints a shortest representation that round-trips.
+            row.push_str(&format!("{:?}", set.node(i).samples()[t]));
+        }
+        writeln!(w, "{row}")?;
+    }
+    w.flush()
+}
+
+/// Reads a trace set previously written by [`write_trace_set`].
+///
+/// # Errors
+///
+/// Propagates I/O errors; fails with [`io::ErrorKind::InvalidData`] on
+/// malformed numbers or ragged rows.
+pub fn read_trace_set<R: BufRead>(input: R) -> io::Result<TraceSet> {
+    let mut lines = input.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => return Ok(TraceSet::from_traces(vec![])),
+    };
+    let nodes = header.split(',').count();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); nodes];
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != nodes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("row {} has {} fields, expected {nodes}", lineno + 2, fields.len()),
+            ));
+        }
+        for (col, field) in fields.iter().enumerate() {
+            let v: f64 = field.trim().parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("row {} col {col}: {e}", lineno + 2),
+                )
+            })?;
+            columns[col].push(v);
+        }
+    }
+    Ok(TraceSet::from_traces(
+        columns.into_iter().map(Trace::new).collect(),
+    ))
+}
+
+/// Convenience wrapper: writes a trace set to a file path.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+pub fn save(path: &Path, set: &TraceSet) -> io::Result<()> {
+    write_trace_set(std::fs::File::create(path)?, set)
+}
+
+/// Convenience wrapper: reads a trace set from a file path.
+///
+/// # Errors
+///
+/// Propagates I/O errors from opening and parsing.
+pub fn load(path: &Path) -> io::Result<TraceSet> {
+    read_trace_set(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CloudTraceConfig;
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let set = TraceSet::generate(&CloudTraceConfig::volatile(), 7, 33, 77);
+        let mut buf = Vec::new();
+        write_trace_set(&mut buf, &set).unwrap();
+        let back = read_trace_set(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(set, back, "CSV round trip must be bit-exact");
+    }
+
+    #[test]
+    fn empty_set_roundtrip() {
+        let set = TraceSet::from_traces(vec![]);
+        let mut buf = Vec::new();
+        write_trace_set(&mut buf, &set).unwrap();
+        let back = read_trace_set(io::BufReader::new(&buf[..])).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn ragged_input_rejected() {
+        let data = b"node0,node1\n1.0,2.0\n3.0\n";
+        let err = read_trace_set(io::BufReader::new(&data[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn malformed_number_rejected() {
+        let data = b"node0\nnot_a_number\n";
+        let err = read_trace_set(io::BufReader::new(&data[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unequal_traces_rejected_on_write() {
+        let set = TraceSet::from_traces(vec![
+            Trace::new(vec![1.0, 2.0]),
+            Trace::new(vec![1.0]),
+        ]);
+        let mut buf = Vec::new();
+        let err = write_trace_set(&mut buf, &set).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("s2c2_trace_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traces.csv");
+        let set = TraceSet::generate(&CloudTraceConfig::calm(), 3, 10, 5);
+        save(&path, &set).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(set, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,161 @@
+//! Time-series diagnostics for speed traces and prediction quality.
+//!
+//! These are the measures the paper reports (§6.1): Mean Absolute
+//! Percentage Error of speed forecasts, plus the autocorrelation structure
+//! that justifies one-step-behind prediction in the first place.
+
+/// Arithmetic mean; 0 for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0 for slices shorter than 2.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Lag-`k` autocorrelation coefficient.
+///
+/// Returns 0 when the series is too short or has zero variance (a constant
+/// series carries no linear predictive signal beyond its mean).
+#[must_use]
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    if xs.len() <= lag + 1 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let numer: f64 = (0..xs.len() - lag)
+        .map(|i| (xs[i] - m) * (xs[i + lag] - m))
+        .sum();
+    numer / denom
+}
+
+/// Mean Absolute Percentage Error of `predicted` against `actual`, in
+/// percent (the paper's LSTM scores 16.7 on this metric).
+///
+/// # Panics
+///
+/// Panics if lengths differ, the slices are empty, or any actual value is
+/// zero (speeds are strictly positive by construction).
+#[must_use]
+pub fn mape(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "mape: length mismatch");
+    assert!(!actual.is_empty(), "mape: empty input");
+    let total: f64 = actual
+        .iter()
+        .zip(predicted.iter())
+        .map(|(a, p)| {
+            assert!(*a != 0.0, "mape: zero actual value");
+            ((a - p) / a).abs()
+        })
+        .sum();
+    100.0 * total / actual.len() as f64
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+#[must_use]
+pub fn mae(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "mae: length mismatch");
+    assert!(!actual.is_empty(), "mae: empty input");
+    actual
+        .iter()
+        .zip(predicted.iter())
+        .map(|(a, p)| (a - p).abs())
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Fraction (0–1) of predictions whose relative error exceeds `threshold`.
+///
+/// This is the paper's "mis-prediction rate": S²C²'s timeout machinery
+/// treats a worker as mis-predicted when its response deviates ~15% from
+/// expectation, and §7.2 characterizes environments by the rate at which
+/// that happens (0% calm, up to 18% volatile).
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+#[must_use]
+pub fn misprediction_rate(actual: &[f64], predicted: &[f64], threshold: f64) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "misprediction_rate: length mismatch");
+    assert!(!actual.is_empty(), "misprediction_rate: empty input");
+    let miss = actual
+        .iter()
+        .zip(predicted.iter())
+        .filter(|(a, p)| ((*a - *p) / *a).abs() > threshold)
+        .count();
+    miss as f64 / actual.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_zero() {
+        assert_eq!(autocorrelation(&[3.0; 10], 1), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_persistent_series_is_high() {
+        // A slow random-walk-like series correlates strongly at lag 1.
+        let xs: Vec<f64> = (0..100).map(|i| 1.0 + 0.5 * ((i as f64) * 0.05).sin()).collect();
+        assert!(autocorrelation(&xs, 1) > 0.9);
+    }
+
+    #[test]
+    fn autocorrelation_short_series() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), 0.0);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        // errors: 10% and 20% -> MAPE 15%.
+        let m = mape(&[1.0, 1.0], &[0.9, 1.2]);
+        assert!((m - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        assert!((mae(&[1.0, 2.0], &[1.5, 1.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misprediction_rate_threshold() {
+        let actual = [1.0, 1.0, 1.0, 1.0];
+        let pred = [1.0, 1.1, 1.2, 0.5];
+        // 20% and 50% errors exceed 15%; 0% and 10% do not.
+        assert!((misprediction_rate(&actual, &pred, 0.15) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mape_length_mismatch() {
+        let _ = mape(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,62 @@
+//! S²C² beyond matrix–vector: polynomial-coded Hessian computation
+//! `Aᵀ·diag(w)·A` — the §5/Figure 12 extension.
+//!
+//! ```text
+//! cargo run --release --example hessian_polynomial
+//! ```
+
+use s2c2_cluster::ClusterSpec;
+use s2c2_coding::mds::MdsParams;
+use s2c2_core::speed_tracker::PredictorSource;
+use s2c2_core::strategy::StrategyKind;
+use s2c2_linalg::Vector;
+use s2c2_trace::CloudTraceConfig;
+use s2c2_workloads::datasets::gisette_like;
+use s2c2_workloads::exec::ExecConfig;
+use s2c2_workloads::hessian::{DistributedHessian, PolyStrategyKind};
+
+fn main() {
+    // A 360 x 360 feature matrix (the paper uses 6000 x 6000 on its
+    // testbed; the shape of the comparison is scale-free).
+    let data = gisette_like(360, 360, 3);
+    let x = Vector::zeros(360);
+
+    let mut latencies = Vec::new();
+    for (name, kind) in [
+        ("conventional polynomial codes", PolyStrategyKind::Conventional),
+        ("polynomial codes with s2c2   ", PolyStrategyKind::S2c2),
+    ] {
+        // 12 cloud workers; any 9 responses decode (3x3 grid).
+        let cluster = ClusterSpec::builder(12)
+            .compute_bound()
+            .seed(11)
+            .cloud(&CloudTraceConfig::calm())
+            .build();
+        let cfg = ExecConfig::new(MdsParams::new(12, 9), cluster)
+            .strategy(StrategyKind::S2c2General)
+            .predictor(PredictorSource::LastValue)
+            .chunks_per_worker(12);
+        let mut hess =
+            DistributedHessian::new(&data.features, &cfg, 3, kind).expect("valid configuration");
+
+        // Newton-style loop: weights from the logistic model at x.
+        let w = hess.logistic_weights(&x);
+        let mut total = 0.0;
+        let mut shape = (0, 0);
+        for _ in 0..10 {
+            let out = hess.compute(&w).expect("round succeeds");
+            total += out.latency;
+            shape = out.hessian.shape();
+        }
+        println!("{name} | hessian {}x{} | total latency {total:.4}s", shape.0, shape.1);
+        latencies.push(total);
+    }
+
+    let gain = 100.0 * (latencies[0] - latencies[1]) / latencies[0];
+    println!(
+        "\nS2C2 scheduling reduces polynomial-coded Hessian time by {gain:.1}% here.\n\
+         The paper reports 19% (low mis-prediction): gains are capped below the\n\
+         ideal (12-9)/9 = 33% because every node must scale its full encoded\n\
+         partition by diag(w) regardless of how few chunks it multiplies."
+    );
+}

@@ -1,0 +1,60 @@
+//! Trains logistic regression by distributed gradient descent and
+//! compares three straggler-mitigation strategies on the same cluster —
+//! the Figure 6 story in miniature.
+//!
+//! ```text
+//! cargo run --release --example logistic_regression
+//! ```
+
+use s2c2_cluster::ClusterSpec;
+use s2c2_coding::mds::MdsParams;
+use s2c2_core::speed_tracker::PredictorSource;
+use s2c2_core::strategy::StrategyKind;
+use s2c2_workloads::datasets::gisette_like;
+use s2c2_workloads::exec::ExecConfig;
+use s2c2_workloads::logreg::DistributedLogReg;
+
+fn main() {
+    let data = gisette_like(2400, 200, 42);
+    println!(
+        "dataset: {} examples x {} features (gisette-like synthetic)\n",
+        data.features.rows(),
+        data.features.cols()
+    );
+
+    for (name, kind, predictor) in [
+        ("conventional mds(12,6) ", StrategyKind::MdsCoded, PredictorSource::LastValue),
+        ("basic s2c2(12,6)       ", StrategyKind::S2c2Basic, PredictorSource::LastValue),
+        ("general s2c2(12,6)     ", StrategyKind::S2c2General, PredictorSource::LastValue),
+    ] {
+        // 12 workers, 2 stragglers (5x slow), 20% jitter.
+        let cluster = ClusterSpec::builder(12)
+            .compute_bound()
+            .straggler_slowdown(5.0)
+            .stragglers(&[2, 9], 0.2)
+            .build();
+        let cfg = ExecConfig::new(MdsParams::new(12, 6), cluster)
+            .strategy(kind)
+            .predictor(predictor)
+            .chunks_per_worker(12);
+        let mut lr = DistributedLogReg::new(&data, &cfg, 0.5, 1e-4).expect("valid configuration");
+
+        let mut last = None;
+        for _ in 0..15 {
+            last = Some(lr.step().expect("step succeeds"));
+        }
+        let report = last.expect("ran 15 steps");
+        println!(
+            "{name} | total latency {:.4}s | final loss {:.4} | accuracy {:.1}%",
+            lr.total_latency(),
+            report.loss,
+            100.0 * report.accuracy
+        );
+    }
+
+    println!(
+        "\nAll three strategies compute numerically identical gradients —\n\
+         coded computing is exact, not approximate. The difference is purely\n\
+         how much of the cluster's time each scheduler wastes."
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: encode a matrix once, run adaptive coded matvec iterations
+//! on a cluster with stragglers, and watch S²C² squeeze the slack.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use s2c2::prelude::*;
+use s2c2_core::speed_tracker::PredictorSource;
+
+fn main() {
+    // The data: a 2400 x 160 matrix we will repeatedly multiply against
+    // new vectors (the inner loop of gradient descent, PageRank, ...).
+    let a = Matrix::from_fn(2400, 160, |r, c| ((r * 31 + c * 17) % 23) as f64 / 23.0);
+    let x = Vector::from_fn(160, |i| 1.0 + (i as f64 * 0.1).sin());
+    let reference = a.matvec(&x);
+
+    // A 12-worker cluster where workers 3 and 7 are 5x-slow stragglers
+    // and everyone jitters up to 20% iteration to iteration.
+    let cluster = ClusterSpec::builder(12)
+        .compute_bound()
+        .straggler_slowdown(5.0)
+        .stragglers(&[3, 7], 0.2)
+        .build();
+
+    // Conservative (12,6) MDS encoding: tolerates up to 6 stragglers.
+    // S2C2 scheduling means we only *pay* for the stragglers we have.
+    let mut job = CodedJobBuilder::new(a, MdsParams::new(12, 6))
+        .chunks_per_worker(12)
+        .strategy(StrategyKind::S2c2General)
+        .predictor(PredictorSource::LastValue)
+        .build(cluster)
+        .expect("valid configuration");
+
+    println!("running 10 coded iterations on 12 workers (2 hidden stragglers)...\n");
+    for iter in 0..10 {
+        let out = job.run_iteration(&x).expect("iteration succeeds");
+        // Verify the decode against the local reference.
+        let max_err = out
+            .result
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice())
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()));
+        println!(
+            "iter {iter}: simulated latency {:.4}s, wasted rows {:>4}, max decode error {max_err:.2e}",
+            out.metrics.latency,
+            out.metrics.total_wasted_rows(),
+        );
+    }
+
+    let m = job.metrics();
+    println!("\ntotal simulated latency: {:.4}s over {} iterations", m.total_latency(), m.len());
+    println!(
+        "per-worker wasted-computation fractions: {:?}",
+        m.wasted_fraction_per_worker()
+            .iter()
+            .map(|f| format!("{:.0}%", 100.0 * f))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "\nNote how iteration 0 (blind predictions) pays a reassignment,\n\
+         after which the scheduler routes around the stragglers for free —\n\
+         the coded partitions never move."
+    );
+}

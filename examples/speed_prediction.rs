@@ -1,0 +1,36 @@
+//! Trains the paper's LSTM speed forecaster (1 input → 4 hidden → 1
+//! output) from scratch on generated cloud traces and compares it against
+//! the ARIMA baselines — the §6.1 experiment.
+//!
+//! ```text
+//! cargo run --release --example speed_prediction
+//! ```
+
+use s2c2_predict::eval::compare_models;
+use s2c2_predict::lstm::LstmConfig;
+use s2c2_trace::{CloudTraceConfig, TraceSet};
+
+fn main() {
+    // 100 nodes x 300 iterations of cloud-like speed traces, mimicking
+    // the paper's DigitalOcean measurement campaign.
+    let traces = TraceSet::generate(&CloudTraceConfig::paper(), 100, 300, 1);
+    println!("generated {} traces of {} samples each", traces.len(), traces.node(0).len());
+    println!("training on 80%, scoring one-step-ahead MAPE on the held-out 20%...\n");
+
+    let report = compare_models(&traces, 0.8, &LstmConfig::default());
+    println!("{:<14} {:>12} {:>22}", "model", "test MAPE %", ">15% mispred rate %");
+    for s in &report.scores {
+        println!(
+            "{:<14} {:>12.2} {:>22.2}",
+            s.name,
+            s.mape,
+            100.0 * s.misprediction_rate
+        );
+    }
+
+    println!(
+        "\npaper reference: LSTM 16.7% MAPE, beating ARIMA(1,0,0) by ~5 points.\n\
+         The >15% mis-prediction rate is what drives the scheduler's §4.3\n\
+         timeout machinery (margin 0.15)."
+    );
+}

@@ -1,0 +1,146 @@
+//! Cross-crate integration: every scheduling strategy, on every workload
+//! family, must produce numerically exact results under any straggler
+//! pattern — the paper's robustness claim (§4.4) as an executable test.
+
+use s2c2_cluster::ClusterSpec;
+use s2c2_coding::mds::MdsParams;
+use s2c2_core::speed_tracker::PredictorSource;
+use s2c2_core::strategy::StrategyKind;
+use s2c2_core::CodedJobBuilder;
+use s2c2_linalg::{Matrix, Vector};
+use s2c2_trace::CloudTraceConfig;
+use s2c2_workloads::datasets::{gisette_like, power_law_graph};
+use s2c2_workloads::exec::ExecConfig;
+use s2c2_workloads::logreg::DistributedLogReg;
+use s2c2_workloads::pagerank::DistributedPageRank;
+use s2c2_workloads::svm::DistributedSvm;
+
+fn controlled(n: usize, stragglers: &[usize]) -> ClusterSpec {
+    ClusterSpec::builder(n)
+        .compute_bound()
+        .straggler_slowdown(5.0)
+        .stragglers(stragglers, 0.2)
+        .build()
+}
+
+#[test]
+fn every_strategy_is_exact_under_every_straggler_count() {
+    let a = Matrix::from_fn(720, 24, |r, c| ((r * 7 + c * 3) % 19) as f64 - 9.0);
+    let x = Vector::from_fn(24, |i| (i as f64 * 0.37).cos() + 1.1);
+    let expect = a.matvec(&x);
+    for kind in StrategyKind::all() {
+        for stragglers in [0usize, 1, 3, 5] {
+            let ids: Vec<usize> = (0..stragglers).map(|i| (i * 5 + 1) % 12).collect();
+            let mut job = CodedJobBuilder::new(a.clone(), MdsParams::new(12, 6))
+                .chunks_per_worker(12)
+                .strategy(kind)
+                .build(controlled(12, &ids))
+                .unwrap_or_else(|e| panic!("{kind}/{stragglers}: {e}"));
+            for iter in 0..4 {
+                let out = job
+                    .run_iteration(&x)
+                    .unwrap_or_else(|e| panic!("{kind}/{stragglers}/iter{iter}: {e}"));
+                s2c2_linalg::assert_slices_close(out.result.as_slice(), expect.as_slice(), 1e-6);
+                assert!(out.metrics.conserves_work(), "{kind}: work conservation");
+            }
+        }
+    }
+}
+
+#[test]
+fn misprediction_storm_never_corrupts_results() {
+    // Uniform predictor (always wrong about everything) on a volatile
+    // cloud: latency may suffer, correctness must not.
+    let a = Matrix::from_fn(980, 20, |r, c| ((r + c * 11) % 17) as f64 * 0.5);
+    let x = Vector::filled(20, 0.7);
+    let expect = a.matvec(&x);
+    let cluster = ClusterSpec::builder(10)
+        .compute_bound()
+        .seed(13)
+        .cloud(&CloudTraceConfig::volatile())
+        .build();
+    let mut job = CodedJobBuilder::new(a, MdsParams::new(10, 7))
+        .chunks_per_worker(14)
+        .strategy(StrategyKind::S2c2General)
+        .predictor(PredictorSource::Uniform)
+        .build(cluster)
+        .unwrap();
+    for _ in 0..12 {
+        let out = job.run_iteration(&x).unwrap();
+        s2c2_linalg::assert_slices_close(out.result.as_slice(), expect.as_slice(), 1e-6);
+    }
+}
+
+#[test]
+fn logreg_and_svm_reach_the_same_model_on_different_strategies() {
+    let data = gisette_like(240, 16, 99);
+    let mut weights: Vec<Vec<f64>> = Vec::new();
+    for kind in [StrategyKind::MdsCoded, StrategyKind::S2c2General, StrategyKind::Replication] {
+        let cfg = ExecConfig::new(MdsParams::new(12, 6), controlled(12, &[4]))
+            .strategy(kind)
+            .chunks_per_worker(6);
+        let mut lr = DistributedLogReg::new(&data, &cfg, 0.4, 1e-3).unwrap();
+        for _ in 0..5 {
+            lr.step().unwrap();
+        }
+        weights.push(lr.weights().as_slice().to_vec());
+    }
+    for w in &weights[1..] {
+        s2c2_linalg::assert_slices_close(w, &weights[0], 1e-6);
+    }
+
+    // SVM likewise.
+    let mut svm_weights: Vec<Vec<f64>> = Vec::new();
+    for kind in [StrategyKind::Uncoded, StrategyKind::S2c2Basic] {
+        let cfg = ExecConfig::new(MdsParams::new(12, 6), controlled(12, &[]))
+            .strategy(kind)
+            .chunks_per_worker(6);
+        let mut svm = DistributedSvm::new(&data, &cfg, 0.2, 1e-3).unwrap();
+        for _ in 0..5 {
+            svm.step().unwrap();
+        }
+        svm_weights.push(svm.weights().as_slice().to_vec());
+    }
+    s2c2_linalg::assert_slices_close(&svm_weights[1], &svm_weights[0], 1e-6);
+}
+
+#[test]
+fn pagerank_converges_identically_across_engines_and_strategies() {
+    let graph = power_law_graph(300, 3, 21);
+    let mut ranks: Vec<Vec<f64>> = Vec::new();
+    for kind in [StrategyKind::MdsCoded, StrategyKind::S2c2General] {
+        let cfg = ExecConfig::new(MdsParams::new(12, 6), controlled(12, &[2, 8]))
+            .strategy(kind)
+            .chunks_per_worker(10);
+        let mut pr = DistributedPageRank::new(&graph, &cfg, 0.85).unwrap();
+        let iters = pr.run_to_convergence(1e-10, 120).unwrap();
+        assert!(iters < 120, "{kind} should converge");
+        ranks.push(pr.rank().as_slice().to_vec());
+    }
+    s2c2_linalg::assert_slices_close(&ranks[1], &ranks[0], 1e-7);
+}
+
+#[test]
+fn s2c2_latency_beats_conventional_mds_with_stragglers_present() {
+    // The headline claim end-to-end: same data, same cluster, S2C2 on a
+    // conservative code beats conventional MDS on the same code.
+    let data = gisette_like(1200, 60, 7);
+    let mut latencies = Vec::new();
+    for kind in [StrategyKind::MdsCoded, StrategyKind::S2c2General] {
+        let cfg = ExecConfig::new(MdsParams::new(12, 6), controlled(12, &[3]))
+            .strategy(kind)
+            .predictor(PredictorSource::LastValue)
+            .chunks_per_worker(12);
+        let mut lr = DistributedLogReg::new(&data, &cfg, 0.5, 0.0).unwrap();
+        for _ in 0..8 {
+            lr.step().unwrap();
+        }
+        latencies.push(lr.total_latency());
+    }
+    assert!(
+        latencies[1] < latencies[0] * 0.8,
+        "s2c2 {} should clearly beat mds {}",
+        latencies[1],
+        latencies[0]
+    );
+}

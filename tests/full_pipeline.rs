@@ -1,0 +1,120 @@
+//! The complete paper pipeline in one test: generate cloud traces, train
+//! the LSTM forecaster, deploy it inside the S²C² scheduler on a cloud
+//! cluster, and train a model — prediction, coding, scheduling and
+//! workload layers working together.
+
+use s2c2_cluster::ClusterSpec;
+use s2c2_coding::mds::MdsParams;
+use s2c2_core::speed_tracker::PredictorSource;
+use s2c2_core::strategy::StrategyKind;
+use s2c2_predict::lstm::{train, LstmConfig};
+use s2c2_trace::{CloudTraceConfig, TraceSet};
+use s2c2_workloads::datasets::gisette_like;
+use s2c2_workloads::exec::ExecConfig;
+use s2c2_workloads::logreg::DistributedLogReg;
+
+#[test]
+fn lstm_trained_on_traces_drives_s2c2_training_run() {
+    // 1. Measurement campaign (substitute): generate traces.
+    let preset = CloudTraceConfig::paper();
+    let traces = TraceSet::generate(&preset, 16, 140, 0xE2E);
+    let series: Vec<Vec<f64>> = traces
+        .traces()
+        .iter()
+        .map(|t| t.samples().to_vec())
+        .collect();
+    let refs: Vec<&[f64]> = series.iter().map(Vec::as_slice).collect();
+
+    // 2. Train the paper's LSTM (1 -> 4 -> 1).
+    let model = train(
+        &LstmConfig {
+            epochs: 12,
+            ..LstmConfig::default()
+        },
+        &refs,
+    );
+    assert_eq!(model.param_count(), 101, "paper-sized model");
+
+    // 3. Deploy in S2C2 on a cloud cluster and train logistic regression.
+    let data = gisette_like(840, 36, 0xE2E);
+    let cluster = ClusterSpec::builder(12)
+        .compute_bound()
+        .seed(0xE2E)
+        .cloud(&preset)
+        .build();
+    let cfg = ExecConfig::new(MdsParams::new(12, 9), cluster)
+        .strategy(StrategyKind::S2c2General)
+        .predictor(PredictorSource::Prototype(Box::new(model.online())))
+        .chunks_per_worker(12);
+    let mut lr = DistributedLogReg::new(&data, &cfg, 0.5, 1e-4).unwrap();
+
+    let initial_loss = lr.loss();
+    let mut final_report = None;
+    for _ in 0..12 {
+        final_report = Some(lr.step().unwrap());
+    }
+    let report = final_report.unwrap();
+
+    // The model learned...
+    assert!(
+        report.loss < initial_loss * 0.7,
+        "loss should drop: {initial_loss} -> {}",
+        report.loss
+    );
+    assert!(report.accuracy > 0.8, "accuracy {}", report.accuracy);
+    // ...and the scheduler did useful adaptive work.
+    assert!(lr.total_latency() > 0.0);
+    let wasted = lr.forward_metrics().total_wasted_rows() + lr.backward_metrics().total_wasted_rows();
+    let computed: usize = lr
+        .forward_metrics()
+        .rounds()
+        .iter()
+        .chain(lr.backward_metrics().rounds())
+        .flat_map(|r| r.computed_rows.iter())
+        .sum();
+    assert!(
+        (wasted as f64) < 0.25 * computed as f64,
+        "waste should be a small fraction: {wasted} of {computed}"
+    );
+}
+
+#[test]
+fn conservative_code_with_s2c2_beats_aggressive_code_against_surprise_stragglers() {
+    // The paper's closing argument: pick high redundancy, let S2C2 squeeze
+    // the slack. (12,6)+S2C2 must beat (12,10) conventional MDS when 3
+    // stragglers appear (beyond (12,10)'s tolerance) AND stay close when
+    // none do.
+    let data = gisette_like(960, 48, 0xE2F);
+    let run = |kind: StrategyKind, params: MdsParams, stragglers: &[usize]| {
+        let cluster = ClusterSpec::builder(12)
+            .compute_bound()
+            .straggler_slowdown(5.0)
+            .stragglers(stragglers, 0.15)
+            .build();
+        let cfg = ExecConfig::new(params, cluster)
+            .strategy(kind)
+            .predictor(PredictorSource::LastValue)
+            .chunks_per_worker(12);
+        let mut lr = DistributedLogReg::new(&data, &cfg, 0.5, 0.0).unwrap();
+        for _ in 0..8 {
+            lr.step().unwrap();
+        }
+        lr.total_latency()
+    };
+
+    // Surprise: 3 stragglers. (12,10)-MDS collapses; (12,6)+S2C2 doesn't.
+    let mds_aggressive = run(StrategyKind::MdsCoded, MdsParams::new(12, 10), &[1, 5, 9]);
+    let s2c2_conservative = run(StrategyKind::S2c2General, MdsParams::new(12, 6), &[1, 5, 9]);
+    assert!(
+        s2c2_conservative < mds_aggressive * 0.5,
+        "s2c2 {s2c2_conservative} vs collapsed mds {mds_aggressive}"
+    );
+
+    // Healthy cluster: the conservative code costs little extra.
+    let mds_aggressive_0 = run(StrategyKind::MdsCoded, MdsParams::new(12, 10), &[]);
+    let s2c2_conservative_0 = run(StrategyKind::S2c2General, MdsParams::new(12, 6), &[]);
+    assert!(
+        s2c2_conservative_0 < mds_aggressive_0 * 1.15,
+        "healthy: s2c2 {s2c2_conservative_0} vs mds {mds_aggressive_0}"
+    );
+}
