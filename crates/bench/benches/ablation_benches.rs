@@ -21,7 +21,9 @@ fn bench_timeout(c: &mut Criterion) {
     println!("{}", ablations::timeout_margin(Scale::Quick).render());
     let mut group = c.benchmark_group("ablation_timeout");
     group.sample_size(10);
-    group.bench_function("sweep", |b| b.iter(|| ablations::timeout_margin(Scale::Quick)));
+    group.bench_function("sweep", |b| {
+        b.iter(|| ablations::timeout_margin(Scale::Quick))
+    });
     group.finish();
 }
 
@@ -36,7 +38,9 @@ fn bench_predictor(c: &mut Criterion) {
     println!("{}", ablations::predictor_choice(Scale::Quick).render());
     let mut group = c.benchmark_group("ablation_predictor");
     group.sample_size(10);
-    group.bench_function("sweep", |b| b.iter(|| ablations::predictor_choice(Scale::Quick)));
+    group.bench_function("sweep", |b| {
+        b.iter(|| ablations::predictor_choice(Scale::Quick))
+    });
     group.finish();
 }
 

@@ -11,9 +11,11 @@ fn bench_mds_encode(c: &mut Criterion) {
     for (n, k) in [(12usize, 10usize), (12, 6), (10, 7), (50, 40)] {
         let a = Matrix::from_fn(k * 40, 64, |r, cc| ((r * 3 + cc) % 17) as f64);
         let code = MdsCode::new(MdsParams::new(n, k)).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("({n},{k})")), &a, |b, a| {
-            b.iter(|| code.encode(a, 8).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("({n},{k})")),
+            &a,
+            |b, a| b.iter(|| code.encode(a, 8).unwrap()),
+        );
     }
     group.finish();
 }
@@ -64,7 +66,9 @@ fn bench_poly_roundtrip(c: &mut Criterion) {
 fn bench_allocator(c: &mut Criterion) {
     let mut group = c.benchmark_group("algorithm1_allocator");
     for n in [12usize, 50, 200] {
-        let speeds: Vec<f64> = (0..n).map(|i| 0.3 + 0.7 * ((i * 7 % 10) as f64 / 10.0)).collect();
+        let speeds: Vec<f64> = (0..n)
+            .map(|i| 0.3 + 0.7 * ((i * 7 % 10) as f64 / 10.0))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &speeds, |b, speeds| {
             b.iter(|| s2c2_core::allocate_chunks(speeds, n * 4 / 5, 32).unwrap())
         });

@@ -22,12 +22,16 @@ fn bench_fig01(c: &mut Criterion) {
 fn bench_fig02(c: &mut Criterion) {
     let out = fig02_traces::run(Scale::Quick);
     println!("{}", out.traces.render());
-    c.bench_function("fig02_traces", |b| b.iter(|| fig02_traces::run(Scale::Quick)));
+    c.bench_function("fig02_traces", |b| {
+        b.iter(|| fig02_traces::run(Scale::Quick))
+    });
 }
 
 fn bench_fig03(c: &mut Criterion) {
     println!("{}", fig03_storage::run(Scale::Quick).render());
-    c.bench_function("fig03_storage", |b| b.iter(|| fig03_storage::run(Scale::Quick)));
+    c.bench_function("fig03_storage", |b| {
+        b.iter(|| fig03_storage::run(Scale::Quick))
+    });
 }
 
 fn bench_prediction(c: &mut Criterion) {

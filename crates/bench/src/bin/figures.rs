@@ -9,8 +9,8 @@
 //! Tables are printed to stdout and written as CSV under `results/`.
 
 use s2c2_bench::experiments::{
-    ablations, fig01_motivation, fig02_traces, fig03_storage, fig06_logreg, fig07_pagerank,
-    fig08_cloud, fig12_polynomial, fig13_scale, prediction, Scale,
+    ablations, baseline, fig01_motivation, fig02_traces, fig03_storage, fig06_logreg,
+    fig07_pagerank, fig08_cloud, fig12_polynomial, fig13_scale, prediction, Scale,
 };
 use s2c2_bench::report::Table;
 use std::path::PathBuf;
@@ -78,6 +78,23 @@ fn main() {
     }
     if want("fig13") {
         emit(&fig13_scale::run(scale), "fig13_scale.csv");
+    }
+    // `baseline` is opt-in only (not part of `all`): it rewrites the
+    // committed BENCH_BASELINE.json reference file.
+    if selected.contains(&"baseline") {
+        let b = baseline::run();
+        let json = b.to_json();
+        print!("{json}");
+        // Anchor to the workspace root so the committed reference file is
+        // rewritten regardless of the invoking cwd.
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_BASELINE.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("[written {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+        println!();
     }
     if want("ablations") {
         emit(&ablations::chunk_granularity(scale), "ablation_chunks.csv");

@@ -174,7 +174,11 @@ pub fn predictor_choice(scale: Scale) -> Table {
 
     // Trained models.
     let traces = TraceSet::generate(&preset, 20, 160, 0xAB4);
-    let series: Vec<Vec<f64>> = traces.traces().iter().map(|t| t.samples().to_vec()).collect();
+    let series: Vec<Vec<f64>> = traces
+        .traces()
+        .iter()
+        .map(|t| t.samples().to_vec())
+        .collect();
     let refs: Vec<&[f64]> = series.iter().map(Vec::as_slice).collect();
     let ar1 = ArimaModel::fit(ArimaOrder::Ar1, &refs);
     let lstm = common::lstm_predictor(&preset, 0xAB4);
@@ -182,7 +186,10 @@ pub fn predictor_choice(scale: Scale) -> Table {
     let sources: Vec<(&str, PredictorSource)> = vec![
         ("uniform", PredictorSource::Uniform),
         ("last-value", PredictorSource::LastValue),
-        ("arima(1,0,0)", PredictorSource::Prototype(Box::new(ar1.online()))),
+        (
+            "arima(1,0,0)",
+            PredictorSource::Prototype(Box::new(ar1.online())),
+        ),
         ("lstm", lstm),
         ("oracle", PredictorSource::Oracle),
     ];
@@ -193,15 +200,8 @@ pub fn predictor_choice(scale: Scale) -> Table {
     );
     for (label, source) in sources {
         let cluster = common::cloud_cluster(10, &preset, 0xAB5);
-        let (latency, _wasted, mispred) = run_s2c2(
-            &a,
-            MdsParams::new(10, 7),
-            14,
-            &source,
-            cluster,
-            iters,
-            0.15,
-        );
+        let (latency, _wasted, mispred) =
+            run_s2c2(&a, MdsParams::new(10, 7), 14, &source, cluster, iters, 0.15);
         table.push_row(label, vec![latency, mispred]);
     }
     table

@@ -1,0 +1,187 @@
+//! The checked-in performance baseline: S²C² vs conventional MDS vs
+//! uncoded on the default 12-worker controlled simulation.
+//!
+//! `cargo run --release -p s2c2-bench --bin figures -- baseline` runs this
+//! and rewrites `BENCH_BASELINE.json` at the repository root. The file is
+//! committed so future PRs can diff scheduler-level latency regressions
+//! without re-deriving the reference numbers.
+
+use crate::experiments::common;
+use s2c2_coding::mds::MdsParams;
+use s2c2_core::job::CodedJobBuilder;
+use s2c2_core::speed_tracker::PredictorSource;
+use s2c2_core::strategy::StrategyKind;
+use s2c2_linalg::{Matrix, Vector};
+
+/// One scheme's measurements.
+#[derive(Debug, Clone)]
+pub struct SchemeBaseline {
+    /// Scheme label (stable key for cross-PR diffs).
+    pub name: String,
+    /// Sum of per-iteration simulated latencies.
+    pub total_latency: f64,
+    /// Mean per-iteration simulated latency.
+    pub mean_latency: f64,
+    /// Total rows computed but discarded across the job.
+    pub wasted_rows: usize,
+}
+
+/// The full baseline record.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// Workers in the simulated cluster.
+    pub workers: usize,
+    /// Injected 5×-slow stragglers.
+    pub stragglers: usize,
+    /// Problem shape (rows × cols) of the iterated matvec.
+    pub rows: usize,
+    /// Problem shape (rows × cols) of the iterated matvec.
+    pub cols: usize,
+    /// Iterations measured (after one warmup).
+    pub iterations: usize,
+    /// Per-scheme results.
+    pub schemes: Vec<SchemeBaseline>,
+}
+
+/// Runs the baseline job: a 1200×60 iterated coded matvec on 12 workers,
+/// 2 of them 5× slow, (12,9) MDS where coding applies.
+///
+/// # Panics
+///
+/// Panics if any scheme fails to run — the baseline must be computable on
+/// every commit.
+#[must_use]
+pub fn run() -> Baseline {
+    let (workers, stragglers) = (12usize, 2usize);
+    let (rows, cols) = (1200usize, 60usize);
+    let iterations = 8usize;
+    let a = Matrix::from_fn(rows, cols, |r, c| (((r * 31 + c * 17) % 13) as f64) * 0.25);
+    let x = Vector::from_fn(cols, |i| 1.0 + 0.01 * i as f64);
+
+    let schemes: Vec<(&str, MdsParams, StrategyKind)> = vec![
+        (
+            "uncoded",
+            MdsParams::new(workers, workers),
+            StrategyKind::Uncoded,
+        ),
+        (
+            "mds(12,9)",
+            MdsParams::new(workers, 9),
+            StrategyKind::MdsCoded,
+        ),
+        (
+            "s2c2(12,9)",
+            MdsParams::new(workers, 9),
+            StrategyKind::S2c2General,
+        ),
+    ];
+
+    let mut out = Vec::with_capacity(schemes.len());
+    for (name, params, kind) in schemes {
+        let cluster = common::controlled_cluster(workers, stragglers, 0xBA5E);
+        let mut job = CodedJobBuilder::new(a.clone(), params)
+            .chunks_per_worker(12)
+            .strategy(kind)
+            .predictor(PredictorSource::LastValue)
+            .build(cluster)
+            .expect("baseline configuration is valid");
+        // One warmup iteration so prediction-driven schemes have observed
+        // speeds before the measured window.
+        let warm = job.run_iteration(&x).expect("warmup iteration succeeds");
+        let expect = a.matvec(&x);
+        s2c2_linalg::assert_slices_close(
+            warm.result.as_slice(),
+            expect.as_slice(),
+            s2c2_linalg::ROUND_TRIP_TOL,
+        );
+        let skip = job.metrics().len();
+        for _ in 0..iterations {
+            job.run_iteration(&x).expect("baseline iteration succeeds");
+        }
+        let rounds = &job.metrics().rounds()[skip..];
+        let total: f64 = rounds.iter().map(|r| r.latency).sum();
+        let wasted: usize = rounds
+            .iter()
+            .map(|r| r.wasted_rows().iter().sum::<usize>())
+            .sum();
+        out.push(SchemeBaseline {
+            name: name.to_string(),
+            total_latency: total,
+            mean_latency: total / iterations as f64,
+            wasted_rows: wasted,
+        });
+    }
+    Baseline {
+        workers,
+        stragglers,
+        rows,
+        cols,
+        iterations,
+        schemes: out,
+    }
+}
+
+impl Baseline {
+    /// Serializes as pretty-printed JSON (hand-rolled; the workspace has
+    /// no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"workers\": {},\n", self.workers));
+        s.push_str(&format!("  \"stragglers\": {},\n", self.stragglers));
+        s.push_str(&format!("  \"rows\": {},\n", self.rows));
+        s.push_str(&format!("  \"cols\": {},\n", self.cols));
+        s.push_str(&format!("  \"iterations\": {},\n", self.iterations));
+        s.push_str("  \"schemes\": [\n");
+        for (i, sch) in self.schemes.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"total_latency\": {:.6}, \"mean_latency\": {:.6}, \"wasted_rows\": {}}}{}\n",
+                sch.name,
+                sch.total_latency,
+                sch.mean_latency,
+                sch.wasted_rows,
+                if i + 1 < self.schemes.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s2c2_beats_conventional_mds_under_stragglers() {
+        let b = run();
+        let get = |name: &str| {
+            b.schemes
+                .iter()
+                .find(|s| s.name.starts_with(name))
+                .expect("scheme present")
+                .mean_latency
+        };
+        let uncoded = get("uncoded");
+        let mds = get("mds");
+        let s2c2 = get("s2c2");
+        // Uncoded waits for the 5×-slow stragglers every iteration.
+        assert!(
+            uncoded > mds,
+            "uncoded {uncoded} should trail mds {mds} with stragglers"
+        );
+        // S²C² squeezes the (12,9) slack instead of always paying it.
+        assert!(
+            s2c2 < mds * 1.02,
+            "s2c2 {s2c2} should not trail conventional mds {mds}"
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let b = run();
+        let j = b.to_json();
+        assert!(j.starts_with('{') && j.ends_with("}\n"));
+        assert_eq!(j.matches("\"name\"").count(), 3);
+    }
+}

@@ -24,7 +24,11 @@ pub fn run(scale: Scale) -> Table {
     let data = gisette_like(rows, cols, 0xF1);
 
     let schemes: Vec<(&str, MdsParams, StrategyKind)> = vec![
-        ("uncoded-3rep", MdsParams::new(12, 12), StrategyKind::Replication),
+        (
+            "uncoded-3rep",
+            MdsParams::new(12, 12),
+            StrategyKind::Replication,
+        ),
         ("mds(12,10)", MdsParams::new(12, 10), StrategyKind::MdsCoded),
         ("mds(12,9)", MdsParams::new(12, 9), StrategyKind::MdsCoded),
     ];
@@ -70,12 +74,18 @@ mod tests {
         let m10_0 = t.value("0 stragglers", "mds(12,10)");
         let m10_2 = t.value("2 stragglers", "mds(12,10)");
         let m10_3 = t.value("3 stragglers", "mds(12,10)");
-        assert!((m10_2 / m10_0 - 1.0).abs() < 0.15, "flat to 2: {m10_0} vs {m10_2}");
+        assert!(
+            (m10_2 / m10_0 - 1.0).abs() < 0.15,
+            "flat to 2: {m10_0} vs {m10_2}"
+        );
         assert!(m10_3 / m10_0 > 2.5, "jump at 3: {m10_3} vs {m10_0}");
         // (12,9) stays flat through 3 stragglers.
         let m9_0 = t.value("0 stragglers", "mds(12,9)");
         let m9_3 = t.value("3 stragglers", "mds(12,9)");
-        assert!((m9_3 / m9_0 - 1.0).abs() < 0.15, "conservative flat: {m9_0} vs {m9_3}");
+        assert!(
+            (m9_3 / m9_0 - 1.0).abs() < 0.15,
+            "conservative flat: {m9_0} vs {m9_3}"
+        );
         // Replication degrades with 3 stragglers.
         let r0 = t.value("0 stragglers", "uncoded-3rep");
         let r3 = t.value("3 stragglers", "uncoded-3rep");

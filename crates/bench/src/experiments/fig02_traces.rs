@@ -45,7 +45,10 @@ pub fn run(scale: Scale) -> TraceFigures {
         "Fig 2 — speed traces (normalized per node by its max)",
         picks.iter().map(|p| format!("node{p}")).collect(),
     );
-    let normalized: Vec<_> = picks.iter().map(|&p| set.node(p).normalized_by_max()).collect();
+    let normalized: Vec<_> = picks
+        .iter()
+        .map(|&p| set.node(p).normalized_by_max())
+        .collect();
     let stride = (len / 30).max(1);
     for t in (0..len).step_by(stride) {
         traces.push_row(
@@ -67,7 +70,11 @@ pub fn run(scale: Scale) -> TraceFigures {
         let s = set.node(p).samples();
         let mut steps: Vec<f64> = s.windows(2).map(|w| (w[1] - w[0]).abs() / w[0]).collect();
         steps.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let median_step = if steps.is_empty() { 0.0 } else { steps[steps.len() / 2] };
+        let median_step = if steps.is_empty() {
+            0.0
+        } else {
+            steps[steps.len() / 2]
+        };
         stat_table.push_row(
             format!("node{p}"),
             vec![
@@ -102,6 +109,10 @@ mod tests {
         // §3.2: median relative step small (slowly varying) for the most
         // stable node.
         let stable = &out.stats.rows[0];
-        assert!(stable.1[3] < 10.0, "median rel step {}% too large", stable.1[3]);
+        assert!(
+            stable.1[3] < 10.0,
+            "median rel step {}% too large",
+            stable.1[3]
+        );
     }
 }

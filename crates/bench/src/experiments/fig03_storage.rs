@@ -52,7 +52,12 @@ mod tests {
         let t = run(Scale::Quick);
         let first = &t.rows[0].1;
         let last = &t.rows[t.rows.len() - 1].1;
-        assert!(last[0] > first[0] * 1.5, "uncoded grows: {} -> {}", first[0], last[0]);
+        assert!(
+            last[0] > first[0] * 1.5,
+            "uncoded grows: {} -> {}",
+            first[0],
+            last[0]
+        );
         assert!((last[1] - 0.1).abs() < 1e-9, "coded pinned at 1/k");
         assert!(last[0] > 2.0 * last[1], "uncoded ends well above coded");
     }

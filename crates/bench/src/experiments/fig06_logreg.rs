@@ -59,16 +59,9 @@ fn schemes() -> Vec<Scheme> {
 }
 
 /// Runs the experiment over `workload(straggler_count, scheme) -> latency`.
-fn sweep(
-    scale: Scale,
-    title: &str,
-    mut total_latency: impl FnMut(usize, &Scheme) -> f64,
-) -> Table {
+fn sweep(scale: Scale, title: &str, mut total_latency: impl FnMut(usize, &Scheme) -> f64) -> Table {
     let schemes = schemes();
-    let mut table = Table::new(
-        title,
-        schemes.iter().map(|s| s.label.to_string()).collect(),
-    );
+    let mut table = Table::new(title, schemes.iter().map(|s| s.label.to_string()).collect());
     let max_stragglers = scale.pick(4, 6);
     let mut baseline = None;
     for stragglers in 0..=max_stragglers {

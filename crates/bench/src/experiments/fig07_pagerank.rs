@@ -50,7 +50,10 @@ pub fn run(scale: Scale) -> Table {
 
     let mut table = Table::new(
         "Fig 7 — PageRank relative execution time (normalized to replication @ 0)",
-        schemes.iter().map(|(l, _, _, _)| (*l).to_string()).collect(),
+        schemes
+            .iter()
+            .map(|(l, _, _, _)| (*l).to_string())
+            .collect(),
     );
     let max_stragglers = scale.pick(4, 6);
     let mut baseline = None;

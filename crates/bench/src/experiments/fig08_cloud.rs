@@ -39,6 +39,7 @@ struct SchemeResult {
     forward_metrics: JobMetrics,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_scheme(
     data: &Classification,
     label: &str,
@@ -51,8 +52,8 @@ fn run_scheme(
 ) -> SchemeResult {
     let cluster = common::cloud_cluster(params.n, preset, seed);
     let cfg = common::exec(params, cluster, kind, predictor, 14);
-    let mut svm = DistributedSvm::new(data, &cfg, 0.2, 1e-3)
-        .expect("experiment configuration is valid");
+    let mut svm =
+        DistributedSvm::new(data, &cfg, 0.2, 1e-3).expect("experiment configuration is valid");
     // Warm-up: the paper's deployment predicts from *history*; give the
     // online predictors the same advantage before the measured window.
     for _ in 0..2 {
@@ -75,12 +76,7 @@ fn svm_forward_metrics(svm: &DistributedSvm) -> JobMetrics {
     svm.forward_metrics().clone()
 }
 
-fn environment(
-    preset: &CloudTraceConfig,
-    name: &str,
-    scale: Scale,
-    seed: u64,
-) -> (Table, Table) {
+fn environment(preset: &CloudTraceConfig, name: &str, scale: Scale, seed: u64) -> (Table, Table) {
     let rows = scale.pick(560, 2100);
     let cols = scale.pick(56, 210);
     let iters = scale.pick(5, 15);

@@ -73,10 +73,21 @@ mod tests {
         for row in ["low mis-prediction", "high mis-prediction"] {
             let conv = t.value(row, "conventional poly");
             assert!(conv > 1.0, "{row}: conventional {conv} should trail s2c2");
-            assert!(
-                conv < 12.0 / 9.0 + 0.05,
-                "{row}: gain {conv} cannot exceed the n/ab bound plus slack"
-            );
         }
+        // The n/ab cap only holds while at most n − ab nodes straggle at
+        // once; the calm preset is built to stay inside that budget. The
+        // volatile preset deliberately exceeds it (that is the paper's
+        // motivation), so conventional can trail by more — bound it only
+        // by the preset's worst slow/fast speed ratio.
+        let calm = t.value("low mis-prediction", "conventional poly");
+        assert!(
+            calm < 12.0 / 9.0 + 0.05,
+            "calm environment: gain {calm} cannot exceed the n/ab bound plus slack"
+        );
+        let volatile = t.value("high mis-prediction", "conventional poly");
+        assert!(
+            volatile < 5.0,
+            "volatile environment: gain {volatile} exceeds the straggler speed ratio"
+        );
     }
 }

@@ -28,8 +28,8 @@ fn environment(preset: &CloudTraceConfig, scale: Scale, seed: u64) -> Vec<f64> {
     ] {
         let cluster = common::cloud_cluster(50, preset, seed);
         let cfg = common::exec(params, cluster, kind, predictor, 10);
-        let mut svm = DistributedSvm::new(&data, &cfg, 0.2, 1e-3)
-            .expect("experiment configuration is valid");
+        let mut svm =
+            DistributedSvm::new(&data, &cfg, 0.2, 1e-3).expect("experiment configuration is valid");
         for _ in 0..2 {
             svm.step().expect("warmup iteration succeeds");
         }

@@ -3,6 +3,7 @@
 //! `run(Scale) -> Table` (or a small struct of tables).
 
 pub mod ablations;
+pub mod baseline;
 pub mod common;
 pub mod fig01_motivation;
 pub mod fig02_traces;

@@ -115,7 +115,10 @@ mod tests {
         let full = m.time(1_000_000, 1.0);
         let slow = m.time(1_000_000, 0.2);
         assert!((full - 1.0).abs() < 1e-12);
-        assert!((slow - 5.0).abs() < 1e-12, "5x slower worker takes 5x longer");
+        assert!(
+            (slow - 5.0).abs() < 1e-12,
+            "5x slower worker takes 5x longer"
+        );
     }
 
     #[test]

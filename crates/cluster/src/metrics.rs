@@ -188,7 +188,10 @@ impl JobMetrics {
     /// Aggregate wasted rows across the job.
     #[must_use]
     pub fn total_wasted_rows(&self) -> usize {
-        self.rounds.iter().map(RoundMetrics::total_wasted_rows).sum()
+        self.rounds
+            .iter()
+            .map(RoundMetrics::total_wasted_rows)
+            .sum()
     }
 
     /// Total rebalancing traffic (bytes).

@@ -87,8 +87,7 @@ impl ClusterSim {
     #[must_use]
     pub fn compute_time(&self, worker: usize, rows: usize, cols: usize) -> f64 {
         assert!(self.iteration.is_some(), "no iteration in progress");
-        self.compute
-            .time((rows * cols) as u64, self.speeds[worker])
+        self.compute.time((rows * cols) as u64, self.speeds[worker])
     }
 
     /// Time for a fraction of the same work (used when a task is cancelled

@@ -185,7 +185,12 @@ impl ClusterSpecBuilder {
             };
             let wobble = if jitter == 0.0 { 0.0 } else { 0.03 };
             let model: BoxedSpeedModel = if ids.contains(&w) {
-                Box::new(StragglerSpeed::new(base, wobble, self.straggler_slowdown, seed))
+                Box::new(StragglerSpeed::new(
+                    base,
+                    wobble,
+                    self.straggler_slowdown,
+                    seed,
+                ))
             } else {
                 Box::new(JitterSpeed::new(base, wobble, seed))
             };
@@ -259,7 +264,10 @@ mod tests {
             let min = samples.iter().cloned().fold(f64::MAX, f64::min);
             assert!(max <= 1.0 + 1e-12, "worker {w} max {max}");
             assert!(min >= 0.8 * 0.97 - 1e-12, "worker {w} min {min}");
-            assert!(max / min <= 1.0 / 0.97 + 1e-9, "worker {w} wobble too large");
+            assert!(
+                max / min <= 1.0 / 0.97 + 1e-9,
+                "worker {w} wobble too large"
+            );
         }
         // Bases actually differ across workers.
         let mut bases: Vec<f64> = spec.workers.iter_mut().map(|m| m.speed_at(0)).collect();

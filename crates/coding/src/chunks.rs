@@ -38,7 +38,9 @@ impl ChunkLayout {
             return Err(CodingError::InvalidParams("matrix has zero rows".into()));
         }
         if data_partitions == 0 {
-            return Err(CodingError::InvalidParams("need at least one partition".into()));
+            return Err(CodingError::InvalidParams(
+                "need at least one partition".into(),
+            ));
         }
         if chunks_per_partition == 0 {
             return Err(CodingError::InvalidParams("need at least one chunk".into()));
@@ -72,7 +74,10 @@ impl ChunkLayout {
     /// Panics if `chunk` is out of range.
     #[must_use]
     pub fn chunk_range_in_partition(&self, chunk: usize) -> Range<usize> {
-        assert!(chunk < self.chunks_per_partition, "chunk index out of range");
+        assert!(
+            chunk < self.chunks_per_partition,
+            "chunk index out of range"
+        );
         let rpc = self.rows_per_chunk();
         chunk * rpc..(chunk + 1) * rpc
     }
@@ -84,7 +89,10 @@ impl ChunkLayout {
     /// Panics if either index is out of range.
     #[must_use]
     pub fn output_range(&self, partition: usize, chunk: usize) -> Range<usize> {
-        assert!(partition < self.data_partitions, "partition index out of range");
+        assert!(
+            partition < self.data_partitions,
+            "partition index out of range"
+        );
         let local = self.chunk_range_in_partition(chunk);
         let base = partition * self.partition_rows();
         base + local.start..base + local.end
@@ -116,7 +124,11 @@ impl WorkerChunkResult {
     /// Convenience constructor.
     #[must_use]
     pub fn new(worker: usize, chunk: usize, values: Vec<f64>) -> Self {
-        WorkerChunkResult { worker, chunk, values }
+        WorkerChunkResult {
+            worker,
+            chunk,
+            values,
+        }
     }
 }
 
@@ -135,8 +147,7 @@ pub fn group_by_chunk<'a>(
     layout: &ChunkLayout,
     values_per_chunk: usize,
 ) -> Result<Vec<Vec<&'a WorkerChunkResult>>, CodingError> {
-    let mut per_chunk: Vec<Vec<&WorkerChunkResult>> =
-        vec![Vec::new(); layout.chunks_per_partition];
+    let mut per_chunk: Vec<Vec<&WorkerChunkResult>> = vec![Vec::new(); layout.chunks_per_partition];
     for r in responses {
         if r.worker >= workers {
             return Err(CodingError::MalformedResponse(format!(
@@ -238,7 +249,10 @@ mod tests {
         ];
         assert!(matches!(
             group_by_chunk(&dup, 3, &l, rpc),
-            Err(CodingError::DuplicateResponse { worker: 0, chunk: 0 })
+            Err(CodingError::DuplicateResponse {
+                worker: 0,
+                chunk: 0
+            })
         ));
 
         let bad_worker = vec![WorkerChunkResult::new(9, 0, vec![0.0; rpc])];

@@ -43,7 +43,10 @@ impl fmt::Display for CodingError {
                 "chunk {chunk} has {got} responses but needs {need} to decode"
             ),
             CodingError::DuplicateResponse { worker, chunk } => {
-                write!(f, "duplicate response from worker {worker} for chunk {chunk}")
+                write!(
+                    f,
+                    "duplicate response from worker {worker} for chunk {chunk}"
+                )
             }
             CodingError::MalformedResponse(msg) => write!(f, "malformed response: {msg}"),
             CodingError::DecodeSingular { chunk } => {
@@ -65,12 +68,22 @@ mod tests {
             .to_string()
             .contains("k > n"));
         assert_eq!(
-            CodingError::NotEnoughResponses { chunk: 3, got: 2, need: 5 }.to_string(),
+            CodingError::NotEnoughResponses {
+                chunk: 3,
+                got: 2,
+                need: 5
+            }
+            .to_string(),
             "chunk 3 has 2 responses but needs 5 to decode"
         );
-        assert!(CodingError::DuplicateResponse { worker: 1, chunk: 2 }
+        assert!(CodingError::DuplicateResponse {
+            worker: 1,
+            chunk: 2
+        }
+        .to_string()
+        .contains("worker 1"));
+        assert!(CodingError::DecodeSingular { chunk: 0 }
             .to_string()
-            .contains("worker 1"));
-        assert!(CodingError::DecodeSingular { chunk: 0 }.to_string().contains("chunk 0"));
+            .contains("chunk 0"));
     }
 }

@@ -261,16 +261,15 @@ impl MdsCode {
             let sys = Matrix::from_fn(m, m, |pi, mj| {
                 self.parity.get(parity_resps[pi].worker - k, missing[mj])
             });
-            let lu = LuFactors::factor(&sys)
-                .map_err(|_| CodingError::DecodeSingular { chunk })?;
+            let lu = LuFactors::factor(&sys).map_err(|_| CodingError::DecodeSingular { chunk })?;
 
             // RHS: parity values minus contributions from known blocks,
             // one column per row inside the chunk.
             let mut rhs = Matrix::zeros(m, rpc);
             for (pi, pr) in parity_resps.iter().enumerate() {
                 let prow_idx = pr.worker - k;
-                for c in 0..rpc {
-                    let mut v = pr.values[c];
+                for (c, &pv) in pr.values[..rpc].iter().enumerate() {
+                    let mut v = pv;
                     for j in 0..k {
                         if have[j] {
                             let known = out[layout.output_range(j, chunk)][c];
@@ -356,7 +355,12 @@ impl EncodedMatrix {
     ///
     /// Panics on out-of-range indices or mismatched `x` length.
     #[must_use]
-    pub fn worker_compute_chunk(&self, worker: usize, chunk: usize, x: &Vector) -> WorkerChunkResult {
+    pub fn worker_compute_chunk(
+        &self,
+        worker: usize,
+        chunk: usize,
+        x: &Vector,
+    ) -> WorkerChunkResult {
         let range = self.layout.chunk_range_in_partition(chunk);
         let values = self.partitions[worker]
             .matvec_rows(x, range.start, range.end)
@@ -513,7 +517,15 @@ mod tests {
     fn paper_configurations_roundtrip() {
         // The exact (n,k) pairs used in the paper's evaluation.
         let x_cols = 8;
-        for (n, k) in [(12usize, 10usize), (12, 9), (12, 6), (10, 7), (9, 7), (8, 7), (50, 40)] {
+        for (n, k) in [
+            (12usize, 10usize),
+            (12, 9),
+            (12, 6),
+            (10, 7),
+            (9, 7),
+            (8, 7),
+            (50, 40),
+        ] {
             let a = data_matrix(2 * n * k, x_cols);
             let x = Vector::from_fn(x_cols, |i| (i as f64).sin() + 1.5);
             let code = MdsCode::new(MdsParams::new(n, k)).unwrap();
@@ -539,7 +551,11 @@ mod tests {
         let err = code.decode_matvec(enc.layout(), &resp).unwrap_err();
         assert_eq!(
             err,
-            CodingError::NotEnoughResponses { chunk: 1, got: 1, need: 2 }
+            CodingError::NotEnoughResponses {
+                chunk: 1,
+                got: 1,
+                need: 2
+            }
         );
     }
 

@@ -208,10 +208,10 @@ impl PolynomialCode {
                 if coeff != 0.0 {
                     for r in 0..m {
                         let dst = part.row_mut(r);
-                        for c in 0..pcol {
+                        for (c, d) in dst.iter_mut().enumerate() {
                             let src_col = l * pcol + c;
                             if src_col < b.cols() {
-                                dst[c] += coeff * b.get(r, src_col);
+                                *d += coeff * b.get(r, src_col);
                             }
                         }
                     }
@@ -263,8 +263,7 @@ impl PolynomialCode {
             // Interpolation system: V[i][q] = α_(worker_i)^q.
             let pts: Vec<f64> = resps.iter().map(|r| self.points[r.worker]).collect();
             let v = vandermonde(&pts, need);
-            let lu = LuFactors::factor(&v)
-                .map_err(|_| CodingError::DecodeSingular { chunk })?;
+            let lu = LuFactors::factor(&v).map_err(|_| CodingError::DecodeSingular { chunk })?;
 
             // RHS rows are the flattened responses; columns are entries.
             let mut rhs = Matrix::zeros(need, vpc);
@@ -378,8 +377,8 @@ impl EncodedPair {
         for (local, r) in range.clone().enumerate() {
             let arow = a_part.row(r);
             let out_row = &mut values[local * pcol..(local + 1) * pcol];
-            for t in 0..m {
-                let mut a_val = arow[t];
+            for (t, &av) in arow.iter().enumerate().take(m) {
+                let mut a_val = av;
                 if let Some(w) = middle {
                     a_val *= w.as_slice()[t];
                 }
@@ -494,7 +493,11 @@ mod tests {
         let workers: Vec<usize> = (3..12).collect(); // slowest 3 ignored
         let resp = full_responses(&enc, &workers, Some(&w));
         let got = code.decode_product(enc.layout(), &resp).unwrap();
-        assert!(got.max_abs_diff(&expect) < 1e-7, "diff {}", got.max_abs_diff(&expect));
+        assert!(
+            got.max_abs_diff(&expect) < 1e-7,
+            "diff {}",
+            got.max_abs_diff(&expect)
+        );
     }
 
     #[test]
@@ -553,7 +556,10 @@ mod tests {
         let enc = code.encode_pair(&a, &b, 2).unwrap();
         let resp = full_responses(&enc, &[0, 1, 2], None);
         let err = code.decode_product(enc.layout(), &resp).unwrap_err();
-        assert!(matches!(err, CodingError::NotEnoughResponses { need: 4, .. }));
+        assert!(matches!(
+            err,
+            CodingError::NotEnoughResponses { need: 4, .. }
+        ));
     }
 
     #[test]

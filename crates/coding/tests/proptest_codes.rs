@@ -15,7 +15,9 @@ use s2c2_linalg::{Matrix, Vector};
 
 /// Strategy: a valid (n, k) pair with n ≤ 12.
 fn mds_params() -> impl Strategy<Value = MdsParams> {
-    (2usize..=12).prop_flat_map(|n| (Just(n), 1usize..=n)).prop_map(|(n, k)| MdsParams { n, k })
+    (2usize..=12)
+        .prop_flat_map(|n| (Just(n), 1usize..=n))
+        .prop_map(|(n, k)| MdsParams { n, k })
 }
 
 /// Strategy: per-chunk worker coverage — for each chunk, a shuffled subset

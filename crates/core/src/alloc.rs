@@ -76,7 +76,10 @@ impl ChunkAssignment {
     /// Rows assigned per worker given `rows_per_chunk`.
     #[must_use]
     pub fn rows_per_worker(&self, rows_per_chunk: usize) -> Vec<usize> {
-        self.chunks.iter().map(|c| c.len() * rows_per_chunk).collect()
+        self.chunks
+            .iter()
+            .map(|c| c.len() * rows_per_chunk)
+            .collect()
     }
 }
 
@@ -202,7 +205,10 @@ pub fn allocate_chunks(
         chunks_per_partition: c,
         k,
     };
-    debug_assert!(assignment.is_decodable(), "allocator broke the coverage invariant");
+    debug_assert!(
+        assignment.is_decodable(),
+        "allocator broke the coverage invariant"
+    );
     Ok(assignment)
 }
 
@@ -239,7 +245,9 @@ pub fn allocate_chunks_with_fixed_cost(
         ));
     }
     if unit_work <= 0.0 {
-        return Err(S2c2Error::InvalidConfig("unit work must be positive".into()));
+        return Err(S2c2Error::InvalidConfig(
+            "unit work must be positive".into(),
+        ));
     }
     let n = speeds.len();
     let alive: Vec<usize> = (0..n).filter(|&w| speeds[w] > 0.0).collect();
@@ -259,7 +267,10 @@ pub fn allocate_chunks_with_fixed_cost(
     let min_speed = alive.iter().map(|&w| speeds[w]).fold(f64::MAX, f64::min);
     let mut lo = 0.0;
     let mut hi = (fixed_work + unit_work * cap) / min_speed;
-    debug_assert!(total_at(hi) + 1e-9 >= total, "upper bound must cover demand");
+    debug_assert!(
+        total_at(hi) + 1e-9 >= total,
+        "upper bound must cover demand"
+    );
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
         if total_at(mid) < total {
@@ -330,7 +341,10 @@ pub fn allocate_chunks_basic(
     k: usize,
     chunks_per_partition: usize,
 ) -> Result<ChunkAssignment, S2c2Error> {
-    let speeds: Vec<f64> = available.iter().map(|&a| if a { 1.0 } else { 0.0 }).collect();
+    let speeds: Vec<f64> = available
+        .iter()
+        .map(|&a| if a { 1.0 } else { 0.0 })
+        .collect();
     allocate_chunks(&speeds, k, chunks_per_partition)
 }
 
@@ -372,7 +386,11 @@ mod tests {
         assert!(a.is_decodable());
         assert_eq!(a.chunks[3], Vec::<usize>::new());
         for w in 0..3 {
-            assert_eq!(a.chunks[w].len(), 2, "worker {w} computes 2/3 of its partition");
+            assert_eq!(
+                a.chunks[w].len(),
+                2,
+                "worker {w} computes 2/3 of its partition"
+            );
         }
     }
 
@@ -432,7 +450,10 @@ mod tests {
     #[test]
     fn too_few_alive_workers_is_an_error() {
         let err = allocate_chunks(&[1.0, 0.0, 0.0, 0.0], 2, 4).unwrap_err();
-        assert!(matches!(err, S2c2Error::NotEnoughWorkers { alive: 1, need: 2 }));
+        assert!(matches!(
+            err,
+            S2c2Error::NotEnoughWorkers { alive: 1, need: 2 }
+        ));
     }
 
     #[test]
@@ -456,7 +477,10 @@ mod tests {
     fn allocate_full_covers_everything_n_times() {
         let a = allocate_full(5, 3, 4);
         assert_eq!(a.coverage(), vec![5; 4]);
-        assert!(!a.is_decodable() || 5 == 3, "full allocation over-covers (by design)");
+        assert!(
+            !a.is_decodable() || 5 == 3,
+            "full allocation over-covers (by design)"
+        );
         assert_eq!(a.total_slots(), 20);
     }
 

@@ -59,8 +59,12 @@ mod tests {
         assert!(S2c2Error::NotEnoughWorkers { alive: 1, need: 3 }
             .to_string()
             .contains("1 live workers"));
-        assert!(S2c2Error::InvalidConfig("bad".into()).to_string().contains("bad"));
-        assert!(S2c2Error::IterationFailed("x".into()).to_string().contains("x"));
+        assert!(S2c2Error::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(S2c2Error::IterationFailed("x".into())
+            .to_string()
+            .contains("x"));
     }
 
     #[test]

@@ -8,8 +8,8 @@ use crate::error::S2c2Error;
 use crate::speed_tracker::PredictorSource;
 use crate::strategy::s2c2::S2c2Mode;
 use crate::strategy::{
-    IterationOutcome, MatvecStrategy, MdsStrategy, OverDecompositionStrategy,
-    ReplicationStrategy, S2c2Strategy, StrategyKind, UncodedStrategy,
+    IterationOutcome, MatvecStrategy, MdsStrategy, OverDecompositionStrategy, ReplicationStrategy,
+    S2c2Strategy, StrategyKind, UncodedStrategy,
 };
 use s2c2_cluster::{ClusterSim, ClusterSpec, JobMetrics};
 use s2c2_coding::mds::MdsParams;
@@ -248,12 +248,10 @@ mod tests {
                 .build(cluster)
                 .unwrap_or_else(|e| panic!("{kind}: {e}"));
             for _ in 0..3 {
-                let out = job.run_iteration(&x).unwrap_or_else(|e| panic!("{kind}: {e}"));
-                s2c2_linalg::assert_slices_close(
-                    out.result.as_slice(),
-                    expect.as_slice(),
-                    1e-6,
-                );
+                let out = job
+                    .run_iteration(&x)
+                    .unwrap_or_else(|e| panic!("{kind}: {e}"));
+                s2c2_linalg::assert_slices_close(out.result.as_slice(), expect.as_slice(), 1e-6);
             }
             assert_eq!(job.metrics().len(), 3, "{kind}");
             assert_eq!(job.iteration(), 3);

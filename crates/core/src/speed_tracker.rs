@@ -76,11 +76,12 @@ impl SpeedTracker {
                 Some(PredictorBank::from_prototype(&LastValue::new(1.0), n)),
             ),
             PredictorSource::Oracle => (true, None),
-            PredictorSource::Prototype(p) => {
-                (false, Some(PredictorBank::from_predictors(
+            PredictorSource::Prototype(p) => (
+                false,
+                Some(PredictorBank::from_predictors(
                     (0..n).map(|_| p.clone()).collect(),
-                )))
-            }
+                )),
+            ),
         };
         SpeedTracker {
             oracle,
@@ -115,9 +116,12 @@ impl SpeedTracker {
             for v in observed.iter().flatten() {
                 self.obs_scale = self.obs_scale.max(*v);
             }
-            let scale = if self.obs_scale > 0.0 { self.obs_scale } else { 1.0 };
-            let scaled: Vec<Option<f64>> =
-                observed.iter().map(|o| o.map(|v| v / scale)).collect();
+            let scale = if self.obs_scale > 0.0 {
+                self.obs_scale
+            } else {
+                1.0
+            };
+            let scaled: Vec<Option<f64>> = observed.iter().map(|o| o.map(|v| v / scale)).collect();
             self.predictions = bank.observe_and_predict_masked(&scaled);
         }
     }
@@ -158,7 +162,10 @@ mod tests {
         sim.begin_iteration(0);
         let p = t.predictions(&sim);
         assert!((p[0] - 1.0).abs() < 1e-12);
-        assert!((p[1] - 1.0).abs() < 1e-12, "idle worker keeps cold prediction");
+        assert!(
+            (p[1] - 1.0).abs() < 1e-12,
+            "idle worker keeps cold prediction"
+        );
         assert!((p[2] - 0.4).abs() < 1e-12);
     }
 

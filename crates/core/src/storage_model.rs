@@ -77,9 +77,9 @@ pub fn simulate_storage(
         let mut moved = 0usize;
         let mut begin = 0usize;
         for w in 0..n {
-            for r in begin..begin + sizes[w] {
-                if !held[w][r] {
-                    held[w][r] = true;
+            for slot in &mut held[w][begin..begin + sizes[w]] {
+                if !*slot {
+                    *slot = true;
                     held_counts[w] += 1;
                     moved += 1;
                 }
@@ -88,8 +88,11 @@ pub fn simulate_storage(
         }
         debug_assert_eq!(begin, rows);
 
-        let mean_fraction =
-            held_counts.iter().map(|&c| c as f64 / rows as f64).sum::<f64>() / n as f64;
+        let mean_fraction = held_counts
+            .iter()
+            .map(|&c| c as f64 / rows as f64)
+            .sum::<f64>()
+            / n as f64;
         uncoded_fraction.push(mean_fraction);
         uncoded_rows_moved.push(moved);
     }
@@ -141,7 +144,10 @@ mod tests {
         let series = simulate_storage(workers, 1200, 10, 270);
         let first = series.uncoded_fraction[0];
         let last = *series.uncoded_fraction.last().unwrap();
-        assert!(last > first * 2.0, "working set must grow: {first} -> {last}");
+        assert!(
+            last > first * 2.0,
+            "working set must grow: {first} -> {last}"
+        );
         assert!(
             last > 0.3,
             "paper-like drift should need a large fraction, got {last}"
@@ -151,7 +157,10 @@ mod tests {
             assert!(w[1] >= w[0] - 1e-12);
         }
         // Coded stays at 1/k.
-        assert!(series.coded_fraction.iter().all(|&f| (f - 0.1).abs() < 1e-12));
+        assert!(series
+            .coded_fraction
+            .iter()
+            .all(|&f| (f - 0.1).abs() < 1e-12));
     }
 
     #[test]
@@ -162,14 +171,18 @@ mod tests {
         let series = simulate_storage(workers, 1000, 10, 100);
         let last = *series.uncoded_fraction.last().unwrap();
         // Small jitter wiggles boundaries a little; nothing like regime drift.
-        assert!(last < 0.3, "jitter-only growth should stay small, got {last}");
+        assert!(
+            last < 0.3,
+            "jitter-only growth should stay small, got {last}"
+        );
     }
 
     #[test]
     fn coded_beats_uncoded_in_steady_state() {
         let workers: Vec<BoxedSpeedModel> = (0..12)
             .map(|i| {
-                Box::new(MarkovRegimeSpeed::new(vec![1.0, 0.5], 10.0, 0.03, 0, i)) as BoxedSpeedModel
+                Box::new(MarkovRegimeSpeed::new(vec![1.0, 0.5], 10.0, 0.03, 0, i))
+                    as BoxedSpeedModel
             })
             .collect();
         let series = simulate_storage(workers, 600, 10, 150);

@@ -65,7 +65,7 @@ pub struct CodedRound {
 ///
 /// Propagates decode failures; returns [`S2c2Error::IterationFailed`] if
 /// coverage cannot be met even after reassignment.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 pub fn run_coded_round(
     code: &MdsCode,
     enc: &EncodedMatrix,
@@ -126,8 +126,7 @@ pub fn run_coded_round(
         .map(|&w| times[w] / planned[w])
         .sum::<f64>()
         / k as f64;
-    let deadline_for =
-        |w: usize| t_kth.max((1.0 + cfg.timeout_margin) * planned[w] * mean_rate);
+    let deadline_for = |w: usize| t_kth.max((1.0 + cfg.timeout_margin) * planned[w] * mean_rate);
 
     let active: Vec<usize> = assigned
         .iter()
@@ -159,7 +158,10 @@ pub fn run_coded_round(
     let covers = |w: usize, chunk: usize| assignment.chunks[w].binary_search(&chunk).is_ok();
     let mut deficit: Vec<usize> = Vec::new(); // chunks with < k live coverage
     for chunk in 0..c {
-        let live = effective_active.iter().filter(|&&w| covers(w, chunk)).count();
+        let live = effective_active
+            .iter()
+            .filter(|&&w| covers(w, chunk))
+            .count();
         if live < k {
             deficit.push(chunk);
         }
@@ -208,7 +210,11 @@ pub fn run_coded_round(
             reassigned = true;
         }
     }
-    let cancelled: Vec<usize> = if abort_reassign { Vec::new() } else { cancelled };
+    let cancelled: Vec<usize> = if abort_reassign {
+        Vec::new()
+    } else {
+        cancelled
+    };
     let live_workers: Vec<usize> = if abort_reassign || !cfg.reassign {
         assigned.clone()
     } else {
@@ -232,7 +238,7 @@ pub fn run_coded_round(
     // candidate (time, worker, is_extra) per chunk.
     let mut chosen: Vec<Vec<(usize, bool)>> = vec![Vec::new(); c];
     let mut t_compute: f64 = 0.0;
-    for chunk in 0..c {
+    for (chunk, slot) in chosen.iter_mut().enumerate() {
         let mut cands: Vec<(f64, usize, bool)> = Vec::new();
         for &w in &live_workers {
             if covers(w, chunk) {
@@ -252,7 +258,7 @@ pub fn run_coded_round(
             )));
         }
         t_compute = t_compute.max(cands[k - 1].0);
-        chosen[chunk] = cands[..k].iter().map(|&(_, w, e)| (w, e)).collect();
+        *slot = cands[..k].iter().map(|&(_, w, e)| (w, e)).collect();
     }
 
     // ---- Numeric work + decode. ----
@@ -331,7 +337,9 @@ mod tests {
         chunks: usize,
         stragglers: &[usize],
     ) -> (MdsCode, EncodedMatrix, ClusterSim, Matrix, Vector) {
-        let a = Matrix::from_fn(k * chunks * 10, 6, |r, c| ((r * 13 + c * 7) % 17) as f64 - 8.0);
+        let a = Matrix::from_fn(k * chunks * 10, 6, |r, c| {
+            ((r * 13 + c * 7) % 17) as f64 - 8.0
+        });
         let code = MdsCode::new(MdsParams::new(n, k)).unwrap();
         let enc = code.encode(&a, chunks).unwrap();
         let spec = ClusterSpec::builder(n)
@@ -356,11 +364,7 @@ mod tests {
             reassign: false,
         };
         let round = run_coded_round(&code, &enc, &assignment, &sim, 0, &x, &cfg, None).unwrap();
-        s2c2_linalg::assert_slices_close(
-            round.result.as_slice(),
-            a.matvec(&x).as_slice(),
-            1e-6,
-        );
+        s2c2_linalg::assert_slices_close(round.result.as_slice(), a.matvec(&x).as_slice(), 1e-6);
         assert!(!round.reassigned);
         // Straggler computed everything, none useful.
         let wf = round.metrics.wasted_fraction();
@@ -376,15 +380,23 @@ mod tests {
         let (code, enc, sim, a, x) = setup(12, 6, 12, &[2, 7]);
         // Oracle allocation: use the simulator's actual speeds.
         let assignment = allocate_chunks(sim.speeds(), 6, 12).unwrap();
-        let round =
-            run_coded_round(&code, &enc, &assignment, &sim, 0, &x, &CodedRoundConfig::default(), None)
-                .unwrap();
-        s2c2_linalg::assert_slices_close(
-            round.result.as_slice(),
-            a.matvec(&x).as_slice(),
-            1e-6,
+        let round = run_coded_round(
+            &code,
+            &enc,
+            &assignment,
+            &sim,
+            0,
+            &x,
+            &CodedRoundConfig::default(),
+            None,
+        )
+        .unwrap();
+        s2c2_linalg::assert_slices_close(round.result.as_slice(), a.matvec(&x).as_slice(), 1e-6);
+        assert_eq!(
+            round.metrics.total_wasted_rows(),
+            0,
+            "oracle S2C2 wastes nothing"
         );
-        assert_eq!(round.metrics.total_wasted_rows(), 0, "oracle S2C2 wastes nothing");
         assert!(!round.reassigned);
     }
 
@@ -395,15 +407,19 @@ mod tests {
         // result must still be exact.
         let (code, enc, sim, a, x) = setup(12, 6, 12, &[0, 1]);
         let assignment = allocate_chunks(&[1.0; 12], 6, 12).unwrap();
-        let round =
-            run_coded_round(&code, &enc, &assignment, &sim, 0, &x, &CodedRoundConfig::default(), None)
-                .unwrap();
+        let round = run_coded_round(
+            &code,
+            &enc,
+            &assignment,
+            &sim,
+            0,
+            &x,
+            &CodedRoundConfig::default(),
+            None,
+        )
+        .unwrap();
         assert!(round.reassigned, "5x stragglers must miss the 15% deadline");
-        s2c2_linalg::assert_slices_close(
-            round.result.as_slice(),
-            a.matvec(&x).as_slice(),
-            1e-6,
-        );
+        s2c2_linalg::assert_slices_close(round.result.as_slice(), a.matvec(&x).as_slice(), 1e-6);
         // Cancelled stragglers: partial work, zero useful.
         assert_eq!(round.metrics.useful_rows[0], 0);
         assert_eq!(round.metrics.useful_rows[1], 0);
@@ -421,9 +437,17 @@ mod tests {
         };
         let round_wait =
             run_coded_round(&code, &enc, &assignment, &sim, 0, &x, &no_reassign, None).unwrap();
-        let round_cancel =
-            run_coded_round(&code, &enc, &assignment, &sim, 0, &x, &CodedRoundConfig::default(), None)
-                .unwrap();
+        let round_cancel = run_coded_round(
+            &code,
+            &enc,
+            &assignment,
+            &sim,
+            0,
+            &x,
+            &CodedRoundConfig::default(),
+            None,
+        )
+        .unwrap();
         assert!(
             round_cancel.metrics.latency < round_wait.metrics.latency * 0.7,
             "reassignment should beat waiting: {} vs {}",
@@ -451,9 +475,17 @@ mod tests {
         let (code, enc, sim, _a, x) = setup(6, 3, 6, &[]);
         // Worker 5 excluded from the allocation.
         let assignment = allocate_chunks(&[1.0, 1.0, 1.0, 1.0, 1.0, 0.0], 3, 6).unwrap();
-        let round =
-            run_coded_round(&code, &enc, &assignment, &sim, 0, &x, &CodedRoundConfig::default(), None)
-                .unwrap();
+        let round = run_coded_round(
+            &code,
+            &enc,
+            &assignment,
+            &sim,
+            0,
+            &x,
+            &CodedRoundConfig::default(),
+            None,
+        )
+        .unwrap();
         assert!(round.observed_speeds[5].is_none());
         assert_eq!(round.metrics.assigned_rows[5], 0);
     }

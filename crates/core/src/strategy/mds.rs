@@ -64,7 +64,16 @@ impl MatvecStrategy for MdsStrategy {
             timeout_margin: 0.15,
             reassign: false, // conventional coded computing never reassigns
         };
-        let round = run_coded_round(&self.code, &self.enc, &assignment, sim, iteration, x, &cfg, None)?;
+        let round = run_coded_round(
+            &self.code,
+            &self.enc,
+            &assignment,
+            sim,
+            iteration,
+            x,
+            &cfg,
+            None,
+        )?;
         Ok(IterationOutcome {
             result: round.result,
             metrics: round.metrics,
@@ -105,26 +114,50 @@ mod tests {
     #[test]
     fn tolerates_up_to_n_minus_k_stragglers_flat() {
         // (12,10): latency with 0, 1, 2 stragglers should be ~equal.
-        let base = run_with_stragglers(MdsParams::new(12, 10), &[]).metrics.latency;
-        let one = run_with_stragglers(MdsParams::new(12, 10), &[0]).metrics.latency;
-        let two = run_with_stragglers(MdsParams::new(12, 10), &[0, 1]).metrics.latency;
-        assert!((one / base - 1.0).abs() < 0.05, "1 straggler: {one} vs {base}");
-        assert!((two / base - 1.0).abs() < 0.05, "2 stragglers: {two} vs {base}");
+        let base = run_with_stragglers(MdsParams::new(12, 10), &[])
+            .metrics
+            .latency;
+        let one = run_with_stragglers(MdsParams::new(12, 10), &[0])
+            .metrics
+            .latency;
+        let two = run_with_stragglers(MdsParams::new(12, 10), &[0, 1])
+            .metrics
+            .latency;
+        assert!(
+            (one / base - 1.0).abs() < 0.05,
+            "1 straggler: {one} vs {base}"
+        );
+        assert!(
+            (two / base - 1.0).abs() < 0.05,
+            "2 stragglers: {two} vs {base}"
+        );
     }
 
     #[test]
     fn collapses_past_tolerance() {
         // (12,10) with 3 stragglers: must wait for a straggler -> ~5x.
-        let base = run_with_stragglers(MdsParams::new(12, 10), &[]).metrics.latency;
-        let three = run_with_stragglers(MdsParams::new(12, 10), &[0, 1, 2]).metrics.latency;
-        assert!(three / base > 3.5, "3 stragglers blow up (12,10): {}", three / base);
+        let base = run_with_stragglers(MdsParams::new(12, 10), &[])
+            .metrics
+            .latency;
+        let three = run_with_stragglers(MdsParams::new(12, 10), &[0, 1, 2])
+            .metrics
+            .latency;
+        assert!(
+            three / base > 3.5,
+            "3 stragglers blow up (12,10): {}",
+            three / base
+        );
     }
 
     #[test]
     fn conservative_code_pays_overhead_when_healthy() {
         // (12,6) does 1/6-of-data work per worker vs (12,10)'s 1/10.
-        let relaxed = run_with_stragglers(MdsParams::new(12, 10), &[]).metrics.latency;
-        let conservative = run_with_stragglers(MdsParams::new(12, 6), &[]).metrics.latency;
+        let relaxed = run_with_stragglers(MdsParams::new(12, 10), &[])
+            .metrics
+            .latency;
+        let conservative = run_with_stragglers(MdsParams::new(12, 6), &[])
+            .metrics
+            .latency;
         let ratio = conservative / relaxed;
         assert!(
             (1.4..=1.9).contains(&ratio),
@@ -139,7 +172,10 @@ mod tests {
         let total_computed: usize = out.metrics.computed_rows.iter().sum();
         let total_wasted = out.metrics.total_wasted_rows();
         let frac = total_wasted as f64 / total_computed as f64;
-        assert!((frac - 0.3).abs() < 0.01, "waste fraction {frac}, expected 0.3");
+        assert!(
+            (frac - 0.3).abs() < 0.01,
+            "waste fraction {frac}, expected 0.3"
+        );
     }
 
     #[test]

@@ -74,8 +74,9 @@ impl OverDecompositionStrategy {
             let size = base + usize::from(p < extra);
             starts.push(starts[p] + size);
         }
-        let partitions: Vec<Matrix> =
-            (0..parts).map(|p| a.row_block(starts[p], starts[p + 1])).collect();
+        let partitions: Vec<Matrix> = (0..parts)
+            .map(|p| a.row_block(starts[p], starts[p + 1]))
+            .collect();
 
         // Placement: primary round-robin; additional copies for the first
         // (replication - 1) * parts partitions, offset round-robin.
@@ -161,36 +162,36 @@ impl MatvecStrategy for OverDecompositionStrategy {
         // Pass 1a: primary copies — each partition to its primary holder
         // while that worker has capacity (avoids stealing another
         // worker's primaries through a secondary copy).
-        for p in 0..parts {
+        for (p, slot) in owner.iter_mut().enumerate() {
             let primary = self.holders[p][0];
             if load[primary] < counts[primary] {
-                owner[p] = primary;
+                *slot = primary;
                 load[primary] += 1;
             }
         }
         // Pass 1b: any remaining local copy.
         for &w in &order {
-            for p in 0..parts {
+            for (p, slot) in owner.iter_mut().enumerate() {
                 if load[w] >= counts[w] {
                     break;
                 }
-                if owner[p] == usize::MAX && self.holders[p].contains(&w) {
-                    owner[p] = w;
+                if *slot == usize::MAX && self.holders[p].contains(&w) {
+                    *slot = w;
                     load[w] += 1;
                 }
             }
         }
         // Pass 2: remaining partitions go anywhere (data moves).
         let mut moved_bytes_per_worker = vec![0u64; n];
-        for p in 0..parts {
-            if owner[p] != usize::MAX {
+        for (p, slot) in owner.iter_mut().enumerate() {
+            if *slot != usize::MAX {
                 continue;
             }
             let w = *order
                 .iter()
                 .find(|&&w| load[w] < counts[w])
                 .expect("counts sum to parts");
-            owner[p] = w;
+            *slot = w;
             load[w] += 1;
             moved_bytes_per_worker[w] += self.partitions[p].payload_bytes();
             self.holders[p].push(w); // the copy stays cached
@@ -214,17 +215,14 @@ impl MatvecStrategy for OverDecompositionStrategy {
 
         let mut metrics = RoundMetrics::new(iteration, n);
         metrics.rebalance_bytes = moved_bytes_per_worker.iter().sum();
-        for w in 0..n {
-            metrics.assigned_rows[w] = rows_of[w];
-        }
+        metrics.assigned_rows.copy_from_slice(&rows_of);
 
         // Timeout rescue: like S2C2, plan-normalized — each worker is
         // judged against its own allocation divided by its predicted
         // speed, calibrated on the fastest 70% of responses. A correctly
         // predicted slower worker is NOT rescued (rescue moves data here,
         // so false positives are doubly expensive).
-        let workers_with_work: Vec<usize> =
-            (0..n).filter(|&w| times[w].is_finite()).collect();
+        let workers_with_work: Vec<usize> = (0..n).filter(|&w| times[w].is_finite()).collect();
         let planned: Vec<f64> = (0..n)
             .map(|w| {
                 if preds[w] > 0.0 {
@@ -270,8 +268,8 @@ impl MatvecStrategy for OverDecompositionStrategy {
                     // Partitions owned by the slow worker move to the host.
                     let mut bytes = 0u64;
                     let mut rows = 0usize;
-                    for p in 0..parts {
-                        if owner[p] == slow {
+                    for (p, &o) in owner.iter().enumerate() {
+                        if o == slow {
                             bytes += self.partitions[p].payload_bytes();
                             rows += self.part_rows(p);
                             if !self.holders[p].contains(&host) {
@@ -388,7 +386,9 @@ mod tests {
         let mut s = build(&a);
         // Half the cluster at 40% speed: rebalancing must move partitions
         // to the fast half once predictions adapt.
-        let mut builder = ClusterSpec::builder(10).compute_bound().straggler_slowdown(2.5);
+        let mut builder = ClusterSpec::builder(10)
+            .compute_bound()
+            .straggler_slowdown(2.5);
         builder = builder.stragglers(&[5, 6, 7, 8, 9], 0.0);
         let mut sim = ClusterSim::new(builder.build());
         let mut total_moved = 0;
@@ -416,19 +416,23 @@ mod tests {
             let _ = s.run_iteration(&mut sim, iter, &x).unwrap();
         }
         let after = s.storage_bytes_per_worker();
-        assert!(after > before, "cached copies accumulate: {before} -> {after}");
+        assert!(
+            after > before,
+            "cached copies accumulate: {before} -> {after}"
+        );
     }
 
     #[test]
     fn invalid_configs_rejected() {
         let (a, _) = data();
-        assert!(OverDecompositionStrategy::new(&a, 10, 0, 1.4, &PredictorSource::Uniform, 0)
-            .is_err());
-        assert!(OverDecompositionStrategy::new(&a, 10, 4, 0.5, &PredictorSource::Uniform, 0)
-            .is_err());
         assert!(
-            OverDecompositionStrategy::new(&a, 10, 4, 100.0, &PredictorSource::Uniform, 0)
-                .is_err()
+            OverDecompositionStrategy::new(&a, 10, 0, 1.4, &PredictorSource::Uniform, 0).is_err()
+        );
+        assert!(
+            OverDecompositionStrategy::new(&a, 10, 4, 0.5, &PredictorSource::Uniform, 0).is_err()
+        );
+        assert!(
+            OverDecompositionStrategy::new(&a, 10, 4, 100.0, &PredictorSource::Uniform, 0).is_err()
         );
     }
 }

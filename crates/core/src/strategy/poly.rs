@@ -73,7 +73,7 @@ impl PolyShared {
     /// [`coded_common::run_coded_round`](crate::strategy::coded_common::run_coded_round)
     /// with the polynomial cost model (fixed scaling pass + per-chunk
     /// product) and `k = a·b`.
-    #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     fn run_round(
         &self,
         assignment: &ChunkAssignment,
@@ -136,8 +136,7 @@ impl PolyShared {
             .map(|&wk| times[wk] / planned[wk])
             .sum::<f64>()
             / need as f64;
-        let deadline_for =
-            |wk: usize| t_kth.max((1.0 + timeout_margin) * planned[wk] * mean_rate);
+        let deadline_for = |wk: usize| t_kth.max((1.0 + timeout_margin) * planned[wk] * mean_rate);
 
         let covers = |wk: usize, chunk: usize| assignment.chunks[wk].binary_search(&chunk).is_ok();
         let active: Vec<usize> = assigned
@@ -218,7 +217,7 @@ impl PolyShared {
         // Collection: need earliest results per chunk.
         let mut t_compute: f64 = 0.0;
         let mut chosen: Vec<Vec<usize>> = vec![Vec::new(); c];
-        for chunk in 0..c {
+        for (chunk, slot) in chosen.iter_mut().enumerate() {
             let mut cands: Vec<(f64, usize)> = Vec::new();
             for &wk in &live_workers {
                 if covers(wk, chunk) {
@@ -238,7 +237,7 @@ impl PolyShared {
                 )));
             }
             t_compute = t_compute.max(cands[need - 1].0);
-            chosen[chunk] = cands[..need].iter().map(|&(_, wk)| wk).collect();
+            *slot = cands[..need].iter().map(|&(_, wk)| wk).collect();
         }
 
         // Numeric compute + decode.
@@ -254,8 +253,7 @@ impl PolyShared {
         // Interpolation solve: need^3/3 LU + need^2 per decoded value.
         let vpc = layout.values_per_chunk() as f64;
         let nd = need as f64;
-        let decode_time =
-            sim.decode_time(c as f64 * (nd * nd * nd / 3.0 + vpc * nd * nd));
+        let decode_time = sim.decode_time(c as f64 * (nd * nd * nd / 3.0 + vpc * nd * nd));
 
         let mut metrics = RoundMetrics::new(iteration, n);
         let mut observed: Vec<Option<f64>> = vec![None; n];
@@ -418,15 +416,9 @@ impl BilinearStrategy for PolyS2c2 {
         } else {
             self.timeout_margin
         };
-        let (outcome, observed, fired) = self.shared.run_round(
-            &assignment,
-            sim,
-            iteration,
-            w,
-            margin,
-            true,
-            Some(&preds),
-        )?;
+        let (outcome, observed, fired) =
+            self.shared
+                .run_round(&assignment, sim, iteration, w, margin, true, Some(&preds))?;
         self.rounds += 1;
         if fired {
             self.mispredicted_rounds += 1;
@@ -522,13 +514,20 @@ mod tests {
         let (a_t, a, w, _) = hessian_inputs();
         let params = PolyParams::new(12, 3, 3);
         let mut conv = PolyConventional::new(&a_t, &a, params, 6).unwrap();
-        let mut s2c2 =
-            PolyS2c2::new(&a_t, &a, params, 6, &PredictorSource::Oracle).unwrap();
+        let mut s2c2 = PolyS2c2::new(&a_t, &a, params, 6, &PredictorSource::Oracle).unwrap();
         let spec = ClusterSpec::builder(12).compute_bound().build();
         let mut sim_a = ClusterSim::new(spec.clone());
         let mut sim_b = ClusterSim::new(spec);
-        let lc = conv.run_iteration(&mut sim_a, 0, &w).unwrap().metrics.latency;
-        let ls = s2c2.run_iteration(&mut sim_b, 0, &w).unwrap().metrics.latency;
+        let lc = conv
+            .run_iteration(&mut sim_a, 0, &w)
+            .unwrap()
+            .metrics
+            .latency;
+        let ls = s2c2
+            .run_iteration(&mut sim_b, 0, &w)
+            .unwrap()
+            .metrics
+            .latency;
         assert!(
             ls < lc,
             "S2C2 poly should beat conventional on a healthy cluster: {ls} vs {lc}"

@@ -72,8 +72,9 @@ impl ReplicationStrategy {
             let size = base + usize::from(p < extra);
             starts.push(starts[p] + size);
         }
-        let partitions: Vec<Matrix> =
-            (0..n).map(|p| a.row_block(starts[p], starts[p + 1])).collect();
+        let partitions: Vec<Matrix> = (0..n)
+            .map(|p| a.row_block(starts[p], starts[p + 1]))
+            .collect();
 
         // Deterministic pseudo-random placement: stride coprime-ish to n.
         let stride = (seed as usize % n.saturating_sub(1).max(1)) + 1;
@@ -137,8 +138,8 @@ impl MatvecStrategy for ReplicationStrategy {
         // Primary executions: task p runs on worker p.
         let part_rows = |p: usize| self.starts[p + 1] - self.starts[p];
         let mut primary_time = vec![0.0_f64; n];
-        for p in 0..n {
-            primary_time[p] = input_time
+        for (p, t) in primary_time.iter_mut().enumerate() {
+            *t = input_time
                 + sim.compute_time(p, part_rows(p), cols)
                 + sim.transfer_time((part_rows(p) * 8) as u64);
         }
@@ -149,9 +150,7 @@ impl MatvecStrategy for ReplicationStrategy {
         // postpone detection indefinitely.
         let mut sorted = primary_time.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let detect_idx = ((n as f64 * self.detect_quantile).ceil() as usize)
-            .clamp(1, n)
-            - 1;
+        let detect_idx = ((n as f64 * self.detect_quantile).ceil() as usize).clamp(1, n) - 1;
         let t_detect = sorted[detect_idx].min(1.5 * sorted[n / 2]);
 
         // Speculation: slowest unfinished tasks first.
@@ -227,9 +226,9 @@ impl MatvecStrategy for ReplicationStrategy {
             }
             metrics.response_times[p] = Some(primary_time[p].min(task_time[p]));
         }
-        for h in 0..n {
-            if spec_extra_rows[h] > 0 {
-                metrics.computed_rows[h] += spec_extra_rows[h];
+        for (h, &extra) in spec_extra_rows.iter().enumerate() {
+            if extra > 0 {
+                metrics.computed_rows[h] += extra;
             }
         }
 
@@ -297,7 +296,10 @@ mod tests {
         // Speculative re-execution bounds the damage: latency should be
         // far below the 5x of waiting for the straggler.
         let ratio = one.metrics.latency / healthy.metrics.latency;
-        assert!(ratio < 3.5, "speculation should cap the slowdown, got {ratio}x");
+        assert!(
+            ratio < 3.5,
+            "speculation should cap the slowdown, got {ratio}x"
+        );
         // And the straggler's work was (partially) wasted.
         assert!(one.metrics.total_wasted_rows() > 0);
     }

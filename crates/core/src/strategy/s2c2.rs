@@ -310,7 +310,10 @@ mod tests {
         let _ = s.run_iteration(&mut sim, 0, &x).unwrap();
         let out = s.run_iteration(&mut sim, 1, &x).unwrap();
         s2c2_linalg::assert_slices_close(out.result.as_slice(), a.matvec(&x).as_slice(), 1e-6);
-        assert_eq!(out.metrics.assigned_rows[3], 0, "detected straggler sits idle");
+        assert_eq!(
+            out.metrics.assigned_rows[3], 0,
+            "detected straggler sits idle"
+        );
         // Work per active worker ~= D/11 rows (720 padded/11, chunked).
         let active_rows: Vec<usize> = (0..12)
             .filter(|&w| w != 3)
@@ -318,14 +321,20 @@ mod tests {
             .collect();
         let max = *active_rows.iter().max().unwrap();
         let min = *active_rows.iter().min().unwrap();
-        assert!(max - min <= s.enc.layout().rows_per_chunk(), "even split in basic mode");
+        assert!(
+            max - min <= s.enc.layout().rows_per_chunk(),
+            "even split in basic mode"
+        );
     }
 
     #[test]
     fn general_beats_basic_under_speed_variation() {
         // With ±20% speed variation and no hard stragglers, general S2C2
         // exploits the variation that basic ignores (the Fig 6 gap).
-        let spec = ClusterSpec::builder(12).compute_bound().stragglers(&[], 0.2).build();
+        let spec = ClusterSpec::builder(12)
+            .compute_bound()
+            .stragglers(&[], 0.2)
+            .build();
         let (mut gen, _a, x) = strategy(
             MdsParams::new(12, 6),
             S2c2Mode::General,
@@ -341,10 +350,21 @@ mod tests {
         let mut lg = 0.0;
         let mut lb = 0.0;
         for iter in 0..8 {
-            lg += gen.run_iteration(&mut sim_g, iter, &x).unwrap().metrics.latency;
-            lb += bas.run_iteration(&mut sim_b, iter, &x).unwrap().metrics.latency;
+            lg += gen
+                .run_iteration(&mut sim_g, iter, &x)
+                .unwrap()
+                .metrics
+                .latency;
+            lb += bas
+                .run_iteration(&mut sim_b, iter, &x)
+                .unwrap()
+                .metrics
+                .latency;
         }
-        assert!(lg < lb, "general ({lg}) should beat basic ({lb}) under variation");
+        assert!(
+            lg < lb,
+            "general ({lg}) should beat basic ({lb}) under variation"
+        );
     }
 
     #[test]

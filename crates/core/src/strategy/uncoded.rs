@@ -52,7 +52,16 @@ impl MatvecStrategy for UncodedStrategy {
             timeout_margin: 0.15,
             reassign: false, // plain uncoded has no recovery mechanism
         };
-        let round = run_coded_round(&self.code, &self.enc, &assignment, sim, iteration, x, &cfg, None)?;
+        let round = run_coded_round(
+            &self.code,
+            &self.enc,
+            &assignment,
+            sim,
+            iteration,
+            x,
+            &cfg,
+            None,
+        )?;
         Ok(IterationOutcome {
             result: round.result,
             metrics: round.metrics,

@@ -31,7 +31,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "shape mismatch: expected {expected}, found {found}")
             }
             LinalgError::Singular { pivot } => {
-                write!(f, "matrix is singular (elimination broke down at pivot {pivot})")
+                write!(
+                    f,
+                    "matrix is singular (elimination broke down at pivot {pivot})"
+                )
             }
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }

@@ -70,7 +70,13 @@ pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
 /// Panics with the first offending index when the slices differ in length
 /// or any element pair is further apart than `tol` (scaled).
 pub fn assert_slices_close(a: &[f64], b: &[f64], tol: f64) {
-    assert_eq!(a.len(), b.len(), "slice lengths differ: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "slice lengths differ: {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
         assert!(
             approx_eq(*x, *y, tol),

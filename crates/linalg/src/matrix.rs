@@ -188,7 +188,10 @@ impl Matrix {
     #[must_use]
     pub fn matvec_rows(&self, x: &Vector, begin: usize, end: usize) -> Vector {
         assert_eq!(x.len(), self.cols, "matvec_rows: dimension mismatch");
-        assert!(begin <= end && end <= self.rows, "matvec_rows: range out of bounds");
+        assert!(
+            begin <= end && end <= self.rows,
+            "matvec_rows: range out of bounds"
+        );
         let xs = x.as_slice();
         let mut out = Vec::with_capacity(end - begin);
         for r in begin..end {

@@ -98,16 +98,16 @@ impl LuFactors {
         // Forward substitution on permuted rhs (L has implicit unit diagonal).
         for i in 0..n {
             let mut sum = b.as_slice()[self.perm[i]];
-            for j in 0..i {
-                sum -= self.lu.get(i, j) * x[j];
+            for (j, &xj) in x[..i].iter().enumerate() {
+                sum -= self.lu.get(i, j) * xj;
             }
             x[i] = sum;
         }
         // Back substitution through U.
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in i + 1..n {
-                sum -= self.lu.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.lu.get(i, j) * xj;
             }
             x[i] = sum / self.lu.get(i, i);
         }
@@ -132,8 +132,8 @@ impl LuFactors {
         // Work column-by-column with a scratch vector to stay allocation-light.
         let mut col = vec![0.0; n];
         for c in 0..cols {
-            for r in 0..n {
-                col[r] = b.get(r, c);
+            for (r, slot) in col.iter_mut().enumerate() {
+                *slot = b.get(r, c);
             }
             let x = self.solve(&Vector::from(col.clone()));
             for r in 0..n {

@@ -87,7 +87,10 @@ pub fn chebyshev_points(n: usize, lo: f64, hi: f64) -> Vec<f64> {
 fn assert_distinct(xs: &[f64], what: &str) {
     for i in 0..xs.len() {
         for j in i + 1..xs.len() {
-            assert!(xs[i] != xs[j], "{what} must be pairwise distinct (index {i} == index {j})");
+            assert!(
+                xs[i] != xs[j],
+                "{what} must be pairwise distinct (index {i} == index {j})"
+            );
         }
     }
 }

@@ -23,14 +23,16 @@ impl Vector {
     /// Creates a vector of length `n` with every element equal to `value`.
     #[must_use]
     pub fn filled(n: usize, value: f64) -> Self {
-        Vector { data: vec![value; n] }
+        Vector {
+            data: vec![value; n],
+        }
     }
 
     /// Creates a vector from a generating function of the index.
     #[must_use]
-    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> f64) -> Self {
         Vector {
-            data: (0..n).map(|i| f(i)).collect(),
+            data: (0..n).map(f).collect(),
         }
     }
 
@@ -181,7 +183,9 @@ impl From<Vec<f64>> for Vector {
 
 impl From<&[f64]> for Vector {
     fn from(data: &[f64]) -> Self {
-        Vector { data: data.to_vec() }
+        Vector {
+            data: data.to_vec(),
+        }
     }
 }
 

@@ -160,7 +160,10 @@ fn fit_arima111(series: &[&[f64]]) -> (f64, f64, f64) {
         .filter(|s| s.len() >= 3)
         .map(|s| s.windows(2).map(|w| w[1] - w[0]).collect())
         .collect();
-    assert!(!diffs.is_empty(), "not enough training data for ARIMA(1,1,1)");
+    assert!(
+        !diffs.is_empty(),
+        "not enough training data for ARIMA(1,1,1)"
+    );
 
     // Stage 1: AR(3) on differences to estimate innovations.
     let diff_refs: Vec<&[f64]> = diffs.iter().map(Vec::as_slice).collect();
@@ -219,12 +222,14 @@ fn solve_small(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
         a.swap(col, piv);
         b.swap(col, piv);
         let d = a[col][col];
-        for r in col + 1..n {
-            let f = a[r][col] / d;
-            for c in col..n {
-                a[r][c] -= f * a[col][c];
+        let (top, below) = a.split_at_mut(col + 1);
+        let pivot_row = &top[col];
+        for (off_r, row) in below.iter_mut().enumerate() {
+            let f = row[col] / d;
+            for (rv, &pv) in row.iter_mut().zip(pivot_row.iter()).skip(col) {
+                *rv -= f * pv;
             }
-            b[r] -= f * b[col];
+            b[col + 1 + off_r] -= f * b[col];
         }
     }
     let mut x = vec![0.0; n];
@@ -322,8 +327,16 @@ mod tests {
     fn ar1_recovers_true_coefficients() {
         let s = ar1_series(0.3, 0.7, 5000, 0.02, 1);
         let model = ArimaModel::fit(ArimaOrder::Ar1, &[&s]);
-        assert!((model.phi()[0] - 0.7).abs() < 0.05, "phi = {}", model.phi()[0]);
-        assert!((model.intercept - 0.3).abs() < 0.06, "c = {}", model.intercept);
+        assert!(
+            (model.phi()[0] - 0.7).abs() < 0.05,
+            "phi = {}",
+            model.phi()[0]
+        );
+        assert!(
+            (model.intercept - 0.3).abs() < 0.06,
+            "c = {}",
+            model.intercept
+        );
     }
 
     #[test]
@@ -337,8 +350,16 @@ mod tests {
             xs.push(v);
         }
         let model = ArimaModel::fit(ArimaOrder::Ar2, &[&xs]);
-        assert!((model.phi()[0] - 0.5).abs() < 0.08, "phi1 = {}", model.phi()[0]);
-        assert!((model.phi()[1] - 0.3).abs() < 0.08, "phi2 = {}", model.phi()[1]);
+        assert!(
+            (model.phi()[0] - 0.5).abs() < 0.08,
+            "phi1 = {}",
+            model.phi()[0]
+        );
+        assert!(
+            (model.phi()[1] - 0.3).abs() < 0.08,
+            "phi2 = {}",
+            model.phi()[1]
+        );
     }
 
     #[test]
@@ -364,7 +385,10 @@ mod tests {
             err_model += (pred - w[1]).abs();
             err_mean += (mean - w[1]).abs();
         }
-        assert!(err_model < err_mean, "AR(1) should beat the mean forecaster");
+        assert!(
+            err_model < err_mean,
+            "AR(1) should beat the mean forecaster"
+        );
     }
 
     #[test]
@@ -389,7 +413,10 @@ mod tests {
         let mut online = model.online();
         let p = online.observe_and_predict(0.5);
         assert!(p.is_finite());
-        assert!((p - 0.5).abs() < 0.05, "constant series should predict ~0.5, got {p}");
+        assert!(
+            (p - 0.5).abs() < 0.05,
+            "constant series should predict ~0.5, got {p}"
+        );
     }
 
     #[test]

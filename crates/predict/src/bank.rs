@@ -145,7 +145,11 @@ mod tests {
         let mut bank = PredictorBank::from_prototype(&LastValue::default(), 1);
         let snapshot = bank.clone();
         let _ = bank.observe_and_predict(&[0.3]);
-        assert_eq!(snapshot.predict_cold(), vec![1.0], "clone must not share state");
+        assert_eq!(
+            snapshot.predict_cold(),
+            vec![1.0],
+            "clone must not share state"
+        );
         assert_eq!(bank.predict_cold(), vec![0.3]);
     }
 }

@@ -136,9 +136,19 @@ mod tests {
         let traces = TraceSet::generate(&CloudTraceConfig::calm(), 6, 120, 21);
         let report = compare_models(&traces, 0.8, &small_lstm());
         assert_eq!(report.scores.len(), 5);
-        for name in ["lstm", "arima(1,0,0)", "arima(2,0,0)", "arima(1,1,1)", "last-value"] {
+        for name in [
+            "lstm",
+            "arima(1,0,0)",
+            "arima(2,0,0)",
+            "arima(1,1,1)",
+            "last-value",
+        ] {
             let s = report.score(name);
-            assert!(s.mape.is_finite() && s.mape >= 0.0, "{name} mape {}", s.mape);
+            assert!(
+                s.mape.is_finite() && s.mape >= 0.0,
+                "{name} mape {}",
+                s.mape
+            );
             assert!((0.0..=1.0).contains(&s.misprediction_rate));
         }
     }
@@ -150,7 +160,12 @@ mod tests {
         let traces = TraceSet::generate(&CloudTraceConfig::calm(), 8, 150, 5);
         let report = compare_models(&traces, 0.8, &small_lstm());
         for s in &report.scores {
-            assert!(s.mape < 30.0, "{} mape {} too high for calm traces", s.name, s.mape);
+            assert!(
+                s.mape < 30.0,
+                "{} mape {} too high for calm traces",
+                s.name,
+                s.mape
+            );
         }
         assert!(report.score("lstm").misprediction_rate < 0.30);
     }

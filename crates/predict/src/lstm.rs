@@ -133,12 +133,16 @@ pub struct TrainedLstm {
 impl TrainedLstm {
     /// Maps a raw speed into model space.
     fn to_model(&self, raw: f64) -> f64 {
-        let v = if self.log_space { raw.max(1e-9).ln() } else { raw };
+        let v = if self.log_space {
+            raw.max(1e-9).ln()
+        } else {
+            raw
+        };
         self.norm.normalize(v)
     }
 
     /// Maps a model-space output back to a raw speed.
-    fn from_model(&self, z: f64) -> f64 {
+    fn model_to_raw(&self, z: f64) -> f64 {
         let v = self.norm.denormalize(z);
         if self.log_space {
             v.exp()
@@ -176,7 +180,7 @@ impl TrainedLstm {
             let cache = self.step(self.to_model(raw), &h, &c);
             h = cache.h.clone();
             c = cache.c.clone();
-            out.push(self.from_model(cache.y));
+            out.push(self.model_to_raw(cache.y));
         }
         out
     }
@@ -263,8 +267,8 @@ fn window_loss_and_grad(
     let mut caches: Vec<StepCache> = Vec::with_capacity(steps);
     let mut h = vec![0.0; hd];
     let mut c = vec![0.0; hd];
-    for t in 0..steps {
-        let cache = step_with(theta, off, window[t], &h, &c);
+    for &x in window.iter().take(steps) {
+        let cache = step_with(theta, off, x, &h, &c);
         h = cache.h.clone();
         c = cache.c.clone();
         caches.push(cache);
@@ -344,7 +348,13 @@ pub fn train(config: &LstmConfig, series: &[&[f64]]) -> TrainedLstm {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Normalizer over all training samples (in log space if configured).
-    let transform = |x: f64| if config.log_space { x.max(1e-9).ln() } else { x };
+    let transform = |x: f64| {
+        if config.log_space {
+            x.max(1e-9).ln()
+        } else {
+            x
+        }
+    };
     let all: Vec<f64> = series
         .iter()
         .flat_map(|s| s.iter().map(|&x| transform(x)))
@@ -370,7 +380,10 @@ pub fn train(config: &LstmConfig, series: &[&[f64]]) -> TrainedLstm {
             start += stride;
         }
     }
-    assert!(!windows.is_empty(), "no training windows (series too short?)");
+    assert!(
+        !windows.is_empty(),
+        "no training windows (series too short?)"
+    );
 
     // Init: small uniform weights, forget-gate bias +1 (standard trick for
     // gradient flow on slowly varying series).
@@ -400,7 +413,8 @@ pub fn train(config: &LstmConfig, series: &[&[f64]]) -> TrainedLstm {
         for batch in order.chunks(config.batch_size) {
             grad.iter_mut().for_each(|g| *g = 0.0);
             for &wi in batch {
-                let _ = window_loss_and_grad(&theta, off, &windows[wi], config.huber_delta, &mut grad);
+                let _ =
+                    window_loss_and_grad(&theta, off, &windows[wi], config.huber_delta, &mut grad);
             }
             let scale = 1.0 / batch.len() as f64;
             grad.iter_mut().for_each(|g| *g *= scale);
@@ -443,17 +457,19 @@ pub struct LstmPredictor {
 
 impl SpeedPredictor for LstmPredictor {
     fn observe_and_predict(&mut self, observed: f64) -> f64 {
-        let cache = self.model.step(self.model.to_model(observed), &self.h, &self.c);
+        let cache = self
+            .model
+            .step(self.model.to_model(observed), &self.h, &self.c);
         self.h = cache.h;
         self.c = cache.c;
-        let pred = self.model.from_model(cache.y).max(1e-6);
+        let pred = self.model.model_to_raw(cache.y).max(1e-6);
         self.last_pred = Some(pred);
         pred
     }
 
     fn predict_cold(&self) -> f64 {
         self.last_pred
-            .unwrap_or_else(|| self.model.from_model(0.0))
+            .unwrap_or_else(|| self.model.model_to_raw(0.0))
     }
 
     fn clone_box(&self) -> BoxedPredictor {
@@ -529,7 +545,9 @@ mod tests {
     #[test]
     fn training_reduces_loss_on_learnable_series() {
         // Deterministic sawtooth: entirely predictable from short history.
-        let series: Vec<f64> = (0..400).map(|i| 0.5 + 0.3 * ((i % 8) as f64 / 8.0)).collect();
+        let series: Vec<f64> = (0..400)
+            .map(|i| 0.5 + 0.3 * ((i % 8) as f64 / 8.0))
+            .collect();
         let cfg = tiny_config();
         let off = Offsets::new(cfg.hidden);
 
@@ -537,12 +555,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let norm = Normalizer::fit(&series);
         let normed: Vec<f64> = series.iter().map(|&x| norm.normalize(x)).collect();
-        let theta0: Vec<f64> = (0..off.total)
-            .map(|_| rng.gen_range(-0.5..0.5))
-            .collect();
+        let theta0: Vec<f64> = (0..off.total).map(|_| rng.gen_range(-0.5..0.5)).collect();
         let mut sink = vec![0.0; off.total];
-        let loss_before =
-            window_loss_and_grad(&theta0, off, &normed[..cfg.seq_len + 1], cfg.huber_delta, &mut sink);
+        let loss_before = window_loss_and_grad(
+            &theta0,
+            off,
+            &normed[..cfg.seq_len + 1],
+            cfg.huber_delta,
+            &mut sink,
+        );
 
         let model = train(&cfg, &[&series]);
         sink.iter_mut().for_each(|g| *g = 0.0);
@@ -584,13 +605,19 @@ mod tests {
 
     #[test]
     fn online_predictor_matches_forecast_series() {
-        let series: Vec<f64> = (0..200).map(|i| 0.6 + 0.1 * ((i as f64) * 0.1).cos()).collect();
+        let series: Vec<f64> = (0..200)
+            .map(|i| 0.6 + 0.1 * ((i as f64) * 0.1).cos())
+            .collect();
         let model = train(&tiny_config(), &[&series]);
         let batch = model.forecast_series(&series[..50]);
         let mut online = model.online();
         for (t, &x) in series[..50].iter().enumerate() {
             let p = online.observe_and_predict(x);
-            assert!((p - batch[t]).abs() < 1e-12, "step {t}: {p} vs {}", batch[t]);
+            assert!(
+                (p - batch[t]).abs() < 1e-12,
+                "step {t}: {p} vs {}",
+                batch[t]
+            );
         }
     }
 
@@ -603,7 +630,10 @@ mod tests {
         let _ = online.observe_and_predict(0.60);
         online.reset();
         let again = online.observe_and_predict(0.55);
-        assert!((first - again).abs() < 1e-12, "reset must restore initial state");
+        assert!(
+            (first - again).abs() < 1e-12,
+            "reset must restore initial state"
+        );
     }
 
     #[test]

@@ -24,8 +24,8 @@ impl Normalizer {
     pub fn fit(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "cannot fit a normalizer on no data");
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         Normalizer {
             mean,
             std: var.sqrt().max(1e-6),
@@ -35,7 +35,10 @@ impl Normalizer {
     /// Identity transform (mean 0, std 1).
     #[must_use]
     pub fn identity() -> Self {
-        Normalizer { mean: 0.0, std: 1.0 }
+        Normalizer {
+            mean: 0.0,
+            std: 1.0,
+        }
     }
 
     /// Forward transform.

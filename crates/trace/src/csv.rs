@@ -70,7 +70,11 @@ pub fn read_trace_set<R: BufRead>(input: R) -> io::Result<TraceSet> {
         if fields.len() != nodes {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("row {} has {} fields, expected {nodes}", lineno + 2, fields.len()),
+                format!(
+                    "row {} has {} fields, expected {nodes}",
+                    lineno + 2,
+                    fields.len()
+                ),
             ));
         }
         for (col, field) in fields.iter().enumerate() {
@@ -145,10 +149,7 @@ mod tests {
 
     #[test]
     fn unequal_traces_rejected_on_write() {
-        let set = TraceSet::from_traces(vec![
-            Trace::new(vec![1.0, 2.0]),
-            Trace::new(vec![1.0]),
-        ]);
+        let set = TraceSet::from_traces(vec![Trace::new(vec![1.0, 2.0]), Trace::new(vec![1.0])]);
         let mut buf = Vec::new();
         let err = write_trace_set(&mut buf, &set).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);

@@ -93,7 +93,9 @@ impl CloudTraceConfig {
     /// Deterministic in `(seed, node_id)` so clusters are reproducible.
     #[must_use]
     pub fn model_for_node(&self, node_id: usize, seed: u64) -> MarkovRegimeSpeed {
-        let mut meta_rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(node_id as u64 + 1)));
+        let mut meta_rng = StdRng::seed_from_u64(
+            seed ^ (0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(node_id as u64 + 1)),
+        );
         let start = if meta_rng.gen::<f64>() < self.p_start_fast || self.levels.len() == 1 {
             0
         } else {
@@ -209,7 +211,10 @@ mod tests {
         }
         steps.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = steps[steps.len() / 2];
-        assert!(median < 0.05, "median relative step {median} too large for calm preset");
+        assert!(
+            median < 0.05,
+            "median relative step {median} too large for calm preset"
+        );
     }
 
     #[test]
@@ -223,7 +228,10 @@ mod tests {
             }
             total / set.len() as f64
         };
-        assert!(cv(&volatile) > 2.0 * cv(&calm), "volatile should be much noisier");
+        assert!(
+            cv(&volatile) > 2.0 * cv(&calm),
+            "volatile should be much noisier"
+        );
     }
 
     #[test]
@@ -241,6 +249,9 @@ mod tests {
             .traces()
             .iter()
             .any(|t| t.samples().iter().any(|&s| s < 0.5));
-        assert!(has_slow, "volatile preset never produced a slow-regime speed");
+        assert!(
+            has_slow,
+            "volatile preset never produced a slow-regime speed"
+        );
     }
 }

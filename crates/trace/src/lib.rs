@@ -57,7 +57,10 @@ impl Trace {
     #[must_use]
     pub fn new(samples: Vec<f64>) -> Self {
         for (i, s) in samples.iter().enumerate() {
-            assert!(s.is_finite() && *s > 0.0, "invalid speed sample {s} at index {i}");
+            assert!(
+                s.is_finite() && *s > 0.0,
+                "invalid speed sample {s} at index {i}"
+            );
         }
         Trace { samples }
     }

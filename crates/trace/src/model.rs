@@ -83,7 +83,10 @@ impl JitterSpeed {
     /// Panics unless `base > 0` and `0 ≤ jitter < 1`.
     #[must_use]
     pub fn new(base: f64, jitter: f64, seed: u64) -> Self {
-        assert!(base.is_finite() && base > 0.0, "base speed must be positive");
+        assert!(
+            base.is_finite() && base > 0.0,
+            "base speed must be positive"
+        );
         assert!((0.0..1.0).contains(&jitter), "jitter must be in [0,1)");
         JitterSpeed {
             base,
@@ -175,7 +178,10 @@ impl MarkovRegimeSpeed {
     #[must_use]
     pub fn new(levels: Vec<f64>, mean_dwell: f64, jitter: f64, start: usize, seed: u64) -> Self {
         assert!(!levels.is_empty(), "need at least one regime");
-        assert!(levels.iter().all(|l| l.is_finite() && *l > 0.0), "levels must be positive");
+        assert!(
+            levels.iter().all(|l| l.is_finite() && *l > 0.0),
+            "levels must be positive"
+        );
         assert!(mean_dwell >= 1.0, "mean dwell must be >= 1");
         assert!((0.0..1.0).contains(&jitter), "jitter must be in [0,1)");
         assert!(start < levels.len(), "start regime out of range");
@@ -331,7 +337,10 @@ mod tests {
             }
             prev = s;
         }
-        assert!((100..=320).contains(&jumps), "unexpected jump count {jumps}");
+        assert!(
+            (100..=320).contains(&jumps),
+            "unexpected jump count {jumps}"
+        );
     }
 
     #[test]

@@ -94,7 +94,11 @@ pub fn mae(actual: &[f64], predicted: &[f64]) -> f64 {
 /// Panics if lengths differ or inputs are empty.
 #[must_use]
 pub fn misprediction_rate(actual: &[f64], predicted: &[f64], threshold: f64) -> f64 {
-    assert_eq!(actual.len(), predicted.len(), "misprediction_rate: length mismatch");
+    assert_eq!(
+        actual.len(),
+        predicted.len(),
+        "misprediction_rate: length mismatch"
+    );
     assert!(!actual.is_empty(), "misprediction_rate: empty input");
     let miss = actual
         .iter()
@@ -124,7 +128,9 @@ mod tests {
     #[test]
     fn autocorrelation_of_persistent_series_is_high() {
         // A slow random-walk-like series correlates strongly at lag 1.
-        let xs: Vec<f64> = (0..100).map(|i| 1.0 + 0.5 * ((i as f64) * 0.05).sin()).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| 1.0 + 0.5 * ((i as f64) * 0.05).sin())
+            .collect();
         assert!(autocorrelation(&xs, 1) > 0.9);
     }
 

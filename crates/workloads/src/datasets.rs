@@ -146,21 +146,24 @@ impl Digraph {
 #[must_use]
 pub fn power_law_graph(nodes: usize, edges_per_node: usize, seed: u64) -> Digraph {
     assert!(edges_per_node > 0, "need at least one edge per node");
-    assert!(nodes > edges_per_node, "need more nodes than edges per node");
+    assert!(
+        nodes > edges_per_node,
+        "need more nodes than edges per node"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes];
     // Repeated-target list implements preferential attachment cheaply.
     let mut targets: Vec<usize> = Vec::new();
     // Seed clique among the first edges_per_node + 1 nodes.
-    for u in 0..=edges_per_node {
+    for (u, out) in edges.iter_mut().enumerate().take(edges_per_node + 1) {
         for v in 0..=edges_per_node {
             if u != v {
-                edges[u].push(v);
+                out.push(v);
                 targets.push(v);
             }
         }
     }
-    for u in edges_per_node + 1..nodes {
+    for (u, out) in edges.iter_mut().enumerate().skip(edges_per_node + 1) {
         let mut chosen: Vec<usize> = Vec::with_capacity(edges_per_node);
         while chosen.len() < edges_per_node {
             let t = targets[rng.gen_range(0..targets.len())];
@@ -169,7 +172,7 @@ pub fn power_law_graph(nodes: usize, edges_per_node: usize, seed: u64) -> Digrap
             }
         }
         for &v in &chosen {
-            edges[u].push(v);
+            out.push(v);
             targets.push(v);
         }
         targets.push(u); // the new node becomes attachable too
@@ -255,7 +258,10 @@ mod tests {
         let m = g.link_matrix(0.85);
         for u in 0..50 {
             let col_sum: f64 = (0..50).map(|v| m.get(v, u)).sum();
-            assert!((col_sum - 0.85).abs() < 1e-9, "column {u} sums to {col_sum}");
+            assert!(
+                (col_sum - 0.85).abs() < 1e-9,
+                "column {u} sums to {col_sum}"
+            );
         }
     }
 

@@ -59,11 +59,7 @@ impl DistributedGraphFilter {
     ///
     /// Propagates scheduling/decode failures; rejects signals of the
     /// wrong length or empty coefficient lists.
-    pub fn polynomial(
-        &mut self,
-        x: &Vector,
-        coeffs: &[f64],
-    ) -> Result<FilterOutcome, S2c2Error> {
+    pub fn polynomial(&mut self, x: &Vector, coeffs: &[f64]) -> Result<FilterOutcome, S2c2Error> {
         if x.len() != self.nodes {
             return Err(S2c2Error::InvalidConfig(format!(
                 "signal has {} entries, graph has {}",

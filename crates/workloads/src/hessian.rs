@@ -183,13 +183,9 @@ mod tests {
     #[test]
     fn conventional_matches_local() {
         let data = gisette_like(48, 36, 41);
-        let mut h = DistributedHessian::new(
-            &data.features,
-            &config(),
-            3,
-            PolyStrategyKind::Conventional,
-        )
-        .unwrap();
+        let mut h =
+            DistributedHessian::new(&data.features, &config(), 3, PolyStrategyKind::Conventional)
+                .unwrap();
         let w = Vector::filled(48, 0.25);
         let out = h.compute(&w).unwrap();
         let expect = local_hessian(&data.features, &w);
@@ -205,16 +201,11 @@ mod tests {
         let w = Vector::from_fn(48, |i| 0.1 + (i % 5) as f64 * 0.05);
         let expect = local_hessian(&data.features, &w);
 
-        let mut conv = DistributedHessian::new(
-            &data.features,
-            &config(),
-            3,
-            PolyStrategyKind::Conventional,
-        )
-        .unwrap();
-        let mut s2c2 =
-            DistributedHessian::new(&data.features, &config(), 3, PolyStrategyKind::S2c2)
+        let mut conv =
+            DistributedHessian::new(&data.features, &config(), 3, PolyStrategyKind::Conventional)
                 .unwrap();
+        let mut s2c2 =
+            DistributedHessian::new(&data.features, &config(), 3, PolyStrategyKind::S2c2).unwrap();
         let mut conv_lat = 0.0;
         let mut s2c2_lat = 0.0;
         for _ in 0..4 {
@@ -234,13 +225,9 @@ mod tests {
     #[test]
     fn logistic_weights_are_in_quarter_range() {
         let data = gisette_like(30, 8, 47);
-        let h = DistributedHessian::new(
-            &data.features,
-            &config(),
-            3,
-            PolyStrategyKind::Conventional,
-        )
-        .unwrap();
+        let h =
+            DistributedHessian::new(&data.features, &config(), 3, PolyStrategyKind::Conventional)
+                .unwrap();
         let w = h.logistic_weights(&Vector::zeros(8));
         for &v in w.as_slice() {
             assert!((0.0..=0.25 + 1e-12).contains(&v));
@@ -252,13 +239,9 @@ mod tests {
     #[test]
     fn wrong_weight_length_rejected() {
         let data = gisette_like(30, 8, 53);
-        let mut h = DistributedHessian::new(
-            &data.features,
-            &config(),
-            3,
-            PolyStrategyKind::Conventional,
-        )
-        .unwrap();
+        let mut h =
+            DistributedHessian::new(&data.features, &config(), 3, PolyStrategyKind::Conventional)
+                .unwrap();
         assert!(h.compute(&Vector::zeros(29)).is_err());
     }
 

@@ -191,7 +191,11 @@ mod tests {
             report = Some(lr.step().unwrap());
         }
         let report = report.unwrap();
-        assert!(report.loss < initial_loss * 0.8, "loss: {initial_loss} -> {}", report.loss);
+        assert!(
+            report.loss < initial_loss * 0.8,
+            "loss: {initial_loss} -> {}",
+            report.loss
+        );
         assert!(report.accuracy > 0.85, "accuracy {}", report.accuracy);
         assert!(report.latency > 0.0);
         assert!(lr.total_latency() > 0.0);

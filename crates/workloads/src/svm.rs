@@ -171,14 +171,19 @@ mod tests {
             last = Some(svm.step().unwrap());
         }
         let last = last.unwrap();
-        assert!(last.objective < initial * 0.7, "objective {initial} -> {}", last.objective);
+        assert!(
+            last.objective < initial * 0.7,
+            "objective {initial} -> {}",
+            last.objective
+        );
         assert!(last.accuracy > 0.85, "accuracy {}", last.accuracy);
     }
 
     #[test]
     fn distributed_matches_local_reference() {
         let data = gisette_like(70, 6, 29);
-        let mut dist = DistributedSvm::new(&data, &config(StrategyKind::MdsCoded), 0.1, 0.0).unwrap();
+        let mut dist =
+            DistributedSvm::new(&data, &config(StrategyKind::MdsCoded), 0.1, 0.0).unwrap();
         let _ = dist.step().unwrap();
 
         let mut w = Vector::zeros(6);
@@ -199,7 +204,8 @@ mod tests {
     #[test]
     fn s2c2_no_slower_than_mds_on_calm_cloud() {
         let data = gisette_like(280, 10, 31);
-        let mut mds = DistributedSvm::new(&data, &config(StrategyKind::MdsCoded), 0.2, 0.0).unwrap();
+        let mut mds =
+            DistributedSvm::new(&data, &config(StrategyKind::MdsCoded), 0.2, 0.0).unwrap();
         let mut s2c2 =
             DistributedSvm::new(&data, &config(StrategyKind::S2c2General), 0.2, 0.0).unwrap();
         for _ in 0..8 {

@@ -23,7 +23,10 @@ fn main() {
 
     let mut latencies = Vec::new();
     for (name, kind) in [
-        ("conventional polynomial codes", PolyStrategyKind::Conventional),
+        (
+            "conventional polynomial codes",
+            PolyStrategyKind::Conventional,
+        ),
         ("polynomial codes with s2c2   ", PolyStrategyKind::S2c2),
     ] {
         // 12 cloud workers; any 9 responses decode (3x3 grid).
@@ -48,7 +51,10 @@ fn main() {
             total += out.latency;
             shape = out.hessian.shape();
         }
-        println!("{name} | hessian {}x{} | total latency {total:.4}s", shape.0, shape.1);
+        println!(
+            "{name} | hessian {}x{} | total latency {total:.4}s",
+            shape.0, shape.1
+        );
         latencies.push(total);
     }
 

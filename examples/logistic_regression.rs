@@ -23,9 +23,21 @@ fn main() {
     );
 
     for (name, kind, predictor) in [
-        ("conventional mds(12,6) ", StrategyKind::MdsCoded, PredictorSource::LastValue),
-        ("basic s2c2(12,6)       ", StrategyKind::S2c2Basic, PredictorSource::LastValue),
-        ("general s2c2(12,6)     ", StrategyKind::S2c2General, PredictorSource::LastValue),
+        (
+            "conventional mds(12,6) ",
+            StrategyKind::MdsCoded,
+            PredictorSource::LastValue,
+        ),
+        (
+            "basic s2c2(12,6)       ",
+            StrategyKind::S2c2Basic,
+            PredictorSource::LastValue,
+        ),
+        (
+            "general s2c2(12,6)     ",
+            StrategyKind::S2c2General,
+            PredictorSource::LastValue,
+        ),
     ] {
         // 12 workers, 2 stragglers (5x slow), 20% jitter.
         let cluster = ClusterSpec::builder(12)

@@ -50,7 +50,11 @@ fn main() {
     }
 
     let m = job.metrics();
-    println!("\ntotal simulated latency: {:.4}s over {} iterations", m.total_latency(), m.len());
+    println!(
+        "\ntotal simulated latency: {:.4}s over {} iterations",
+        m.total_latency(),
+        m.len()
+    );
     println!(
         "per-worker wasted-computation fractions: {:?}",
         m.wasted_fraction_per_worker()

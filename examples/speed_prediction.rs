@@ -14,11 +14,18 @@ fn main() {
     // 100 nodes x 300 iterations of cloud-like speed traces, mimicking
     // the paper's DigitalOcean measurement campaign.
     let traces = TraceSet::generate(&CloudTraceConfig::paper(), 100, 300, 1);
-    println!("generated {} traces of {} samples each", traces.len(), traces.node(0).len());
+    println!(
+        "generated {} traces of {} samples each",
+        traces.len(),
+        traces.node(0).len()
+    );
     println!("training on 80%, scoring one-step-ahead MAPE on the held-out 20%...\n");
 
     let report = compare_models(&traces, 0.8, &LstmConfig::default());
-    println!("{:<14} {:>12} {:>22}", "model", "test MAPE %", ">15% mispred rate %");
+    println!(
+        "{:<14} {:>12} {:>22}",
+        "model", "test MAPE %", ">15% mispred rate %"
+    );
     for s in &report.scores {
         println!(
             "{:<14} {:>12.2} {:>22.2}",

@@ -75,7 +75,11 @@ fn misprediction_storm_never_corrupts_results() {
 fn logreg_and_svm_reach_the_same_model_on_different_strategies() {
     let data = gisette_like(240, 16, 99);
     let mut weights: Vec<Vec<f64>> = Vec::new();
-    for kind in [StrategyKind::MdsCoded, StrategyKind::S2c2General, StrategyKind::Replication] {
+    for kind in [
+        StrategyKind::MdsCoded,
+        StrategyKind::S2c2General,
+        StrategyKind::Replication,
+    ] {
         let cfg = ExecConfig::new(MdsParams::new(12, 6), controlled(12, &[4]))
             .strategy(kind)
             .chunks_per_worker(6);

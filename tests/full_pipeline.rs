@@ -64,7 +64,8 @@ fn lstm_trained_on_traces_drives_s2c2_training_run() {
     assert!(report.accuracy > 0.8, "accuracy {}", report.accuracy);
     // ...and the scheduler did useful adaptive work.
     assert!(lr.total_latency() > 0.0);
-    let wasted = lr.forward_metrics().total_wasted_rows() + lr.backward_metrics().total_wasted_rows();
+    let wasted =
+        lr.forward_metrics().total_wasted_rows() + lr.backward_metrics().total_wasted_rows();
     let computed: usize = lr
         .forward_metrics()
         .rounds()

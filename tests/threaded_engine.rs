@@ -60,8 +60,7 @@ fn fastest_k_of_n_decode_on_real_threads() {
     // Fastest-k collection.
     let got = cluster.collect_until(Duration::from_secs(10), |rs| rs.len() >= k);
     assert!(got.len() >= k, "collected {} responses", got.len());
-    let responses: Vec<WorkerChunkResult> =
-        got.into_iter().flat_map(|r| r.result).collect();
+    let responses: Vec<WorkerChunkResult> = got.into_iter().flat_map(|r| r.result).collect();
     let y = code.decode_matvec(enc.layout(), &responses).unwrap();
     s2c2_linalg::assert_slices_close(y.as_slice(), expect.as_slice(), 1e-6);
     cluster.shutdown();
@@ -95,8 +94,7 @@ fn s2c2_style_partial_assignments_on_real_threads() {
         }
     }
     let got = cluster.collect_until(Duration::from_secs(10), |rs| rs.len() >= submitted);
-    let responses: Vec<WorkerChunkResult> =
-        got.into_iter().flat_map(|r| r.result).collect();
+    let responses: Vec<WorkerChunkResult> = got.into_iter().flat_map(|r| r.result).collect();
     let y = code.decode_matvec(enc.layout(), &responses).unwrap();
     s2c2_linalg::assert_slices_close(y.as_slice(), expect.as_slice(), 1e-6);
     cluster.shutdown();

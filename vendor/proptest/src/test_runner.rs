@@ -1,0 +1,141 @@
+//! Test execution state: configuration, case errors, and the RNG-bearing
+//! runner (the `proptest::test_runner` subset).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-suite configuration; `ProptestConfig` in the prelude.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful (non-rejected) cases each test must pass.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` environment
+    /// override (used by CI to cap suite runtime).
+    #[must_use]
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject(String),
+    /// `prop_assert*` failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Carries the generator state across a test's cases.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Runner with a fixed seed — `TestRunner::deterministic()` upstream.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(0x5EED_CAFE_F00D_D00D),
+        }
+    }
+
+    /// Runner seeded deterministically from a label (the test name), so
+    /// every test gets an independent but reproducible stream.
+    #[must_use]
+    pub fn deterministic_for(label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Runner honouring `config` (the config carries no RNG state in this
+    /// shim, so this is `deterministic()`).
+    #[must_use]
+    pub fn new(_config: Config) -> Self {
+        Self::deterministic()
+    }
+
+    /// Raw 64 random bits.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is zero.
+    pub fn gen_u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_u64_below(0)");
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Uniform `usize` in `[lo, hi]`.
+    pub fn gen_usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform `u64` in `[lo, hi]`.
+    pub fn gen_u64_range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform `u32` in `[lo, hi]`.
+    pub fn gen_u32_range(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform `i32` in `[lo, hi]`.
+    pub fn gen_i32_range(&mut self, lo: i32, hi: i32) -> i32 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform `i64` in `[lo, hi]`.
+    pub fn gen_i64_range(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn gen_f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng
+            .gen_range(lo..hi.max(lo + f64::EPSILON * lo.abs().max(1.0)))
+    }
+}
