@@ -1,17 +1,17 @@
-//! Regenerates every table and figure of the paper.
+//! Regenerates every table and figure of the paper, plus the service
+//! scenarios — driven by the experiment registry, so `--help` always
+//! lists exactly what is runnable.
 //!
 //! ```text
 //! cargo run -p s2c2-bench --release --bin figures -- all
-//! cargo run -p s2c2-bench --release --bin figures -- fig6 fig8
+//! cargo run -p s2c2-bench --release --bin figures -- fig6 serve
 //! cargo run -p s2c2-bench --release --bin figures -- --quick all
+//! cargo run -p s2c2-bench --release --bin figures -- baseline   # rewrites BENCH_BASELINE.json
 //! ```
 //!
 //! Tables are printed to stdout and written as CSV under `results/`.
 
-use s2c2_bench::experiments::{
-    ablations, baseline, fig01_motivation, fig02_traces, fig03_storage, fig06_logreg,
-    fig07_pagerank, fig08_cloud, fig12_polynomial, fig13_scale, prediction, Scale,
-};
+use s2c2_bench::experiments::{baseline, registry, Scale};
 use s2c2_bench::report::Table;
 use std::path::PathBuf;
 
@@ -30,8 +30,58 @@ fn emit(table: &Table, file: &str) {
     println!();
 }
 
+fn print_usage() {
+    eprintln!("usage: figures [--quick] <experiment>...\n");
+    eprintln!("experiments:");
+    for def in registry() {
+        let alias = if def.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (also: {})", def.aliases.join(", "))
+        };
+        eprintln!("  {:<12} {}{alias}", def.name, def.summary);
+    }
+    eprintln!("  {:<12} {}", "baseline", baseline::SUMMARY);
+    eprintln!(
+        "  {:<12} runs every experiment above except `baseline`",
+        "all"
+    );
+}
+
+fn run_baseline() {
+    let b = baseline::run();
+    let json = b.to_json();
+    print!("{json}");
+    // Anchor to the workspace root so the committed reference file is
+    // rewritten regardless of the invoking cwd.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_BASELINE.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    // Flags are validated as strictly as experiment names: a typo like
+    // `--quik` must not silently run the full-scale suite.
+    let unknown_flags: Vec<&str> = args
+        .iter()
+        .filter(|a| a.starts_with("--") && *a != "--quick")
+        .map(String::as_str)
+        .collect();
+    if !unknown_flags.is_empty() {
+        eprintln!("unknown flag(s): {}\n", unknown_flags.join(", "));
+        print_usage();
+        std::process::exit(2);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let selected: Vec<&str> = args
@@ -44,68 +94,36 @@ fn main() {
     } else {
         selected
     };
-    let want = |name: &str| selected.contains(&"all") || selected.contains(&name);
 
-    if want("fig1") {
-        emit(&fig01_motivation::run(scale), "fig01_motivation.csv");
+    let reg = registry();
+    // Reject unknown selectors up front, with the full listing — new
+    // experiments are discoverable instead of silently skipped.
+    let known = |name: &str| {
+        name == "all"
+            || name == "baseline"
+            || reg
+                .iter()
+                .any(|d| d.name == name || d.aliases.contains(&name))
+    };
+    let unknown: Vec<&str> = selected.iter().copied().filter(|s| !known(s)).collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment(s): {}\n", unknown.join(", "));
+        print_usage();
+        std::process::exit(2);
     }
-    if want("fig2") {
-        let out = fig02_traces::run(scale);
-        emit(&out.traces, "fig02_traces.csv");
-        emit(&out.stats, "fig02_stats.csv");
-    }
-    if want("fig3") {
-        emit(&fig03_storage::run(scale), "fig03_storage.csv");
-    }
-    if want("prediction") {
-        emit(&prediction::run(scale), "prediction_6_1.csv");
-    }
-    if want("fig6") {
-        emit(&fig06_logreg::run(scale), "fig06_logreg.csv");
-    }
-    if want("fig7") {
-        emit(&fig07_pagerank::run(scale), "fig07_pagerank.csv");
-    }
-    if want("fig8") || want("fig9") || want("fig10") || want("fig11") {
-        let out = fig08_cloud::run(scale);
-        emit(&out.fig8, "fig08_cloud_low.csv");
-        emit(&out.fig9, "fig09_waste_low.csv");
-        emit(&out.fig10, "fig10_cloud_high.csv");
-        emit(&out.fig11, "fig11_waste_high.csv");
-    }
-    if want("fig12") {
-        emit(&fig12_polynomial::run(scale), "fig12_polynomial.csv");
-    }
-    if want("fig13") {
-        emit(&fig13_scale::run(scale), "fig13_scale.csv");
+
+    let all = selected.contains(&"all");
+    for def in &reg {
+        let wanted = (all && def.in_all)
+            || selected.contains(&def.name)
+            || def.aliases.iter().any(|a| selected.contains(a));
+        if wanted {
+            (def.run)(scale, &mut emit);
+        }
     }
     // `baseline` is opt-in only (not part of `all`): it rewrites the
     // committed BENCH_BASELINE.json reference file.
     if selected.contains(&"baseline") {
-        let b = baseline::run();
-        let json = b.to_json();
-        print!("{json}");
-        // Anchor to the workspace root so the committed reference file is
-        // rewritten regardless of the invoking cwd.
-        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join("BENCH_BASELINE.json");
-        match std::fs::write(&path, &json) {
-            Ok(()) => println!("[written {}]", path.display()),
-            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-        }
-        println!();
-    }
-    if want("ablations") {
-        emit(&ablations::chunk_granularity(scale), "ablation_chunks.csv");
-        emit(&ablations::timeout_margin(scale), "ablation_timeout.csv");
-        emit(
-            &ablations::parity_conditioning(scale),
-            "ablation_conditioning.csv",
-        );
-        emit(
-            &ablations::predictor_choice(scale),
-            "ablation_predictor.csv",
-        );
+        run_baseline();
     }
 }

@@ -1,17 +1,23 @@
 //! The checked-in performance baseline: S²C² vs conventional MDS vs
-//! uncoded on the default 12-worker controlled simulation.
+//! uncoded on the default 12-worker controlled simulation, plus the
+//! multi-job `serve` scenario's summary row.
 //!
 //! `cargo run --release -p s2c2-bench --bin figures -- baseline` runs this
 //! and rewrites `BENCH_BASELINE.json` at the repository root. The file is
-//! committed so future PRs can diff scheduler-level latency regressions
-//! without re-deriving the reference numbers.
+//! committed so future PRs can diff scheduler-level latency *and*
+//! service-level tail/throughput regressions without re-deriving the
+//! reference numbers.
 
-use crate::experiments::common;
+use crate::experiments::{common, serve as serve_exp};
 use s2c2_coding::mds::MdsParams;
 use s2c2_core::job::CodedJobBuilder;
 use s2c2_core::speed_tracker::PredictorSource;
 use s2c2_core::strategy::StrategyKind;
 use s2c2_linalg::{Matrix, Vector};
+use s2c2_serve::percentile;
+
+/// One-line description for the `figures` CLI listing.
+pub const SUMMARY: &str = "rewrites the committed BENCH_BASELINE.json reference";
 
 /// One scheme's measurements.
 #[derive(Debug, Clone)]
@@ -22,8 +28,25 @@ pub struct SchemeBaseline {
     pub total_latency: f64,
     /// Mean per-iteration simulated latency.
     pub mean_latency: f64,
+    /// Median per-iteration simulated latency.
+    pub p50_latency: f64,
+    /// 99th-percentile per-iteration simulated latency (nearest rank).
+    pub p99_latency: f64,
     /// Total rows computed but discarded across the job.
     pub wasted_rows: usize,
+}
+
+/// One service-scenario policy's summary row.
+#[derive(Debug, Clone)]
+pub struct ServeBaseline {
+    /// Scheduling mode label.
+    pub name: String,
+    /// Median job sojourn latency.
+    pub p50_latency: f64,
+    /// 99th-percentile job sojourn latency.
+    pub p99_latency: f64,
+    /// Completed jobs per second of makespan.
+    pub throughput: f64,
 }
 
 /// The full baseline record.
@@ -41,10 +64,17 @@ pub struct Baseline {
     pub iterations: usize,
     /// Per-scheme results.
     pub schemes: Vec<SchemeBaseline>,
+    /// Jobs in the serve scenario.
+    pub serve_jobs: usize,
+    /// Pool size of the serve scenario.
+    pub serve_workers: usize,
+    /// Multi-job service scenario summary (16-worker shared pool).
+    pub serve: Vec<ServeBaseline>,
 }
 
 /// Runs the baseline job: a 1200×60 iterated coded matvec on 12 workers,
-/// 2 of them 5× slow, (12,9) MDS where coding applies.
+/// 2 of them 5× slow, (12,9) MDS where coding applies — plus a 40-job
+/// Poisson service scenario on a 16-worker pool with 3 stragglers.
 ///
 /// # Panics
 ///
@@ -100,6 +130,8 @@ pub fn run() -> Baseline {
         }
         let rounds = &job.metrics().rounds()[skip..];
         let total: f64 = rounds.iter().map(|r| r.latency).sum();
+        let mut sorted: Vec<f64> = rounds.iter().map(|r| r.latency).collect();
+        sorted.sort_by(f64::total_cmp);
         let wasted: usize = rounds
             .iter()
             .map(|r| r.wasted_rows().iter().sum::<usize>())
@@ -108,9 +140,32 @@ pub fn run() -> Baseline {
             name: name.to_string(),
             total_latency: total,
             mean_latency: total / iterations as f64,
+            p50_latency: percentile(&sorted, 50.0),
+            p99_latency: percentile(&sorted, 99.0),
             wasted_rows: wasted,
         });
     }
+
+    // The serve rows reuse the canonical serve-experiment scenario
+    // (same pool, stragglers, seed, and runner) so the committed
+    // reference guards exactly what `figures -- serve` measures.
+    let serve_jobs = 40usize;
+    let mut serve = Vec::with_capacity(3);
+    for name in ["uncoded", "mds", "s2c2"] {
+        let report = serve_exp::run_service(serve_exp::mode(name), 1.0, serve_jobs, 1);
+        assert_eq!(
+            report.completed(),
+            serve_jobs,
+            "{name} serve baseline must complete every job"
+        );
+        serve.push(ServeBaseline {
+            name: name.to_string(),
+            p50_latency: report.latency_percentile(50.0),
+            p99_latency: report.latency_percentile(99.0),
+            throughput: report.throughput(),
+        });
+    }
+
     Baseline {
         workers,
         stragglers,
@@ -118,6 +173,9 @@ pub fn run() -> Baseline {
         cols,
         iterations,
         schemes: out,
+        serve_jobs,
+        serve_workers: serve_exp::POOL,
+        serve,
     }
 }
 
@@ -135,12 +193,28 @@ impl Baseline {
         s.push_str("  \"schemes\": [\n");
         for (i, sch) in self.schemes.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"total_latency\": {:.6}, \"mean_latency\": {:.6}, \"wasted_rows\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"total_latency\": {:.6}, \"mean_latency\": {:.6}, \"p50_latency\": {:.6}, \"p99_latency\": {:.6}, \"wasted_rows\": {}}}{}\n",
                 sch.name,
                 sch.total_latency,
                 sch.mean_latency,
+                sch.p50_latency,
+                sch.p99_latency,
                 sch.wasted_rows,
                 if i + 1 < self.schemes.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"serve_workers\": {},\n", self.serve_workers));
+        s.push_str(&format!("  \"serve_jobs\": {},\n", self.serve_jobs));
+        s.push_str("  \"serve\": [\n");
+        for (i, row) in self.serve.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"p50_latency\": {:.6}, \"p99_latency\": {:.6}, \"throughput\": {:.6}}}{}\n",
+                row.name,
+                row.p50_latency,
+                row.p99_latency,
+                row.throughput,
+                if i + 1 < self.serve.len() { "," } else { "" }
             ));
         }
         s.push_str("  ]\n}\n");
@@ -178,10 +252,45 @@ mod tests {
     }
 
     #[test]
+    fn tail_fields_are_ordered() {
+        let b = run();
+        for sch in &b.schemes {
+            assert!(
+                sch.p50_latency <= sch.p99_latency,
+                "{}: p50 {} above p99 {}",
+                sch.name,
+                sch.p50_latency,
+                sch.p99_latency
+            );
+            assert!(sch.p50_latency > 0.0);
+        }
+    }
+
+    #[test]
+    fn serve_summary_shows_the_tail_win() {
+        let b = run();
+        let get = |name: &str| {
+            b.serve
+                .iter()
+                .find(|s| s.name == name)
+                .expect("serve row present")
+        };
+        assert!(
+            get("s2c2").p99_latency < get("mds").p99_latency,
+            "serve s2c2 p99 {} must beat mds {}",
+            get("s2c2").p99_latency,
+            get("mds").p99_latency
+        );
+        assert!(get("s2c2").throughput > 0.0);
+    }
+
+    #[test]
     fn json_is_well_formed_enough() {
         let b = run();
         let j = b.to_json();
         assert!(j.starts_with('{') && j.ends_with("}\n"));
-        assert_eq!(j.matches("\"name\"").count(), 3);
+        assert_eq!(j.matches("\"name\"").count(), 6);
+        assert_eq!(j.matches("\"p99_latency\"").count(), 6);
+        assert!(j.contains("\"serve\""));
     }
 }

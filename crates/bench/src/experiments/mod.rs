@@ -1,6 +1,9 @@
-//! One module per paper figure (plus the §6.1 prediction table and the
-//! DESIGN.md ablations). Every experiment is a pure function
-//! `run(Scale) -> Table` (or a small struct of tables).
+//! One module per paper figure (plus the §6.1 prediction table, the
+//! DESIGN.md ablations, and the multi-job `serve` scenario). Every
+//! experiment is a pure function `run(Scale) -> Table` (or a small
+//! struct of tables), and every experiment registers itself in
+//! [`registry`] so front-ends discover the full set without hard-coding
+//! names.
 
 pub mod ablations;
 pub mod baseline;
@@ -14,6 +17,7 @@ pub mod fig08_cloud;
 pub mod fig12_polynomial;
 pub mod fig13_scale;
 pub mod prediction;
+pub mod serve;
 
 /// Experiment size selector.
 ///
@@ -36,5 +40,158 @@ impl Scale {
             Scale::Quick => quick,
             Scale::Full => full,
         }
+    }
+}
+
+/// Callback experiments emit tables through: `(table, csv_file_name)`.
+pub type EmitFn<'a> = &'a mut dyn FnMut(&crate::report::Table, &str);
+
+/// A registered experiment, discoverable by front-ends.
+pub struct ExperimentDef {
+    /// Canonical selector (what the `figures` CLI matches).
+    pub name: &'static str,
+    /// Extra selectors that also run this experiment (e.g. `fig9` runs
+    /// the `fig8` family, which emits figures 8–11 together).
+    pub aliases: &'static [&'static str],
+    /// One-line description shown in `--help` / error listings.
+    pub summary: &'static str,
+    /// Whether `all` includes it (the baseline rewrites a committed
+    /// reference file, so it stays opt-in).
+    pub in_all: bool,
+    /// Runs the experiment, emitting every table it produces.
+    pub run: fn(Scale, EmitFn<'_>),
+}
+
+/// Every registered experiment, in the order the paper presents them.
+///
+/// Front-ends (the `figures` binary, future dashboards) iterate this
+/// instead of hard-coding names, so a new experiment module only has to
+/// add its entry here to become discoverable.
+#[must_use]
+pub fn registry() -> Vec<ExperimentDef> {
+    vec![
+        ExperimentDef {
+            name: "fig1",
+            aliases: &[],
+            summary: "motivation: fixed (n,k) codes pay for absent stragglers",
+            in_all: true,
+            run: |s, emit| emit(&fig01_motivation::run(s), "fig01_motivation.csv"),
+        },
+        ExperimentDef {
+            name: "fig2",
+            aliases: &[],
+            summary: "cloud speed traces and their summary statistics",
+            in_all: true,
+            run: |s, emit| {
+                let out = fig02_traces::run(s);
+                emit(&out.traces, "fig02_traces.csv");
+                emit(&out.stats, "fig02_stats.csv");
+            },
+        },
+        ExperimentDef {
+            name: "fig3",
+            aliases: &[],
+            summary: "effective storage overhead per strategy",
+            in_all: true,
+            run: |s, emit| emit(&fig03_storage::run(s), "fig03_storage.csv"),
+        },
+        ExperimentDef {
+            name: "prediction",
+            aliases: &[],
+            summary: "§6.1 speed-prediction accuracy (LSTM/ARIMA/last-value)",
+            in_all: true,
+            run: |s, emit| emit(&prediction::run(s), "prediction_6_1.csv"),
+        },
+        ExperimentDef {
+            name: "fig6",
+            aliases: &[],
+            summary: "logistic regression under controlled stragglers",
+            in_all: true,
+            run: |s, emit| emit(&fig06_logreg::run(s), "fig06_logreg.csv"),
+        },
+        ExperimentDef {
+            name: "fig7",
+            aliases: &[],
+            summary: "PageRank under controlled stragglers",
+            in_all: true,
+            run: |s, emit| emit(&fig07_pagerank::run(s), "fig07_pagerank.csv"),
+        },
+        ExperimentDef {
+            name: "fig8",
+            aliases: &["fig9", "fig10", "fig11"],
+            summary: "cloud environments: latency and wasted work (figs 8–11)",
+            in_all: true,
+            run: |s, emit| {
+                let out = fig08_cloud::run(s);
+                emit(&out.fig8, "fig08_cloud_low.csv");
+                emit(&out.fig9, "fig09_waste_low.csv");
+                emit(&out.fig10, "fig10_cloud_high.csv");
+                emit(&out.fig11, "fig11_waste_high.csv");
+            },
+        },
+        ExperimentDef {
+            name: "fig12",
+            aliases: &[],
+            summary: "polynomial-coded Hessian, conventional vs S²C²",
+            in_all: true,
+            run: |s, emit| emit(&fig12_polynomial::run(s), "fig12_polynomial.csv"),
+        },
+        ExperimentDef {
+            name: "fig13",
+            aliases: &[],
+            summary: "scaling the cluster size",
+            in_all: true,
+            run: |s, emit| emit(&fig13_scale::run(s), "fig13_scale.csv"),
+        },
+        ExperimentDef {
+            name: "serve",
+            aliases: &[],
+            summary: "multi-job service engine: S²C² vs MDS vs uncoded under load",
+            in_all: true,
+            run: |s, emit| {
+                let out = serve::run(s);
+                emit(&out.policies, "serve_policies.csv");
+                emit(&out.load, "serve_load.csv");
+                emit(&out.threads, "serve_threads.csv");
+            },
+        },
+        ExperimentDef {
+            name: "ablations",
+            aliases: &[],
+            summary: "design ablations: chunking, timeout margin, conditioning, predictor",
+            in_all: true,
+            run: |s, emit| {
+                emit(&ablations::chunk_granularity(s), "ablation_chunks.csv");
+                emit(&ablations::timeout_margin(s), "ablation_timeout.csv");
+                emit(
+                    &ablations::parity_conditioning(s),
+                    "ablation_conditioning.csv",
+                );
+                emit(&ablations::predictor_choice(s), "ablation_predictor.csv");
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let reg = registry();
+        let mut names: Vec<&str> = reg
+            .iter()
+            .flat_map(|e| std::iter::once(e.name).chain(e.aliases.iter().copied()))
+            .collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate experiment selector");
+    }
+
+    #[test]
+    fn serve_is_registered() {
+        assert!(registry().iter().any(|e| e.name == "serve" && e.in_all));
     }
 }

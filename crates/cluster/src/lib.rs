@@ -22,16 +22,19 @@
 //! [`metrics`] defines the per-round and per-job accounting every figure
 //! of the paper is computed from: completion latency, per-worker wasted
 //! computation (Figs 9/11), bytes moved by rebalancing (Figs 3/8/10), and
-//! effective storage.
+//! effective storage. [`churn`] adds epoch-sampled worker availability
+//! chains for long-lived shared pools (the `s2c2-serve` engine).
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod comm;
 pub mod metrics;
 pub mod sim;
 pub mod spec;
 pub mod threaded;
 
+pub use churn::ChurnProcess;
 pub use comm::{CommModel, ComputeModel};
 pub use metrics::{JobMetrics, RoundMetrics};
 pub use sim::ClusterSim;

@@ -381,6 +381,55 @@ impl EncodedMatrix {
             .map(|&c| self.worker_compute_chunk(worker, c, x))
             .collect()
     }
+
+    /// Thread-parallel variant of [`Self::worker_compute_chunk`]: the
+    /// chunk's rows are split across `threads` OS threads via
+    /// [`s2c2_linalg::parallel::par_matvec_rows`], so one simulated
+    /// worker's matvec stops being single-threaded on the hot path.
+    /// Numerically identical to the sequential form.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices, mismatched `x` length, or
+    /// `threads == 0`.
+    #[must_use]
+    pub fn worker_compute_chunk_par(
+        &self,
+        worker: usize,
+        chunk: usize,
+        x: &Vector,
+        threads: usize,
+    ) -> WorkerChunkResult {
+        let range = self.layout.chunk_range_in_partition(chunk);
+        let values = s2c2_linalg::parallel::par_matvec_rows(
+            &self.partitions[worker],
+            x,
+            range.start,
+            range.end,
+            threads,
+        )
+        .into_vec();
+        WorkerChunkResult::new(worker, chunk, values)
+    }
+
+    /// Thread-parallel variant of [`Self::worker_compute_chunks`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::worker_compute_chunk_par`].
+    #[must_use]
+    pub fn worker_compute_chunks_par(
+        &self,
+        worker: usize,
+        chunks: &[usize],
+        x: &Vector,
+        threads: usize,
+    ) -> Vec<WorkerChunkResult> {
+        chunks
+            .iter()
+            .map(|&c| self.worker_compute_chunk_par(worker, c, x, threads))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -409,6 +458,25 @@ mod tests {
         let p = MdsParams::new(12, 10);
         assert_eq!(p.straggler_tolerance(), 2);
         assert!((p.storage_overhead() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_worker_compute_matches_sequential() {
+        let a = data_matrix(960, 14);
+        let code = MdsCode::new(MdsParams::new(6, 4)).unwrap();
+        let enc = code.encode(&a, 3).unwrap();
+        let x = Vector::from_fn(14, |i| 0.5 + (i as f64).cos());
+        let chunks = vec![0usize, 2];
+        let seq = enc.worker_compute_chunks(1, &chunks, &x);
+        for threads in [1, 2, 4] {
+            let par = enc.worker_compute_chunks_par(1, &chunks, &x, threads);
+            assert_eq!(par.len(), seq.len());
+            for (p, s) in par.iter().zip(seq.iter()) {
+                assert_eq!(p.worker, s.worker);
+                assert_eq!(p.chunk, s.chunk);
+                assert_slices_close(&p.values, &s.values, 1e-12);
+            }
+        }
     }
 
     #[test]

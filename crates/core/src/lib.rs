@@ -28,7 +28,9 @@ pub mod speed_tracker;
 pub mod storage_model;
 pub mod strategy;
 
-pub use alloc::{allocate_chunks, allocate_chunks_basic, allocate_full, ChunkAssignment};
+pub use alloc::{
+    allocate_chunks, allocate_chunks_basic, allocate_full, split_worker_capacity, ChunkAssignment,
+};
 pub use error::S2c2Error;
 pub use job::{CodedJob, CodedJobBuilder};
 pub use speed_tracker::{PredictorSource, SpeedTracker};

@@ -102,8 +102,20 @@ impl SpeedTracker {
     /// observations; the oracle reads the simulator's actual speeds.
     #[must_use]
     pub fn predictions(&self, sim: &ClusterSim) -> Vec<f64> {
+        self.predictions_from(sim.speeds())
+    }
+
+    /// Speed estimates given the engine's current *actual* speeds.
+    ///
+    /// This is the engine-agnostic form of [`Self::predictions`]: callers
+    /// that do not drive a [`ClusterSim`] (the `s2c2-serve` event engine
+    /// schedules many jobs over one pool and tracks speeds itself) pass
+    /// whatever ground-truth speed table they hold. Honest predictors
+    /// ignore `actual` entirely; only the oracle reads it.
+    #[must_use]
+    pub fn predictions_from(&self, actual: &[f64]) -> Vec<f64> {
         if self.oracle {
-            sim.speeds().to_vec()
+            actual.to_vec()
         } else {
             self.predictions.clone()
         }

@@ -21,11 +21,30 @@ use crate::vector::{dot_slices, Vector};
 /// Panics if `x.len() != a.cols()` or `threads == 0`.
 #[must_use]
 pub fn par_matvec(a: &Matrix, x: &Vector, threads: usize) -> Vector {
+    par_matvec_rows(a, x, 0, a.rows(), threads)
+}
+
+/// Computes rows `[begin, end)` of `A·x` with `threads` OS threads — the
+/// kernel behind [`par_matvec`], exposed separately because coded workers
+/// compute *chunks* (row ranges of their partition) rather than whole
+/// matrices.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`, `threads == 0`, or the range is
+/// out of bounds / inverted.
+#[must_use]
+pub fn par_matvec_rows(a: &Matrix, x: &Vector, begin: usize, end: usize, threads: usize) -> Vector {
     assert!(threads > 0, "need at least one thread");
     assert_eq!(x.len(), a.cols(), "par_matvec: dimension mismatch");
-    let rows = a.rows();
+    assert!(
+        begin <= end && end <= a.rows(),
+        "par_matvec: bad row range {begin}..{end} of {}",
+        a.rows()
+    );
+    let rows = end - begin;
     if threads == 1 || rows < 256 {
-        return a.matvec(x);
+        return a.matvec_rows(x, begin, end);
     }
     let threads = threads.min(rows);
     let mut out = vec![0.0; rows];
@@ -35,19 +54,20 @@ pub fn par_matvec(a: &Matrix, x: &Vector, threads: usize) -> Vector {
     std::thread::scope(|scope| {
         // Hand each thread a disjoint &mut of the output: no locks needed.
         let mut remaining: &mut [f64] = &mut out;
-        let mut begin = 0usize;
+        let mut offset = 0usize;
         let mut handles = Vec::with_capacity(threads);
-        while begin < rows {
-            let end = (begin + chunk).min(rows);
-            let (mine, rest) = remaining.split_at_mut(end - begin);
+        while offset < rows {
+            let stop = (offset + chunk).min(rows);
+            let (mine, rest) = remaining.split_at_mut(stop - offset);
             remaining = rest;
             let a_ref = &*a;
+            let first = begin + offset;
             handles.push(scope.spawn(move || {
                 for (i, slot) in mine.iter_mut().enumerate() {
-                    *slot = dot_slices(a_ref.row(begin + i), xs);
+                    *slot = dot_slices(a_ref.row(first + i), xs);
                 }
             }));
-            begin = end;
+            offset = stop;
         }
         for h in handles {
             h.join().expect("par_matvec worker panicked");
@@ -141,6 +161,27 @@ mod tests {
         let x = Vector::filled(8, 0.5);
         let par = par_matvec(&a, &x, 512);
         crate::assert_slices_close(par.as_slice(), a.matvec(&x).as_slice(), 1e-12);
+    }
+
+    #[test]
+    fn par_matvec_rows_matches_range() {
+        let a = random_matrix(900, 20, 9);
+        let x = Vector::from_fn(20, |i| 1.0 - 0.05 * i as f64);
+        for (begin, end) in [(0, 900), (100, 700), (512, 900), (300, 300)] {
+            let seq = a.matvec_rows(&x, begin, end);
+            for threads in [1, 3, 6] {
+                let par = par_matvec_rows(&a, &x, begin, end, threads);
+                crate::assert_slices_close(par.as_slice(), seq.as_slice(), 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad row range")]
+    fn par_matvec_rows_rejects_bad_range() {
+        let a = Matrix::identity(4);
+        let x = Vector::zeros(4);
+        let _ = par_matvec_rows(&a, &x, 2, 9, 2);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Admission and queueing policies.
+//!
+//! The engine admits at most `max_resident` jobs onto the shared pool at
+//! once; everything else waits in the admission queue. The policy decides
+//! *which* queued job is admitted when a slot frees up — the classic
+//! scheduling lever for tail latency under load.
+
+use crate::workload::JobSpec;
+
+/// A job waiting in the admission queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedJob {
+    /// The job.
+    pub spec: JobSpec,
+    /// When it arrived (event time).
+    pub arrival: f64,
+}
+
+/// Which queued job gets the next free residency slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Earliest arrival first (ties by id).
+    Fifo,
+    /// Least total remaining work first — the classic mean-latency
+    /// optimizer; can starve large jobs under sustained load.
+    ShortestExpectedWork,
+    /// Max-min fairness across tenants: admit from the tenant with the
+    /// fewest currently-resident jobs (FIFO within a tenant).
+    FairShare,
+}
+
+impl QueuePolicy {
+    /// Picks the index (into `queue`) of the job to admit next, given the
+    /// tenants of currently-resident jobs. Returns `None` on an empty
+    /// queue. Deterministic: all ties break by `(arrival, id)`.
+    #[must_use]
+    pub fn pick(&self, queue: &[QueuedJob], resident_tenants: &[u32]) -> Option<usize> {
+        if queue.is_empty() {
+            return None;
+        }
+        let by_arrival =
+            |i: usize| (queue[i].arrival.to_bits(), queue[i].spec.id) /* total order */;
+        let idx = match self {
+            QueuePolicy::Fifo => (0..queue.len()).min_by_key(|&i| by_arrival(i)),
+            QueuePolicy::ShortestExpectedWork => (0..queue.len()).min_by(|&a, &b| {
+                queue[a]
+                    .spec
+                    .total_work()
+                    .total_cmp(&queue[b].spec.total_work())
+                    .then_with(|| by_arrival(a).cmp(&by_arrival(b)))
+            }),
+            QueuePolicy::FairShare => {
+                let resident_of = |t: u32| resident_tenants.iter().filter(|&&r| r == t).count();
+                (0..queue.len()).min_by_key(|&i| (resident_of(queue[i].spec.tenant), by_arrival(i)))
+            }
+        };
+        idx
+    }
+}
+
+impl std::fmt::Display for QueuePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            QueuePolicy::Fifo => "fifo",
+            QueuePolicy::ShortestExpectedWork => "shortest-work",
+            QueuePolicy::FairShare => "fair-share",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::JobPreset;
+
+    fn queued(id: u64, tenant: u32, arrival: f64, preset: JobPreset) -> QueuedJob {
+        QueuedJob {
+            spec: preset.instantiate(id, tenant, 8),
+            arrival,
+        }
+    }
+
+    #[test]
+    fn fifo_takes_earliest_arrival() {
+        let q = vec![
+            queued(2, 0, 5.0, JobPreset::small()),
+            queued(0, 0, 1.0, JobPreset::large()),
+            queued(1, 0, 3.0, JobPreset::small()),
+        ];
+        assert_eq!(QueuePolicy::Fifo.pick(&q, &[]), Some(1));
+    }
+
+    #[test]
+    fn shortest_work_prefers_small_jobs() {
+        let q = vec![
+            queued(0, 0, 0.0, JobPreset::large()),
+            queued(1, 0, 9.0, JobPreset::small()),
+        ];
+        assert_eq!(QueuePolicy::ShortestExpectedWork.pick(&q, &[]), Some(1));
+    }
+
+    #[test]
+    fn fair_share_balances_tenants() {
+        // Tenant 0 already has two resident jobs, tenant 1 none: the
+        // tenant-1 job wins even though it arrived later.
+        let q = vec![
+            queued(0, 0, 0.0, JobPreset::small()),
+            queued(1, 1, 4.0, JobPreset::small()),
+        ];
+        assert_eq!(QueuePolicy::FairShare.pick(&q, &[0, 0]), Some(1));
+        // With equal residency, FIFO order applies.
+        assert_eq!(QueuePolicy::FairShare.pick(&q, &[0, 1]), Some(0));
+    }
+
+    #[test]
+    fn empty_queue_picks_nothing() {
+        for p in [
+            QueuePolicy::Fifo,
+            QueuePolicy::ShortestExpectedWork,
+            QueuePolicy::FairShare,
+        ] {
+            assert_eq!(p.pick(&[], &[]), None);
+        }
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let q = vec![
+            queued(7, 0, 2.0, JobPreset::small()),
+            queued(3, 0, 2.0, JobPreset::small()),
+        ];
+        assert_eq!(QueuePolicy::Fifo.pick(&q, &[]), Some(1));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(QueuePolicy::FairShare.to_string(), "fair-share");
+    }
+}

@@ -1,0 +1,1378 @@
+//! The event-driven multi-job service engine.
+//!
+//! [`ServiceEngine`] multiplexes many concurrent coded jobs onto one
+//! shared worker pool, driven entirely by the typed events of
+//! [`crate::event`]: arrivals join the admission queue, admitted jobs run
+//! iterations whose per-worker tasks are scheduled from the shared-cluster
+//! S²C² allocation, epoch ticks resample worker speeds and churn, and
+//! §4.3-style timeouts recover from mis-predictions and departed workers.
+//!
+//! # Timing model
+//!
+//! The engine is a *timing* simulator in the same spirit as
+//! [`s2c2_cluster::ClusterSim`]: a task of `E` elements on worker `w`
+//! serving job `j` takes `E / (speed_w · share_j · throughput ·
+//! thread_speedup)` seconds, plus transfer times from the
+//! [`s2c2_cluster::CommModel`]. `share_j` is the fraction of every
+//! worker's capacity the shared allocator granted job `j`
+//! (processor-sharing across resident jobs). Speeds are piecewise
+//! constant: each task runs at the speed sampled when it was issued, and
+//! epoch ticks only affect tasks issued afterwards — the same
+//! once-per-iteration granularity the paper measures and predicts at.
+//! Shares are likewise fixed at iteration start; a job admitted
+//! mid-iteration contends only from the next iteration boundary on.
+//!
+//! # Robustness ladder (per iteration)
+//!
+//! 1. Predictions feasible → shared-cluster S²C² (exactly-`k` coverage).
+//! 2. Predictions infeasible (< `k` workers believed alive) → that job
+//!    degrades to conventional coded computing over available workers.
+//! 3. Deadline miss (mis-prediction, churn) → finished workers recompute
+//!    the missing chunks (they already hold the coded partitions — no
+//!    data movement, ever).
+//! 4. Not enough finished workers → wait out the in-flight stragglers
+//!    (conventional semantics).
+//! 5. Nobody left (churn storm) → restart the iteration, up to
+//!    `max_retries`, then fail the job.
+
+use crate::admission::{QueuePolicy, QueuedJob};
+use crate::event::{EventKind, EventQueue, JobId};
+use crate::metrics::{JobRecord, ServiceReport};
+use crate::shared_alloc::{allocate_for_resident, full_over_available};
+use crate::workload::JobSpec;
+use s2c2_cluster::{ChurnProcess, ClusterSpec, CommModel, ComputeModel};
+use s2c2_core::speed_tracker::{PredictorSource, SpeedTracker};
+use s2c2_core::{allocate_chunks_basic, ChunkAssignment};
+use s2c2_trace::BoxedSpeedModel;
+use std::collections::BTreeMap;
+
+/// How the engine schedules coded work onto the pool.
+pub enum SchedulerMode {
+    /// Even uncoded split over available workers; every task must finish.
+    Uncoded,
+    /// Conventional `(n, k)` MDS: every available worker computes its full
+    /// partition; the master takes the fastest `k` per chunk.
+    ConventionalMds,
+    /// Shared-cluster S²C²: capacity split across resident jobs, Algorithm
+    /// 1 per job on predicted speeds, timeout-and-reassign on mis-
+    /// prediction.
+    SharedS2c2 {
+        /// Where next-iteration speed estimates come from.
+        predictor: PredictorSource,
+    },
+}
+
+impl std::fmt::Display for SchedulerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SchedulerMode::Uncoded => "uncoded",
+            SchedulerMode::ConventionalMds => "mds",
+            SchedulerMode::SharedS2c2 { .. } => "s2c2",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::fmt::Debug for SchedulerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SchedulerMode::{self}")
+    }
+}
+
+/// Worker churn parameters (see [`ChurnProcess`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Per-epoch probability an up worker departs.
+    pub p_fail: f64,
+    /// Per-epoch probability a departed worker rejoins.
+    pub p_recover: f64,
+    /// Availability floor (keep ≥ the largest job `k`, or coded jobs can
+    /// wait indefinitely for capacity).
+    pub min_up: usize,
+}
+
+/// Engine configuration.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Scheduling mode.
+    pub scheduler: SchedulerMode,
+    /// Admission-queue policy.
+    pub policy: QueuePolicy,
+    /// Maximum concurrently-resident jobs (the multiprogramming level).
+    pub max_resident: usize,
+    /// §4.3 timeout margin over the planned iteration span.
+    pub timeout_margin: f64,
+    /// Seconds between speed/churn resampling epochs.
+    pub epoch: f64,
+    /// Threads each worker devotes to its matvec. The timing model charges
+    /// the near-linear scaling measured for row-partitioned
+    /// [`s2c2_linalg::parallel::par_matvec`]: `1 + 0.9 · (threads − 1)`.
+    pub worker_threads: usize,
+    /// Optional worker churn.
+    pub churn: Option<ChurnConfig>,
+    /// Iteration restarts tolerated before a job is failed.
+    pub max_retries: usize,
+    /// Hard event budget (guards against configuration-induced livelock).
+    pub max_events: u64,
+}
+
+impl ServeConfig {
+    /// Sensible defaults around the given scheduling mode.
+    #[must_use]
+    pub fn new(scheduler: SchedulerMode) -> Self {
+        ServeConfig {
+            scheduler,
+            policy: QueuePolicy::Fifo,
+            max_resident: 4,
+            timeout_margin: 0.25,
+            epoch: 0.25,
+            worker_threads: 1,
+            churn: None,
+            max_retries: 3,
+            max_events: 2_000_000,
+        }
+    }
+}
+
+/// Engine failure modes.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Rejected configuration.
+    InvalidConfig(String),
+    /// The event queue drained while jobs were still queued or resident.
+    Stalled {
+        /// Jobs still in the admission queue.
+        pending: usize,
+        /// Jobs still resident.
+        resident: usize,
+    },
+    /// The event budget was exhausted (livelock guard).
+    Runaway {
+        /// Events processed before giving up.
+        events: u64,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve configuration: {msg}"),
+            ServeError::Stalled { pending, resident } => write!(
+                f,
+                "engine stalled with {pending} queued and {resident} resident jobs"
+            ),
+            ServeError::Runaway { events } => {
+                write!(f, "event budget exhausted after {events} events")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Effective speedup of `threads`-way row-partitioned matvec.
+fn thread_speedup(threads: usize) -> f64 {
+    1.0 + 0.9 * threads.saturating_sub(1) as f64
+}
+
+/// Refunds the not-yet-performed remainder of an abandoned task's compute
+/// charge: a task scheduled to finish at `finish` and abandoned at `now`
+/// still owes `(finish − now) · share` dedicated compute-seconds (capped
+/// at what was charged).
+fn refund_busy(busy_time: &mut f64, charged: &mut f64, finish: f64, now: f64, share: f64) {
+    let refund = ((finish - now) * share).clamp(0.0, *charged);
+    *busy_time -= refund;
+    *charged -= refund;
+}
+
+/// One in-flight iteration of a resident job.
+#[derive(Debug)]
+struct RunningIteration {
+    generation: u64,
+    start: f64,
+    share: f64,
+    k_eff: usize,
+    rows_per_chunk: usize,
+    assignment: ChunkAssignment,
+    /// Scheduled finish time per worker (`INFINITY` = no task).
+    finish: Vec<f64>,
+    done: Vec<bool>,
+    /// `false` once a task is cancelled (deadline) or its worker churned.
+    valid: Vec<bool>,
+    redo_chunks: Vec<Vec<usize>>,
+    redo_finish: Vec<f64>,
+    redo_done: Vec<bool>,
+    redo_valid: Vec<bool>,
+    /// Dedicated compute-seconds charged to `busy_time` per original task
+    /// (refunded pro rata when a task is cancelled or abandoned).
+    busy_charged: Vec<f64>,
+    /// Same, for redo tasks.
+    redo_busy_charged: Vec<f64>,
+    /// Set once this iteration fell back to waiting out stragglers.
+    waited_out: bool,
+}
+
+impl RunningIteration {
+    fn covers(&self, worker: usize, chunk: usize) -> bool {
+        self.assignment.chunks[worker].binary_search(&chunk).is_ok()
+    }
+
+    fn done_cover(&self, chunk: usize) -> usize {
+        let n = self.assignment.workers();
+        (0..n)
+            .filter(|&w| {
+                (self.done[w] && self.covers(w, chunk))
+                    || (self.redo_done[w] && self.redo_chunks[w].contains(&chunk))
+            })
+            .count()
+    }
+
+    fn pending_redo_cover(&self, chunk: usize) -> usize {
+        let n = self.assignment.workers();
+        (0..n)
+            .filter(|&w| {
+                self.redo_valid[w] && !self.redo_done[w] && self.redo_chunks[w].contains(&chunk)
+            })
+            .count()
+    }
+
+    fn inflight_original_cover(&self, chunk: usize) -> usize {
+        let n = self.assignment.workers();
+        (0..n)
+            .filter(|&w| self.valid[w] && !self.done[w] && self.covers(w, chunk))
+            .count()
+    }
+
+    fn complete(&self) -> bool {
+        (0..self.assignment.chunks_per_partition).all(|c| self.done_cover(c) >= self.k_eff)
+    }
+}
+
+/// A job currently holding a residency slot.
+#[derive(Debug)]
+struct ResidentJob {
+    spec: JobSpec,
+    arrival: f64,
+    admitted: f64,
+    iterations_done: usize,
+    iter: Option<RunningIteration>,
+    iter_retries: usize,
+    total_retries: usize,
+    waiting_for_capacity: bool,
+}
+
+/// The event-driven multi-job service engine.
+pub struct ServiceEngine {
+    cfg: ServeConfig,
+    models: Vec<BoxedSpeedModel>,
+    comm: CommModel,
+    compute: ComputeModel,
+    decode_flops_per_sec: f64,
+    churn: ChurnProcess,
+    tracker: SpeedTracker,
+    speeds: Vec<f64>,
+    up: Vec<bool>,
+    now: f64,
+    queue: EventQueue,
+    pending: Vec<QueuedJob>,
+    resident: BTreeMap<JobId, ResidentJob>,
+    arrivals_remaining: usize,
+    next_generation: u64,
+    report: ServiceReport,
+}
+
+impl std::fmt::Debug for ServiceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceEngine")
+            .field("workers", &self.models.len())
+            .field("now", &self.now)
+            .field("pending", &self.pending.len())
+            .field("resident", &self.resident.len())
+            .finish()
+    }
+}
+
+impl ServiceEngine {
+    /// Builds the engine over a cluster specification.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] on degenerate knobs.
+    pub fn new(spec: ClusterSpec, cfg: ServeConfig) -> Result<Self, ServeError> {
+        let n = spec.n();
+        if cfg.max_resident == 0 {
+            return Err(ServeError::InvalidConfig("max_resident must be ≥ 1".into()));
+        }
+        if !(cfg.epoch.is_finite() && cfg.epoch > 0.0) {
+            return Err(ServeError::InvalidConfig("epoch must be positive".into()));
+        }
+        if !(cfg.timeout_margin.is_finite() && cfg.timeout_margin >= 0.0) {
+            return Err(ServeError::InvalidConfig(
+                "timeout margin must be non-negative".into(),
+            ));
+        }
+        if cfg.worker_threads == 0 {
+            return Err(ServeError::InvalidConfig(
+                "worker_threads must be ≥ 1".into(),
+            ));
+        }
+        let churn = match &cfg.churn {
+            Some(c) => {
+                if c.min_up > n {
+                    return Err(ServeError::InvalidConfig(
+                        "churn min_up exceeds pool size".into(),
+                    ));
+                }
+                ChurnProcess::new(n, c.p_fail, c.p_recover, c.min_up, 0x5EEC)
+            }
+            None => ChurnProcess::none(n),
+        };
+        let predictor = match &cfg.scheduler {
+            SchedulerMode::SharedS2c2 { predictor } => predictor.clone(),
+            _ => PredictorSource::Uniform,
+        };
+        Ok(ServiceEngine {
+            tracker: SpeedTracker::new(&predictor, n),
+            cfg,
+            models: spec.workers,
+            comm: spec.comm,
+            compute: spec.compute,
+            decode_flops_per_sec: spec.decode_flops_per_sec,
+            churn,
+            speeds: vec![1.0; n],
+            up: vec![true; n],
+            now: 0.0,
+            queue: EventQueue::new(),
+            pending: Vec::new(),
+            resident: BTreeMap::new(),
+            arrivals_remaining: 0,
+            next_generation: 1,
+            report: ServiceReport {
+                busy_time: vec![0.0; n],
+                ..ServiceReport::default()
+            },
+        })
+    }
+
+    /// Number of pool workers.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Runs the workload (`(arrival_time, spec)` pairs) to completion and
+    /// returns the service report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Stalled`] if the event queue drains with jobs left
+    /// (configuration error — e.g. churn floor below every job's `k`);
+    /// [`ServeError::Runaway`] if the event budget is exhausted.
+    pub fn run(mut self, workload: &[(f64, JobSpec)]) -> Result<ServiceReport, ServeError> {
+        // Initial samples: epoch 0.
+        for (w, m) in self.models.iter_mut().enumerate() {
+            self.speeds[w] = m.speed_at(0);
+        }
+        self.up.copy_from_slice(self.churn.advance_to(0));
+        self.arrivals_remaining = workload.len();
+        for (t, spec) in workload {
+            self.queue.push(*t, EventKind::JobArrival(spec.clone()));
+        }
+        if self.work_remains() {
+            self.queue
+                .push(self.cfg.epoch, EventKind::EpochTick { epoch: 1 });
+        }
+
+        while let Some((t, kind)) = self.queue.pop() {
+            self.now = t;
+            self.report.events_processed += 1;
+            if self.report.events_processed > self.cfg.max_events {
+                return Err(ServeError::Runaway {
+                    events: self.report.events_processed,
+                });
+            }
+            match kind {
+                EventKind::JobArrival(spec) => self.on_arrival(spec),
+                EventKind::TaskComplete {
+                    job,
+                    worker,
+                    generation,
+                    redo,
+                } => self.on_task_complete(job, worker, generation, redo, t),
+                EventKind::WorkerSpeedChange { worker, speed } => self.speeds[worker] = speed,
+                EventKind::Timeout { job, generation } => self.on_timeout(job, generation),
+                EventKind::WorkerChurn { worker, up } => self.on_churn(worker, up),
+                EventKind::EpochTick { epoch } => self.on_epoch_tick(epoch),
+            }
+        }
+
+        // Makespan is the time the last job resolved, not the time the
+        // last (possibly stale-straggler) event drained — throughput
+        // should not be diluted by work nobody waited for.
+        self.report.makespan = self
+            .report
+            .jobs
+            .iter()
+            .map(|j| j.finished)
+            .fold(0.0, f64::max);
+        if !self.pending.is_empty() || !self.resident.is_empty() {
+            return Err(ServeError::Stalled {
+                pending: self.pending.len(),
+                resident: self.resident.len(),
+            });
+        }
+        Ok(self.report)
+    }
+
+    fn work_remains(&self) -> bool {
+        self.arrivals_remaining > 0 || !self.pending.is_empty() || !self.resident.is_empty()
+    }
+
+    fn avail_speeds(&self) -> Vec<f64> {
+        self.speeds
+            .iter()
+            .zip(self.up.iter())
+            .map(|(&s, &u)| if u { s } else { 0.0 })
+            .collect()
+    }
+
+    fn sample_queue_depth(&mut self) {
+        self.report.queue_depth.push((self.now, self.pending.len()));
+    }
+
+    // ---- event handlers -------------------------------------------------
+
+    fn on_arrival(&mut self, spec: JobSpec) {
+        self.arrivals_remaining -= 1;
+        let n = self.n();
+        let malformed = spec.k == 0
+            || spec.k > n
+            || spec.rows == 0
+            || spec.cols == 0
+            || spec.chunks_per_partition == 0
+            || spec.iterations == 0;
+        if malformed {
+            self.report.jobs.push(JobRecord {
+                id: spec.id,
+                tenant: spec.tenant,
+                preset: spec.preset,
+                arrival: self.now,
+                admitted: self.now,
+                finished: self.now,
+                iterations: 0,
+                retries: 0,
+                failed: true,
+            });
+            return;
+        }
+        self.pending.push(QueuedJob {
+            spec,
+            arrival: self.now,
+        });
+        self.sample_queue_depth();
+        self.try_admit();
+    }
+
+    fn try_admit(&mut self) {
+        while self.resident.len() < self.cfg.max_resident {
+            let resident_tenants: Vec<u32> =
+                self.resident.values().map(|j| j.spec.tenant).collect();
+            let Some(i) = self.cfg.policy.pick(&self.pending, &resident_tenants) else {
+                break;
+            };
+            let queued = self.pending.remove(i);
+            let id = queued.spec.id;
+            self.resident.insert(
+                id,
+                ResidentJob {
+                    spec: queued.spec,
+                    arrival: queued.arrival,
+                    admitted: self.now,
+                    iterations_done: 0,
+                    iter: None,
+                    iter_retries: 0,
+                    total_retries: 0,
+                    waiting_for_capacity: false,
+                },
+            );
+            self.sample_queue_depth();
+            let at = self.now;
+            self.start_iteration(id, at);
+        }
+    }
+
+    /// Effective `(k, chunks, rows_per_chunk)` of a job under the current
+    /// scheduling mode. Uncoded jobs run as `k = 1` over a finer split
+    /// (each chunk computed by exactly one worker — even-split,
+    /// wait-for-all).
+    fn effective_shape(&self, spec: &JobSpec) -> (usize, usize, usize) {
+        match self.cfg.scheduler {
+            SchedulerMode::Uncoded => {
+                let c = spec.chunks_per_partition * self.n();
+                (1, c, spec.rows.div_ceil(c))
+            }
+            _ => {
+                let c = spec.chunks_per_partition;
+                let partition_rows = spec.rows.div_ceil(spec.k);
+                (spec.k, c, partition_rows.div_ceil(c))
+            }
+        }
+    }
+
+    fn start_iteration(&mut self, id: JobId, at: f64) {
+        let avail = self.avail_speeds();
+        let alive = avail.iter().filter(|&&s| s > 0.0).count();
+        let spec = self.resident[&id].spec.clone();
+        let (k_eff, c_eff, rpc) = self.effective_shape(&spec);
+
+        if alive < k_eff {
+            let job = self.resident.get_mut(&id).expect("resident job");
+            job.waiting_for_capacity = true;
+            job.iter = None;
+            return;
+        }
+
+        // Planning speeds and per-job assignment.
+        let residents = self.resident.len().max(1) as f64;
+        let (assignment, share, degraded, plan_speeds) = match &self.cfg.scheduler {
+            SchedulerMode::Uncoded => {
+                let mask: Vec<bool> = avail.iter().map(|&s| s > 0.0).collect();
+                let a = allocate_chunks_basic(&mask, 1, c_eff)
+                    .expect("alive >= 1 guarantees feasibility");
+                let uniform: Vec<f64> = avail
+                    .iter()
+                    .map(|&s| if s > 0.0 { 1.0 } else { 0.0 })
+                    .collect();
+                (a, 1.0 / residents, false, uniform)
+            }
+            SchedulerMode::ConventionalMds => {
+                let uniform: Vec<f64> = avail
+                    .iter()
+                    .map(|&s| if s > 0.0 { 1.0 } else { 0.0 })
+                    .collect();
+                (
+                    full_over_available(&avail, k_eff, c_eff),
+                    1.0 / residents,
+                    false,
+                    uniform,
+                )
+            }
+            SchedulerMode::SharedS2c2 { .. } => {
+                let preds: Vec<f64> = self
+                    .tracker
+                    .predictions_from(&avail)
+                    .iter()
+                    .zip(self.up.iter())
+                    .map(|(&p, &u)| if u { p.max(0.0) } else { 0.0 })
+                    .collect();
+                // Equal-weight capacity split across the resident set;
+                // only this job's slice is needed (neighbours re-allocate
+                // at their own iteration boundaries).
+                let mine = allocate_for_resident(&preds, k_eff, c_eff, self.resident.len().max(1));
+                (mine.assignment, mine.share, mine.degraded, preds)
+            }
+        };
+
+        if degraded {
+            self.report.degraded_iterations += 1;
+        }
+
+        let n = self.n();
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let mut iter = RunningIteration {
+            generation,
+            start: at,
+            share,
+            k_eff,
+            rows_per_chunk: rpc,
+            assignment,
+            finish: vec![f64::INFINITY; n],
+            done: vec![false; n],
+            valid: vec![true; n],
+            redo_chunks: vec![Vec::new(); n],
+            redo_finish: vec![f64::INFINITY; n],
+            redo_done: vec![false; n],
+            redo_valid: vec![false; n],
+            busy_charged: vec![0.0; n],
+            redo_busy_charged: vec![0.0; n],
+            waited_out: false,
+        };
+
+        let t_in = self.comm.transfer_time((spec.cols * 8) as u64);
+        let speedup = thread_speedup(self.cfg.worker_threads);
+        let mut max_planned_span: f64 = 0.0;
+        let mut max_actual_span: f64 = 0.0;
+        for (w, &plan_speed) in plan_speeds.iter().enumerate() {
+            let chunks = iter.assignment.chunks[w].len();
+            if chunks == 0 {
+                continue;
+            }
+            let rows_w = chunks * rpc;
+            let work = (rows_w * spec.cols) as f64;
+            let rate = self.speeds[w] * share * self.compute.elements_per_sec * speedup;
+            let t_reply = self.comm.transfer_time((rows_w * 8) as u64);
+            let span = t_in + work / rate + t_reply;
+            iter.finish[w] = at + span;
+            max_actual_span = max_actual_span.max(span);
+            let plan_rate =
+                plan_speed.max(f64::MIN_POSITIVE) * share * self.compute.elements_per_sec * speedup;
+            max_planned_span = max_planned_span.max(t_in + work / plan_rate + t_reply);
+            // Utilization is accounted in dedicated compute-seconds (the
+            // share factor stretches wall time, not work done).
+            iter.busy_charged[w] = work / rate * share;
+            self.report.busy_time[w] += iter.busy_charged[w];
+            self.queue.push(
+                iter.finish[w],
+                EventKind::TaskComplete {
+                    job: id,
+                    worker: w,
+                    generation,
+                    redo: false,
+                },
+            );
+        }
+
+        // Adaptive scheduling arms the deadline from the *plan* (so
+        // mis-predictions are caught); the non-adaptive baselines never
+        // cancel, so their timeout is a pure churn-recovery safety net
+        // armed past every scheduled finish.
+        let span = match self.cfg.scheduler {
+            SchedulerMode::SharedS2c2 { .. } => max_planned_span,
+            _ => max_actual_span,
+        };
+        let deadline = at + (1.0 + self.cfg.timeout_margin) * span;
+        self.queue.push(
+            deadline,
+            EventKind::Timeout {
+                job: id,
+                generation,
+            },
+        );
+
+        let job = self.resident.get_mut(&id).expect("resident job");
+        job.waiting_for_capacity = false;
+        job.iter = Some(iter);
+    }
+
+    fn on_task_complete(&mut self, id: JobId, worker: usize, generation: u64, redo: bool, t: f64) {
+        let Some(job) = self.resident.get_mut(&id) else {
+            return;
+        };
+        let Some(iter) = job.iter.as_mut() else {
+            return;
+        };
+        if iter.generation != generation {
+            return;
+        }
+        if redo {
+            // A rescheduled (merged) redo task supersedes this event.
+            if !iter.redo_valid[worker]
+                || iter.redo_done[worker]
+                || (t - iter.redo_finish[worker]).abs() > 1e-9
+            {
+                return;
+            }
+            iter.redo_done[worker] = true;
+        } else {
+            if !iter.valid[worker] || iter.done[worker] {
+                return;
+            }
+            iter.done[worker] = true;
+            // Feed the predictor with the observed relative rate. Redo
+            // tasks are excluded (their span includes master-side idle
+            // time, which would skew the estimate — same rule as the
+            // single-job engine).
+            if matches!(self.cfg.scheduler, SchedulerMode::SharedS2c2 { .. }) {
+                let rows_w = iter.assignment.chunks[worker].len() * iter.rows_per_chunk;
+                let duration = (iter.finish[worker] - iter.start).max(f64::MIN_POSITIVE);
+                let observed = (rows_w * job.spec.cols) as f64 / (duration * iter.share);
+                let mut obs: Vec<Option<f64>> = vec![None; self.speeds.len()];
+                obs[worker] = Some(observed);
+                self.tracker.observe(&obs);
+            }
+        }
+        if job.iter.as_ref().expect("still running").complete() {
+            self.complete_iteration(id);
+        }
+    }
+
+    fn complete_iteration(&mut self, id: JobId) {
+        let job = self.resident.get_mut(&id).expect("resident job");
+        let mut iter = job.iter.take().expect("running iteration");
+        // The master stops caring about still-running tasks (conventional
+        // stragglers, superfluous redo): refund the compute they will not
+        // perform, as real workers drop stale work on the next dispatch.
+        for w in 0..iter.assignment.workers() {
+            if iter.valid[w] && !iter.done[w] && iter.finish[w].is_finite() {
+                refund_busy(
+                    &mut self.report.busy_time[w],
+                    &mut iter.busy_charged[w],
+                    iter.finish[w],
+                    self.now,
+                    iter.share,
+                );
+            }
+            if iter.redo_valid[w] && !iter.redo_done[w] && iter.redo_finish[w].is_finite() {
+                refund_busy(
+                    &mut self.report.busy_time[w],
+                    &mut iter.redo_busy_charged[w],
+                    iter.redo_finish[w],
+                    self.now,
+                    iter.share,
+                );
+            }
+        }
+        let decode_time = match self.cfg.scheduler {
+            SchedulerMode::Uncoded => 0.0,
+            _ => {
+                let flops = decode_flops(&iter);
+                flops / self.decode_flops_per_sec
+            }
+        };
+        let end = self.now + decode_time;
+        job.iterations_done += 1;
+        job.iter_retries = 0;
+        if job.iterations_done >= job.spec.iterations {
+            let record = JobRecord {
+                id,
+                tenant: job.spec.tenant,
+                preset: job.spec.preset,
+                arrival: job.arrival,
+                admitted: job.admitted,
+                finished: end,
+                iterations: job.iterations_done,
+                retries: job.total_retries,
+                failed: false,
+            };
+            self.report.jobs.push(record);
+            self.resident.remove(&id);
+            self.try_admit();
+        } else {
+            self.start_iteration(id, end);
+        }
+    }
+
+    fn on_timeout(&mut self, id: JobId, generation: u64) {
+        let Some(job) = self.resident.get(&id) else {
+            return;
+        };
+        let Some(iter) = job.iter.as_ref() else {
+            return;
+        };
+        if iter.generation != generation {
+            return;
+        }
+        self.recover(id, true);
+    }
+
+    fn on_churn(&mut self, worker: usize, up: bool) {
+        self.up[worker] = up;
+        if up {
+            // Capacity returned: wake jobs stalled on feasibility.
+            let waiting: Vec<JobId> = self
+                .resident
+                .iter()
+                .filter(|(_, j)| j.waiting_for_capacity)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in waiting {
+                let at = self.now;
+                self.start_iteration(id, at);
+            }
+            return;
+        }
+        // Departure: invalidate the worker's in-flight tasks and check
+        // each affected job for lost coverage.
+        let ids: Vec<JobId> = self.resident.keys().copied().collect();
+        for id in ids {
+            let Some(iter) = self.resident.get_mut(&id).and_then(|j| j.iter.as_mut()) else {
+                continue;
+            };
+            let mut affected = false;
+            if iter.valid[worker] && !iter.done[worker] && iter.finish[worker].is_finite() {
+                iter.valid[worker] = false;
+                refund_busy(
+                    &mut self.report.busy_time[worker],
+                    &mut iter.busy_charged[worker],
+                    iter.finish[worker],
+                    self.now,
+                    iter.share,
+                );
+                affected = true;
+            }
+            if iter.redo_valid[worker] && !iter.redo_done[worker] {
+                iter.redo_valid[worker] = false;
+                refund_busy(
+                    &mut self.report.busy_time[worker],
+                    &mut iter.redo_busy_charged[worker],
+                    iter.redo_finish[worker],
+                    self.now,
+                    iter.share,
+                );
+                affected = true;
+            }
+            if !affected {
+                continue;
+            }
+            let doomed = (0..iter.assignment.chunks_per_partition).any(|c| {
+                iter.done_cover(c) + iter.pending_redo_cover(c) + iter.inflight_original_cover(c)
+                    < iter.k_eff
+            });
+            if doomed {
+                self.recover(id, false);
+            }
+        }
+    }
+
+    fn on_epoch_tick(&mut self, epoch: usize) {
+        for (w, m) in self.models.iter_mut().enumerate() {
+            let s = m.speed_at(epoch);
+            if (s - self.speeds[w]).abs() > f64::EPSILON {
+                self.queue.push(
+                    self.now,
+                    EventKind::WorkerSpeedChange {
+                        worker: w,
+                        speed: s,
+                    },
+                );
+            }
+        }
+        let mask = self.churn.advance_to(epoch).to_vec();
+        for (w, (&new, &old)) in mask.iter().zip(self.up.iter()).enumerate() {
+            if new != old {
+                self.queue
+                    .push(self.now, EventKind::WorkerChurn { worker: w, up: new });
+            }
+        }
+        if self.work_remains() {
+            self.queue.push(
+                self.now + self.cfg.epoch,
+                EventKind::EpochTick { epoch: epoch + 1 },
+            );
+        }
+    }
+
+    // ---- recovery -------------------------------------------------------
+
+    /// Deadline-miss / churn recovery: the robustness ladder's rungs 3–5.
+    #[allow(clippy::too_many_lines)]
+    fn recover(&mut self, id: JobId, from_timeout: bool) {
+        let now = self.now;
+        let speedup = thread_speedup(self.cfg.worker_threads);
+        let cancel_late = matches!(self.cfg.scheduler, SchedulerMode::SharedS2c2 { .. });
+        let cols = self.resident[&id].spec.cols;
+        let margin = self.cfg.timeout_margin;
+        let elements_per_sec = self.compute.elements_per_sec;
+        let comm = self.comm;
+        let speeds = self.speeds.clone();
+        let up = self.up.clone();
+
+        let job = self.resident.get_mut(&id).expect("resident job");
+        let iter = job.iter.as_mut().expect("running iteration");
+        let n = iter.assignment.workers();
+        let c = iter.assignment.chunks_per_partition;
+        let rpc = iter.rows_per_chunk;
+
+        // Outstanding need per chunk. Adaptive mode writes in-flight
+        // originals off as cancelled (the §4.3 rule); the baselines keep
+        // counting on them (they only recover from churn).
+        let mut need = vec![0usize; c];
+        let mut total_need = 0usize;
+        for (chunk, slot) in need.iter_mut().enumerate() {
+            let mut have = iter.done_cover(chunk) + iter.pending_redo_cover(chunk);
+            if !cancel_late {
+                have += iter.inflight_original_cover(chunk);
+            }
+            *slot = iter.k_eff.saturating_sub(have);
+            total_need += *slot;
+        }
+
+        let reschedule_after_inflight = |iter: &RunningIteration| -> f64 {
+            let mut latest = now;
+            for w in 0..n {
+                if iter.valid[w] && !iter.done[w] && iter.finish[w].is_finite() {
+                    latest = latest.max(iter.finish[w]);
+                }
+                if iter.redo_valid[w] && !iter.redo_done[w] && iter.redo_finish[w].is_finite() {
+                    latest = latest.max(iter.redo_finish[w]);
+                }
+            }
+            now + (1.0 + margin) * (latest - now).max(f64::MIN_POSITIVE)
+        };
+
+        if total_need == 0 {
+            // Everything outstanding is already being handled; re-arm the
+            // safety net behind the open tasks.
+            let deadline = reschedule_after_inflight(iter);
+            let generation = iter.generation;
+            self.queue.push(
+                deadline,
+                EventKind::Timeout {
+                    job: id,
+                    generation,
+                },
+            );
+            return;
+        }
+
+        // Rung 3: hand the missing chunks to finished, still-present
+        // workers (they hold the coded partitions — no data movement).
+        let hosts: Vec<usize> = (0..n).filter(|&w| iter.done[w] && up[w]).collect();
+        let mut extra: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut satisfiable = true;
+        'chunks: for (chunk, &need_c) in need.iter().enumerate() {
+            for _ in 0..need_c {
+                let pick = hosts
+                    .iter()
+                    .copied()
+                    .filter(|&w| {
+                        !iter.covers(w, chunk)
+                            && !iter.redo_chunks[w].contains(&chunk)
+                            && !extra[w].contains(&chunk)
+                    })
+                    .min_by(|&a, &b| {
+                        (iter.redo_chunks[a].len() + extra[a].len())
+                            .cmp(&(iter.redo_chunks[b].len() + extra[b].len()))
+                            .then(iter.finish[a].total_cmp(&iter.finish[b]))
+                            .then(a.cmp(&b))
+                    });
+                match pick {
+                    Some(w) => extra[w].push(chunk),
+                    None => {
+                        satisfiable = false;
+                        break 'chunks;
+                    }
+                }
+            }
+        }
+
+        if satisfiable {
+            if cancel_late {
+                // Cancel the late workers AND feed the estimator what the
+                // master actually learned: by the deadline each cancelled
+                // worker had processed `rate · elapsed` elements (the
+                // single-job engine's partial-observation rule). Without
+                // this, a cold-start straggler is cancelled before it can
+                // ever report a speed and stays mispredicted forever.
+                let mut obs: Vec<Option<f64>> = vec![None; n];
+                let mut any_cancelled = false;
+                let t_in = comm.transfer_time((cols * 8) as u64);
+                for (w, slot) in obs.iter_mut().enumerate() {
+                    // `is_finite` matters: a worker with no task this
+                    // iteration has finish == INFINITY, and "cancelling"
+                    // it would fabricate a near-zero speed observation
+                    // that permanently excludes a healthy worker.
+                    if iter.valid[w]
+                        && !iter.done[w]
+                        && iter.finish[w].is_finite()
+                        && iter.finish[w] > now
+                    {
+                        iter.valid[w] = false;
+                        refund_busy(
+                            &mut self.report.busy_time[w],
+                            &mut iter.busy_charged[w],
+                            iter.finish[w],
+                            now,
+                            iter.share,
+                        );
+                        let rows_w = iter.assignment.chunks[w].len() * rpc;
+                        let work = (rows_w * cols) as f64;
+                        let t_reply = comm.transfer_time((rows_w * 8) as u64);
+                        // Reconstruct the issue-time compute rate from the
+                        // scheduled finish (speeds may have changed since).
+                        let compute_span =
+                            (iter.finish[w] - iter.start - t_in - t_reply).max(f64::MIN_POSITIVE);
+                        let rate = work / compute_span;
+                        let elapsed = (now - iter.start).max(f64::MIN_POSITIVE);
+                        let partial = (rate * (elapsed - t_in).max(0.0)).min(work);
+                        *slot = Some(partial.max(1.0) / (elapsed * iter.share));
+                        any_cancelled = true;
+                    }
+                }
+                if any_cancelled {
+                    self.tracker.observe(&obs);
+                }
+            }
+            let generation = iter.generation;
+            let mut latest_redo = now;
+            for (w, new_chunks) in extra.into_iter().enumerate() {
+                if new_chunks.is_empty() {
+                    continue;
+                }
+                // Merge with any still-pending redo on the same worker:
+                // the combined task finishes after both workloads.
+                let base = if iter.redo_valid[w] && !iter.redo_done[w] {
+                    iter.redo_finish[w]
+                } else {
+                    now
+                };
+                let rows_w = new_chunks.len() * rpc;
+                let work = (rows_w * cols) as f64;
+                let rate = speeds[w] * iter.share * elements_per_sec * speedup;
+                // Coded hosts already hold the partitions, so the work
+                // order is a 64-byte control message; uncoded hosts must
+                // first receive the raw rows being reassigned.
+                let order_bytes = if matches!(self.cfg.scheduler, SchedulerMode::Uncoded) {
+                    64 + (rows_w * cols * 8) as u64
+                } else {
+                    64
+                };
+                let finish = base
+                    + comm.transfer_time(order_bytes)
+                    + work / rate
+                    + comm.transfer_time((rows_w * 8) as u64);
+                iter.redo_chunks[w].extend(new_chunks);
+                iter.redo_finish[w] = finish;
+                iter.redo_done[w] = false;
+                iter.redo_valid[w] = true;
+                latest_redo = latest_redo.max(finish);
+                iter.redo_busy_charged[w] += work / rate * iter.share;
+                self.report.busy_time[w] += work / rate * iter.share;
+                self.queue.push(
+                    finish,
+                    EventKind::TaskComplete {
+                        job: id,
+                        worker: w,
+                        generation,
+                        redo: true,
+                    },
+                );
+            }
+            if from_timeout {
+                self.report.timeouts += 1;
+            }
+            let deadline = now + (1.0 + margin) * (latest_redo - now).max(f64::MIN_POSITIVE);
+            self.queue.push(
+                deadline,
+                EventKind::Timeout {
+                    job: id,
+                    generation,
+                },
+            );
+            return;
+        }
+
+        // Rung 4: not enough finished workers — wait out whatever is
+        // still in flight (conventional semantics).
+        let has_inflight = (0..n).any(|w| {
+            (iter.valid[w] && !iter.done[w] && iter.finish[w].is_finite())
+                || (iter.redo_valid[w] && !iter.redo_done[w])
+        });
+        if has_inflight {
+            if !iter.waited_out {
+                iter.waited_out = true;
+                self.report.degraded_iterations += 1;
+            }
+            let deadline = reschedule_after_inflight(iter);
+            let generation = iter.generation;
+            self.queue.push(
+                deadline,
+                EventKind::Timeout {
+                    job: id,
+                    generation,
+                },
+            );
+            return;
+        }
+
+        // Rung 5: churn storm took everyone — restart the iteration.
+        job.iter = None;
+        job.iter_retries += 1;
+        job.total_retries += 1;
+        if job.iter_retries > self.cfg.max_retries {
+            let record = JobRecord {
+                id,
+                tenant: job.spec.tenant,
+                preset: job.spec.preset,
+                arrival: job.arrival,
+                admitted: job.admitted,
+                finished: now,
+                iterations: job.iterations_done,
+                retries: job.total_retries,
+                failed: true,
+            };
+            self.report.jobs.push(record);
+            self.resident.remove(&id);
+            self.try_admit();
+        } else {
+            self.start_iteration(id, now);
+        }
+    }
+}
+
+/// Master-side decode cost of a completed iteration (same model as the
+/// single-job engine: per chunk, LU on the missing systematic rows).
+fn decode_flops(iter: &RunningIteration) -> f64 {
+    let n = iter.assignment.workers();
+    let k = iter.k_eff;
+    let rpc = iter.rows_per_chunk as f64;
+    let mut flops = 0.0;
+    for chunk in 0..iter.assignment.chunks_per_partition {
+        let mut finishers: Vec<(f64, usize)> = (0..n)
+            .filter_map(|w| {
+                if iter.done[w] && iter.covers(w, chunk) {
+                    Some((iter.finish[w], w))
+                } else if iter.redo_done[w] && iter.redo_chunks[w].contains(&chunk) {
+                    Some((iter.redo_finish[w], w))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        finishers.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let missing = finishers.iter().take(k).filter(|&&(_, w)| w >= k).count() as f64;
+        flops += missing.powi(3) / 3.0 + rpc * missing.powi(2) + missing * k as f64 * rpc;
+    }
+    flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_workload, ArrivalPattern, JobPreset};
+
+    fn pool(n: usize, stragglers: &[usize]) -> ClusterSpec {
+        ClusterSpec::builder(n)
+            .compute_bound()
+            .seed(0xFEED)
+            .straggler_slowdown(5.0)
+            .stragglers(stragglers, 0.2)
+            .build()
+    }
+
+    fn workload(jobs: usize, rate: f64, n: usize, seed: u64) -> Vec<(f64, JobSpec)> {
+        generate_workload(
+            &ArrivalPattern::Poisson { rate },
+            &JobPreset::standard_mix(),
+            jobs,
+            3,
+            n,
+            seed,
+        )
+    }
+
+    fn run_mode(mode: SchedulerMode, jobs: usize, rate: f64) -> ServiceReport {
+        let n = 12;
+        let engine = ServiceEngine::new(pool(n, &[2, 7]), ServeConfig::new(mode)).unwrap();
+        engine.run(&workload(jobs, rate, n, 5)).unwrap()
+    }
+
+    #[test]
+    fn single_job_completes() {
+        let n = 8;
+        let spec = JobPreset::small().instantiate(0, 0, n);
+        let engine = ServiceEngine::new(
+            pool(n, &[]),
+            ServeConfig::new(SchedulerMode::SharedS2c2 {
+                predictor: PredictorSource::LastValue,
+            }),
+        )
+        .unwrap();
+        let report = engine.run(&[(0.0, spec)]).unwrap();
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.failed(), 0);
+        assert!(report.jobs[0].latency() > 0.0);
+        assert!(report.makespan > 0.0);
+        assert!(report.utilization() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let a = run_mode(
+            SchedulerMode::SharedS2c2 {
+                predictor: PredictorSource::LastValue,
+            },
+            20,
+            1.5,
+        );
+        let b = run_mode(
+            SchedulerMode::SharedS2c2 {
+                predictor: PredictorSource::LastValue,
+            },
+            20,
+            1.5,
+        );
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn s2c2_beats_conventional_tail_under_stragglers() {
+        let s2c2 = run_mode(
+            SchedulerMode::SharedS2c2 {
+                predictor: PredictorSource::LastValue,
+            },
+            30,
+            1.2,
+        );
+        let mds = run_mode(SchedulerMode::ConventionalMds, 30, 1.2);
+        assert_eq!(s2c2.completed(), 30);
+        assert_eq!(mds.completed(), 30);
+        assert!(
+            s2c2.latency_percentile(99.0) < mds.latency_percentile(99.0),
+            "s2c2 p99 {} should beat mds p99 {}",
+            s2c2.latency_percentile(99.0),
+            mds.latency_percentile(99.0)
+        );
+    }
+
+    #[test]
+    fn uncoded_pays_the_straggler_tax() {
+        let uncoded = run_mode(SchedulerMode::Uncoded, 15, 0.5);
+        let s2c2 = run_mode(
+            SchedulerMode::SharedS2c2 {
+                predictor: PredictorSource::LastValue,
+            },
+            15,
+            0.5,
+        );
+        assert_eq!(uncoded.completed(), 15);
+        assert!(
+            uncoded.mean_latency() > s2c2.mean_latency(),
+            "uncoded {} should trail s2c2 {}",
+            uncoded.mean_latency(),
+            s2c2.mean_latency()
+        );
+    }
+
+    #[test]
+    fn queue_builds_under_load_and_drains() {
+        let report = run_mode(SchedulerMode::ConventionalMds, 40, 8.0);
+        assert_eq!(report.completed(), 40);
+        assert!(report.max_queue_depth() > 0, "overload must queue");
+        assert_eq!(report.queue_depth.last().unwrap().1, 0, "queue drains");
+    }
+
+    #[test]
+    fn mispredictions_fire_timeouts() {
+        // Uniform predictions on a straggler pool: the adaptive engine
+        // must detect and recover via timeouts.
+        let n = 12;
+        let engine = ServiceEngine::new(
+            pool(n, &[0, 5]),
+            ServeConfig::new(SchedulerMode::SharedS2c2 {
+                predictor: PredictorSource::Uniform,
+            }),
+        )
+        .unwrap();
+        let report = engine.run(&workload(10, 1.0, n, 9)).unwrap();
+        assert_eq!(report.completed(), 10);
+        assert!(report.timeouts > 0, "uniform predictions must mispredict");
+    }
+
+    #[test]
+    fn survives_churn() {
+        let n = 12;
+        let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        });
+        cfg.churn = Some(ChurnConfig {
+            p_fail: 0.05,
+            p_recover: 0.4,
+            min_up: 10,
+        });
+        cfg.max_retries = 10;
+        let engine = ServiceEngine::new(pool(n, &[3]), cfg).unwrap();
+        let report = engine.run(&workload(25, 1.0, n, 21)).unwrap();
+        assert_eq!(
+            report.completed() + report.failed(),
+            25,
+            "every job resolves"
+        );
+        assert!(
+            report.completed() >= 23,
+            "churn floor keeps most jobs alive"
+        );
+    }
+
+    #[test]
+    fn malformed_job_fails_fast() {
+        let n = 4;
+        let mut spec = JobPreset::small().instantiate(0, 0, 8);
+        spec.k = 8; // bigger than the 4-worker pool
+        let engine = ServiceEngine::new(
+            pool(n, &[]),
+            ServeConfig::new(SchedulerMode::ConventionalMds),
+        )
+        .unwrap();
+        let report = engine.run(&[(0.0, spec)]).unwrap();
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.completed(), 0);
+    }
+
+    #[test]
+    fn worker_threads_cut_latency() {
+        let base = {
+            let engine = ServiceEngine::new(
+                pool(12, &[2]),
+                ServeConfig::new(SchedulerMode::SharedS2c2 {
+                    predictor: PredictorSource::LastValue,
+                }),
+            )
+            .unwrap();
+            engine.run(&workload(12, 1.0, 12, 13)).unwrap()
+        };
+        let threaded = {
+            let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+                predictor: PredictorSource::LastValue,
+            });
+            cfg.worker_threads = 4;
+            let engine = ServiceEngine::new(pool(12, &[2]), cfg).unwrap();
+            engine.run(&workload(12, 1.0, 12, 13)).unwrap()
+        };
+        assert!(
+            threaded.mean_latency() < base.mean_latency(),
+            "4-thread workers {} should beat 1-thread {}",
+            threaded.mean_latency(),
+            base.mean_latency()
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = ServeConfig::new(SchedulerMode::Uncoded);
+        cfg.max_resident = 0;
+        assert!(matches!(
+            ServiceEngine::new(pool(4, &[]), cfg),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        let mut cfg = ServeConfig::new(SchedulerMode::Uncoded);
+        cfg.epoch = 0.0;
+        assert!(ServiceEngine::new(pool(4, &[]), cfg).is_err());
+    }
+
+    #[test]
+    fn fair_share_spreads_tenants() {
+        // Two tenants, one flooding: fair-share must still admit the
+        // other tenant's job ahead of the flood's backlog.
+        let n = 8;
+        let mut arrivals: Vec<(f64, JobSpec)> = (0..6)
+            .map(|i| (0.001 * i as f64, JobPreset::medium().instantiate(i, 0, n)))
+            .collect();
+        arrivals.push((0.01, JobPreset::small().instantiate(6, 1, n)));
+        let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        });
+        cfg.policy = QueuePolicy::FairShare;
+        cfg.max_resident = 2;
+        let engine = ServiceEngine::new(pool(n, &[]), cfg).unwrap();
+        let report = engine.run(&arrivals).unwrap();
+        assert_eq!(report.completed(), 7);
+        let tenant1 = report.jobs.iter().find(|j| j.tenant == 1).unwrap();
+        // The tenant-1 job must not be admitted last even though it
+        // arrived last: fair share jumps it over the flood.
+        let later_admitted = report
+            .jobs
+            .iter()
+            .filter(|j| j.tenant == 0 && j.admitted > tenant1.admitted)
+            .count();
+        assert!(later_admitted >= 2, "fair share should leapfrog the flood");
+    }
+
+    #[test]
+    fn thread_speedup_model() {
+        assert_eq!(thread_speedup(1), 1.0);
+        assert!((thread_speedup(4) - 3.7).abs() < 1e-12);
+    }
+}

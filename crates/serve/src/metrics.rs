@@ -1,0 +1,269 @@
+//! Service-level metrics: the numbers an operator of a shared coded
+//! computing service actually watches.
+//!
+//! The single-job layer reports per-iteration latency and wasted rows;
+//! a multi-job service is judged instead by its *distributional* ones:
+//! sojourn-time percentiles (p50/p95/p99), sustained throughput, worker
+//! utilization, and queue depth over time.
+
+use crate::event::JobId;
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+///
+/// `p` is in `[0, 100]`; an empty slice yields 0 (a service that served
+/// nothing has no tail).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+#[must_use]
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted ascending"
+    );
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Lifecycle record of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: JobId,
+    /// Owning tenant.
+    pub tenant: u32,
+    /// Preset label the job was drawn from.
+    pub preset: &'static str,
+    /// Arrival (enqueue) time.
+    pub arrival: f64,
+    /// Admission time (start of service).
+    pub admitted: f64,
+    /// Completion (or failure) time.
+    pub finished: f64,
+    /// Iterations completed.
+    pub iterations: usize,
+    /// Iteration restarts forced by churn storms.
+    pub retries: usize,
+    /// Whether the job failed (exceeded its retry budget).
+    pub failed: bool,
+}
+
+impl JobRecord {
+    /// Sojourn time: arrival to completion — the latency a user feels.
+    #[must_use]
+    pub fn latency(&self) -> f64 {
+        self.finished - self.arrival
+    }
+
+    /// Time spent waiting in the admission queue.
+    #[must_use]
+    pub fn queueing_delay(&self) -> f64 {
+        self.admitted - self.arrival
+    }
+
+    /// Time spent in service (admission to completion).
+    #[must_use]
+    pub fn service_time(&self) -> f64 {
+        self.finished - self.admitted
+    }
+}
+
+/// Everything a finished engine run reports.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceReport {
+    /// Per-job lifecycle records, in completion order.
+    pub jobs: Vec<JobRecord>,
+    /// `(time, queued_jobs)` samples taken at every queue transition.
+    pub queue_depth: Vec<(f64, usize)>,
+    /// Per-worker accumulated busy (compute) time.
+    pub busy_time: Vec<f64>,
+    /// Time the last job resolved (completed or failed) — deliberately
+    /// not the last drained event, so throughput is not diluted by stale
+    /// straggler work nobody waited for. `queue_depth` samples may extend
+    /// past it.
+    pub makespan: f64,
+    /// Valid §4.3-style timeout firings (mis-prediction / churn recovery).
+    pub timeouts: usize,
+    /// Iterations that degraded to conventional full assignment.
+    pub degraded_iterations: usize,
+    /// Total events processed.
+    pub events_processed: u64,
+}
+
+impl ServiceReport {
+    /// Completed (non-failed) job count.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.failed).count()
+    }
+
+    /// Failed job count.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.failed).count()
+    }
+
+    /// Ascending-sorted sojourn latencies of completed jobs.
+    #[must_use]
+    pub fn latencies(&self) -> Vec<f64> {
+        let mut l: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| !j.failed)
+            .map(JobRecord::latency)
+            .collect();
+        l.sort_by(f64::total_cmp);
+        l
+    }
+
+    /// Sojourn-latency percentile (`p` in `[0, 100]`) over completed jobs.
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        percentile(&self.latencies(), p)
+    }
+
+    /// Mean sojourn latency over completed jobs.
+    #[must_use]
+    pub fn mean_latency(&self) -> f64 {
+        let l = self.latencies();
+        if l.is_empty() {
+            0.0
+        } else {
+            l.iter().sum::<f64>() / l.len() as f64
+        }
+    }
+
+    /// Completed jobs per second of makespan.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.completed() as f64 / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Pool utilization: busy worker-seconds over available worker-seconds.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 || self.busy_time.is_empty() {
+            return 0.0;
+        }
+        let busy: f64 = self.busy_time.iter().sum();
+        busy / (self.makespan * self.busy_time.len() as f64)
+    }
+
+    /// Time-weighted mean admission-queue depth.
+    #[must_use]
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.queue_depth.len() < 2 {
+            return self.queue_depth.first().map_or(0.0, |&(_, d)| d as f64);
+        }
+        let mut area = 0.0;
+        for w in self.queue_depth.windows(2) {
+            area += w[0].1 as f64 * (w[1].0 - w[0].0);
+        }
+        let span = self.queue_depth.last().unwrap().0 - self.queue_depth[0].0;
+        if span > 0.0 {
+            area / span
+        } else {
+            0.0
+        }
+    }
+
+    /// Peak admission-queue depth.
+    #[must_use]
+    pub fn max_queue_depth(&self) -> usize {
+        self.queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: JobId, arrival: f64, admitted: f64, finished: f64, failed: bool) -> JobRecord {
+        JobRecord {
+            id,
+            tenant: 0,
+            preset: "small",
+            arrival,
+            admitted,
+            finished,
+            iterations: 4,
+            retries: 0,
+            failed,
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 95.0), 10.0);
+        assert_eq!(percentile(&v, 99.0), 10.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 10.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn job_record_timings() {
+        let j = record(0, 1.0, 2.5, 7.0, false);
+        assert!((j.latency() - 6.0).abs() < 1e-12);
+        assert!((j.queueing_delay() - 1.5).abs() < 1e-12);
+        assert!((j.service_time() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_aggregates_exclude_failures() {
+        let report = ServiceReport {
+            jobs: vec![
+                record(0, 0.0, 0.0, 2.0, false),
+                record(1, 0.0, 1.0, 4.0, false),
+                record(2, 0.0, 1.0, 9.0, true),
+            ],
+            makespan: 10.0,
+            busy_time: vec![5.0, 2.5],
+            ..ServiceReport::default()
+        };
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.latencies(), vec![2.0, 4.0]);
+        assert!((report.mean_latency() - 3.0).abs() < 1e-12);
+        assert!((report.throughput() - 0.2).abs() < 1e-12);
+        assert!((report.utilization() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_depth_time_weighting() {
+        let report = ServiceReport {
+            queue_depth: vec![(0.0, 0), (1.0, 2), (3.0, 1), (4.0, 1)],
+            ..ServiceReport::default()
+        };
+        // 0·1 + 2·2 + 1·1 over a span of 4.
+        assert!((report.mean_queue_depth() - 1.25).abs() < 1e-12);
+        assert_eq!(report.max_queue_depth(), 2);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = ServiceReport::default();
+        assert_eq!(r.completed(), 0);
+        assert_eq!(r.latency_percentile(99.0), 0.0);
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.mean_queue_depth(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn out_of_range_percentile_rejected() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Workload generation: heterogeneous coded jobs arriving over time.
+//!
+//! A service engine is only as interesting as its offered load. This
+//! module builds deterministic, seeded arrival sequences of [`JobSpec`]s
+//! drawn from size [`JobPreset`]s — Poisson arrivals for open-loop load
+//! experiments (the regime *Serverless Straggler Mitigation* and the
+//! rateless-coding line of work evaluate in), or explicit trace-driven
+//! arrival instants for replaying recorded workloads.
+
+use crate::event::JobId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One coded job as submitted to the service engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique id (assigned by the generator, ascending in arrival order).
+    pub id: JobId,
+    /// Owning tenant (fair-share admission groups by this).
+    pub tenant: u32,
+    /// Data-matrix rows of the iterated matvec.
+    pub rows: usize,
+    /// Data-matrix columns.
+    pub cols: usize,
+    /// Recovery threshold of the job's `(n, k)` code (`n` is always the
+    /// pool size — every job is encoded across the whole shared pool).
+    pub k: usize,
+    /// Over-decomposition granularity: chunks per coded partition.
+    pub chunks_per_partition: usize,
+    /// Number of iterations the job runs before completing.
+    pub iterations: usize,
+    /// Preset label the job was drawn from (stable key for reporting).
+    pub preset: &'static str,
+}
+
+impl JobSpec {
+    /// Useful work of one iteration, in matrix elements.
+    #[must_use]
+    pub fn work_per_iteration(&self) -> f64 {
+        (self.rows * self.cols) as f64
+    }
+
+    /// Total useful work over all iterations, in matrix elements — the
+    /// quantity shortest-expected-work admission orders by.
+    #[must_use]
+    pub fn total_work(&self) -> f64 {
+        self.work_per_iteration() * self.iterations as f64
+    }
+}
+
+/// A job size class: shapes are fixed, the recovery threshold scales
+/// with the pool (`k = round(n · k_frac)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobPreset {
+    /// Label used in job records and report tables.
+    pub name: &'static str,
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Recovery threshold as a fraction of the pool size.
+    pub k_frac: f64,
+    /// Chunks per coded partition.
+    pub chunks_per_partition: usize,
+    /// Iterations per job.
+    pub iterations: usize,
+}
+
+impl JobPreset {
+    /// Small interactive job: quick matvec burst.
+    #[must_use]
+    pub fn small() -> Self {
+        JobPreset {
+            name: "small",
+            rows: 600,
+            cols: 32,
+            k_frac: 0.75,
+            chunks_per_partition: 8,
+            iterations: 4,
+        }
+    }
+
+    /// Medium job: the bread-and-butter iterative workload.
+    #[must_use]
+    pub fn medium() -> Self {
+        JobPreset {
+            name: "medium",
+            rows: 1200,
+            cols: 48,
+            k_frac: 0.75,
+            chunks_per_partition: 10,
+            iterations: 8,
+        }
+    }
+
+    /// Large batch job: long tail of iterations.
+    #[must_use]
+    pub fn large() -> Self {
+        JobPreset {
+            name: "large",
+            rows: 2400,
+            cols: 64,
+            k_frac: 0.75,
+            chunks_per_partition: 12,
+            iterations: 12,
+        }
+    }
+
+    /// The default mix used by the experiments: mostly small and medium
+    /// jobs with an occasional large batch (weights 5 : 3 : 1).
+    #[must_use]
+    pub fn standard_mix() -> Vec<(JobPreset, f64)> {
+        vec![
+            (JobPreset::small(), 5.0),
+            (JobPreset::medium(), 3.0),
+            (JobPreset::large(), 1.0),
+        ]
+    }
+
+    /// Instantiates a [`JobSpec`] for a pool of `pool_n` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_n == 0`.
+    #[must_use]
+    pub fn instantiate(&self, id: JobId, tenant: u32, pool_n: usize) -> JobSpec {
+        assert!(pool_n > 0, "pool must have at least one worker");
+        let k = ((pool_n as f64 * self.k_frac).round() as usize).clamp(1, pool_n);
+        JobSpec {
+            id,
+            tenant,
+            rows: self.rows,
+            cols: self.cols,
+            k,
+            chunks_per_partition: self.chunks_per_partition,
+            iterations: self.iterations,
+            preset: self.name,
+        }
+    }
+}
+
+/// When jobs arrive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalPattern {
+    /// Memoryless arrivals at `rate` jobs per second.
+    Poisson {
+        /// Mean arrival rate (jobs/second, > 0).
+        rate: f64,
+    },
+    /// Explicit arrival instants (seconds, nondecreasing); the generator
+    /// emits exactly one job per instant.
+    Trace(Vec<f64>),
+}
+
+/// Generates a deterministic arrival sequence: `(arrival_time, spec)`
+/// pairs sorted by time, ids ascending.
+///
+/// * `jobs` — number of jobs to emit (for [`ArrivalPattern::Trace`] the
+///   effective count is `min(jobs, trace.len())`).
+/// * `tenants` — jobs are assigned tenants uniformly at random from
+///   `0..tenants`.
+/// * `pool_n` — pool size the presets are instantiated against.
+///
+/// # Panics
+///
+/// Panics on a non-positive Poisson rate, an empty/negative/unsorted
+/// trace, an empty preset mix, non-positive weights, or zero tenants.
+#[must_use]
+pub fn generate_workload(
+    pattern: &ArrivalPattern,
+    mix: &[(JobPreset, f64)],
+    jobs: usize,
+    tenants: u32,
+    pool_n: usize,
+    seed: u64,
+) -> Vec<(f64, JobSpec)> {
+    assert!(!mix.is_empty(), "preset mix cannot be empty");
+    assert!(
+        mix.iter().all(|(_, w)| w.is_finite() && *w > 0.0),
+        "preset weights must be positive"
+    );
+    assert!(tenants > 0, "need at least one tenant");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E_4E_11_0B);
+
+    let times: Vec<f64> = match pattern {
+        ArrivalPattern::Poisson { rate } => {
+            assert!(rate.is_finite() && *rate > 0.0, "Poisson rate must be > 0");
+            let mut t = 0.0;
+            (0..jobs)
+                .map(|_| {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    t += -u.ln() / rate;
+                    t
+                })
+                .collect()
+        }
+        ArrivalPattern::Trace(instants) => {
+            assert!(!instants.is_empty(), "trace must contain arrivals");
+            assert!(
+                instants
+                    .windows(2)
+                    .all(|w| w[0] <= w[1] && w[0].is_finite()),
+                "trace instants must be finite and nondecreasing"
+            );
+            assert!(instants[0] >= 0.0, "trace instants must be non-negative");
+            instants.iter().take(jobs).copied().collect()
+        }
+    };
+
+    let total_weight: f64 = mix.iter().map(|(_, w)| w).sum();
+    times
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut roll = rng.gen_range(0.0..total_weight);
+            let mut chosen = mix[0].0;
+            for (preset, w) in mix {
+                if roll < *w {
+                    chosen = *preset;
+                    break;
+                }
+                roll -= w;
+            }
+            let tenant = rng.gen_range(0..tenants);
+            (t, chosen.instantiate(i as JobId, tenant, pool_n))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_times_are_increasing_and_rate_shaped() {
+        let w = generate_workload(
+            &ArrivalPattern::Poisson { rate: 2.0 },
+            &JobPreset::standard_mix(),
+            400,
+            3,
+            16,
+            7,
+        );
+        assert_eq!(w.len(), 400);
+        assert!(w.windows(2).all(|p| p[0].0 < p[1].0));
+        // Mean inter-arrival ~ 1/rate = 0.5s; allow a generous band.
+        let mean = w.last().unwrap().0 / 400.0;
+        assert!((0.3..0.7).contains(&mean), "mean inter-arrival {mean}");
+    }
+
+    #[test]
+    fn trace_pattern_replays_instants() {
+        let w = generate_workload(
+            &ArrivalPattern::Trace(vec![0.0, 0.5, 0.5, 2.0]),
+            &[(JobPreset::small(), 1.0)],
+            10,
+            1,
+            8,
+            1,
+        );
+        let times: Vec<f64> = w.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![0.0, 0.5, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn ids_ascend_and_k_scales_with_pool() {
+        let w = generate_workload(
+            &ArrivalPattern::Poisson { rate: 1.0 },
+            &JobPreset::standard_mix(),
+            50,
+            4,
+            16,
+            3,
+        );
+        for (i, (_, spec)) in w.iter().enumerate() {
+            assert_eq!(spec.id, i as JobId);
+            assert_eq!(spec.k, 12, "0.75 · 16 pool");
+            assert!(spec.tenant < 4);
+        }
+    }
+
+    #[test]
+    fn mix_produces_every_preset() {
+        let w = generate_workload(
+            &ArrivalPattern::Poisson { rate: 1.0 },
+            &JobPreset::standard_mix(),
+            300,
+            2,
+            12,
+            11,
+        );
+        for name in ["small", "medium", "large"] {
+            assert!(
+                w.iter().any(|(_, s)| s.preset == name),
+                "{name} never drawn in 300 jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let make = || {
+            generate_workload(
+                &ArrivalPattern::Poisson { rate: 3.0 },
+                &JobPreset::standard_mix(),
+                64,
+                3,
+                16,
+                99,
+            )
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn work_accounting() {
+        let s = JobPreset::medium().instantiate(0, 0, 16);
+        assert_eq!(s.work_per_iteration(), (1200 * 48) as f64);
+        assert_eq!(s.total_work(), (1200 * 48 * 8) as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "Poisson rate must be > 0")]
+    fn zero_rate_rejected() {
+        let _ = generate_workload(
+            &ArrivalPattern::Poisson { rate: 0.0 },
+            &[(JobPreset::small(), 1.0)],
+            1,
+            1,
+            4,
+            0,
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the service engine's two load-bearing
+//! invariants:
+//!
+//! 1. the event loop pops events in nondecreasing time order with FIFO
+//!    tie-breaking (every scheduling decision sits on this), and
+//! 2. shared-cluster allocation conserves exactly-`k` chunk coverage for
+//!    every resident job, under arbitrary job mixes and worker churn —
+//!    or degrades that job (and only that job) to conventional full
+//!    assignment when its slice is infeasible.
+
+use proptest::prelude::*;
+use s2c2_serve::event::{EventKind, EventQueue};
+use s2c2_serve::shared_alloc::{allocate_shared, JobDemand};
+
+/// A pool's worth of worker speeds with churn: some workers up at
+/// various speeds, some churned out (zero).
+fn churned_speeds(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => 0.05f64..1.2,   // up
+            1 => Just(0.0),      // churned out / dead
+        ],
+        n,
+    )
+}
+
+/// A random mix of resident jobs.
+fn job_mix(max_jobs: usize, max_k: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    proptest::collection::vec((1usize..=max_k, 1usize..=16, 0.25f64..4.0), 1..=max_jobs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn event_loop_pops_in_nondecreasing_fifo_order(
+        // Coarse-grained times force plenty of exact ties.
+        times in proptest::collection::vec(0usize..8, 1..64),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t as f64, EventKind::EpochTick { epoch: i });
+        }
+        let mut popped: Vec<(f64, usize)> = Vec::new();
+        while let Some((t, EventKind::EpochTick { epoch })) = q.pop() {
+            popped.push((t, epoch));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards: {w:?}");
+            if w[0].0 == w[1].0 {
+                // FIFO among ties: insertion order (epoch payload encodes
+                // push order) must be preserved.
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated at {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn event_loop_interleaved_pushes_stay_ordered(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0usize..6, 1..8),
+            1..8,
+        ),
+    ) {
+        // Push a batch, pop one, push the next batch, ... — the stream of
+        // popped times must still be nondecreasing *per remaining queue*:
+        // i.e. every pop returns the minimum of what is queued.
+        let mut q = EventQueue::new();
+        let mut seq = 0usize;
+        let mut last_popped = 0.0f64;
+        for batch in &batches {
+            for &t in batch {
+                // Only push at or after the last popped time, as the
+                // engine does (no scheduling into the past).
+                let t = (t as f64).max(last_popped);
+                q.push(t, EventKind::EpochTick { epoch: seq });
+                seq += 1;
+            }
+            if let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last_popped, "pop went backwards");
+                last_popped = t;
+            }
+        }
+        let mut rest = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            rest.push(t);
+        }
+        for w in rest.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn shared_allocation_conserves_exact_coverage_per_job(
+        n in 3usize..=20,
+        seedspeeds in churned_speeds(20),
+        mix in job_mix(5, 20),
+    ) {
+        let speeds = &seedspeeds[..n];
+        let alive = speeds.iter().filter(|&&s| s > 0.0).count();
+        let demands: Vec<JobDemand> = mix
+            .iter()
+            .map(|&(k, chunks, weight)| JobDemand {
+                k: k.min(n),
+                chunks_per_partition: chunks,
+                weight,
+            })
+            .collect();
+        let out = allocate_shared(speeds, &demands);
+        prop_assert_eq!(out.len(), demands.len());
+
+        let share_sum: f64 = out.iter().map(|s| s.share).sum();
+        prop_assert!((share_sum - 1.0).abs() < 1e-9, "shares must sum to 1");
+
+        for (d, s) in demands.iter().zip(out.iter()) {
+            if d.k <= alive {
+                // Feasible job: exactly-k coverage survives sharing + churn.
+                prop_assert!(!s.degraded, "k={} alive={alive} needlessly degraded", d.k);
+                prop_assert!(s.assignment.is_decodable(), "coverage broken for k={}", d.k);
+                let cov = s.assignment.coverage();
+                prop_assert!(cov.iter().all(|&c| c == d.k));
+                // Churned-out workers never receive chunks.
+                for (w, &sp) in speeds.iter().enumerate() {
+                    if sp == 0.0 {
+                        prop_assert!(s.assignment.chunks[w].is_empty());
+                    }
+                }
+            } else {
+                // Infeasible job: degrades to conventional full assignment
+                // over the available workers, alone.
+                prop_assert!(s.degraded, "k={} alive={alive} must degrade", d.k);
+                for (w, &sp) in speeds.iter().enumerate() {
+                    let expect = if sp > 0.0 { d.chunks_per_partition } else { 0 };
+                    prop_assert_eq!(s.assignment.chunks[w].len(), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degrading_one_job_never_degrades_its_neighbours(
+        n in 4usize..=16,
+        seedspeeds in churned_speeds(16),
+        chunks in 2usize..=12,
+    ) {
+        let speeds = &seedspeeds[..n];
+        let alive = speeds.iter().filter(|&&s| s > 0.0).count();
+        prop_assume!(alive >= 2);
+        // One certainly-infeasible job next to one certainly-feasible job.
+        let demands = [
+            JobDemand { k: n, chunks_per_partition: chunks, weight: 1.0 },
+            JobDemand { k: 1, chunks_per_partition: chunks, weight: 1.0 },
+        ];
+        let out = allocate_shared(speeds, &demands);
+        if alive < n {
+            prop_assert!(out[0].degraded);
+        }
+        prop_assert!(!out[1].degraded, "feasible neighbour must not degrade");
+        prop_assert!(out[1].assignment.is_decodable());
+    }
+}

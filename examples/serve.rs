@@ -1,0 +1,76 @@
+//! Quickstart for the multi-job service engine: a shared 16-worker pool
+//! serving a Poisson stream of heterogeneous coded jobs, comparing
+//! shared-cluster S²C² scheduling against conventional MDS and uncoded.
+//!
+//! ```text
+//! cargo run --release --example serve
+//! ```
+
+use s2c2::prelude::*;
+use s2c2_core::speed_tracker::PredictorSource;
+
+fn main() {
+    let n = 16;
+    // A pool with three hidden 5x stragglers and ±20% heterogeneity.
+    let pool = || {
+        ClusterSpec::builder(n)
+            .compute_bound()
+            .seed(0x5EED)
+            .straggler_slowdown(5.0)
+            .stragglers(&[2, 7, 11], 0.2)
+            .build()
+    };
+
+    // 50 jobs arriving at ~1.2 jobs/s from the standard small/medium/large
+    // mix, shared across 4 tenants.
+    let workload = generate_workload(
+        &ArrivalPattern::Poisson { rate: 1.2 },
+        &JobPreset::standard_mix(),
+        50,
+        4,
+        n,
+        42,
+    );
+    println!(
+        "serving {} jobs over a {n}-worker pool (3 hidden stragglers)...\n",
+        workload.len()
+    );
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>11} {:>12} {:>9}",
+        "policy", "p50 (s)", "p95 (s)", "p99 (s)", "jobs/s", "utilization", "timeouts"
+    );
+
+    for (name, mode) in [
+        ("uncoded", SchedulerMode::Uncoded),
+        ("mds", SchedulerMode::ConventionalMds),
+        (
+            "s2c2",
+            SchedulerMode::SharedS2c2 {
+                predictor: PredictorSource::LastValue,
+            },
+        ),
+    ] {
+        let cfg = ServeConfig::new(mode);
+        let report = ServiceEngine::new(pool(), cfg)
+            .expect("valid configuration")
+            .run(&workload)
+            .expect("service run completes");
+        assert_eq!(report.completed(), workload.len());
+        println!(
+            "{:<10} {:>9.3} {:>9.3} {:>9.3} {:>11.3} {:>12.3} {:>9}",
+            name,
+            report.latency_percentile(50.0),
+            report.latency_percentile(95.0),
+            report.latency_percentile(99.0),
+            report.throughput(),
+            report.utilization(),
+            report.timeouts,
+        );
+    }
+
+    println!(
+        "\nshared-cluster S²C² squeezes the same (n,k) slack across every \
+         resident job:\nless tail latency at the same offered load, no data \
+         movement, no re-encoding."
+    );
+}

@@ -15,6 +15,7 @@
 //! | execution | [`cluster`] | discrete-event and threaded cluster engines |
 //! | **the paper** | [`core`] | Algorithm 1 allocator, S²C² strategies, job driver |
 //! | applications | [`workloads`] | LR, SVM, PageRank, graph filtering, Hessian |
+//! | service | [`serve`] | event-driven multi-job engine, shared-cluster S²C² |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@ pub use s2c2_coding as coding;
 pub use s2c2_core as core;
 pub use s2c2_linalg as linalg;
 pub use s2c2_predict as predict;
+pub use s2c2_serve as serve;
 pub use s2c2_trace as trace;
 pub use s2c2_workloads as workloads;
 
@@ -59,4 +61,8 @@ pub mod prelude {
     pub use s2c2_core::job::{CodedJob, CodedJobBuilder};
     pub use s2c2_core::strategy::StrategyKind;
     pub use s2c2_linalg::{Matrix, Vector};
+    pub use s2c2_serve::prelude::{
+        generate_workload, ArrivalPattern, ChurnConfig, JobPreset, JobSpec, QueuePolicy,
+        SchedulerMode, ServeConfig, ServiceEngine, ServiceReport,
+    };
 }

@@ -17,6 +17,11 @@ struct ChunkTask {
     x: Arc<Vector>,
 }
 
+/// Intra-worker data parallelism: each simulated worker splits its rows
+/// over this many OS threads via `s2c2_linalg::parallel` (the same knob
+/// the serve engine's compute model charges for).
+const WORKER_THREADS: usize = 2;
+
 fn spawn_coded_cluster(
     enc: Arc<s2c2_coding::mds::EncodedMatrix>,
     slow_workers: &[usize],
@@ -31,7 +36,7 @@ fn spawn_coded_cluster(
                 // 5x-ish slowdown via busy wait per chunk.
                 spin_delay_micros(4_000 * task.chunks.len() as u64);
             }
-            enc.worker_compute_chunks(worker, &task.chunks, &task.x)
+            enc.worker_compute_chunks_par(worker, &task.chunks, &task.x, WORKER_THREADS)
         }
     })
 }

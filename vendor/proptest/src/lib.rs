@@ -25,7 +25,7 @@ pub mod collection {
     use crate::test_runner::TestRunner;
     use std::ops::{Range, RangeInclusive};
 
-    /// Something usable as a length specification for [`vec`]: a fixed
+    /// Something usable as a length specification for [`vec()`]: a fixed
     /// `usize` or a (half-open / inclusive) range.
     pub trait SizeRange {
         /// Draws a length.
