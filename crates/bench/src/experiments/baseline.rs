@@ -47,6 +47,27 @@ pub struct ServeBaseline {
     pub p99_latency: f64,
     /// Completed jobs per second of makespan.
     pub throughput: f64,
+    /// Pool utilization (must be within `[0, 1]`).
+    pub utilization: f64,
+}
+
+/// One tenant's QoS summary row from the s2c2 serve scenario.
+#[derive(Debug, Clone)]
+pub struct TenantBaseline {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Jobs the tenant submitted.
+    pub jobs: usize,
+    /// Median sojourn latency over its completed jobs.
+    pub p50_latency: f64,
+    /// 99th-percentile sojourn latency over its completed jobs.
+    pub p99_latency: f64,
+    /// Weight-mass share it was entitled to.
+    pub entitled_share: f64,
+    /// Work share it achieved while tenants contended.
+    pub achieved_share: f64,
+    /// Fraction of its deadline-carrying jobs served on time.
+    pub on_time_ratio: f64,
 }
 
 /// The full baseline record.
@@ -70,6 +91,8 @@ pub struct Baseline {
     pub serve_workers: usize,
     /// Multi-job service scenario summary (16-worker shared pool).
     pub serve: Vec<ServeBaseline>,
+    /// Per-tenant QoS rows from the s2c2 serve scenario.
+    pub serve_tenants: Vec<TenantBaseline>,
 }
 
 /// Runs the baseline job: a 1200×60 iterated coded matvec on 12 workers,
@@ -151,6 +174,7 @@ pub fn run() -> Baseline {
     // reference guards exactly what `figures -- serve` measures.
     let serve_jobs = 40usize;
     let mut serve = Vec::with_capacity(3);
+    let mut serve_tenants = Vec::new();
     for name in ["uncoded", "mds", "s2c2"] {
         let report = serve_exp::run_service(serve_exp::mode(name), 1.0, serve_jobs, 1);
         assert_eq!(
@@ -158,12 +182,33 @@ pub fn run() -> Baseline {
             serve_jobs,
             "{name} serve baseline must complete every job"
         );
+        let utilization = report.utilization();
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "{name} utilization {utilization} out of [0, 1]"
+        );
         serve.push(ServeBaseline {
             name: name.to_string(),
             p50_latency: report.latency_percentile(50.0),
             p99_latency: report.latency_percentile(99.0),
             throughput: report.throughput(),
+            utilization,
         });
+        if name == "s2c2" {
+            serve_tenants = report
+                .tenant_summaries()
+                .into_iter()
+                .map(|t| TenantBaseline {
+                    tenant: t.tenant,
+                    jobs: t.jobs,
+                    p50_latency: t.p50_latency,
+                    p99_latency: t.p99_latency,
+                    entitled_share: t.entitled_share,
+                    achieved_share: t.achieved_share,
+                    on_time_ratio: t.on_time_ratio,
+                })
+                .collect();
+        }
     }
 
     Baseline {
@@ -176,6 +221,7 @@ pub fn run() -> Baseline {
         serve_jobs,
         serve_workers: serve_exp::POOL,
         serve,
+        serve_tenants,
     }
 }
 
@@ -209,12 +255,28 @@ impl Baseline {
         s.push_str("  \"serve\": [\n");
         for (i, row) in self.serve.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"p50_latency\": {:.6}, \"p99_latency\": {:.6}, \"throughput\": {:.6}}}{}\n",
+                "    {{\"name\": \"{}\", \"p50_latency\": {:.6}, \"p99_latency\": {:.6}, \"throughput\": {:.6}, \"utilization\": {:.6}}}{}\n",
                 row.name,
                 row.p50_latency,
                 row.p99_latency,
                 row.throughput,
+                row.utilization,
                 if i + 1 < self.serve.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"serve_tenants\": [\n");
+        for (i, row) in self.serve_tenants.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"tenant\": {}, \"jobs\": {}, \"p50_latency\": {:.6}, \"p99_latency\": {:.6}, \"entitled_share\": {:.6}, \"achieved_share\": {:.6}, \"on_time_ratio\": {:.6}}}{}\n",
+                row.tenant,
+                row.jobs,
+                row.p50_latency,
+                row.p99_latency,
+                row.entitled_share,
+                row.achieved_share,
+                row.on_time_ratio,
+                if i + 1 < self.serve_tenants.len() { "," } else { "" }
             ));
         }
         s.push_str("  ]\n}\n");
@@ -290,7 +352,33 @@ mod tests {
         let j = b.to_json();
         assert!(j.starts_with('{') && j.ends_with("}\n"));
         assert_eq!(j.matches("\"name\"").count(), 6);
-        assert_eq!(j.matches("\"p99_latency\"").count(), 6);
+        // 3 schemes + 3 serve rows + one per tenant.
+        assert_eq!(
+            j.matches("\"p99_latency\"").count(),
+            6 + b.serve_tenants.len()
+        );
         assert!(j.contains("\"serve\""));
+        assert!(j.contains("\"serve_tenants\""));
+        assert!(j.contains("\"utilization\""));
+    }
+
+    #[test]
+    fn serve_utilization_within_bounds_and_tenants_present() {
+        let b = run();
+        for row in &b.serve {
+            assert!(
+                (0.0..=1.0).contains(&row.utilization),
+                "{}: utilization {}",
+                row.name,
+                row.utilization
+            );
+        }
+        // The serve scenario spreads jobs over 4 tenants.
+        assert_eq!(b.serve_tenants.len(), 4);
+        let share_sum: f64 = b.serve_tenants.iter().map(|t| t.achieved_share).sum();
+        assert!(share_sum <= 1.0 + 1e-9);
+        for t in &b.serve_tenants {
+            assert_eq!(t.on_time_ratio, 1.0, "no SLOs in the serve scenario");
+        }
     }
 }

@@ -17,6 +17,7 @@ pub mod fig08_cloud;
 pub mod fig12_polynomial;
 pub mod fig13_scale;
 pub mod prediction;
+pub mod qos;
 pub mod serve;
 
 /// Experiment size selector.
@@ -153,6 +154,17 @@ pub fn registry() -> Vec<ExperimentDef> {
                 emit(&out.policies, "serve_policies.csv");
                 emit(&out.load, "serve_load.csv");
                 emit(&out.threads, "serve_threads.csv");
+            },
+        },
+        ExperimentDef {
+            name: "qos",
+            aliases: &[],
+            summary: "QoS: tenant-weighted shares and deadline-aware admission",
+            in_all: true,
+            run: |s, emit| {
+                let out = qos::run(s);
+                emit(&out.weights, "qos_weights.csv");
+                emit(&out.deadline, "qos_deadline.csv");
             },
         },
         ExperimentDef {

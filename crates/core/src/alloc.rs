@@ -330,6 +330,29 @@ pub fn allocate_chunks_with_fixed_cost(
     Ok(assignment)
 }
 
+/// Normalizes per-job capacity weights into fractional shares summing
+/// to 1: `out[j] = weights[j] / Σ weights`.
+///
+/// This is the single weight→share definition the whole stack agrees
+/// on: [`split_worker_capacity`] uses it to slice worker capacity, and
+/// the `s2c2-serve` engine uses it to rate in-flight tasks, so a
+/// weight-2 tenant really runs at twice a weight-1 tenant's fractional
+/// rate everywhere the weight is consulted.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or any weight is non-positive.
+#[must_use]
+pub fn normalized_shares(weights: &[f64]) -> Vec<f64> {
+    assert!(!weights.is_empty(), "need at least one resident job");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w > 0.0),
+        "job weights must be positive"
+    );
+    let total: f64 = weights.iter().sum();
+    weights.iter().map(|&w| w / total).collect()
+}
+
 /// Splits each worker's per-iteration capacity across concurrently
 /// resident jobs — the shared-cluster hook used by `s2c2-serve`.
 ///
@@ -351,18 +374,9 @@ pub fn allocate_chunks_with_fixed_cost(
 /// Panics if `weights` is empty or any weight is non-positive.
 #[must_use]
 pub fn split_worker_capacity(speeds: &[f64], weights: &[f64]) -> Vec<Vec<f64>> {
-    assert!(!weights.is_empty(), "need at least one resident job");
-    assert!(
-        weights.iter().all(|w| w.is_finite() && *w > 0.0),
-        "job weights must be positive"
-    );
-    let total: f64 = weights.iter().sum();
-    weights
-        .iter()
-        .map(|&wj| {
-            let frac = wj / total;
-            speeds.iter().map(|&s| s * frac).collect()
-        })
+    normalized_shares(weights)
+        .into_iter()
+        .map(|frac| speeds.iter().map(|&s| s * frac).collect())
         .collect()
 }
 
@@ -578,5 +592,13 @@ mod tests {
     #[should_panic(expected = "job weights must be positive")]
     fn capacity_split_rejects_zero_weight() {
         let _ = split_worker_capacity(&[1.0], &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn normalized_shares_sum_to_one_and_track_weights() {
+        let shares = normalized_shares(&[1.0, 2.0, 1.0]);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((shares[1] / shares[0] - 2.0).abs() < 1e-12);
+        assert_eq!(normalized_shares(&[7.0]), vec![1.0]);
     }
 }

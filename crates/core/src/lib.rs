@@ -29,7 +29,8 @@ pub mod storage_model;
 pub mod strategy;
 
 pub use alloc::{
-    allocate_chunks, allocate_chunks_basic, allocate_full, split_worker_capacity, ChunkAssignment,
+    allocate_chunks, allocate_chunks_basic, allocate_full, normalized_shares,
+    split_worker_capacity, ChunkAssignment,
 };
 pub use error::S2c2Error;
 pub use job::{CodedJob, CodedJobBuilder};

@@ -3,9 +3,12 @@
 //! The engine admits at most `max_resident` jobs onto the shared pool at
 //! once; everything else waits in the admission queue. The policy decides
 //! *which* queued job is admitted when a slot frees up — the classic
-//! scheduling lever for tail latency under load.
+//! scheduling lever for tail latency under load, and (with
+//! [`QueuePolicy::EarliestDeadline`] / [`QueuePolicy::WeightedFairShare`])
+//! the QoS lever for deadline hit rates and tenant entitlements.
 
 use crate::workload::JobSpec;
+use std::collections::BTreeMap;
 
 /// A job waiting in the admission queue.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,6 +17,27 @@ pub struct QueuedJob {
     pub spec: JobSpec,
     /// When it arrived (event time).
     pub arrival: f64,
+}
+
+impl QueuedJob {
+    /// Absolute deadline instant (`arrival + relative SLO`), or infinity
+    /// for jobs without one — so deadline-ordered comparisons place
+    /// SLO-less jobs last.
+    #[must_use]
+    pub fn absolute_deadline(&self) -> f64 {
+        self.spec
+            .deadline
+            .map_or(f64::INFINITY, |d| self.arrival + d)
+    }
+}
+
+/// What the policy knows about one currently-resident job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResidentInfo {
+    /// Owning tenant.
+    pub tenant: u32,
+    /// Capacity weight the job holds while resident.
+    pub weight: f64,
 }
 
 /// Which queued job gets the next free residency slot.
@@ -27,31 +51,78 @@ pub enum QueuePolicy {
     /// Max-min fairness across tenants: admit from the tenant with the
     /// fewest currently-resident jobs (FIFO within a tenant).
     FairShare,
+    /// Least slack to deadline first: admit the job whose absolute
+    /// deadline (`arrival + SLO`) is earliest; jobs without a deadline
+    /// queue behind every deadline-carrying job, FIFO among themselves.
+    EarliestDeadline,
+    /// Weight-normalized fairness across tenants: admit the job whose
+    /// tenant holds the least resident capacity *relative to the job's
+    /// weight* (`resident_weight[tenant] / job.weight`), so a weight-2
+    /// tenant is entitled to hold twice the resident mass before it
+    /// yields to a weight-1 tenant.
+    WeightedFairShare,
 }
 
 impl QueuePolicy {
     /// Picks the index (into `queue`) of the job to admit next, given the
-    /// tenants of currently-resident jobs. Returns `None` on an empty
-    /// queue. Deterministic: all ties break by `(arrival, id)`.
+    /// currently-resident jobs' tenants and weights. Returns `None` on an
+    /// empty queue. Deterministic: all ties break by `(arrival, id)`,
+    /// with arrivals compared via [`f64::total_cmp`] (bit-pattern
+    /// ordering of `to_bits` mis-orders negative floats).
     #[must_use]
-    pub fn pick(&self, queue: &[QueuedJob], resident_tenants: &[u32]) -> Option<usize> {
+    pub fn pick(&self, queue: &[QueuedJob], residents: &[ResidentInfo]) -> Option<usize> {
         if queue.is_empty() {
             return None;
         }
-        let by_arrival =
-            |i: usize| (queue[i].arrival.to_bits(), queue[i].spec.id) /* total order */;
+        let by_arrival = |a: usize, b: usize| {
+            queue[a]
+                .arrival
+                .total_cmp(&queue[b].arrival)
+                .then(queue[a].spec.id.cmp(&queue[b].spec.id))
+        };
         let idx = match self {
-            QueuePolicy::Fifo => (0..queue.len()).min_by_key(|&i| by_arrival(i)),
+            QueuePolicy::Fifo => (0..queue.len()).min_by(|&a, &b| by_arrival(a, b)),
             QueuePolicy::ShortestExpectedWork => (0..queue.len()).min_by(|&a, &b| {
                 queue[a]
                     .spec
                     .total_work()
                     .total_cmp(&queue[b].spec.total_work())
-                    .then_with(|| by_arrival(a).cmp(&by_arrival(b)))
+                    .then_with(|| by_arrival(a, b))
             }),
             QueuePolicy::FairShare => {
-                let resident_of = |t: u32| resident_tenants.iter().filter(|&&r| r == t).count();
-                (0..queue.len()).min_by_key(|&i| (resident_of(queue[i].spec.tenant), by_arrival(i)))
+                // One pass over the resident set, then O(1) per queued
+                // job — not an O(queue × residents) rescan.
+                let mut count: BTreeMap<u32, usize> = BTreeMap::new();
+                for r in residents {
+                    *count.entry(r.tenant).or_insert(0) += 1;
+                }
+                let resident_of = |t: u32| count.get(&t).copied().unwrap_or(0);
+                (0..queue.len()).min_by(|&a, &b| {
+                    resident_of(queue[a].spec.tenant)
+                        .cmp(&resident_of(queue[b].spec.tenant))
+                        .then_with(|| by_arrival(a, b))
+                })
+            }
+            QueuePolicy::EarliestDeadline => (0..queue.len()).min_by(|&a, &b| {
+                queue[a]
+                    .absolute_deadline()
+                    .total_cmp(&queue[b].absolute_deadline())
+                    .then_with(|| by_arrival(a, b))
+            }),
+            QueuePolicy::WeightedFairShare => {
+                let mut mass: BTreeMap<u32, f64> = BTreeMap::new();
+                for r in residents {
+                    *mass.entry(r.tenant).or_insert(0.0) += r.weight;
+                }
+                let normalized = |i: usize| {
+                    let held = mass.get(&queue[i].spec.tenant).copied().unwrap_or(0.0);
+                    held / queue[i].spec.weight.max(f64::MIN_POSITIVE)
+                };
+                (0..queue.len()).min_by(|&a, &b| {
+                    normalized(a)
+                        .total_cmp(&normalized(b))
+                        .then_with(|| by_arrival(a, b))
+                })
             }
         };
         idx
@@ -64,6 +135,8 @@ impl std::fmt::Display for QueuePolicy {
             QueuePolicy::Fifo => "fifo",
             QueuePolicy::ShortestExpectedWork => "shortest-work",
             QueuePolicy::FairShare => "fair-share",
+            QueuePolicy::EarliestDeadline => "earliest-deadline",
+            QueuePolicy::WeightedFairShare => "weighted-fair-share",
         };
         f.write_str(s)
     }
@@ -81,12 +154,27 @@ mod tests {
         }
     }
 
+    fn resident(tenant: u32, weight: f64) -> ResidentInfo {
+        ResidentInfo { tenant, weight }
+    }
+
     #[test]
     fn fifo_takes_earliest_arrival() {
         let q = vec![
             queued(2, 0, 5.0, JobPreset::small()),
             queued(0, 0, 1.0, JobPreset::large()),
             queued(1, 0, 3.0, JobPreset::small()),
+        ];
+        assert_eq!(QueuePolicy::Fifo.pick(&q, &[]), Some(1));
+    }
+
+    #[test]
+    fn fifo_orders_negative_arrivals_correctly() {
+        // to_bits ordering put every negative float *after* every
+        // positive one; total_cmp must not.
+        let q = vec![
+            queued(0, 0, 0.5, JobPreset::small()),
+            queued(1, 0, -1.0, JobPreset::small()),
         ];
         assert_eq!(QueuePolicy::Fifo.pick(&q, &[]), Some(1));
     }
@@ -108,9 +196,44 @@ mod tests {
             queued(0, 0, 0.0, JobPreset::small()),
             queued(1, 1, 4.0, JobPreset::small()),
         ];
-        assert_eq!(QueuePolicy::FairShare.pick(&q, &[0, 0]), Some(1));
+        let two_zero = [resident(0, 1.0), resident(0, 1.0)];
+        assert_eq!(QueuePolicy::FairShare.pick(&q, &two_zero), Some(1));
         // With equal residency, FIFO order applies.
-        assert_eq!(QueuePolicy::FairShare.pick(&q, &[0, 1]), Some(0));
+        let one_each = [resident(0, 1.0), resident(1, 1.0)];
+        assert_eq!(QueuePolicy::FairShare.pick(&q, &one_each), Some(0));
+    }
+
+    #[test]
+    fn earliest_deadline_prefers_least_slack() {
+        let q = vec![
+            queued(0, 0, 0.0, JobPreset::small().with_deadline(10.0)),
+            queued(1, 0, 2.0, JobPreset::small().with_deadline(3.0)), // abs 5.0
+            queued(2, 0, 1.0, JobPreset::small()),                    // no SLO -> last
+        ];
+        assert_eq!(QueuePolicy::EarliestDeadline.pick(&q, &[]), Some(1));
+        // SLO-less jobs order FIFO behind every deadline-carrying job.
+        let q2 = vec![
+            queued(0, 0, 4.0, JobPreset::small()),
+            queued(1, 0, 1.0, JobPreset::small()),
+        ];
+        assert_eq!(QueuePolicy::EarliestDeadline.pick(&q2, &[]), Some(1));
+    }
+
+    #[test]
+    fn weighted_fair_share_respects_entitlements() {
+        // Tenant 1 (weight-2 jobs) holds 2.0 resident mass, tenant 0
+        // (weight-1 jobs) holds 1.0: normalized residency is equal
+        // (2/2 == 1/1), so FIFO breaks the tie...
+        let q = vec![
+            queued(0, 0, 0.0, JobPreset::small()),
+            queued(1, 1, 1.0, JobPreset::small().with_weight(2.0)),
+        ];
+        let balanced = [resident(0, 1.0), resident(1, 2.0)];
+        assert_eq!(QueuePolicy::WeightedFairShare.pick(&q, &balanced), Some(0));
+        // ...but once tenant 1 has no residents it wins despite arriving
+        // later (0/2 < 1/1).
+        let only_zero = [resident(0, 1.0)];
+        assert_eq!(QueuePolicy::WeightedFairShare.pick(&q, &only_zero), Some(1));
     }
 
     #[test]
@@ -119,6 +242,8 @@ mod tests {
             QueuePolicy::Fifo,
             QueuePolicy::ShortestExpectedWork,
             QueuePolicy::FairShare,
+            QueuePolicy::EarliestDeadline,
+            QueuePolicy::WeightedFairShare,
         ] {
             assert_eq!(p.pick(&[], &[]), None);
         }
@@ -134,7 +259,23 @@ mod tests {
     }
 
     #[test]
+    fn absolute_deadline_is_arrival_anchored() {
+        let j = queued(0, 0, 3.0, JobPreset::small().with_deadline(2.0));
+        assert!((j.absolute_deadline() - 5.0).abs() < 1e-12);
+        let no_slo = queued(1, 0, 3.0, JobPreset::small());
+        assert_eq!(no_slo.absolute_deadline(), f64::INFINITY);
+    }
+
+    #[test]
     fn display_names() {
         assert_eq!(QueuePolicy::FairShare.to_string(), "fair-share");
+        assert_eq!(
+            QueuePolicy::EarliestDeadline.to_string(),
+            "earliest-deadline"
+        );
+        assert_eq!(
+            QueuePolicy::WeightedFairShare.to_string(),
+            "weighted-fair-share"
+        );
     }
 }

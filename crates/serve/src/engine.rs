@@ -14,13 +14,38 @@
 //! serving job `j` takes `E / (speed_w · share_j · throughput ·
 //! thread_speedup)` seconds, plus transfer times from the
 //! [`s2c2_cluster::CommModel`]. `share_j` is the fraction of every
-//! worker's capacity the shared allocator granted job `j`
-//! (processor-sharing across resident jobs). Speeds are piecewise
-//! constant: each task runs at the speed sampled when it was issued, and
-//! epoch ticks only affect tasks issued afterwards — the same
-//! once-per-iteration granularity the paper measures and predicts at.
-//! Shares are likewise fixed at iteration start; a job admitted
-//! mid-iteration contends only from the next iteration boundary on.
+//! worker's capacity the shared allocator granted job `j`: the job's
+//! capacity weight normalized over the live resident set
+//! (`weight_j / Σ weights`, the [`s2c2_core::normalized_shares`] rule),
+//! so a weight-2 tenant runs at twice a weight-1 tenant's fractional
+//! rate. Speeds are piecewise constant: each task runs at the speed
+//! sampled when it was issued, and epoch ticks only affect tasks issued
+//! afterwards — the same once-per-iteration granularity the paper
+//! measures and predicts at.
+//!
+//! # Work conservation
+//!
+//! Shares are *not* frozen at iteration boundaries: whenever the
+//! resident set changes (admission, completion, failure), every running
+//! iteration's share is recomputed from the live weight mass and its
+//! in-flight tasks are rescaled at that instant. Capacity freed by a
+//! finishing job flows to its neighbours immediately instead of idling
+//! until their iteration boundaries, and a newly admitted job squeezes
+//! its neighbours immediately instead of over-subscribing the pool
+//! (stale share snapshots were precisely the bug that let reported
+//! utilization exceed 1). The rescale stretches a task's whole
+//! remaining span — a deliberate approximation: the transfer tail is a
+//! few control/row messages, negligible beside compute in the clusters
+//! this models.
+//!
+//! # Deadlines
+//!
+//! Jobs may carry a relative SLO ([`crate::workload::JobSpec::deadline`]).
+//! [`QueuePolicy::EarliestDeadline`] admits by least slack, and with
+//! [`ServeConfig::reject_infeasible_deadlines`] the engine refuses, at
+//! admission time, jobs whose deadline cannot be met even by the whole
+//! pool running the job alone (an optimistic lower bound, so only
+//! provably-hopeless jobs are turned away).
 //!
 //! # Robustness ladder (per iteration)
 //!
@@ -35,7 +60,7 @@
 //! 5. Nobody left (churn storm) → restart the iteration, up to
 //!    `max_retries`, then fail the job.
 
-use crate::admission::{QueuePolicy, QueuedJob};
+use crate::admission::{QueuePolicy, QueuedJob, ResidentInfo};
 use crate::event::{EventKind, EventQueue, JobId};
 use crate::metrics::{JobRecord, ServiceReport};
 use crate::shared_alloc::{allocate_for_resident, full_over_available};
@@ -114,6 +139,11 @@ pub struct ServeConfig {
     pub max_retries: usize,
     /// Hard event budget (guards against configuration-induced livelock).
     pub max_events: u64,
+    /// Deadline admission control: refuse jobs whose SLO cannot be met
+    /// even by the whole pool serving them alone (optimistic bound —
+    /// only provably-hopeless jobs are rejected). Rejected jobs resolve
+    /// immediately as failed with the `rejected` flag set.
+    pub reject_infeasible_deadlines: bool,
 }
 
 impl ServeConfig {
@@ -130,6 +160,7 @@ impl ServeConfig {
             churn: None,
             max_retries: 3,
             max_events: 2_000_000,
+            reject_infeasible_deadlines: false,
         }
     }
 }
@@ -189,7 +220,6 @@ fn refund_busy(busy_time: &mut f64, charged: &mut f64, finish: f64, now: f64, sh
 #[derive(Debug)]
 struct RunningIteration {
     generation: u64,
-    start: f64,
     share: f64,
     k_eff: usize,
     rows_per_chunk: usize,
@@ -210,11 +240,30 @@ struct RunningIteration {
     redo_busy_charged: Vec<f64>,
     /// Set once this iteration fell back to waiting out stragglers.
     waited_out: bool,
+    /// The currently-armed §4.3 deadline. Timeout events earlier than
+    /// this were superseded (share rebalances stretch in-flight spans
+    /// and re-arm) and must be ignored, or a squeezed iteration would be
+    /// cancelled while legitimately on schedule.
+    armed_deadline: f64,
+    /// Dedicated share-seconds accumulated over completed share
+    /// segments: `∫ share dt` from iteration start to [`share_anchor`].
+    /// With rebalancing, `duration · share` is wrong whenever the share
+    /// changed mid-task; speed observations must use this integral or
+    /// the predictor inherits a bias of up to `old_share / new_share`.
+    share_integral: f64,
+    /// Instant the current share segment began.
+    share_anchor: f64,
 }
 
 impl RunningIteration {
     fn covers(&self, worker: usize, chunk: usize) -> bool {
         self.assignment.chunks[worker].binary_search(&chunk).is_ok()
+    }
+
+    /// Dedicated share-seconds the iteration has accrued by instant `t`
+    /// (`∫ share` over `[start, t]`, exact across share rebalances).
+    fn dedicated_by(&self, t: f64) -> f64 {
+        self.share_integral + (t - self.share_anchor).max(0.0) * self.share
     }
 
     fn done_cover(&self, chunk: usize) -> usize {
@@ -450,7 +499,9 @@ impl ServiceEngine {
             || spec.rows == 0
             || spec.cols == 0
             || spec.chunks_per_partition == 0
-            || spec.iterations == 0;
+            || spec.iterations == 0
+            || !(spec.weight.is_finite() && spec.weight > 0.0)
+            || spec.deadline.is_some_and(|d| !(d.is_finite() && d > 0.0));
         if malformed {
             self.report.jobs.push(JobRecord {
                 id: spec.id,
@@ -462,6 +513,10 @@ impl ServiceEngine {
                 iterations: 0,
                 retries: 0,
                 failed: true,
+                rejected: false,
+                weight: spec.weight,
+                deadline: spec.deadline,
+                work: spec.total_work(),
             });
             return;
         }
@@ -475,12 +530,37 @@ impl ServiceEngine {
 
     fn try_admit(&mut self) {
         while self.resident.len() < self.cfg.max_resident {
-            let resident_tenants: Vec<u32> =
-                self.resident.values().map(|j| j.spec.tenant).collect();
-            let Some(i) = self.cfg.policy.pick(&self.pending, &resident_tenants) else {
+            let residents: Vec<ResidentInfo> = self
+                .resident
+                .values()
+                .map(|j| ResidentInfo {
+                    tenant: j.spec.tenant,
+                    weight: j.spec.weight,
+                })
+                .collect();
+            let Some(i) = self.cfg.policy.pick(&self.pending, &residents) else {
                 break;
             };
             let queued = self.pending.remove(i);
+            if self.cfg.reject_infeasible_deadlines && self.deadline_infeasible(&queued) {
+                self.report.jobs.push(JobRecord {
+                    id: queued.spec.id,
+                    tenant: queued.spec.tenant,
+                    preset: queued.spec.preset,
+                    arrival: queued.arrival,
+                    admitted: self.now,
+                    finished: self.now,
+                    iterations: 0,
+                    retries: 0,
+                    failed: true,
+                    rejected: true,
+                    weight: queued.spec.weight,
+                    deadline: queued.spec.deadline,
+                    work: queued.spec.total_work(),
+                });
+                self.sample_queue_depth();
+                continue;
+            }
             let id = queued.spec.id;
             self.resident.insert(
                 id,
@@ -495,10 +575,32 @@ impl ServiceEngine {
                     waiting_for_capacity: false,
                 },
             );
+            // The newcomer contends immediately: squeeze the neighbours
+            // now, or the pool would be over-subscribed until their next
+            // iteration boundaries.
+            self.rebalance_shares();
             self.sample_queue_depth();
             let at = self.now;
             self.start_iteration(id, at);
         }
+    }
+
+    /// Optimistic service-time lower bound: the job's total work run on
+    /// the whole available pool at once. If even that misses the SLO,
+    /// the deadline is provably infeasible.
+    fn deadline_infeasible(&self, queued: &QueuedJob) -> bool {
+        if queued.spec.deadline.is_none() {
+            return false;
+        }
+        let cap: f64 = self.avail_speeds().iter().sum::<f64>()
+            * self.compute.elements_per_sec
+            * thread_speedup(self.cfg.worker_threads);
+        if cap <= 0.0 {
+            // No live capacity to estimate with: nothing is provable.
+            return false;
+        }
+        let min_service = queued.spec.total_work() / cap;
+        self.now + min_service > queued.absolute_deadline()
     }
 
     /// Effective `(k, chunks, rows_per_chunk)` of a job under the current
@@ -532,8 +634,17 @@ impl ServiceEngine {
             return;
         }
 
-        // Planning speeds and per-job assignment.
-        let residents = self.resident.len().max(1) as f64;
+        // Planning speeds and per-job assignment. Every mode rates the
+        // job at its weight-normalized share of the live resident mass —
+        // the same `weight / Σ weights` rule `split_worker_capacity`
+        // slices capacity by.
+        let total_weight: f64 = self
+            .resident
+            .values()
+            .map(|j| j.spec.weight)
+            .sum::<f64>()
+            .max(f64::MIN_POSITIVE);
+        let weighted_share = (spec.weight / total_weight).min(1.0);
         let (assignment, share, degraded, plan_speeds) = match &self.cfg.scheduler {
             SchedulerMode::Uncoded => {
                 let mask: Vec<bool> = avail.iter().map(|&s| s > 0.0).collect();
@@ -543,7 +654,7 @@ impl ServiceEngine {
                     .iter()
                     .map(|&s| if s > 0.0 { 1.0 } else { 0.0 })
                     .collect();
-                (a, 1.0 / residents, false, uniform)
+                (a, weighted_share, false, uniform)
             }
             SchedulerMode::ConventionalMds => {
                 let uniform: Vec<f64> = avail
@@ -552,7 +663,7 @@ impl ServiceEngine {
                     .collect();
                 (
                     full_over_available(&avail, k_eff, c_eff),
-                    1.0 / residents,
+                    weighted_share,
                     false,
                     uniform,
                 )
@@ -565,10 +676,10 @@ impl ServiceEngine {
                     .zip(self.up.iter())
                     .map(|(&p, &u)| if u { p.max(0.0) } else { 0.0 })
                     .collect();
-                // Equal-weight capacity split across the resident set;
-                // only this job's slice is needed (neighbours re-allocate
-                // at their own iteration boundaries).
-                let mine = allocate_for_resident(&preds, k_eff, c_eff, self.resident.len().max(1));
+                // Weighted capacity split across the resident set; only
+                // this job's slice is needed (neighbours are rescaled by
+                // `rebalance_shares` when membership changes).
+                let mine = allocate_for_resident(&preds, k_eff, c_eff, spec.weight, total_weight);
                 (mine.assignment, mine.share, mine.degraded, preds)
             }
         };
@@ -582,7 +693,6 @@ impl ServiceEngine {
         self.next_generation += 1;
         let mut iter = RunningIteration {
             generation,
-            start: at,
             share,
             k_eff,
             rows_per_chunk: rpc,
@@ -597,6 +707,9 @@ impl ServiceEngine {
             busy_charged: vec![0.0; n],
             redo_busy_charged: vec![0.0; n],
             waited_out: false,
+            armed_deadline: f64::INFINITY,
+            share_integral: 0.0,
+            share_anchor: at,
         };
 
         let t_in = self.comm.transfer_time((spec.cols * 8) as u64);
@@ -642,6 +755,7 @@ impl ServiceEngine {
             _ => max_actual_span,
         };
         let deadline = at + (1.0 + self.cfg.timeout_margin) * span;
+        iter.armed_deadline = deadline;
         self.queue.push(
             deadline,
             EventKind::Timeout {
@@ -653,6 +767,107 @@ impl ServiceEngine {
         let job = self.resident.get_mut(&id).expect("resident job");
         job.waiting_for_capacity = false;
         job.iter = Some(iter);
+    }
+
+    /// Work-conserving share rebalance: recomputes every running
+    /// iteration's share from the live resident weight mass and rescales
+    /// its in-flight tasks at the current instant. Called whenever the
+    /// resident set changes (admission, completion, failure), so shares
+    /// always sum to 1 across residents — which is also what keeps
+    /// per-worker busy accounting within the service horizon.
+    ///
+    /// Rescaling stretches a task's whole remaining span by
+    /// `old_share / new_share` and reschedules its completion event; the
+    /// superseded event is recognized (and dropped) by its stale finish
+    /// time. Busy accounting needs no adjustment: a task's dedicated
+    /// compute-seconds are share-invariant, and the refund rule
+    /// `(finish − now) · share` is preserved exactly by the rescale.
+    fn rebalance_shares(&mut self) {
+        let total: f64 = self.resident.values().map(|j| j.spec.weight).sum();
+        if total <= 0.0 {
+            return;
+        }
+        let now = self.now;
+        let margin = self.cfg.timeout_margin;
+        let ids: Vec<JobId> = self.resident.keys().copied().collect();
+        for id in ids {
+            let weight = self.resident[&id].spec.weight;
+            let new_share = weight / total;
+            let Some(iter) = self.resident.get_mut(&id).and_then(|j| j.iter.as_mut()) else {
+                continue;
+            };
+            let old_share = iter.share;
+            if (new_share - old_share).abs() <= 1e-12 * new_share.max(old_share) {
+                continue;
+            }
+            let stretch = old_share / new_share;
+            let generation = iter.generation;
+            let mut touched = false;
+            let mut latest = now;
+            for w in 0..iter.assignment.workers() {
+                if iter.valid[w]
+                    && !iter.done[w]
+                    && iter.finish[w].is_finite()
+                    && iter.finish[w] > now
+                {
+                    let nf = now + (iter.finish[w] - now) * stretch;
+                    iter.finish[w] = nf;
+                    latest = latest.max(nf);
+                    touched = true;
+                    self.queue.push(
+                        nf,
+                        EventKind::TaskComplete {
+                            job: id,
+                            worker: w,
+                            generation,
+                            redo: false,
+                        },
+                    );
+                }
+                if iter.redo_valid[w]
+                    && !iter.redo_done[w]
+                    && iter.redo_finish[w].is_finite()
+                    && iter.redo_finish[w] > now
+                {
+                    let nf = now + (iter.redo_finish[w] - now) * stretch;
+                    iter.redo_finish[w] = nf;
+                    latest = latest.max(nf);
+                    touched = true;
+                    self.queue.push(
+                        nf,
+                        EventKind::TaskComplete {
+                            job: id,
+                            worker: w,
+                            generation,
+                            redo: true,
+                        },
+                    );
+                }
+            }
+            // Close the old share segment so speed observations integrate
+            // the true dedicated time across the change.
+            iter.share_integral += (now - iter.share_anchor).max(0.0) * old_share;
+            iter.share_anchor = iter.share_anchor.max(now);
+            iter.share = new_share;
+            if !touched {
+                continue;
+            }
+            self.report.rebalances += 1;
+            // Stretched spans can outrun the armed §4.3 deadline; re-arm
+            // behind them so a squeezed (not straggling) iteration is
+            // not spuriously cancelled.
+            if latest >= iter.armed_deadline {
+                let deadline = now + (1.0 + margin) * (latest - now).max(f64::MIN_POSITIVE);
+                iter.armed_deadline = deadline;
+                self.queue.push(
+                    deadline,
+                    EventKind::Timeout {
+                        job: id,
+                        generation,
+                    },
+                );
+            }
+        }
     }
 
     fn on_task_complete(&mut self, id: JobId, worker: usize, generation: u64, redo: bool, t: f64) {
@@ -675,18 +890,25 @@ impl ServiceEngine {
             }
             iter.redo_done[worker] = true;
         } else {
-            if !iter.valid[worker] || iter.done[worker] {
+            // The finish-time match drops completion events superseded
+            // by a share rebalance (the task was rescheduled).
+            if !iter.valid[worker] || iter.done[worker] || (t - iter.finish[worker]).abs() > 1e-9 {
                 return;
             }
             iter.done[worker] = true;
             // Feed the predictor with the observed relative rate. Redo
             // tasks are excluded (their span includes master-side idle
             // time, which would skew the estimate — same rule as the
-            // single-job engine).
+            // single-job engine). The denominator is the share
+            // *integral*, not `duration · share`: rebalances change the
+            // share mid-task and the naive product would mis-scale the
+            // estimate by up to `old_share / new_share`.
             if matches!(self.cfg.scheduler, SchedulerMode::SharedS2c2 { .. }) {
                 let rows_w = iter.assignment.chunks[worker].len() * iter.rows_per_chunk;
-                let duration = (iter.finish[worker] - iter.start).max(f64::MIN_POSITIVE);
-                let observed = (rows_w * job.spec.cols) as f64 / (duration * iter.share);
+                let dedicated = iter
+                    .dedicated_by(iter.finish[worker])
+                    .max(f64::MIN_POSITIVE);
+                let observed = (rows_w * job.spec.cols) as f64 / dedicated;
                 let mut obs: Vec<Option<f64>> = vec![None; self.speeds.len()];
                 obs[worker] = Some(observed);
                 self.tracker.observe(&obs);
@@ -744,9 +966,16 @@ impl ServiceEngine {
                 iterations: job.iterations_done,
                 retries: job.total_retries,
                 failed: false,
+                rejected: false,
+                weight: job.spec.weight,
+                deadline: job.spec.deadline,
+                work: job.spec.total_work(),
             };
             self.report.jobs.push(record);
             self.resident.remove(&id);
+            // Work conservation: the freed capacity flows to the
+            // survivors now, not at their next iteration boundaries.
+            self.rebalance_shares();
             self.try_admit();
         } else {
             self.start_iteration(id, end);
@@ -761,6 +990,11 @@ impl ServiceEngine {
             return;
         };
         if iter.generation != generation {
+            return;
+        }
+        // Superseded deadline: a share rebalance stretched the in-flight
+        // spans and re-armed behind them.
+        if self.now + 1e-9 < iter.armed_deadline {
             return;
         }
         self.recover(id, true);
@@ -906,6 +1140,7 @@ impl ServiceEngine {
             // safety net behind the open tasks.
             let deadline = reschedule_after_inflight(iter);
             let generation = iter.generation;
+            iter.armed_deadline = deadline;
             self.queue.push(
                 deadline,
                 EventKind::Timeout {
@@ -979,14 +1214,19 @@ impl ServiceEngine {
                         let rows_w = iter.assignment.chunks[w].len() * rpc;
                         let work = (rows_w * cols) as f64;
                         let t_reply = comm.transfer_time((rows_w * 8) as u64);
-                        // Reconstruct the issue-time compute rate from the
-                        // scheduled finish (speeds may have changed since).
-                        let compute_span =
-                            (iter.finish[w] - iter.start - t_in - t_reply).max(f64::MIN_POSITIVE);
-                        let rate = work / compute_span;
-                        let elapsed = (now - iter.start).max(f64::MIN_POSITIVE);
-                        let partial = (rate * (elapsed - t_in).max(0.0)).min(work);
-                        *slot = Some(partial.max(1.0) / (elapsed * iter.share));
+                        // Reconstruct progress in *dedicated* share-
+                        // seconds (the share integral), not wall time —
+                        // rebalances change the share mid-task, and wall
+                        // spans would misattribute the mixed-share
+                        // window. Comm legs are charged at the current
+                        // share (exact when the share never changed).
+                        let ded_total = iter.dedicated_by(iter.finish[w]).max(f64::MIN_POSITIVE);
+                        let ded_elapsed = iter.dedicated_by(now).max(f64::MIN_POSITIVE);
+                        let ded_comm = (t_in + t_reply) * iter.share;
+                        let compute_ded = (ded_total - ded_comm).max(f64::MIN_POSITIVE);
+                        let rate = work / compute_ded;
+                        let partial = (rate * (ded_elapsed - t_in * iter.share).max(0.0)).min(work);
+                        *slot = Some(partial.max(1.0) / ded_elapsed);
                         any_cancelled = true;
                     }
                 }
@@ -1043,6 +1283,7 @@ impl ServiceEngine {
                 self.report.timeouts += 1;
             }
             let deadline = now + (1.0 + margin) * (latest_redo - now).max(f64::MIN_POSITIVE);
+            iter.armed_deadline = deadline;
             self.queue.push(
                 deadline,
                 EventKind::Timeout {
@@ -1066,6 +1307,7 @@ impl ServiceEngine {
             }
             let deadline = reschedule_after_inflight(iter);
             let generation = iter.generation;
+            iter.armed_deadline = deadline;
             self.queue.push(
                 deadline,
                 EventKind::Timeout {
@@ -1091,9 +1333,14 @@ impl ServiceEngine {
                 iterations: job.iterations_done,
                 retries: job.total_retries,
                 failed: true,
+                rejected: false,
+                weight: job.spec.weight,
+                deadline: job.spec.deadline,
+                work: job.spec.total_work(),
             };
             self.report.jobs.push(record);
             self.resident.remove(&id);
+            self.rebalance_shares();
             self.try_admit();
         } else {
             self.start_iteration(id, now);
@@ -1374,5 +1621,215 @@ mod tests {
     fn thread_speedup_model() {
         assert_eq!(thread_speedup(1), 1.0);
         assert!((thread_speedup(4) - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_stays_within_bounds_with_abandoned_tasks() {
+        // Regression for the stale-share oversubscription bug: one huge
+        // single-iteration job snapshots the pool alone, then a stream
+        // of small jobs arrives mid-iteration. MDS over-provisions, so
+        // plenty of straggler tasks are abandoned (refunded) when the
+        // fastest k finish. Utilization used to report 1.24.
+        let n = 8;
+        let mut big = JobPreset::large().instantiate(0, 0, n);
+        big.rows = 200_000;
+        big.iterations = 1;
+        let mut arrivals: Vec<(f64, JobSpec)> = vec![(0.0, big)];
+        for i in 1..40u64 {
+            arrivals.push((0.02 * i as f64, JobPreset::small().instantiate(i, 0, n)));
+        }
+        for mode in [
+            SchedulerMode::ConventionalMds,
+            SchedulerMode::SharedS2c2 {
+                predictor: PredictorSource::LastValue,
+            },
+        ] {
+            let engine = ServiceEngine::new(pool(n, &[2]), ServeConfig::new(mode)).unwrap();
+            let r = engine.run(&arrivals).unwrap();
+            assert_eq!(r.completed(), 40);
+            assert!(
+                (0.0..=1.0).contains(&r.utilization()),
+                "utilization {} out of [0, 1]",
+                r.utilization()
+            );
+            // The invariant behind it: no worker is busier than the
+            // service horizon, even before the metric-level truncation.
+            let max_busy = r.busy_time.iter().cloned().fold(0.0, f64::max);
+            assert!(
+                max_busy <= r.makespan + 1e-6,
+                "worker busy {max_busy} exceeds makespan {}",
+                r.makespan
+            );
+            assert!(r.rebalances > 0, "membership churn must rebalance");
+        }
+    }
+
+    #[test]
+    fn weighted_tenant_gets_proportional_throughput() {
+        // Two tenants with identical job streams; tenant 1 weighs 2.
+        // Under saturation its censored work share must approach 2x.
+        let n = 12;
+        let mut arrivals = Vec::new();
+        for i in 0..24u64 {
+            let tenant = (i % 2) as u32;
+            let w = if tenant == 1 { 2.0 } else { 1.0 };
+            arrivals.push((
+                0.01 * i as f64,
+                JobPreset::medium().with_weight(w).instantiate(i, tenant, n),
+            ));
+        }
+        let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        });
+        cfg.policy = QueuePolicy::WeightedFairShare;
+        cfg.max_resident = 2;
+        let engine = ServiceEngine::new(pool(n, &[3]), cfg).unwrap();
+        let r = engine.run(&arrivals).unwrap();
+        assert_eq!(r.completed(), 24);
+        let tenants = r.tenant_summaries();
+        assert!((tenants[0].entitled_share - 1.0 / 3.0).abs() < 1e-12);
+        assert!((tenants[1].entitled_share - 2.0 / 3.0).abs() < 1e-12);
+        let ratio = tenants[1].achieved_share / tenants[0].achieved_share;
+        assert!(
+            ratio >= 1.8,
+            "weight-2 tenant achieved only {ratio:.2}x the weight-1 share"
+        );
+    }
+
+    #[test]
+    fn work_conserving_rebalance_frees_capacity_early() {
+        // Job A runs one long iteration; job B shares the pool briefly
+        // and departs. With work conservation A reclaims the freed half
+        // immediately, so its latency stays close to the solo run —
+        // without it, A would crawl at share 1/2 for the whole span.
+        let n = 8;
+        let mut long_job = JobPreset::large().instantiate(0, 0, n);
+        long_job.rows = 100_000;
+        long_job.iterations = 1;
+        let solo = {
+            let engine = ServiceEngine::new(
+                pool(n, &[]),
+                ServeConfig::new(SchedulerMode::ConventionalMds),
+            )
+            .unwrap();
+            engine.run(&[(0.0, long_job.clone())]).unwrap()
+        };
+        let shared = {
+            let engine = ServiceEngine::new(
+                pool(n, &[]),
+                ServeConfig::new(SchedulerMode::ConventionalMds),
+            )
+            .unwrap();
+            let mut small = JobPreset::small().instantiate(1, 1, n);
+            small.iterations = 1;
+            engine
+                .run(&[(0.0, long_job.clone()), (0.0, small)])
+                .unwrap()
+        };
+        let solo_latency = solo.jobs[0].latency();
+        let shared_latency = shared
+            .jobs
+            .iter()
+            .find(|j| j.id == 0)
+            .expect("long job resolves")
+            .latency();
+        assert!(
+            shared_latency < 1.3 * solo_latency,
+            "work conservation should keep the long job near its solo \
+             latency: solo {solo_latency:.3}, shared {shared_latency:.3}"
+        );
+        assert!(shared.rebalances > 0);
+    }
+
+    #[test]
+    fn infeasible_deadlines_rejected_at_admission() {
+        let n = 8;
+        // A deadline no pool could meet, next to a comfortably feasible
+        // neighbour.
+        let hopeless = JobPreset::large().with_deadline(1e-6).instantiate(0, 0, n);
+        let fine = JobPreset::small().with_deadline(60.0).instantiate(1, 0, n);
+        let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        });
+        cfg.reject_infeasible_deadlines = true;
+        let engine = ServiceEngine::new(pool(n, &[]), cfg).unwrap();
+        let r = engine.run(&[(0.0, hopeless), (0.0, fine)]).unwrap();
+        assert_eq!(r.rejected(), 1);
+        assert_eq!(r.completed(), 1);
+        let rejected = r.jobs.iter().find(|j| j.rejected).unwrap();
+        assert_eq!(rejected.id, 0);
+        assert!(rejected.failed);
+        assert!(!rejected.on_time());
+        let served = r.jobs.iter().find(|j| !j.failed).unwrap();
+        assert!(served.on_time());
+        // Without the knob the hopeless job is served (late) instead.
+        let cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        });
+        let engine = ServiceEngine::new(pool(n, &[]), cfg).unwrap();
+        let hopeless = JobPreset::large().with_deadline(1e-6).instantiate(0, 0, n);
+        let fine = JobPreset::small().with_deadline(60.0).instantiate(1, 0, n);
+        let r = engine.run(&[(0.0, hopeless), (0.0, fine)]).unwrap();
+        assert_eq!(r.rejected(), 0);
+        assert_eq!(r.completed(), 2);
+        assert!(r.on_time_ratio() < 1.0);
+    }
+
+    #[test]
+    fn earliest_deadline_admission_beats_fifo_on_time() {
+        // A burst of loose-deadline work arrives just before one
+        // tight-deadline job: FIFO makes it wait out the burst, EDF
+        // jumps it forward.
+        let n = 8;
+        let build = |policy: QueuePolicy| {
+            let mut arrivals: Vec<(f64, JobSpec)> = (0..6)
+                .map(|i| {
+                    (
+                        0.001 * i as f64,
+                        JobPreset::medium()
+                            .with_deadline(120.0)
+                            .instantiate(i, 0, n),
+                    )
+                })
+                .collect();
+            arrivals.push((
+                0.01,
+                JobPreset::small().with_deadline(3.0).instantiate(6, 1, n),
+            ));
+            let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+                predictor: PredictorSource::LastValue,
+            });
+            cfg.policy = policy;
+            cfg.max_resident = 1;
+            let engine = ServiceEngine::new(pool(n, &[]), cfg).unwrap();
+            engine.run(&arrivals).unwrap()
+        };
+        let fifo = build(QueuePolicy::Fifo);
+        let edf = build(QueuePolicy::EarliestDeadline);
+        assert_eq!(fifo.completed(), 7);
+        assert_eq!(edf.completed(), 7);
+        assert!(
+            edf.on_time_ratio() > fifo.on_time_ratio(),
+            "EDF on-time {} must beat FIFO {}",
+            edf.on_time_ratio(),
+            fifo.on_time_ratio()
+        );
+    }
+
+    #[test]
+    fn malformed_qos_fields_fail_fast() {
+        let n = 4;
+        let bad_weight = JobPreset::small().with_weight(0.0).instantiate(0, 0, n);
+        let bad_deadline = JobPreset::small().with_deadline(-1.0).instantiate(1, 0, n);
+        let engine = ServiceEngine::new(
+            pool(n, &[]),
+            ServeConfig::new(SchedulerMode::ConventionalMds),
+        )
+        .unwrap();
+        let r = engine
+            .run(&[(0.0, bad_weight), (0.0, bad_deadline)])
+            .unwrap();
+        assert_eq!(r.failed(), 2);
+        assert_eq!(r.completed(), 0);
     }
 }

@@ -12,18 +12,23 @@
 //!   deterministic FIFO tie-breaking.
 //! * [`workload`] — Poisson and trace-driven arrival generators over
 //!   heterogeneous job presets (matvec shapes, `(n, k)` parameters,
-//!   iteration counts).
+//!   iteration counts, per-job capacity weights and deadline SLOs).
 //! * [`admission`] — pluggable queueing policies: FIFO,
-//!   shortest-expected-work, and tenant fair-share.
+//!   shortest-expected-work, tenant fair-share, earliest-deadline, and
+//!   weighted fair-share.
 //! * [`shared_alloc`] — Algorithm 1 extended to a shared cluster: each
-//!   worker's capacity is split across resident jobs (via
-//!   [`s2c2_core::split_worker_capacity`]) while every job keeps its
-//!   exactly-`k` chunk coverage; infeasible jobs degrade to conventional
-//!   coded computing, alone.
+//!   worker's capacity is split across resident jobs in proportion to
+//!   their weights (via [`s2c2_core::split_worker_capacity`]) while
+//!   every job keeps its exactly-`k` chunk coverage; infeasible jobs
+//!   degrade to conventional coded computing, alone.
 //! * [`engine`] — the [`engine::ServiceEngine`] tying it together, with
-//!   worker churn, §4.3-style timeout recovery, and a retry ladder.
+//!   worker churn, §4.3-style timeout recovery, a retry ladder,
+//!   work-conserving share rebalancing at every resident-set change,
+//!   and optional deadline admission control.
 //! * [`metrics`] — service-level reporting: sojourn-latency percentiles
-//!   (p50/p95/p99), throughput, utilization, queue depth over time.
+//!   (p50/p95/p99), throughput, utilization, queue depth over time, and
+//!   per-tenant QoS summaries (on-time ratio, achieved vs entitled
+//!   capacity share).
 //!
 //! # Quickstart
 //!
@@ -62,10 +67,10 @@ pub mod metrics;
 pub mod shared_alloc;
 pub mod workload;
 
-pub use admission::{QueuePolicy, QueuedJob};
+pub use admission::{QueuePolicy, QueuedJob, ResidentInfo};
 pub use engine::{ChurnConfig, SchedulerMode, ServeConfig, ServeError, ServiceEngine};
 pub use event::{EventKind, EventQueue, JobId};
-pub use metrics::{percentile, JobRecord, ServiceReport};
+pub use metrics::{percentile, JobRecord, ServiceReport, TenantSummary};
 pub use shared_alloc::{allocate_shared, full_over_available, JobDemand, SharedAssignment};
 pub use workload::{generate_workload, ArrivalPattern, JobPreset, JobSpec};
 
@@ -73,6 +78,6 @@ pub use workload::{generate_workload, ArrivalPattern, JobPreset, JobSpec};
 pub mod prelude {
     pub use crate::admission::QueuePolicy;
     pub use crate::engine::{ChurnConfig, SchedulerMode, ServeConfig, ServiceEngine};
-    pub use crate::metrics::ServiceReport;
+    pub use crate::metrics::{ServiceReport, TenantSummary};
     pub use crate::workload::{generate_workload, ArrivalPattern, JobPreset, JobSpec};
 }

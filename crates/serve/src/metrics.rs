@@ -4,7 +4,19 @@
 //! The single-job layer reports per-iteration latency and wasted rows;
 //! a multi-job service is judged instead by its *distributional* ones:
 //! sojourn-time percentiles (p50/p95/p99), sustained throughput, worker
-//! utilization, and queue depth over time.
+//! utilization, queue depth over time — and, per tenant, deadline hit
+//! rates and achieved-vs-entitled capacity shares.
+//!
+//! # Semantics
+//!
+//! * **Makespan** is the instant the last job *resolved* (completed,
+//!   failed, or was rejected) — not the time the last event drained.
+//! * **Utilization** counts dedicated compute-seconds (a task running at
+//!   fractional share `s` accrues `s` busy-seconds per wall second);
+//!   busy time is truncated at makespan per worker, so utilization is
+//!   always within `[0, 1]`.
+//! * **Queue depth** integrates over `[0, makespan]` only; transition
+//!   samples past makespan are ignored rather than diluting the mean.
 
 use crate::event::JobId;
 
@@ -43,14 +55,24 @@ pub struct JobRecord {
     pub arrival: f64,
     /// Admission time (start of service).
     pub admitted: f64,
-    /// Completion (or failure) time.
+    /// Completion (or failure/rejection) time.
     pub finished: f64,
     /// Iterations completed.
     pub iterations: usize,
     /// Iteration restarts forced by churn storms.
     pub retries: usize,
-    /// Whether the job failed (exceeded its retry budget).
+    /// Whether the job failed (exceeded its retry budget, was malformed,
+    /// or was rejected at admission).
     pub failed: bool,
+    /// Whether the job was rejected by deadline admission control
+    /// (implies `failed`; it never held a residency slot).
+    pub rejected: bool,
+    /// Capacity weight the job ran with.
+    pub weight: f64,
+    /// Relative SLO it arrived with, if any.
+    pub deadline: Option<f64>,
+    /// Total useful work (matrix elements over all iterations).
+    pub work: f64,
 }
 
 impl JobRecord {
@@ -71,6 +93,44 @@ impl JobRecord {
     pub fn service_time(&self) -> f64 {
         self.finished - self.admitted
     }
+
+    /// Whether the job met its SLO: completed, and within its deadline
+    /// if it carried one. Failed or rejected jobs are never on time;
+    /// SLO-less completed jobs always are.
+    #[must_use]
+    pub fn on_time(&self) -> bool {
+        !self.failed && self.deadline.map_or(true, |d| self.latency() <= d + 1e-12)
+    }
+}
+
+/// Per-tenant QoS summary derived from the job records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Jobs the tenant submitted (resolved any way).
+    pub jobs: usize,
+    /// Jobs completed successfully.
+    pub completed: usize,
+    /// Jobs rejected by deadline admission control.
+    pub rejected: usize,
+    /// Fraction of the tenant's deadline-carrying jobs that completed
+    /// within their SLO (1.0 when it submitted none).
+    pub on_time_ratio: f64,
+    /// Median sojourn latency over the tenant's completed jobs.
+    pub p50_latency: f64,
+    /// 99th-percentile sojourn latency over the tenant's completed jobs.
+    pub p99_latency: f64,
+    /// Capacity the tenant was entitled to: its submitted weight mass
+    /// over the total submitted weight mass.
+    pub entitled_share: f64,
+    /// Capacity it achieved while tenants were actually contending: its
+    /// completed useful work over the total completed useful work, both
+    /// censored at the earliest tenant drain (the instant the first
+    /// tenant ran out of jobs). Without the censoring every tenant of a
+    /// fully-drained closed workload would trivially converge to its
+    /// submitted work fraction, hiding any share enforcement.
+    pub achieved_share: f64,
 }
 
 /// Everything a finished engine run reports.
@@ -80,17 +140,20 @@ pub struct ServiceReport {
     pub jobs: Vec<JobRecord>,
     /// `(time, queued_jobs)` samples taken at every queue transition.
     pub queue_depth: Vec<(f64, usize)>,
-    /// Per-worker accumulated busy (compute) time.
+    /// Per-worker accumulated busy (compute) time, in dedicated
+    /// compute-seconds (fractional shares accrue fractionally).
     pub busy_time: Vec<f64>,
-    /// Time the last job resolved (completed or failed) — deliberately
-    /// not the last drained event, so throughput is not diluted by stale
-    /// straggler work nobody waited for. `queue_depth` samples may extend
-    /// past it.
+    /// Time the last job resolved (completed, failed, or rejected) —
+    /// deliberately not the last drained event, so throughput is not
+    /// diluted by stale straggler work nobody waited for.
     pub makespan: f64,
     /// Valid §4.3-style timeout firings (mis-prediction / churn recovery).
     pub timeouts: usize,
     /// Iterations that degraded to conventional full assignment.
     pub degraded_iterations: usize,
+    /// Share rebalances applied when the resident set changed
+    /// mid-iteration (the work-conserving path).
+    pub rebalances: usize,
     /// Total events processed.
     pub events_processed: u64,
 }
@@ -102,10 +165,16 @@ impl ServiceReport {
         self.jobs.iter().filter(|j| !j.failed).count()
     }
 
-    /// Failed job count.
+    /// Failed job count (includes rejections).
     #[must_use]
     pub fn failed(&self) -> usize {
         self.jobs.iter().filter(|j| j.failed).count()
+    }
+
+    /// Jobs rejected by deadline admission control.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.jobs.iter().filter(|j| j.rejected).count()
     }
 
     /// Ascending-sorted sojourn latencies of completed jobs.
@@ -148,38 +217,150 @@ impl ServiceReport {
         }
     }
 
-    /// Pool utilization: busy worker-seconds over available worker-seconds.
+    /// Pool utilization: busy worker-seconds over available
+    /// worker-seconds, with each worker's busy time truncated at
+    /// makespan. A worker cannot be busier than the service horizon, so
+    /// anything above is stale straggler work nobody waited for (the
+    /// engine refunds it, but the truncation keeps the invariant even
+    /// under accounting drift). Always within `[0, 1]`.
     #[must_use]
     pub fn utilization(&self) -> f64 {
         if self.makespan <= 0.0 || self.busy_time.is_empty() {
             return 0.0;
         }
-        let busy: f64 = self.busy_time.iter().sum();
+        let busy: f64 = self
+            .busy_time
+            .iter()
+            .map(|&b| b.clamp(0.0, self.makespan))
+            .sum();
         busy / (self.makespan * self.busy_time.len() as f64)
     }
 
-    /// Time-weighted mean admission-queue depth.
+    /// Time-weighted mean admission-queue depth over `[0, makespan]`.
+    ///
+    /// The depth is 0 before the first transition sample, piecewise
+    /// constant between samples, and held from the last pre-makespan
+    /// sample to makespan; samples past makespan are ignored (they would
+    /// dilute the mean with time no job was waiting on).
     #[must_use]
     pub fn mean_queue_depth(&self) -> f64 {
-        if self.queue_depth.len() < 2 {
-            return self.queue_depth.first().map_or(0.0, |&(_, d)| d as f64);
+        if self.makespan <= 0.0 || self.queue_depth.is_empty() {
+            return 0.0;
         }
         let mut area = 0.0;
-        for w in self.queue_depth.windows(2) {
-            area += w[0].1 as f64 * (w[1].0 - w[0].0);
+        let mut prev_t = 0.0;
+        let mut depth = 0.0;
+        for &(t, d) in &self.queue_depth {
+            let t_clamped = t.clamp(0.0, self.makespan);
+            area += depth * (t_clamped - prev_t).max(0.0);
+            prev_t = prev_t.max(t_clamped);
+            if t >= self.makespan {
+                break;
+            }
+            depth = d as f64;
         }
-        let span = self.queue_depth.last().unwrap().0 - self.queue_depth[0].0;
-        if span > 0.0 {
-            area / span
-        } else {
-            0.0
-        }
+        area += depth * (self.makespan - prev_t).max(0.0);
+        area / self.makespan
     }
 
     /// Peak admission-queue depth.
     #[must_use]
     pub fn max_queue_depth(&self) -> usize {
         self.queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// Fraction of deadline-carrying jobs that completed within their
+    /// SLO (late completions, failures, and rejections all count as
+    /// misses). 1.0 when no job carried a deadline.
+    #[must_use]
+    pub fn on_time_ratio(&self) -> f64 {
+        Self::on_time_ratio_of(self.jobs.iter())
+    }
+
+    fn on_time_ratio_of<'a>(jobs: impl IntoIterator<Item = &'a JobRecord>) -> f64 {
+        let (mut with_deadline, mut on_time) = (0usize, 0usize);
+        for j in jobs {
+            if j.deadline.is_some() {
+                with_deadline += 1;
+                if j.on_time() {
+                    on_time += 1;
+                }
+            }
+        }
+        if with_deadline == 0 {
+            1.0
+        } else {
+            on_time as f64 / with_deadline as f64
+        }
+    }
+
+    /// Per-tenant QoS summaries, ascending by tenant id.
+    ///
+    /// `entitled_share` is the tenant's submitted weight mass over the
+    /// total; `achieved_share` its completed-work fraction censored at
+    /// the earliest tenant drain — a tenant whose jobs weigh 2× should
+    /// achieve ≈ 2× a weight-1 tenant's work share under saturation.
+    #[must_use]
+    pub fn tenant_summaries(&self) -> Vec<TenantSummary> {
+        let mut tenants: Vec<u32> = self.jobs.iter().map(|j| j.tenant).collect();
+        tenants.sort_unstable();
+        tenants.dedup();
+        let total_weight: f64 = self.jobs.iter().map(|j| j.weight).sum();
+        // Contention horizon: the earliest instant some tenant ran dry.
+        let horizon = tenants
+            .iter()
+            .filter_map(|&t| {
+                self.jobs
+                    .iter()
+                    .filter(|j| j.tenant == t && !j.failed)
+                    .map(|j| j.finished)
+                    .fold(None, |acc: Option<f64>, f| {
+                        Some(acc.map_or(f, |a| a.max(f)))
+                    })
+            })
+            .fold(f64::INFINITY, f64::min);
+        let censored_work = |t: u32| -> f64 {
+            self.jobs
+                .iter()
+                .filter(|j| j.tenant == t && !j.failed && j.finished <= horizon + 1e-12)
+                .map(|j| j.work)
+                .sum()
+        };
+        let total_censored_work: f64 = tenants.iter().map(|&t| censored_work(t)).sum();
+        tenants
+            .into_iter()
+            .map(|tenant| {
+                let mine: Vec<&JobRecord> =
+                    self.jobs.iter().filter(|j| j.tenant == tenant).collect();
+                let mut lat: Vec<f64> = mine
+                    .iter()
+                    .filter(|j| !j.failed)
+                    .map(|j| j.latency())
+                    .collect();
+                lat.sort_by(f64::total_cmp);
+                let weight_mass: f64 = mine.iter().map(|j| j.weight).sum();
+                let done_work: f64 = censored_work(tenant);
+                TenantSummary {
+                    tenant,
+                    jobs: mine.len(),
+                    completed: mine.iter().filter(|j| !j.failed).count(),
+                    rejected: mine.iter().filter(|j| j.rejected).count(),
+                    on_time_ratio: Self::on_time_ratio_of(mine.iter().copied()),
+                    p50_latency: percentile(&lat, 50.0),
+                    p99_latency: percentile(&lat, 99.0),
+                    entitled_share: if total_weight > 0.0 {
+                        weight_mass / total_weight
+                    } else {
+                        0.0
+                    },
+                    achieved_share: if total_censored_work > 0.0 {
+                        done_work / total_censored_work
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
     }
 }
 
@@ -198,6 +379,10 @@ mod tests {
             iterations: 4,
             retries: 0,
             failed,
+            rejected: false,
+            weight: 1.0,
+            deadline: None,
+            work: 100.0,
         }
     }
 
@@ -221,6 +406,19 @@ mod tests {
     }
 
     #[test]
+    fn on_time_classification() {
+        let mut j = record(0, 1.0, 2.0, 4.0, false); // latency 3.0
+        assert!(j.on_time(), "no SLO -> always on time");
+        j.deadline = Some(3.5);
+        assert!(j.on_time());
+        j.deadline = Some(2.5);
+        assert!(!j.on_time());
+        j.deadline = Some(3.5);
+        j.failed = true;
+        assert!(!j.on_time(), "failed jobs are never on time");
+    }
+
+    #[test]
     fn report_aggregates_exclude_failures() {
         let report = ServiceReport {
             jobs: vec![
@@ -234,6 +432,7 @@ mod tests {
         };
         assert_eq!(report.completed(), 2);
         assert_eq!(report.failed(), 1);
+        assert_eq!(report.rejected(), 0);
         assert_eq!(report.latencies(), vec![2.0, 4.0]);
         assert!((report.mean_latency() - 3.0).abs() < 1e-12);
         assert!((report.throughput() - 0.2).abs() < 1e-12);
@@ -241,14 +440,119 @@ mod tests {
     }
 
     #[test]
+    fn utilization_truncates_per_worker_busy_at_makespan() {
+        // Worker 0 carries 14 busy-seconds against a 10-second makespan
+        // (stale straggler work past the last resolution): the truncated
+        // utilization is (10 + 5) / (10 * 2), never above 1.
+        let report = ServiceReport {
+            makespan: 10.0,
+            busy_time: vec![14.0, 5.0],
+            ..ServiceReport::default()
+        };
+        assert!((report.utilization() - 0.75).abs() < 1e-12);
+        let saturated = ServiceReport {
+            makespan: 10.0,
+            busy_time: vec![14.0, 22.0],
+            ..ServiceReport::default()
+        };
+        assert!(saturated.utilization() <= 1.0);
+        assert!((saturated.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn queue_depth_time_weighting() {
         let report = ServiceReport {
             queue_depth: vec![(0.0, 0), (1.0, 2), (3.0, 1), (4.0, 1)],
+            makespan: 4.0,
             ..ServiceReport::default()
         };
-        // 0·1 + 2·2 + 1·1 over a span of 4.
+        // 0·1 + 2·2 + 1·1 over a 4-second makespan.
         assert!((report.mean_queue_depth() - 1.25).abs() < 1e-12);
         assert_eq!(report.max_queue_depth(), 2);
+    }
+
+    #[test]
+    fn queue_depth_ignores_post_makespan_samples() {
+        // Samples extend to t = 8 but the last job resolved at 4: the
+        // mean must integrate over [0, 4] only — not dilute the 2-deep
+        // first half with post-makespan emptiness.
+        let report = ServiceReport {
+            queue_depth: vec![(0.0, 2), (2.0, 1), (6.0, 3), (8.0, 0)],
+            makespan: 4.0,
+            ..ServiceReport::default()
+        };
+        // 2·2 + 1·2 over 4 seconds = 1.5 (the (6,3)/(8,0) tail ignored).
+        assert!((report.mean_queue_depth() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_depth_holds_last_depth_to_makespan() {
+        let report = ServiceReport {
+            queue_depth: vec![(1.0, 4)],
+            makespan: 3.0,
+            ..ServiceReport::default()
+        };
+        // Depth 0 over [0,1), then 4 held over [1,3]: 8/3.
+        assert!((report.mean_queue_depth() - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_time_ratio_counts_misses_failures_and_rejections() {
+        let mut on_time = record(0, 0.0, 0.0, 1.0, false);
+        on_time.deadline = Some(2.0);
+        let mut late = record(1, 0.0, 0.0, 5.0, false);
+        late.deadline = Some(2.0);
+        let mut rejected = record(2, 0.0, 0.0, 0.0, true);
+        rejected.deadline = Some(2.0);
+        rejected.rejected = true;
+        let no_slo = record(3, 0.0, 0.0, 50.0, false);
+        let report = ServiceReport {
+            jobs: vec![on_time, late, rejected, no_slo],
+            ..ServiceReport::default()
+        };
+        // 1 of 3 deadline-carrying jobs on time; the SLO-less job is
+        // out of the denominator.
+        assert!((report.on_time_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.rejected(), 1);
+        // No deadlines anywhere -> vacuous 1.0.
+        let empty = ServiceReport {
+            jobs: vec![record(0, 0.0, 0.0, 1.0, false)],
+            ..ServiceReport::default()
+        };
+        assert_eq!(empty.on_time_ratio(), 1.0);
+    }
+
+    #[test]
+    fn tenant_summaries_split_shares() {
+        let mut t0 = record(0, 0.0, 0.0, 2.0, false);
+        t0.work = 100.0;
+        let mut t1a = record(1, 0.0, 0.0, 1.0, false);
+        t1a.tenant = 1;
+        t1a.weight = 2.0;
+        t1a.work = 200.0;
+        let mut t1b = record(2, 0.0, 0.0, 3.0, false);
+        t1b.tenant = 1;
+        t1b.weight = 2.0;
+        t1b.work = 100.0;
+        let report = ServiceReport {
+            jobs: vec![t0, t1a, t1b],
+            ..ServiceReport::default()
+        };
+        let tenants = report.tenant_summaries();
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(tenants[0].tenant, 0);
+        assert_eq!(tenants[1].tenant, 1);
+        assert!((tenants[0].entitled_share - 0.2).abs() < 1e-12);
+        assert!((tenants[1].entitled_share - 0.8).abs() < 1e-12);
+        // Contention horizon: tenant 0 drains at t = 2.0, so only work
+        // finished by then counts — 100 for tenant 0, 200 for tenant 1
+        // (t1b at t = 3.0 is censored away).
+        assert!((tenants[0].achieved_share - 1.0 / 3.0).abs() < 1e-12);
+        assert!((tenants[1].achieved_share - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(tenants[1].jobs, 2);
+        assert_eq!(tenants[1].completed, 2);
+        assert!((tenants[1].p50_latency - 1.0).abs() < 1e-12);
+        assert!((tenants[1].p99_latency - 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -259,6 +563,8 @@ mod tests {
         assert_eq!(r.throughput(), 0.0);
         assert_eq!(r.utilization(), 0.0);
         assert_eq!(r.mean_queue_depth(), 0.0);
+        assert_eq!(r.on_time_ratio(), 1.0);
+        assert!(r.tenant_summaries().is_empty());
     }
 
     #[test]

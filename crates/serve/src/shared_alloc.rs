@@ -102,25 +102,48 @@ pub fn allocate_shared(speeds: &[f64], demands: &[JobDemand]) -> Vec<SharedAssig
         .collect()
 }
 
-/// One job's slice of the *equal-weight* shared allocation over
-/// `residents` resident jobs — identical to the matching entry of
-/// [`allocate_shared`] (jobs start iterations at different instants, so
-/// the engine only ever needs its own slice; recomputing every
-/// neighbour's assignment would be `O(residents)` wasted work).
+/// One job's weighted slice of the shared allocation — identical to the
+/// matching entry of [`allocate_shared`] for a resident set whose
+/// weights sum to `total_weight` (jobs start iterations at different
+/// instants, so the engine only ever needs its own slice; recomputing
+/// every neighbour's assignment would be `O(residents)` wasted work).
+///
+/// `weight` is this job's capacity weight; `total_weight` is the sum
+/// over the whole resident set (including this job). The slice is cut
+/// with the same [`split_worker_capacity`] hook [`allocate_shared`]
+/// uses, so the two entry points cannot drift apart.
 ///
 /// # Panics
 ///
-/// Panics if `residents == 0`.
+/// Panics if `weight` is non-positive or exceeds `total_weight`.
 #[must_use]
 pub fn allocate_for_resident(
     speeds: &[f64],
     k: usize,
     chunks_per_partition: usize,
-    residents: usize,
+    weight: f64,
+    total_weight: f64,
 ) -> SharedAssignment {
-    assert!(residents > 0, "need at least one resident job");
-    let share = 1.0 / residents as f64;
-    let slice: Vec<f64> = speeds.iter().map(|&s| s * share).collect();
+    assert!(
+        weight.is_finite() && weight > 0.0,
+        "job weight must be positive"
+    );
+    assert!(
+        total_weight.is_finite() && total_weight >= weight,
+        "total weight must cover the job's own weight"
+    );
+    let rest = total_weight - weight;
+    let (share, slice) = if rest > 0.0 {
+        // The job's slice of a two-way split: itself vs everyone else.
+        let split = split_worker_capacity(speeds, &[weight, rest]);
+        (
+            weight / total_weight,
+            split.into_iter().next().expect("2 slices"),
+        )
+    } else {
+        // Sole resident: the whole pool.
+        (1.0, speeds.to_vec())
+    };
     match allocate_chunks(&slice, k, chunks_per_partition) {
         Ok(assignment) => SharedAssignment {
             assignment,
@@ -226,11 +249,11 @@ mod tests {
                 })
                 .collect();
             let shared = allocate_shared(&speeds, &demands);
-            let solo = allocate_for_resident(&speeds, 2, 6, residents);
+            let solo = allocate_for_resident(&speeds, 2, 6, 1.0, residents as f64);
             assert_eq!(solo, shared[0], "{residents} residents");
         }
         // Degrade path agrees too (k above alive count).
-        let degraded = allocate_for_resident(&speeds, 5, 6, 2);
+        let degraded = allocate_for_resident(&speeds, 5, 6, 1.0, 2.0);
         assert!(degraded.degraded);
         assert_eq!(
             degraded,
@@ -243,6 +266,39 @@ mod tests {
                 }; 2]
             )[0]
         );
+    }
+
+    #[test]
+    fn weighted_resident_slice_matches_shared_entry() {
+        // A weight-2 job among total weight 4: its slice and share must
+        // match the allocate_shared entry built from the full demand set.
+        let speeds = [1.0, 0.4, 0.0, 0.9, 0.7, 1.1];
+        let demands = [
+            JobDemand {
+                k: 2,
+                chunks_per_partition: 6,
+                weight: 2.0,
+            },
+            JobDemand {
+                k: 3,
+                chunks_per_partition: 4,
+                weight: 1.5,
+            },
+            JobDemand {
+                k: 2,
+                chunks_per_partition: 5,
+                weight: 0.5,
+            },
+        ];
+        let shared = allocate_shared(&speeds, &demands);
+        for (i, d) in demands.iter().enumerate() {
+            let solo = allocate_for_resident(&speeds, d.k, d.chunks_per_partition, d.weight, 4.0);
+            assert!((solo.share - shared[i].share).abs() < 1e-12, "job {i}");
+            assert_eq!(solo.assignment, shared[i].assignment, "job {i}");
+        }
+        // Sole resident gets the full pool regardless of weight.
+        let solo = allocate_for_resident(&speeds, 2, 6, 3.0, 3.0);
+        assert!((solo.share - 1.0).abs() < 1e-12);
     }
 
     #[test]

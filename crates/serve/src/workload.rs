@@ -31,6 +31,16 @@ pub struct JobSpec {
     pub iterations: usize,
     /// Preset label the job was drawn from (stable key for reporting).
     pub preset: &'static str,
+    /// Capacity weight: a weight-2 job is entitled to twice a weight-1
+    /// job's fractional rate on every worker while both are resident
+    /// (normalized via [`s2c2_core::normalized_shares`]).
+    pub weight: f64,
+    /// Optional relative SLO: the job should finish within `deadline`
+    /// seconds of its *arrival*. Consulted by
+    /// [`crate::admission::QueuePolicy::EarliestDeadline`] and the
+    /// engine's admission-time infeasibility rejection; reported as
+    /// `on_time` in job records.
+    pub deadline: Option<f64>,
 }
 
 impl JobSpec {
@@ -45,6 +55,20 @@ impl JobSpec {
     #[must_use]
     pub fn total_work(&self) -> f64 {
         self.work_per_iteration() * self.iterations as f64
+    }
+
+    /// Returns the spec with its capacity weight replaced.
+    #[must_use]
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Returns the spec with a relative deadline (seconds after arrival).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -64,6 +88,10 @@ pub struct JobPreset {
     pub chunks_per_partition: usize,
     /// Iterations per job.
     pub iterations: usize,
+    /// Capacity weight stamped onto instantiated specs (default 1.0).
+    pub weight: f64,
+    /// Relative deadline stamped onto instantiated specs (default none).
+    pub deadline: Option<f64>,
 }
 
 impl JobPreset {
@@ -77,6 +105,8 @@ impl JobPreset {
             k_frac: 0.75,
             chunks_per_partition: 8,
             iterations: 4,
+            weight: 1.0,
+            deadline: None,
         }
     }
 
@@ -90,6 +120,8 @@ impl JobPreset {
             k_frac: 0.75,
             chunks_per_partition: 10,
             iterations: 8,
+            weight: 1.0,
+            deadline: None,
         }
     }
 
@@ -103,7 +135,24 @@ impl JobPreset {
             k_frac: 0.75,
             chunks_per_partition: 12,
             iterations: 12,
+            weight: 1.0,
+            deadline: None,
         }
+    }
+
+    /// Returns the preset with its capacity weight replaced.
+    #[must_use]
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Returns the preset with a relative deadline (seconds after
+    /// arrival) stamped onto every instantiated spec.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// The default mix used by the experiments: mostly small and medium
@@ -135,6 +184,8 @@ impl JobPreset {
             chunks_per_partition: self.chunks_per_partition,
             iterations: self.iterations,
             preset: self.name,
+            weight: self.weight,
+            deadline: self.deadline,
         }
     }
 }
@@ -317,6 +368,24 @@ mod tests {
         let s = JobPreset::medium().instantiate(0, 0, 16);
         assert_eq!(s.work_per_iteration(), (1200 * 48) as f64);
         assert_eq!(s.total_work(), (1200 * 48 * 8) as f64);
+    }
+
+    #[test]
+    fn qos_knobs_propagate_from_preset_to_spec() {
+        let s = JobPreset::small()
+            .with_weight(2.5)
+            .with_deadline(4.0)
+            .instantiate(0, 1, 8);
+        assert_eq!(s.weight, 2.5);
+        assert_eq!(s.deadline, Some(4.0));
+        // Defaults: unit weight, no SLO.
+        let d = JobPreset::small().instantiate(1, 0, 8);
+        assert_eq!(d.weight, 1.0);
+        assert_eq!(d.deadline, None);
+        // Spec-level overrides compose too.
+        let s2 = d.with_weight(3.0).with_deadline(9.0);
+        assert_eq!(s2.weight, 3.0);
+        assert_eq!(s2.deadline, Some(9.0));
     }
 
     #[test]

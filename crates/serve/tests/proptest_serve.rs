@@ -1,15 +1,23 @@
-//! Property-based tests for the service engine's two load-bearing
+//! Property-based tests for the service engine's load-bearing
 //! invariants:
 //!
 //! 1. the event loop pops events in nondecreasing time order with FIFO
-//!    tie-breaking (every scheduling decision sits on this), and
+//!    tie-breaking (every scheduling decision sits on this),
 //! 2. shared-cluster allocation conserves exactly-`k` chunk coverage for
-//!    every resident job, under arbitrary job mixes and worker churn —
-//!    or degrades that job (and only that job) to conventional full
-//!    assignment when its slice is infeasible.
+//!    every resident job, under arbitrary job mixes, *weights*, and
+//!    worker churn — or degrades that job (and only that job) to
+//!    conventional full assignment when its slice is infeasible,
+//! 3. weighted capacity splitting partitions each worker's predicted
+//!    speed exactly (no capacity invented or lost), and
+//! 4. end-to-end engine runs under earliest-deadline admission record
+//!    every job consistently: `finished − arrival` agrees with its
+//!    on-time classification, and utilization stays in `[0, 1]`.
 
 use proptest::prelude::*;
+use s2c2_core::speed_tracker::PredictorSource;
+use s2c2_core::split_worker_capacity;
 use s2c2_serve::event::{EventKind, EventQueue};
+use s2c2_serve::prelude::*;
 use s2c2_serve::shared_alloc::{allocate_shared, JobDemand};
 
 /// A pool's worth of worker speeds with churn: some workers up at
@@ -24,9 +32,10 @@ fn churned_speeds(n: usize) -> impl Strategy<Value = Vec<f64>> {
     )
 }
 
-/// A random mix of resident jobs.
+/// A random mix of resident jobs. Weights span three orders of
+/// magnitude so extreme skew is exercised, not just near-equal splits.
 fn job_mix(max_jobs: usize, max_k: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
-    proptest::collection::vec((1usize..=max_k, 1usize..=16, 0.25f64..4.0), 1..=max_jobs)
+    proptest::collection::vec((1usize..=max_k, 1usize..=16, 0.01f64..100.0), 1..=max_jobs)
 }
 
 proptest! {
@@ -112,6 +121,16 @@ proptest! {
 
         let share_sum: f64 = out.iter().map(|s| s.share).sum();
         prop_assert!((share_sum - 1.0).abs() < 1e-9, "shares must sum to 1");
+        // Shares are weight-proportional: share_j · Σw == w_j.
+        let total_weight: f64 = demands.iter().map(|d| d.weight).sum();
+        for (d, s) in demands.iter().zip(out.iter()) {
+            prop_assert!(
+                (s.share * total_weight - d.weight).abs() < 1e-9 * total_weight,
+                "share {} disagrees with weight {} / {total_weight}",
+                s.share,
+                d.weight
+            );
+        }
 
         for (d, s) in demands.iter().zip(out.iter()) {
             if d.k <= alive {
@@ -139,6 +158,31 @@ proptest! {
     }
 
     #[test]
+    fn weighted_split_partitions_every_workers_capacity(
+        n in 2usize..=20,
+        seedspeeds in churned_speeds(20),
+        weights in proptest::collection::vec(0.001f64..1000.0, 1..=8),
+    ) {
+        let speeds = &seedspeeds[..n];
+        let slices = split_worker_capacity(speeds, &weights);
+        prop_assert_eq!(slices.len(), weights.len());
+        for (w, &speed) in speeds.iter().enumerate() {
+            // The slices sum back to the worker's full predicted
+            // capacity: sharing redistributes capacity, never invents
+            // or loses it.
+            let total: f64 = slices.iter().map(|s| s[w]).sum();
+            prop_assert!(
+                (total - speed).abs() < 1e-9 * speed.max(1.0),
+                "worker {w}: slices sum to {total}, capacity {speed}"
+            );
+            // Dead workers stay dead in every slice.
+            if speed == 0.0 {
+                prop_assert!(slices.iter().all(|s| s[w] == 0.0));
+            }
+        }
+    }
+
+    #[test]
     fn degrading_one_job_never_degrades_its_neighbours(
         n in 4usize..=16,
         seedspeeds in churned_speeds(16),
@@ -158,5 +202,84 @@ proptest! {
         }
         prop_assert!(!out[1].degraded, "feasible neighbour must not degrade");
         prop_assert!(out[1].assignment.is_decodable());
+    }
+}
+
+proptest! {
+    // Full engine runs are much heavier than allocator calls: fewer
+    // cases, smaller workloads.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn edf_records_are_consistent_end_to_end(
+        jobs in 2usize..=10,
+        rate in 0.5f64..4.0,
+        // Relative SLOs from clearly-feasible to clearly-hopeless; some
+        // jobs carry none at all.
+        slack in proptest::collection::vec(
+            prop_oneof![
+                3 => 0.5f64..30.0,
+                1 => Just(f64::INFINITY), // marker: no deadline
+            ],
+            10,
+        ),
+        weights in proptest::collection::vec(0.5f64..4.0, 10),
+        seed in 0u64..256,
+        reject in any::<bool>(),
+    ) {
+        let n = 8;
+        let mut workload = generate_workload(
+            &ArrivalPattern::Poisson { rate },
+            &JobPreset::standard_mix(),
+            jobs,
+            3,
+            n,
+            seed,
+        );
+        for (i, (_, spec)) in workload.iter_mut().enumerate() {
+            spec.weight = weights[i % weights.len()];
+            let s = slack[i % slack.len()];
+            if s.is_finite() {
+                spec.deadline = Some(s);
+            }
+        }
+        let pool = s2c2_cluster::ClusterSpec::builder(n)
+            .compute_bound()
+            .seed(seed ^ 0xABCD)
+            .straggler_slowdown(5.0)
+            .stragglers(&[1], 0.2)
+            .build();
+        let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        });
+        cfg.policy = QueuePolicy::EarliestDeadline;
+        cfg.reject_infeasible_deadlines = reject;
+        let report = ServiceEngine::new(pool, cfg).unwrap().run(&workload).unwrap();
+
+        prop_assert_eq!(report.jobs.len(), jobs, "every job resolves exactly once");
+        for j in &report.jobs {
+            prop_assert!(j.finished >= j.arrival, "job {} finished before arriving", j.id);
+            prop_assert!(j.admitted >= j.arrival);
+            // The recorded sojourn must agree with the on-time
+            // classification derived from it.
+            if let Some(d) = j.deadline {
+                let met = !j.failed && j.finished - j.arrival <= d + 1e-12;
+                prop_assert_eq!(
+                    j.on_time(), met,
+                    "job {}: latency {} vs deadline {}", j.id, j.latency(), d
+                );
+            } else {
+                prop_assert_eq!(j.on_time(), !j.failed);
+            }
+            if j.rejected {
+                prop_assert!(j.failed, "rejection implies failure");
+                prop_assert!(reject, "rejections need the admission knob");
+                prop_assert!(j.deadline.is_some(), "only SLO jobs are rejected");
+            }
+        }
+        let util = report.utilization();
+        prop_assert!((0.0..=1.0).contains(&util), "utilization {util}");
+        let ratio = report.on_time_ratio();
+        prop_assert!((0.0..=1.0).contains(&ratio));
     }
 }

@@ -63,6 +63,6 @@ pub mod prelude {
     pub use s2c2_linalg::{Matrix, Vector};
     pub use s2c2_serve::prelude::{
         generate_workload, ArrivalPattern, ChurnConfig, JobPreset, JobSpec, QueuePolicy,
-        SchedulerMode, ServeConfig, ServiceEngine, ServiceReport,
+        SchedulerMode, ServeConfig, ServiceEngine, ServiceReport, TenantSummary,
     };
 }
