@@ -8,7 +8,7 @@
 //! service-level tail/throughput regressions without re-deriving the
 //! reference numbers.
 
-use crate::experiments::{common, serve as serve_exp};
+use crate::experiments::{common, e2e as e2e_exp, serve as serve_exp};
 use s2c2_coding::mds::MdsParams;
 use s2c2_core::job::CodedJobBuilder;
 use s2c2_core::speed_tracker::PredictorSource;
@@ -70,6 +70,25 @@ pub struct TenantBaseline {
     pub on_time_ratio: f64,
 }
 
+/// One execution-backend row from the e2e scenario.
+#[derive(Debug, Clone)]
+pub struct E2eBaseline {
+    /// Backend label (`sim` / `sim-verified` / `threaded`).
+    pub name: String,
+    /// Median job sojourn latency (virtual time — backend-independent).
+    pub p50_latency: f64,
+    /// 99th-percentile job sojourn latency.
+    pub p99_latency: f64,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Iterations decoded and checked against the sequential reference.
+    pub verified_iterations: usize,
+    /// Encode-cache hits across the recurring-matrix trace.
+    pub cache_hits: u64,
+    /// Encode-cache misses (distinct encodings built).
+    pub cache_misses: u64,
+}
+
 /// The full baseline record.
 #[derive(Debug, Clone)]
 pub struct Baseline {
@@ -93,6 +112,10 @@ pub struct Baseline {
     pub serve: Vec<ServeBaseline>,
     /// Per-tenant QoS rows from the s2c2 serve scenario.
     pub serve_tenants: Vec<TenantBaseline>,
+    /// Jobs in the e2e backend scenario.
+    pub e2e_jobs: usize,
+    /// Execution-backend rows from the e2e recurring-matrix trace.
+    pub e2e: Vec<E2eBaseline>,
 }
 
 /// Runs the baseline job: a 1200×60 iterated coded matvec on 12 workers,
@@ -211,6 +234,35 @@ pub fn run() -> Baseline {
         }
     }
 
+    // The e2e rows reuse the canonical backend-comparison scenario, so
+    // the committed reference also guards the numeric path: cache
+    // amortization and verified-iteration counts per backend.
+    let e2e_jobs = 10usize;
+    let e2e = [
+        s2c2_serve::BackendKind::Sim,
+        s2c2_serve::BackendKind::SimVerified,
+        s2c2_serve::BackendKind::Threaded,
+    ]
+    .into_iter()
+    .map(|backend| {
+        let r = e2e_exp::run_backend(backend, e2e_jobs);
+        assert_eq!(
+            r.completed(),
+            e2e_jobs,
+            "{backend} e2e baseline must complete every job"
+        );
+        E2eBaseline {
+            name: backend.to_string(),
+            p50_latency: r.latency_percentile(50.0),
+            p99_latency: r.latency_percentile(99.0),
+            completed: r.completed(),
+            verified_iterations: r.verified_iterations,
+            cache_hits: r.encode_cache_hits,
+            cache_misses: r.encode_cache_misses,
+        }
+    })
+    .collect();
+
     Baseline {
         workers,
         stragglers,
@@ -222,6 +274,8 @@ pub fn run() -> Baseline {
         serve_workers: serve_exp::POOL,
         serve,
         serve_tenants,
+        e2e_jobs,
+        e2e,
     }
 }
 
@@ -277,6 +331,22 @@ impl Baseline {
                 row.achieved_share,
                 row.on_time_ratio,
                 if i + 1 < self.serve_tenants.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"e2e_jobs\": {},\n", self.e2e_jobs));
+        s.push_str("  \"e2e\": [\n");
+        for (i, row) in self.e2e.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"p50_latency\": {:.6}, \"p99_latency\": {:.6}, \"completed\": {}, \"verified_iterations\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
+                row.name,
+                row.p50_latency,
+                row.p99_latency,
+                row.completed,
+                row.verified_iterations,
+                row.cache_hits,
+                row.cache_misses,
+                if i + 1 < self.e2e.len() { "," } else { "" }
             ));
         }
         s.push_str("  ]\n}\n");
@@ -351,15 +421,32 @@ mod tests {
         let b = run();
         let j = b.to_json();
         assert!(j.starts_with('{') && j.ends_with("}\n"));
-        assert_eq!(j.matches("\"name\"").count(), 6);
-        // 3 schemes + 3 serve rows + one per tenant.
+        assert_eq!(j.matches("\"name\"").count(), 9);
+        // 3 schemes + 3 serve rows + 3 e2e rows + one per tenant.
         assert_eq!(
             j.matches("\"p99_latency\"").count(),
-            6 + b.serve_tenants.len()
+            9 + b.serve_tenants.len()
         );
         assert!(j.contains("\"serve\""));
         assert!(j.contains("\"serve_tenants\""));
         assert!(j.contains("\"utilization\""));
+        assert!(j.contains("\"e2e\""));
+        assert!(j.contains("\"cache_hits\""));
+    }
+
+    #[test]
+    fn e2e_rows_guard_the_numeric_path() {
+        let b = run();
+        assert_eq!(b.e2e.len(), 3);
+        let get = |name: &str| b.e2e.iter().find(|r| r.name == name).expect("e2e row");
+        // Virtual latencies are backend-independent.
+        assert_eq!(get("sim").p50_latency, get("threaded").p50_latency);
+        assert_eq!(get("sim-verified").p99_latency, get("threaded").p99_latency);
+        // Numeric backends verify every iteration and amortize encodes.
+        assert_eq!(get("sim").verified_iterations, 0);
+        assert!(get("threaded").verified_iterations > 0);
+        assert!(get("threaded").cache_hits > 0, "recurring trace must hit");
+        assert_eq!(get("threaded").cache_misses, 3, "one encode per preset");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 pub mod ablations;
 pub mod baseline;
 pub mod common;
+pub mod e2e;
 pub mod fig01_motivation;
 pub mod fig02_traces;
 pub mod fig03_storage;
@@ -155,6 +156,13 @@ pub fn registry() -> Vec<ExperimentDef> {
                 emit(&out.load, "serve_load.csv");
                 emit(&out.threads, "serve_threads.csv");
             },
+        },
+        ExperimentDef {
+            name: "e2e",
+            aliases: &[],
+            summary: "execution backends: sim vs verified vs real threads + encode cache",
+            in_all: true,
+            run: |s, emit| emit(&e2e::run(s), "e2e_backends.csv"),
         },
         ExperimentDef {
             name: "qos",

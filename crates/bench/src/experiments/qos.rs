@@ -240,6 +240,47 @@ mod tests {
         }
     }
 
+    /// Regression pin for the engine-module split: the full-scale qos
+    /// headline numbers recorded before the refactor (PR 3's
+    /// `figures -- qos`) must be preserved exactly — the split, the
+    /// backend seam, and the new QoS knobs default to byte-identical
+    /// behavior.
+    #[test]
+    fn full_scale_headlines_preserved_across_refactors() {
+        let out = run(Scale::Full);
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+        assert!(close(
+            out.weights.value("tenant0", "achieved_share"),
+            0.3142857142857143
+        ));
+        assert!(close(
+            out.weights.value("tenant1", "achieved_share"),
+            0.6857142857142857
+        ));
+        assert!(close(
+            out.weights.value("tenant0", "p50_latency"),
+            14.897551891076214
+        ));
+        assert!(close(
+            out.weights.value("tenant1", "p50_latency"),
+            7.170875036551426
+        ));
+        assert!(close(out.deadline.value("fifo", "on_time_ratio"), 0.25));
+        assert!(close(out.deadline.value("edf", "on_time_ratio"), 0.9875));
+        assert!(close(
+            out.deadline.value("edf+reject", "on_time_ratio"),
+            0.9875
+        ));
+        assert!(close(
+            out.deadline.value("fifo", "p99_latency"),
+            13.533762638708323
+        ));
+        assert!(close(
+            out.deadline.value("edf", "p99_latency"),
+            18.915093529112106
+        ));
+    }
+
     #[test]
     fn deterministic_across_runs() {
         let a = run(Scale::Quick);

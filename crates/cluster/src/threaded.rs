@@ -12,6 +12,9 @@
 //! scenario is reproduced with real threads.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -19,7 +22,27 @@ use std::time::Duration;
 #[derive(Debug)]
 struct Envelope<T> {
     task_id: u64,
+    cancel: Arc<AtomicBool>,
     payload: T,
+}
+
+/// Cooperative cancellation handle passed to cancellable workers.
+///
+/// The master flips the flag with [`ThreadedCluster::cancel`]; a worker
+/// checks [`CancelToken::is_cancelled`] at its own safe points (e.g.
+/// between chunks of a multi-chunk task), abandons the remaining work,
+/// and replies with whatever partial progress it made — the hook the
+/// recovery ladder's "cancel the late workers, learn their partial
+/// speed" rule needs from a real executor.
+#[derive(Debug)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Whether the master has cancelled this task.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
 }
 
 /// A worker's reply.
@@ -43,6 +66,9 @@ pub struct ThreadedCluster<T, R> {
     results: Receiver<WorkerReply<R>>,
     handles: Vec<JoinHandle<()>>,
     next_task: u64,
+    /// Cancel flags of tasks not yet seen back by the master; pruned as
+    /// replies are received and on explicit cancellation.
+    cancels: Mutex<BTreeMap<u64, Arc<AtomicBool>>>,
 }
 
 impl<T, R> ThreadedCluster<T, R>
@@ -51,7 +77,9 @@ where
     R: Send + 'static,
 {
     /// Spawns `n` workers. `make_worker(i)` builds the closure executed by
-    /// worker `i` for each task.
+    /// worker `i` for each task. Tasks submitted to this pool ignore
+    /// cancellation (see [`Self::spawn_cancellable`] for the cooperative
+    /// variant).
     ///
     /// # Panics
     ///
@@ -60,6 +88,24 @@ where
     pub fn spawn<F>(n: usize, mut make_worker: impl FnMut(usize) -> F) -> Self
     where
         F: FnMut(T) -> R + Send + 'static,
+    {
+        Self::spawn_cancellable(n, move |worker| {
+            let mut work = make_worker(worker);
+            move |payload: T, _token: &CancelToken| work(payload)
+        })
+    }
+
+    /// Spawns `n` workers whose closures receive a [`CancelToken`] next
+    /// to each task payload, enabling cooperative mid-task cancellation
+    /// with partial-progress replies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn spawn_cancellable<F>(n: usize, mut make_worker: impl FnMut(usize) -> F) -> Self
+    where
+        F: FnMut(T, &CancelToken) -> R + Send + 'static,
     {
         assert!(n > 0, "need at least one worker");
         let (result_tx, result_rx) = unbounded::<WorkerReply<R>>();
@@ -75,7 +121,8 @@ where
                     .name(format!("s2c2-worker-{worker}"))
                     .spawn(move || {
                         while let Ok(env) = rx.recv() {
-                            let result = work(env.payload);
+                            let token = CancelToken(Arc::clone(&env.cancel));
+                            let result = work(env.payload, &token);
                             // The master may have shut down early (it got
                             // its k results); a send failure is then fine.
                             if results
@@ -99,6 +146,7 @@ where
             results: result_rx,
             handles,
             next_task: 0,
+            cancels: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -117,10 +165,48 @@ where
     pub fn submit(&mut self, worker: usize, payload: T) -> u64 {
         let task_id = self.next_task;
         self.next_task += 1;
+        let cancel = Arc::new(AtomicBool::new(false));
+        self.cancels
+            .lock()
+            .expect("cancel registry poisoned")
+            .insert(task_id, Arc::clone(&cancel));
         self.senders[worker]
-            .send(Envelope { task_id, payload })
+            .send(Envelope {
+                task_id,
+                cancel,
+                payload,
+            })
             .expect("worker thread has terminated");
         task_id
+    }
+
+    /// Requests cooperative cancellation of an in-flight task. The worker
+    /// still replies (with partial progress, if its closure honours the
+    /// [`CancelToken`]); cancellation only asks it to stop early.
+    ///
+    /// Returns `false` if the task already replied (or never existed) —
+    /// cancelling it is then a no-op.
+    pub fn cancel(&self, task_id: u64) -> bool {
+        match self
+            .cancels
+            .lock()
+            .expect("cancel registry poisoned")
+            .remove(&task_id)
+        {
+            Some(flag) => {
+                flag.store(true, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops the cancel-flag bookkeeping of a reply the master has seen.
+    fn retire(&self, task_id: u64) {
+        self.cancels
+            .lock()
+            .expect("cancel registry poisoned")
+            .remove(&task_id);
     }
 
     /// Receives the next completed result, waiting up to `timeout`.
@@ -128,7 +214,10 @@ where
     /// Returns `None` on timeout.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<WorkerReply<R>> {
         match self.results.recv_timeout(timeout) {
-            Ok(r) => Some(r),
+            Ok(r) => {
+                self.retire(r.task_id);
+                Some(r)
+            }
             Err(RecvTimeoutError::Timeout) => None,
             Err(RecvTimeoutError::Disconnected) => None,
         }
@@ -141,7 +230,9 @@ where
     /// Panics if all workers have terminated and the channel drained.
     #[must_use]
     pub fn recv(&self) -> WorkerReply<R> {
-        self.results.recv().expect("all workers terminated")
+        let r = self.results.recv().expect("all workers terminated");
+        self.retire(r.task_id);
+        r
     }
 
     /// Collects results until `pred` says the round is complete or
@@ -171,7 +262,8 @@ where
     /// Drains any stale results without blocking (start-of-round hygiene).
     pub fn drain_stale(&self) -> usize {
         let mut n = 0;
-        while self.results.try_recv().is_ok() {
+        while let Ok(r) = self.results.try_recv() {
+            self.retire(r.task_id);
             n += 1;
         }
         n
@@ -304,5 +396,74 @@ mod tests {
     #[should_panic(expected = "need at least one worker")]
     fn zero_workers_rejected() {
         let _: ThreadedCluster<(), ()> = ThreadedCluster::spawn(0, |_| |()| ());
+    }
+
+    #[test]
+    fn cancel_yields_partial_progress() {
+        // The worker chews through a deliberately huge chunk budget
+        // (~50s uncancelled), checking the token between chunks, so a
+        // 10ms-in cancellation is guaranteed to land mid-task even on a
+        // heavily loaded runner — no wall-clock race against the task
+        // finishing first.
+        let chunks = 100_000usize;
+        let mut cluster: ThreadedCluster<usize, (usize, bool)> =
+            ThreadedCluster::spawn_cancellable(1, |_| {
+                |chunks: usize, token: &CancelToken| {
+                    let mut done = 0;
+                    for _ in 0..chunks {
+                        if token.is_cancelled() {
+                            return (done, true);
+                        }
+                        spin_delay_micros(500);
+                        done += 1;
+                    }
+                    (done, false)
+                }
+            });
+        let id = cluster.submit(0, chunks);
+        // Let it chew a few chunks, then cancel.
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(cluster.cancel(id), "task should still be in flight");
+        let reply = cluster.recv();
+        assert_eq!(reply.task_id, id);
+        let (done, cancelled) = reply.result;
+        assert!(cancelled, "worker must observe the cancellation");
+        assert!(done < chunks, "partial progress, not the full task");
+    }
+
+    #[test]
+    fn cancel_after_reply_is_a_noop() {
+        let mut cluster: ThreadedCluster<u32, u32> = ThreadedCluster::spawn(1, |_| |x: u32| x);
+        let id = cluster.submit(0, 7);
+        let reply = cluster.recv();
+        assert_eq!(reply.result, 7);
+        // The reply retired the cancel flag; cancelling now is a no-op.
+        assert!(!cluster.cancel(id));
+        assert!(!cluster.cancel(id + 1), "unknown ids are no-ops too");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn uncancelled_cancellable_tasks_run_to_completion() {
+        let mut cluster: ThreadedCluster<usize, usize> =
+            ThreadedCluster::spawn_cancellable(2, |_| {
+                |chunks: usize, token: &CancelToken| {
+                    let mut done = 0;
+                    for _ in 0..chunks {
+                        if token.is_cancelled() {
+                            break;
+                        }
+                        done += 1;
+                    }
+                    done
+                }
+            });
+        cluster.submit(0, 10);
+        cluster.submit(1, 20);
+        let mut got = [cluster.recv(), cluster.recv()];
+        got.sort_by_key(|r| r.worker);
+        assert_eq!(got[0].result, 10);
+        assert_eq!(got[1].result, 20);
+        cluster.shutdown();
     }
 }

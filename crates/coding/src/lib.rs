@@ -22,14 +22,20 @@
 //! computed that chunk. That per-chunk decodability is exactly the property
 //! S²C² (in `s2c2-core`) exploits to assign partial work to slow nodes
 //! without re-encoding or moving data.
+//!
+//! The [`cache`] module adds the serving-side amortization on top: an
+//! [`cache::EncodeCache`] memoizing `(matrix identity, code geometry) →
+//! encoding` so recurring jobs skip re-encoding entirely.
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod chunks;
 pub mod error;
 pub mod mds;
 pub mod polynomial;
 
+pub use cache::{CachedEncoding, EncodeCache, EncodeKey};
 pub use chunks::{ChunkLayout, WorkerChunkResult};
 pub use error::CodingError;
 pub use mds::{EncodedMatrix, MdsCode, MdsParams};

@@ -31,6 +31,54 @@ impl QueuedJob {
     }
 }
 
+/// Token-bucket rate limit on one tenant's admissions.
+///
+/// A tenant accrues `rate` tokens per second up to a `burst` ceiling;
+/// each arriving job spends one token or is refused outright (recorded
+/// as `rate_limited`, counted separately from deadline rejections).
+/// Weights bound a tenant's *relative* share once resident; this is the
+/// complementary absolute cap on how fast it may enter at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained admission rate, in jobs per second (> 0).
+    pub rate: f64,
+    /// Burst capacity, in jobs (≥ 1; the bucket starts full).
+    pub burst: f64,
+}
+
+/// Running token-bucket state for one tenant (virtual-time refill).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TokenBucket {
+    limit: RateLimit,
+    tokens: f64,
+    last_refill: f64,
+}
+
+impl TokenBucket {
+    /// A full bucket under `limit`.
+    pub(crate) fn new(limit: RateLimit) -> Self {
+        TokenBucket {
+            limit,
+            tokens: limit.burst,
+            last_refill: 0.0,
+        }
+    }
+
+    /// Refills for the elapsed virtual time, then tries to spend one
+    /// token. Returns whether the arrival is admitted.
+    pub(crate) fn try_admit(&mut self, now: f64) -> bool {
+        let elapsed = (now - self.last_refill).max(0.0);
+        self.tokens = (self.tokens + elapsed * self.limit.rate).min(self.limit.burst);
+        self.last_refill = self.last_refill.max(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// What the policy knows about one currently-resident job.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResidentInfo {
@@ -264,6 +312,38 @@ mod tests {
         assert!((j.absolute_deadline() - 5.0).abs() < 1e-12);
         let no_slo = queued(1, 0, 3.0, JobPreset::small());
         assert_eq!(no_slo.absolute_deadline(), f64::INFINITY);
+    }
+
+    #[test]
+    fn token_bucket_caps_bursts_and_refills() {
+        let mut b = TokenBucket::new(RateLimit {
+            rate: 2.0,
+            burst: 3.0,
+        });
+        // The burst drains in three back-to-back arrivals...
+        assert!(b.try_admit(0.0));
+        assert!(b.try_admit(0.0));
+        assert!(b.try_admit(0.0));
+        assert!(!b.try_admit(0.0), "burst exhausted");
+        assert!(!b.try_admit(0.2), "0.4 tokens accrued, still short");
+        // ...then refills at 2 tokens/s, capped at the burst ceiling.
+        assert!(b.try_admit(0.5));
+        assert!(b.try_admit(100.0));
+        assert!(b.try_admit(100.0));
+        assert!(b.try_admit(100.0));
+        assert!(!b.try_admit(100.0), "refill is capped at burst");
+    }
+
+    #[test]
+    fn token_bucket_ignores_time_regressions() {
+        let mut b = TokenBucket::new(RateLimit {
+            rate: 1.0,
+            burst: 1.0,
+        });
+        assert!(b.try_admit(5.0));
+        // An earlier timestamp must not mint tokens or move time back.
+        assert!(!b.try_admit(4.0));
+        assert!(b.try_admit(6.0));
     }
 
     #[test]

@@ -1,0 +1,724 @@
+//! Pluggable execution backends: what a scheduled task *does*.
+//!
+//! The event loop decides *when* work happens; a backend decides
+//! *whether anything is actually computed*:
+//!
+//! * [`BackendKind::Sim`] — nothing is. Jobs carry no data; the engine
+//!   is the pure timing simulator it always was (bit-identical event
+//!   streams and reports).
+//! * [`BackendKind::SimVerified`] — every job carries a real model
+//!   matrix, deterministically derived from its
+//!   [`JobSpec::matrix_id`], encoded once through a shared
+//!   [`EncodeCache`]. When the timing model completes an iteration, the
+//!   master recomputes exactly the chunk responses of the workers the
+//!   timing model credited, decodes them with [`s2c2_coding`], and
+//!   checks the result against a sequential `A·x` reference. No OS
+//!   threads — the numerics oracle.
+//! * [`BackendKind::Threaded`] — same numerics, but the encoded chunk
+//!   work is dispatched to real [`ThreadedCluster`] OS-thread workers
+//!   when the iteration *starts*, cancelled cooperatively when the
+//!   recovery ladder cancels (late stragglers, churn), re-dispatched on
+//!   redo assignment, and collected/decoded at iteration completion.
+//!   The schedule the engine decides is the schedule real threads
+//!   execute, end to end.
+//!
+//! Both numeric backends draw per-iteration inputs `x` from the same
+//! deterministic generator and decode from identical response sets, so
+//! their decoded outputs agree to within threading-independent FP
+//! reproducibility (proptested in `tests/proptest_serve.rs`). Cache
+//! hit/miss counters, verified-iteration counts, the worst observed
+//! decode error, and per-job final outputs are merged into the
+//! [`ServiceReport`] when the engine finishes.
+
+use super::core::RunningIteration;
+use crate::event::JobId;
+use crate::metrics::ServiceReport;
+use crate::workload::JobSpec;
+use s2c2_cluster::threaded::{CancelToken, ThreadedCluster};
+use s2c2_coding::cache::{CachedEncoding, EncodeCache, EncodeKey};
+use s2c2_coding::chunks::WorkerChunkResult;
+use s2c2_linalg::{Matrix, Vector};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Relative decode-vs-reference divergence that fails a verified run.
+/// Decoding solves at most `(n − k) × (n − k)` systems over a
+/// well-conditioned random parity, so honest runs sit orders of
+/// magnitude below this.
+const VERIFY_TOL: f64 = 1e-6;
+
+/// How long the threaded backend waits for worker replies at an
+/// iteration boundary before declaring the executor wedged.
+const COLLECT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Which execution backend the engine drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Timing-only simulation; no job data, nothing computed (default).
+    Sim,
+    /// Timing simulation plus master-side sequential numerics: encode
+    /// via the shared cache, decode every completed iteration from the
+    /// timing model's worker coverage, verify against `A·x`.
+    SimVerified,
+    /// Real OS-thread workers ([`ThreadedCluster`]): chunk tasks are
+    /// dispatched at iteration start, cooperatively cancelled in step
+    /// with the recovery ladder, and decoded/verified at completion.
+    Threaded,
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BackendKind::Sim => "sim",
+            BackendKind::SimVerified => "sim-verified",
+            BackendKind::Threaded => "threaded",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The seam between the event loop and execution. Hook errors are
+/// surfaced as [`super::ServeError::Backend`].
+pub(crate) trait ExecutionBackend {
+    /// A job was admitted: materialize/encode its model (via the cache)
+    /// under the engine's effective code geometry.
+    fn on_admit(&mut self, spec: &JobSpec, k_eff: usize, c_eff: usize) -> Result<(), String>;
+    /// An iteration was scheduled: dispatch its per-worker chunk tasks.
+    fn on_iteration_start(
+        &mut self,
+        spec: &JobSpec,
+        iter: &RunningIteration,
+        iteration_index: usize,
+    ) -> Result<(), String>;
+    /// The recovery ladder reassigned `chunks` to finished worker
+    /// `worker` (rung 3): dispatch the redo work.
+    fn on_redo(
+        &mut self,
+        job: JobId,
+        generation: u64,
+        worker: usize,
+        chunks: &[usize],
+    ) -> Result<(), String>;
+    /// The engine stopped caring about a worker's task (cancelled late
+    /// straggler, churned worker, or superfluous work at completion).
+    fn on_cancel(&mut self, job: JobId, generation: u64, worker: usize, redo: bool);
+    /// The timing model completed an iteration: collect/compute the
+    /// credited workers' responses, decode, verify.
+    fn on_iteration_complete(
+        &mut self,
+        spec: &JobSpec,
+        iter: &RunningIteration,
+        iteration_index: usize,
+        is_final: bool,
+    ) -> Result<(), String>;
+    /// A churn storm forced an iteration restart (rung 5).
+    fn on_iteration_abandoned(&mut self, job: JobId, generation: u64);
+    /// The job left the resident set (completed or failed).
+    fn on_job_resolved(&mut self, job: JobId);
+    /// The run is over (successfully or not): release executor
+    /// resources and merge backend counters into the report.
+    fn finish(&mut self, report: &mut ServiceReport);
+}
+
+/// Builds the configured backend for an `n`-worker pool.
+pub(crate) fn make_backend(kind: BackendKind, n: usize) -> Box<dyn ExecutionBackend> {
+    match kind {
+        BackendKind::Sim => Box::new(SimBackend),
+        BackendKind::SimVerified => Box::new(SimVerifiedBackend {
+            core: NumericCore::default(),
+            n,
+        }),
+        BackendKind::Threaded => Box::new(ThreadedBackend::spawn(n)),
+    }
+}
+
+// ---- deterministic job data ---------------------------------------------
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[-1, 1)` from a hash (reproducible across backends).
+fn unit(seed: u64) -> f64 {
+    (splitmix64(seed) >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+/// The model matrix a job's `matrix_id` denotes. Jobs sharing an id and
+/// shape get bit-identical matrices — the recurring-model regime the
+/// encode cache amortizes.
+pub(crate) fn model_matrix(matrix_id: u64, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        unit(matrix_id ^ ((r as u64) << 24) ^ c as u64)
+    })
+}
+
+/// The input vector of one job iteration (same in every backend).
+pub(crate) fn iteration_input(job: JobId, iteration: usize, cols: usize) -> Vector {
+    Vector::from_fn(cols, |i| {
+        unit(
+            job.wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ (iteration as u64).wrapping_mul(0x9E37_79B9)
+                ^ i as u64,
+        )
+    })
+}
+
+// ---- Sim ----------------------------------------------------------------
+
+/// Timing-only backend: every hook is a no-op.
+struct SimBackend;
+
+impl ExecutionBackend for SimBackend {
+    fn on_admit(&mut self, _: &JobSpec, _: usize, _: usize) -> Result<(), String> {
+        Ok(())
+    }
+    fn on_iteration_start(
+        &mut self,
+        _: &JobSpec,
+        _: &RunningIteration,
+        _: usize,
+    ) -> Result<(), String> {
+        Ok(())
+    }
+    fn on_redo(&mut self, _: JobId, _: u64, _: usize, _: &[usize]) -> Result<(), String> {
+        Ok(())
+    }
+    fn on_cancel(&mut self, _: JobId, _: u64, _: usize, _: bool) {}
+    fn on_iteration_complete(
+        &mut self,
+        _: &JobSpec,
+        _: &RunningIteration,
+        _: usize,
+        _: bool,
+    ) -> Result<(), String> {
+        Ok(())
+    }
+    fn on_iteration_abandoned(&mut self, _: JobId, _: u64) {}
+    fn on_job_resolved(&mut self, _: JobId) {}
+    fn finish(&mut self, _: &mut ServiceReport) {}
+}
+
+// ---- shared numeric state -----------------------------------------------
+
+/// Per-job numeric state shared by the verified backends.
+struct NumericJob {
+    enc: Arc<CachedEncoding>,
+    a: Arc<Matrix>,
+    /// Current iteration's input.
+    x: Arc<Vector>,
+    /// Current iteration's sequential reference (`A·x`).
+    y_ref: Vector,
+}
+
+/// Encode/decode/verify plumbing shared by [`SimVerifiedBackend`] and
+/// [`ThreadedBackend`].
+#[derive(Default)]
+struct NumericCore {
+    cache: EncodeCache,
+    jobs: BTreeMap<JobId, NumericJob>,
+    /// Reference matrices by identity — resident jobs sharing a
+    /// `matrix_id` alias one allocation instead of each materializing
+    /// its own copy.
+    models: HashMap<(u64, usize, usize), Arc<Matrix>>,
+    verified: usize,
+    max_error: f64,
+    outputs: Vec<(JobId, Vec<f64>)>,
+}
+
+impl NumericCore {
+    fn admit(
+        &mut self,
+        spec: &JobSpec,
+        n: usize,
+        k_eff: usize,
+        c_eff: usize,
+    ) -> Result<(), String> {
+        let key = EncodeKey {
+            matrix_id: spec.matrix_id,
+            rows: spec.rows,
+            cols: spec.cols,
+            n,
+            k: k_eff,
+            chunks_per_partition: c_eff,
+        };
+        let (matrix_id, rows, cols) = (spec.matrix_id, spec.rows, spec.cols);
+        let enc = self
+            .cache
+            .get_or_encode(key, || model_matrix(matrix_id, rows, cols))
+            .map_err(|e| format!("job {} encode failed: {e}", spec.id))?;
+        // The reference matrix lives beside (not inside) the encode
+        // cache — the cache stays exactly what workers need — but is
+        // likewise shared by identity, so recurring jobs neither
+        // rebuild nor duplicate it.
+        let a = Arc::clone(
+            self.models
+                .entry((matrix_id, rows, cols))
+                .or_insert_with(|| Arc::new(model_matrix(matrix_id, rows, cols))),
+        );
+        self.jobs.insert(
+            spec.id,
+            NumericJob {
+                enc,
+                a,
+                x: Arc::new(Vector::filled(spec.cols, 0.0)),
+                y_ref: Vector::filled(0, 0.0),
+            },
+        );
+        Ok(())
+    }
+
+    /// Sets the iteration's deterministic input and its reference.
+    fn begin_iteration(&mut self, spec: &JobSpec, iteration_index: usize) -> Result<(), String> {
+        let job = self
+            .jobs
+            .get_mut(&spec.id)
+            .ok_or_else(|| format!("job {} iterated before admission", spec.id))?;
+        let x = Arc::new(iteration_input(spec.id, iteration_index, spec.cols));
+        job.y_ref = job.a.matvec(&x);
+        job.x = x;
+        Ok(())
+    }
+
+    /// Decodes `responses`, verifies against the reference, and records
+    /// the outcome.
+    fn verify(
+        &mut self,
+        spec: &JobSpec,
+        responses: &[WorkerChunkResult],
+        is_final: bool,
+    ) -> Result<(), String> {
+        let job = self
+            .jobs
+            .get(&spec.id)
+            .ok_or_else(|| format!("job {} completed before admission", spec.id))?;
+        let y = job
+            .enc
+            .code
+            .decode_matvec(job.enc.encoded.layout(), responses)
+            .map_err(|e| format!("job {} decode failed: {e}", spec.id))?;
+        let scale = 1.0
+            + job
+                .y_ref
+                .as_slice()
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()));
+        let err = y
+            .as_slice()
+            .iter()
+            .zip(job.y_ref.as_slice())
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+            / scale;
+        if err.is_nan() || err > VERIFY_TOL {
+            return Err(format!(
+                "job {} decoded output diverged from the sequential reference \
+                 (relative error {err:.3e} > {VERIFY_TOL:.0e})",
+                spec.id
+            ));
+        }
+        self.verified += 1;
+        self.max_error = self.max_error.max(err);
+        if is_final {
+            self.outputs.push((spec.id, y.into_vec()));
+        }
+        Ok(())
+    }
+
+    fn merge_into(&mut self, report: &mut ServiceReport) {
+        report.encode_cache_hits = self.cache.hits();
+        report.encode_cache_misses = self.cache.misses();
+        report.verified_iterations = self.verified;
+        report.max_decode_error = self.max_error;
+        report.job_outputs = std::mem::take(&mut self.outputs);
+    }
+}
+
+/// The response set the timing model credits for a completed iteration:
+/// every done worker's original chunks plus every done redo set — the
+/// exact coverage `RunningIteration::complete` certified.
+fn credited_coverage(iter: &RunningIteration) -> Vec<(usize, Vec<usize>, bool)> {
+    let mut cover = Vec::new();
+    for w in 0..iter.assignment.workers() {
+        if iter.done[w] && !iter.assignment.chunks[w].is_empty() {
+            cover.push((w, iter.assignment.chunks[w].clone(), false));
+        }
+        if iter.redo_done[w] && !iter.redo_chunks[w].is_empty() {
+            cover.push((w, iter.redo_chunks[w].clone(), true));
+        }
+    }
+    cover
+}
+
+// ---- SimVerified --------------------------------------------------------
+
+/// Master-side numerics: recompute the credited coverage sequentially at
+/// iteration completion. The dispatch/cancel hooks are no-ops — nothing
+/// runs concurrently, so there is nothing to cancel.
+struct SimVerifiedBackend {
+    core: NumericCore,
+    /// Pool size (code length of every job's encoding).
+    n: usize,
+}
+
+impl ExecutionBackend for SimVerifiedBackend {
+    fn on_admit(&mut self, spec: &JobSpec, k_eff: usize, c_eff: usize) -> Result<(), String> {
+        self.core.admit(spec, self.n, k_eff, c_eff)
+    }
+    fn on_iteration_start(
+        &mut self,
+        spec: &JobSpec,
+        _iter: &RunningIteration,
+        iteration_index: usize,
+    ) -> Result<(), String> {
+        self.core.begin_iteration(spec, iteration_index)
+    }
+    fn on_redo(&mut self, _: JobId, _: u64, _: usize, _: &[usize]) -> Result<(), String> {
+        Ok(())
+    }
+    fn on_cancel(&mut self, _: JobId, _: u64, _: usize, _: bool) {}
+    fn on_iteration_complete(
+        &mut self,
+        spec: &JobSpec,
+        iter: &RunningIteration,
+        _iteration_index: usize,
+        is_final: bool,
+    ) -> Result<(), String> {
+        let job = self
+            .core
+            .jobs
+            .get(&spec.id)
+            .ok_or_else(|| format!("job {} completed before admission", spec.id))?;
+        let mut responses = Vec::new();
+        for (w, chunks, _redo) in credited_coverage(iter) {
+            responses.extend(job.enc.encoded.worker_compute_chunks(w, &chunks, &job.x));
+        }
+        self.core.verify(spec, &responses, is_final)
+    }
+    fn on_iteration_abandoned(&mut self, _: JobId, _: u64) {}
+    fn on_job_resolved(&mut self, job: JobId) {
+        self.core.jobs.remove(&job);
+    }
+    fn finish(&mut self, report: &mut ServiceReport) {
+        self.core.merge_into(report);
+    }
+}
+
+// ---- Threaded -----------------------------------------------------------
+
+/// A chunk task addressed to one OS-thread worker.
+struct WorkerTask {
+    enc: Arc<CachedEncoding>,
+    chunks: Vec<usize>,
+    x: Arc<Vector>,
+}
+
+/// Bookkeeping for one dispatched task.
+struct TaskInfo {
+    id: u64,
+    worker: usize,
+    redo: bool,
+    /// Chunks dispatched — a credited task's reply must carry exactly
+    /// this many results (fewer means the worker aborted mid-task).
+    chunks: usize,
+    cancelled: bool,
+}
+
+/// Per-job dispatch state for the current generation.
+struct ThreadedJobTasks {
+    generation: u64,
+    tasks: Vec<TaskInfo>,
+}
+
+/// Real-threads backend: one OS thread per pool worker, crossbeam
+/// channels, cooperative cancellation.
+struct ThreadedBackend {
+    core: NumericCore,
+    cluster: Option<ThreadedCluster<WorkerTask, Vec<WorkerChunkResult>>>,
+    n: usize,
+    inflight: BTreeMap<JobId, ThreadedJobTasks>,
+    /// Replies received but not yet consumed, by task id.
+    arrived: HashMap<u64, Vec<WorkerChunkResult>>,
+    /// Task ids whose replies should be dropped on arrival (abandoned
+    /// generations).
+    discard: BTreeSet<u64>,
+}
+
+impl ThreadedBackend {
+    fn spawn(n: usize) -> Self {
+        let cluster = ThreadedCluster::spawn_cancellable(n, |worker| {
+            move |task: WorkerTask, token: &CancelToken| {
+                let mut results = Vec::with_capacity(task.chunks.len());
+                for &chunk in &task.chunks {
+                    // The cooperative-cancel point sits between chunks:
+                    // a cancelled worker abandons the rest and replies
+                    // with its partial progress, mirroring the paper's
+                    // "ignore the slow nodes" semantics with real work.
+                    if token.is_cancelled() {
+                        break;
+                    }
+                    results.push(
+                        task.enc
+                            .encoded
+                            .worker_compute_chunk(worker, chunk, &task.x),
+                    );
+                }
+                results
+            }
+        });
+        ThreadedBackend {
+            core: NumericCore::default(),
+            cluster: Some(cluster),
+            n,
+            inflight: BTreeMap::new(),
+            arrived: HashMap::new(),
+            discard: BTreeSet::new(),
+        }
+    }
+
+    fn cluster(&mut self) -> &mut ThreadedCluster<WorkerTask, Vec<WorkerChunkResult>> {
+        self.cluster.as_mut().expect("cluster alive until finish")
+    }
+
+    fn dispatch(&mut self, job: JobId, worker: usize, chunks: Vec<usize>) -> Result<u64, String> {
+        let state = self
+            .core
+            .jobs
+            .get(&job)
+            .ok_or_else(|| format!("job {job} dispatched before admission"))?;
+        let task = WorkerTask {
+            enc: Arc::clone(&state.enc),
+            chunks,
+            x: Arc::clone(&state.x),
+        };
+        Ok(self.cluster().submit(worker, task))
+    }
+}
+
+impl ExecutionBackend for ThreadedBackend {
+    fn on_admit(&mut self, spec: &JobSpec, k_eff: usize, c_eff: usize) -> Result<(), String> {
+        self.core.admit(spec, self.n, k_eff, c_eff)
+    }
+
+    fn on_iteration_start(
+        &mut self,
+        spec: &JobSpec,
+        iter: &RunningIteration,
+        iteration_index: usize,
+    ) -> Result<(), String> {
+        self.core.begin_iteration(spec, iteration_index)?;
+        let mut tasks = Vec::new();
+        for (w, chunks) in iter.assignment.chunks.iter().enumerate() {
+            if chunks.is_empty() {
+                continue;
+            }
+            let id = self.dispatch(spec.id, w, chunks.clone())?;
+            tasks.push(TaskInfo {
+                id,
+                worker: w,
+                redo: false,
+                chunks: chunks.len(),
+                cancelled: false,
+            });
+        }
+        let prev = self.inflight.insert(
+            spec.id,
+            ThreadedJobTasks {
+                generation: iter.generation,
+                tasks,
+            },
+        );
+        debug_assert!(
+            prev.is_none(),
+            "previous generation must be completed or abandoned first"
+        );
+        Ok(())
+    }
+
+    fn on_redo(
+        &mut self,
+        job: JobId,
+        generation: u64,
+        worker: usize,
+        chunks: &[usize],
+    ) -> Result<(), String> {
+        let Some(state) = self.inflight.get(&job) else {
+            return Err(format!("job {job} redo without a running iteration"));
+        };
+        if state.generation != generation {
+            return Err(format!("job {job} redo against a stale generation"));
+        }
+        let id = self.dispatch(job, worker, chunks.to_vec())?;
+        self.inflight
+            .get_mut(&job)
+            .expect("checked above")
+            .tasks
+            .push(TaskInfo {
+                id,
+                worker,
+                redo: true,
+                chunks: chunks.len(),
+                cancelled: false,
+            });
+        Ok(())
+    }
+
+    fn on_cancel(&mut self, job: JobId, generation: u64, worker: usize, redo: bool) {
+        let Some(state) = self.inflight.get_mut(&job) else {
+            return;
+        };
+        if state.generation != generation {
+            return;
+        }
+        let mut to_cancel = Vec::new();
+        for t in &mut state.tasks {
+            if t.worker == worker && t.redo == redo && !t.cancelled {
+                t.cancelled = true;
+                to_cancel.push(t.id);
+            }
+        }
+        for id in to_cancel {
+            self.cluster().cancel(id);
+        }
+    }
+
+    fn on_iteration_complete(
+        &mut self,
+        spec: &JobSpec,
+        iter: &RunningIteration,
+        _iteration_index: usize,
+        is_final: bool,
+    ) -> Result<(), String> {
+        let Some(state) = self.inflight.remove(&spec.id) else {
+            return Err(format!(
+                "job {} completed without dispatched tasks",
+                spec.id
+            ));
+        };
+        if state.generation != iter.generation {
+            return Err(format!("job {} completed a stale generation", spec.id));
+        }
+        // Which physical tasks the timing model credits: originals of
+        // done workers, every *live* redo task of workers whose merged
+        // redo set is done. Cancelled tasks are never credited — the
+        // engine clears their chunks from the redo bookkeeping when it
+        // cancels (churned workers), so timing and execution agree.
+        let needed: Vec<&TaskInfo> = state
+            .tasks
+            .iter()
+            .filter(|t| {
+                !t.cancelled
+                    && if t.redo {
+                        iter.redo_done[t.worker]
+                    } else {
+                        iter.done[t.worker]
+                    }
+            })
+            .collect();
+        // Everything else is work nobody waited for: cancel it now (the
+        // engine already refunded its timing charge).
+        for t in &state.tasks {
+            let is_needed = needed.iter().any(|nt| nt.id == t.id);
+            if !is_needed && !t.cancelled && !self.arrived.contains_key(&t.id) {
+                self.cluster().cancel(t.id);
+            }
+        }
+        // Collect every reply of this generation — needed ones to
+        // decode from, the rest to keep the channel and maps tidy.
+        // Cancelled tasks reply promptly with partial progress, so this
+        // loop is bounded by real compute time, not virtual time.
+        loop {
+            let outstanding = state
+                .tasks
+                .iter()
+                .any(|t| !self.arrived.contains_key(&t.id));
+            if !outstanding {
+                break;
+            }
+            let Some(reply) = self.cluster().recv_timeout(COLLECT_TIMEOUT) else {
+                return Err(format!(
+                    "job {}: threaded worker did not reply within {COLLECT_TIMEOUT:?}",
+                    spec.id
+                ));
+            };
+            // Replies are absorbed raw, whichever job they belong to;
+            // credit decisions happen against the owning job's task
+            // bookkeeping, never against this one's.
+            if self.discard.remove(&reply.task_id) {
+                continue;
+            }
+            self.arrived.insert(reply.task_id, reply.result);
+        }
+        // Assemble the credited response set in deterministic
+        // (submission) order and decode. A credited task must have run
+        // to completion: a short reply means the worker aborted work
+        // the timing model counted on (timing/execution divergence).
+        let mut responses = Vec::new();
+        for t in &state.tasks {
+            let output = self
+                .arrived
+                .remove(&t.id)
+                .expect("collected in the loop above");
+            let is_needed = needed.iter().any(|nt| nt.id == t.id);
+            if !is_needed {
+                continue;
+            }
+            if output.len() != t.chunks {
+                return Err(format!(
+                    "job {}: worker {} replied {} of {} credited chunks \
+                     (timing/execution divergence)",
+                    spec.id,
+                    t.worker,
+                    output.len(),
+                    t.chunks
+                ));
+            }
+            responses.extend(output);
+        }
+        self.core.verify(spec, &responses, is_final)
+    }
+
+    fn on_iteration_abandoned(&mut self, job: JobId, generation: u64) {
+        let Some(state) = self.inflight.remove(&job) else {
+            return;
+        };
+        debug_assert_eq!(state.generation, generation);
+        for t in state.tasks {
+            if let Some(_stale) = self.arrived.remove(&t.id) {
+                continue;
+            }
+            if !t.cancelled {
+                self.cluster().cancel(t.id);
+            }
+            // The reply is still in flight; drop it on arrival.
+            self.discard.insert(t.id);
+        }
+    }
+
+    fn on_job_resolved(&mut self, job: JobId) {
+        // Any leftover generation state (failed jobs) is abandoned.
+        if let Some(state) = self.inflight.get(&job) {
+            let generation = state.generation;
+            self.on_iteration_abandoned(job, generation);
+        }
+        self.core.jobs.remove(&job);
+    }
+
+    fn finish(&mut self, report: &mut ServiceReport) {
+        // Cancel whatever is still in flight (stalled/failed runs), then
+        // join the worker threads.
+        let jobs: Vec<JobId> = self.inflight.keys().copied().collect();
+        for job in jobs {
+            if let Some(state) = self.inflight.get(&job) {
+                let generation = state.generation;
+                self.on_iteration_abandoned(job, generation);
+            }
+        }
+        if let Some(cluster) = self.cluster.take() {
+            cluster.shutdown();
+        }
+        self.core.merge_into(report);
+    }
+}

@@ -1,0 +1,727 @@
+//! Resident-job state and the engine's event handlers.
+//!
+//! Everything here reacts to one popped event: arrivals feed the
+//! admission queue ([`ServiceEngine::on_arrival`], with token-bucket
+//! rate limiting), admission starts iterations whose per-worker tasks
+//! are scheduled from the shared allocation
+//! ([`ServiceEngine::start_iteration`]), task completions mark coverage
+//! and feed the speed predictor, and completed iterations decode (via
+//! the execution backend) and either start the next iteration or retire
+//! the job. Timeout and churn events are handed to
+//! [`super::recovery`]; share rescaling lives in [`super::rebalance`].
+
+use super::{ServeError, ServiceEngine};
+use crate::admission::{QueuedJob, ResidentInfo};
+use crate::event::{EventKind, JobId};
+use crate::metrics::JobRecord;
+use crate::shared_alloc::{allocate_for_resident, full_over_available};
+use crate::workload::JobSpec;
+use s2c2_core::{allocate_chunks_basic, ChunkAssignment};
+
+use super::thread_speedup;
+use super::SchedulerMode;
+
+/// Refunds the not-yet-performed remainder of an abandoned task's compute
+/// charge: a task scheduled to finish at `finish` and abandoned at `now`
+/// still owes `(finish − now) · share` dedicated compute-seconds (capped
+/// at what was charged).
+pub(crate) fn refund_busy(
+    busy_time: &mut f64,
+    charged: &mut f64,
+    finish: f64,
+    now: f64,
+    share: f64,
+) {
+    let refund = ((finish - now) * share).clamp(0.0, *charged);
+    *busy_time -= refund;
+    *charged -= refund;
+}
+
+/// One in-flight iteration of a resident job.
+#[derive(Debug)]
+pub(crate) struct RunningIteration {
+    pub(crate) generation: u64,
+    pub(crate) share: f64,
+    pub(crate) k_eff: usize,
+    pub(crate) rows_per_chunk: usize,
+    pub(crate) assignment: ChunkAssignment,
+    /// Scheduled finish time per worker (`INFINITY` = no task).
+    pub(crate) finish: Vec<f64>,
+    pub(crate) done: Vec<bool>,
+    /// `false` once a task is cancelled (deadline) or its worker churned.
+    pub(crate) valid: Vec<bool>,
+    pub(crate) redo_chunks: Vec<Vec<usize>>,
+    pub(crate) redo_finish: Vec<f64>,
+    pub(crate) redo_done: Vec<bool>,
+    pub(crate) redo_valid: Vec<bool>,
+    /// Dedicated compute-seconds charged to `busy_time` per original task
+    /// (refunded pro rata when a task is cancelled or abandoned).
+    pub(crate) busy_charged: Vec<f64>,
+    /// Same, for redo tasks.
+    pub(crate) redo_busy_charged: Vec<f64>,
+    /// Set once this iteration fell back to waiting out stragglers.
+    pub(crate) waited_out: bool,
+    /// The currently-armed §4.3 deadline. Timeout events earlier than
+    /// this were superseded (share rebalances stretch in-flight spans
+    /// and re-arm) and must be ignored, or a squeezed iteration would be
+    /// cancelled while legitimately on schedule.
+    pub(crate) armed_deadline: f64,
+    /// Dedicated share-seconds accumulated over completed share
+    /// segments: `∫ share dt` from iteration start to [`Self::share_anchor`].
+    /// With rebalancing, `duration · share` is wrong whenever the share
+    /// changed mid-task; speed observations must use this integral or
+    /// the predictor inherits a bias of up to `old_share / new_share`.
+    pub(crate) share_integral: f64,
+    /// Instant the current share segment began.
+    pub(crate) share_anchor: f64,
+}
+
+impl RunningIteration {
+    pub(crate) fn covers(&self, worker: usize, chunk: usize) -> bool {
+        self.assignment.chunks[worker].binary_search(&chunk).is_ok()
+    }
+
+    /// Dedicated share-seconds the iteration has accrued by instant `t`
+    /// (`∫ share` over `[start, t]`, exact across share rebalances).
+    pub(crate) fn dedicated_by(&self, t: f64) -> f64 {
+        self.share_integral + (t - self.share_anchor).max(0.0) * self.share
+    }
+
+    pub(crate) fn done_cover(&self, chunk: usize) -> usize {
+        let n = self.assignment.workers();
+        (0..n)
+            .filter(|&w| {
+                (self.done[w] && self.covers(w, chunk))
+                    || (self.redo_done[w] && self.redo_chunks[w].contains(&chunk))
+            })
+            .count()
+    }
+
+    pub(crate) fn pending_redo_cover(&self, chunk: usize) -> usize {
+        let n = self.assignment.workers();
+        (0..n)
+            .filter(|&w| {
+                self.redo_valid[w] && !self.redo_done[w] && self.redo_chunks[w].contains(&chunk)
+            })
+            .count()
+    }
+
+    pub(crate) fn inflight_original_cover(&self, chunk: usize) -> usize {
+        let n = self.assignment.workers();
+        (0..n)
+            .filter(|&w| self.valid[w] && !self.done[w] && self.covers(w, chunk))
+            .count()
+    }
+
+    pub(crate) fn complete(&self) -> bool {
+        (0..self.assignment.chunks_per_partition).all(|c| self.done_cover(c) >= self.k_eff)
+    }
+}
+
+/// A job currently holding a residency slot.
+#[derive(Debug)]
+pub(crate) struct ResidentJob {
+    pub(crate) spec: JobSpec,
+    pub(crate) arrival: f64,
+    pub(crate) admitted: f64,
+    pub(crate) iterations_done: usize,
+    pub(crate) iter: Option<RunningIteration>,
+    pub(crate) iter_retries: usize,
+    pub(crate) total_retries: usize,
+    pub(crate) waiting_for_capacity: bool,
+    /// Absolute SLO instant (`arrival + relative deadline`), if any.
+    pub(crate) deadline_abs: Option<f64>,
+    /// Whether deadline-aware share boosting has fired for this job
+    /// (sticky for the rest of its residency).
+    pub(crate) boosted: bool,
+}
+
+impl ServiceEngine {
+    /// A resolved-on-arrival record (malformed, rate-limited, rejected).
+    fn stillborn_record(
+        &self,
+        spec: &JobSpec,
+        arrival: f64,
+        rejected: bool,
+        rate_limited: bool,
+    ) -> JobRecord {
+        JobRecord {
+            id: spec.id,
+            tenant: spec.tenant,
+            preset: spec.preset,
+            arrival,
+            admitted: self.now,
+            finished: self.now,
+            iterations: 0,
+            retries: 0,
+            failed: true,
+            rejected,
+            rate_limited,
+            weight: spec.weight,
+            deadline: spec.deadline,
+            work: spec.total_work(),
+        }
+    }
+
+    pub(crate) fn on_arrival(&mut self, spec: JobSpec) -> Result<(), ServeError> {
+        self.arrivals_remaining -= 1;
+        let n = self.n();
+        let malformed = spec.k == 0
+            || spec.k > n
+            || spec.rows == 0
+            || spec.cols == 0
+            || spec.chunks_per_partition == 0
+            || spec.iterations == 0
+            || !(spec.weight.is_finite() && spec.weight > 0.0)
+            || spec.deadline.is_some_and(|d| !(d.is_finite() && d > 0.0));
+        if malformed {
+            let record = self.stillborn_record(&spec, self.now, false, false);
+            self.report.jobs.push(record);
+            return Ok(());
+        }
+        // Token-bucket rate limiting: a tenant that bursts past its
+        // admission budget has the job refused on the spot — before it
+        // can occupy queue space or a residency slot.
+        if let Some(bucket) = self.buckets.get_mut(&spec.tenant) {
+            if !bucket.try_admit(self.now) {
+                let record = self.stillborn_record(&spec, self.now, false, true);
+                self.report.jobs.push(record);
+                return Ok(());
+            }
+        }
+        self.pending.push(QueuedJob {
+            spec,
+            arrival: self.now,
+        });
+        self.sample_queue_depth();
+        self.try_admit()
+    }
+
+    pub(crate) fn try_admit(&mut self) -> Result<(), ServeError> {
+        while self.resident.len() < self.cfg.max_resident {
+            let residents: Vec<ResidentInfo> = self
+                .resident
+                .values()
+                .map(|j| ResidentInfo {
+                    tenant: j.spec.tenant,
+                    weight: j.spec.weight,
+                })
+                .collect();
+            let Some(i) = self.cfg.policy.pick(&self.pending, &residents) else {
+                break;
+            };
+            let queued = self.pending.remove(i);
+            if self.cfg.reject_infeasible_deadlines && self.deadline_infeasible(&queued) {
+                let record = self.stillborn_record(&queued.spec, queued.arrival, true, false);
+                self.report.jobs.push(record);
+                self.sample_queue_depth();
+                continue;
+            }
+            let id = queued.spec.id;
+            let (k_eff, c_eff, _) = self.effective_shape(&queued.spec);
+            self.backend
+                .on_admit(&queued.spec, k_eff, c_eff)
+                .map_err(ServeError::Backend)?;
+            let deadline_abs = queued.spec.deadline.map(|d| queued.arrival + d);
+            self.resident.insert(
+                id,
+                ResidentJob {
+                    spec: queued.spec,
+                    arrival: queued.arrival,
+                    admitted: self.now,
+                    iterations_done: 0,
+                    iter: None,
+                    iter_retries: 0,
+                    total_retries: 0,
+                    waiting_for_capacity: false,
+                    deadline_abs,
+                    boosted: false,
+                },
+            );
+            // The newcomer contends immediately: squeeze the neighbours
+            // now, or the pool would be over-subscribed until their next
+            // iteration boundaries.
+            self.rebalance_shares();
+            self.sample_queue_depth();
+            let at = self.now;
+            self.start_iteration(id, at)?;
+        }
+        Ok(())
+    }
+
+    /// Optimistic service-time lower bound: the job's total work run on
+    /// the whole available pool at once. If even that misses the SLO,
+    /// the deadline is provably infeasible.
+    fn deadline_infeasible(&self, queued: &QueuedJob) -> bool {
+        if queued.spec.deadline.is_none() {
+            return false;
+        }
+        let cap: f64 = self.avail_speeds().iter().sum::<f64>()
+            * self.compute.elements_per_sec
+            * thread_speedup(self.cfg.worker_threads);
+        if cap <= 0.0 {
+            // No live capacity to estimate with: nothing is provable.
+            return false;
+        }
+        let min_service = queued.spec.total_work() / cap;
+        self.now + min_service > queued.absolute_deadline()
+    }
+
+    /// Effective `(k, chunks, rows_per_chunk)` of a job under the current
+    /// scheduling mode. Uncoded jobs run as `k = 1` over a finer split
+    /// (each chunk computed by exactly one worker — even-split,
+    /// wait-for-all).
+    pub(crate) fn effective_shape(&self, spec: &JobSpec) -> (usize, usize, usize) {
+        match self.cfg.scheduler {
+            SchedulerMode::Uncoded => {
+                let c = spec.chunks_per_partition * self.n();
+                (1, c, spec.rows.div_ceil(c))
+            }
+            _ => {
+                let c = spec.chunks_per_partition;
+                let partition_rows = spec.rows.div_ceil(spec.k);
+                (spec.k, c, partition_rows.div_ceil(c))
+            }
+        }
+    }
+
+    pub(crate) fn start_iteration(&mut self, id: JobId, at: f64) -> Result<(), ServeError> {
+        // A boost firing here changes the whole resident set's effective
+        // weight mass: the neighbours' in-flight tasks must be rescaled
+        // too, or shares stop summing to 1 (the oversubscription bug) —
+        // and sticky boosts mean the epoch-tick watchdog would never
+        // catch up.
+        if self.update_deadline_boosts() {
+            self.rebalance_shares();
+        }
+        let avail = self.avail_speeds();
+        let alive = avail.iter().filter(|&&s| s > 0.0).count();
+        let spec = self.resident[&id].spec.clone();
+        let (k_eff, c_eff, rpc) = self.effective_shape(&spec);
+
+        if alive < k_eff {
+            let job = self.resident.get_mut(&id).expect("resident job");
+            job.waiting_for_capacity = true;
+            job.iter = None;
+            return Ok(());
+        }
+
+        // Planning speeds and per-job assignment. Every mode rates the
+        // job at its weight-normalized share of the live resident mass —
+        // the same `weight / Σ weights` rule `split_worker_capacity`
+        // slices capacity by. Weights here are *effective* (deadline
+        // boosts included).
+        let weight = self.boosted_weight(&self.resident[&id]);
+        let total_weight: f64 = self
+            .resident
+            .values()
+            .map(|j| self.boosted_weight(j))
+            .sum::<f64>()
+            .max(f64::MIN_POSITIVE);
+        let weighted_share = (weight / total_weight).min(1.0);
+        let (assignment, share, degraded, plan_speeds) = match &self.cfg.scheduler {
+            SchedulerMode::Uncoded => {
+                let mask: Vec<bool> = avail.iter().map(|&s| s > 0.0).collect();
+                let a = allocate_chunks_basic(&mask, 1, c_eff)
+                    .expect("alive >= 1 guarantees feasibility");
+                let uniform: Vec<f64> = avail
+                    .iter()
+                    .map(|&s| if s > 0.0 { 1.0 } else { 0.0 })
+                    .collect();
+                (a, weighted_share, false, uniform)
+            }
+            SchedulerMode::ConventionalMds => {
+                let uniform: Vec<f64> = avail
+                    .iter()
+                    .map(|&s| if s > 0.0 { 1.0 } else { 0.0 })
+                    .collect();
+                (
+                    full_over_available(&avail, k_eff, c_eff),
+                    weighted_share,
+                    false,
+                    uniform,
+                )
+            }
+            SchedulerMode::SharedS2c2 { .. } => {
+                let preds: Vec<f64> = self
+                    .tracker
+                    .predictions_from(&avail)
+                    .iter()
+                    .zip(self.up.iter())
+                    .map(|(&p, &u)| if u { p.max(0.0) } else { 0.0 })
+                    .collect();
+                // Weighted capacity split across the resident set; only
+                // this job's slice is needed (neighbours are rescaled by
+                // `rebalance_shares` when membership changes).
+                let mine = allocate_for_resident(&preds, k_eff, c_eff, weight, total_weight);
+                (mine.assignment, mine.share, mine.degraded, preds)
+            }
+        };
+
+        if degraded {
+            self.report.degraded_iterations += 1;
+        }
+
+        let n = self.n();
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let mut iter = RunningIteration {
+            generation,
+            share,
+            k_eff,
+            rows_per_chunk: rpc,
+            assignment,
+            finish: vec![f64::INFINITY; n],
+            done: vec![false; n],
+            valid: vec![true; n],
+            redo_chunks: vec![Vec::new(); n],
+            redo_finish: vec![f64::INFINITY; n],
+            redo_done: vec![false; n],
+            redo_valid: vec![false; n],
+            busy_charged: vec![0.0; n],
+            redo_busy_charged: vec![0.0; n],
+            waited_out: false,
+            armed_deadline: f64::INFINITY,
+            share_integral: 0.0,
+            share_anchor: at,
+        };
+
+        let t_in = self.comm.transfer_time((spec.cols * 8) as u64);
+        let speedup = thread_speedup(self.cfg.worker_threads);
+        let mut max_planned_span: f64 = 0.0;
+        let mut max_actual_span: f64 = 0.0;
+        for (w, &plan_speed) in plan_speeds.iter().enumerate() {
+            let chunks = iter.assignment.chunks[w].len();
+            if chunks == 0 {
+                continue;
+            }
+            let rows_w = chunks * rpc;
+            let work = (rows_w * spec.cols) as f64;
+            let rate = self.speeds[w] * share * self.compute.elements_per_sec * speedup;
+            let t_reply = self.comm.transfer_time((rows_w * 8) as u64);
+            let span = t_in + work / rate + t_reply;
+            iter.finish[w] = at + span;
+            max_actual_span = max_actual_span.max(span);
+            let plan_rate =
+                plan_speed.max(f64::MIN_POSITIVE) * share * self.compute.elements_per_sec * speedup;
+            max_planned_span = max_planned_span.max(t_in + work / plan_rate + t_reply);
+            // Utilization is accounted in dedicated compute-seconds (the
+            // share factor stretches wall time, not work done).
+            iter.busy_charged[w] = work / rate * share;
+            self.report.busy_time[w] += iter.busy_charged[w];
+            self.queue.push(
+                iter.finish[w],
+                EventKind::TaskComplete {
+                    job: id,
+                    worker: w,
+                    generation,
+                    redo: false,
+                },
+            );
+        }
+
+        // Adaptive scheduling arms the deadline from the *plan* (so
+        // mis-predictions are caught); the non-adaptive baselines never
+        // cancel, so their timeout is a pure churn-recovery safety net
+        // armed past every scheduled finish.
+        let span = match self.cfg.scheduler {
+            SchedulerMode::SharedS2c2 { .. } => max_planned_span,
+            _ => max_actual_span,
+        };
+        let deadline = at + (1.0 + self.cfg.timeout_margin) * span;
+        iter.armed_deadline = deadline;
+        self.queue.push(
+            deadline,
+            EventKind::Timeout {
+                job: id,
+                generation,
+            },
+        );
+
+        let job = self.resident.get_mut(&id).expect("resident job");
+        let iteration_index = job.iterations_done;
+        self.backend
+            .on_iteration_start(&spec, &iter, iteration_index)
+            .map_err(ServeError::Backend)?;
+        job.waiting_for_capacity = false;
+        job.iter = Some(iter);
+        Ok(())
+    }
+
+    pub(crate) fn on_task_complete(
+        &mut self,
+        id: JobId,
+        worker: usize,
+        generation: u64,
+        redo: bool,
+        t: f64,
+    ) -> Result<(), ServeError> {
+        let Some(job) = self.resident.get_mut(&id) else {
+            return Ok(());
+        };
+        let Some(iter) = job.iter.as_mut() else {
+            return Ok(());
+        };
+        if iter.generation != generation {
+            return Ok(());
+        }
+        if redo {
+            // A rescheduled (merged) redo task supersedes this event.
+            if !iter.redo_valid[worker]
+                || iter.redo_done[worker]
+                || (t - iter.redo_finish[worker]).abs() > 1e-9
+            {
+                return Ok(());
+            }
+            iter.redo_done[worker] = true;
+        } else {
+            // The finish-time match drops completion events superseded
+            // by a share rebalance (the task was rescheduled).
+            if !iter.valid[worker] || iter.done[worker] || (t - iter.finish[worker]).abs() > 1e-9 {
+                return Ok(());
+            }
+            iter.done[worker] = true;
+            // Feed the predictor with the observed relative rate. Redo
+            // tasks are excluded (their span includes master-side idle
+            // time, which would skew the estimate — same rule as the
+            // single-job engine). The denominator is the share
+            // *integral*, not `duration · share`: rebalances change the
+            // share mid-task and the naive product would mis-scale the
+            // estimate by up to `old_share / new_share`.
+            if matches!(self.cfg.scheduler, SchedulerMode::SharedS2c2 { .. }) {
+                let rows_w = iter.assignment.chunks[worker].len() * iter.rows_per_chunk;
+                let dedicated = iter
+                    .dedicated_by(iter.finish[worker])
+                    .max(f64::MIN_POSITIVE);
+                let observed = (rows_w * job.spec.cols) as f64 / dedicated;
+                let mut obs: Vec<Option<f64>> = vec![None; self.speeds.len()];
+                obs[worker] = Some(observed);
+                self.tracker.observe(&obs);
+            }
+        }
+        if job.iter.as_ref().expect("still running").complete() {
+            self.complete_iteration(id)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn complete_iteration(&mut self, id: JobId) -> Result<(), ServeError> {
+        let job = self.resident.get_mut(&id).expect("resident job");
+        let mut iter = job.iter.take().expect("running iteration");
+        // The master stops caring about still-running tasks (conventional
+        // stragglers, superfluous redo): refund the compute they will not
+        // perform, and tell the backend so real workers drop the stale
+        // work too.
+        for w in 0..iter.assignment.workers() {
+            if iter.valid[w] && !iter.done[w] && iter.finish[w].is_finite() {
+                refund_busy(
+                    &mut self.report.busy_time[w],
+                    &mut iter.busy_charged[w],
+                    iter.finish[w],
+                    self.now,
+                    iter.share,
+                );
+                self.backend.on_cancel(id, iter.generation, w, false);
+            }
+            if iter.redo_valid[w] && !iter.redo_done[w] && iter.redo_finish[w].is_finite() {
+                refund_busy(
+                    &mut self.report.busy_time[w],
+                    &mut iter.redo_busy_charged[w],
+                    iter.redo_finish[w],
+                    self.now,
+                    iter.share,
+                );
+                self.backend.on_cancel(id, iter.generation, w, true);
+            }
+        }
+        let is_final = job.iterations_done + 1 >= job.spec.iterations;
+        self.backend
+            .on_iteration_complete(&job.spec, &iter, job.iterations_done, is_final)
+            .map_err(ServeError::Backend)?;
+        let decode_time = match self.cfg.scheduler {
+            SchedulerMode::Uncoded => 0.0,
+            _ => {
+                let flops = decode_flops(&iter);
+                flops / self.decode_flops_per_sec
+            }
+        };
+        let end = self.now + decode_time;
+        job.iterations_done += 1;
+        job.iter_retries = 0;
+        if job.iterations_done >= job.spec.iterations {
+            let record = JobRecord {
+                id,
+                tenant: job.spec.tenant,
+                preset: job.spec.preset,
+                arrival: job.arrival,
+                admitted: job.admitted,
+                finished: end,
+                iterations: job.iterations_done,
+                retries: job.total_retries,
+                failed: false,
+                rejected: false,
+                rate_limited: false,
+                weight: job.spec.weight,
+                deadline: job.spec.deadline,
+                work: job.spec.total_work(),
+            };
+            self.report.jobs.push(record);
+            self.resident.remove(&id);
+            self.backend.on_job_resolved(id);
+            // Work conservation: the freed capacity flows to the
+            // survivors now, not at their next iteration boundaries.
+            self.rebalance_shares();
+            self.try_admit()?;
+        } else {
+            self.start_iteration(id, end)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn on_timeout(&mut self, id: JobId, generation: u64) -> Result<(), ServeError> {
+        let Some(job) = self.resident.get(&id) else {
+            return Ok(());
+        };
+        let Some(iter) = job.iter.as_ref() else {
+            return Ok(());
+        };
+        if iter.generation != generation {
+            return Ok(());
+        }
+        // Superseded deadline: a share rebalance stretched the in-flight
+        // spans and re-armed behind them.
+        if self.now + 1e-9 < iter.armed_deadline {
+            return Ok(());
+        }
+        self.recover(id, true)
+    }
+
+    pub(crate) fn on_churn(&mut self, worker: usize, up: bool) -> Result<(), ServeError> {
+        self.up[worker] = up;
+        if up {
+            // Capacity returned: wake jobs stalled on feasibility.
+            let waiting: Vec<JobId> = self
+                .resident
+                .iter()
+                .filter(|(_, j)| j.waiting_for_capacity)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in waiting {
+                let at = self.now;
+                self.start_iteration(id, at)?;
+            }
+            return Ok(());
+        }
+        // Departure: invalidate the worker's in-flight tasks and check
+        // each affected job for lost coverage.
+        let ids: Vec<JobId> = self.resident.keys().copied().collect();
+        for id in ids {
+            let Some(iter) = self.resident.get_mut(&id).and_then(|j| j.iter.as_mut()) else {
+                continue;
+            };
+            let mut affected = false;
+            if iter.valid[worker] && !iter.done[worker] && iter.finish[worker].is_finite() {
+                iter.valid[worker] = false;
+                refund_busy(
+                    &mut self.report.busy_time[worker],
+                    &mut iter.busy_charged[worker],
+                    iter.finish[worker],
+                    self.now,
+                    iter.share,
+                );
+                self.backend.on_cancel(id, iter.generation, worker, false);
+                affected = true;
+            }
+            if iter.redo_valid[worker] && !iter.redo_done[worker] {
+                iter.redo_valid[worker] = false;
+                refund_busy(
+                    &mut self.report.busy_time[worker],
+                    &mut iter.redo_busy_charged[worker],
+                    iter.redo_finish[worker],
+                    self.now,
+                    iter.share,
+                );
+                self.backend.on_cancel(id, iter.generation, worker, true);
+                // The cancelled recompute never happens: drop its chunks
+                // from the redo bookkeeping, or a later merged redo on
+                // this worker would mark `redo_done` and `done_cover`
+                // would credit coverage nobody computed.
+                iter.redo_chunks[worker].clear();
+                iter.redo_finish[worker] = f64::INFINITY;
+                affected = true;
+            }
+            if !affected {
+                continue;
+            }
+            let doomed = (0..iter.assignment.chunks_per_partition).any(|c| {
+                iter.done_cover(c) + iter.pending_redo_cover(c) + iter.inflight_original_cover(c)
+                    < iter.k_eff
+            });
+            if doomed {
+                self.recover(id, false)?;
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn on_epoch_tick(&mut self, epoch: usize) {
+        for (w, m) in self.models.iter_mut().enumerate() {
+            let s = m.speed_at(epoch);
+            if (s - self.speeds[w]).abs() > f64::EPSILON {
+                self.queue.push(
+                    self.now,
+                    EventKind::WorkerSpeedChange {
+                        worker: w,
+                        speed: s,
+                    },
+                );
+            }
+        }
+        let mask = self.churn.advance_to(epoch).to_vec();
+        for (w, (&new, &old)) in mask.iter().zip(self.up.iter()).enumerate() {
+            if new != old {
+                self.queue
+                    .push(self.now, EventKind::WorkerChurn { worker: w, up: new });
+            }
+        }
+        // Epoch ticks are also the boost watchdog: a resident job whose
+        // slack ran out mid-iteration gets its weight bump (and the pool
+        // a rescale) at the next tick, not only at the next membership
+        // change.
+        if self.update_deadline_boosts() {
+            self.rebalance_shares();
+        }
+        if self.work_remains() {
+            self.queue.push(
+                self.now + self.cfg.epoch,
+                EventKind::EpochTick { epoch: epoch + 1 },
+            );
+        }
+    }
+}
+
+/// Master-side decode cost of a completed iteration (same model as the
+/// single-job engine: per chunk, LU on the missing systematic rows).
+pub(crate) fn decode_flops(iter: &RunningIteration) -> f64 {
+    let n = iter.assignment.workers();
+    let k = iter.k_eff;
+    let rpc = iter.rows_per_chunk as f64;
+    let mut flops = 0.0;
+    for chunk in 0..iter.assignment.chunks_per_partition {
+        let mut finishers: Vec<(f64, usize)> = (0..n)
+            .filter_map(|w| {
+                if iter.done[w] && iter.covers(w, chunk) {
+                    Some((iter.finish[w], w))
+                } else if iter.redo_done[w] && iter.redo_chunks[w].contains(&chunk) {
+                    Some((iter.redo_finish[w], w))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        finishers.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let missing = finishers.iter().take(k).filter(|&&(_, w)| w >= k).count() as f64;
+        flops += missing.powi(3) / 3.0 + rpc * missing.powi(2) + missing * k as f64 * rpc;
+    }
+    flops
+}

@@ -1,0 +1,520 @@
+//! The event-driven multi-job service engine.
+//!
+//! [`ServiceEngine`] multiplexes many concurrent coded jobs onto one
+//! shared worker pool, driven entirely by the typed events of
+//! [`crate::event`]: arrivals join the admission queue, admitted jobs run
+//! iterations whose per-worker tasks are scheduled from the shared-cluster
+//! S²C² allocation, epoch ticks resample worker speeds and churn, and
+//! §4.3-style timeouts recover from mis-predictions and departed workers.
+//!
+//! The engine is split into focused submodules, all driven by one event
+//! loop (this module):
+//!
+//! * `core` — resident-job state and the event handlers (arrival,
+//!   admission, iteration start/completion, churn, epoch ticks);
+//! * [`backend`] — the pluggable `ExecutionBackend` seam: timing-only
+//!   simulation, master-side verified numerics, or real OS-thread
+//!   workers (selected via [`BackendKind`]);
+//! * `recovery` — the §4.3 robustness ladder (cancel-and-reassign,
+//!   wait-out, retry);
+//! * `rebalance` — work-conserving share rebalancing and
+//!   deadline-aware share boosting.
+//!
+//! # Timing model
+//!
+//! The engine is a *timing* simulator in the same spirit as
+//! [`s2c2_cluster::ClusterSim`]: a task of `E` elements on worker `w`
+//! serving job `j` takes `E / (speed_w · share_j · throughput ·
+//! thread_speedup)` seconds, plus transfer times from the
+//! [`s2c2_cluster::CommModel`]. `share_j` is the fraction of every
+//! worker's capacity the shared allocator granted job `j`: the job's
+//! capacity weight normalized over the live resident set
+//! (`weight_j / Σ weights`, the [`s2c2_core::normalized_shares`] rule),
+//! so a weight-2 tenant runs at twice a weight-1 tenant's fractional
+//! rate. Speeds are piecewise constant: each task runs at the speed
+//! sampled when it was issued, and epoch ticks only affect tasks issued
+//! afterwards — the same once-per-iteration granularity the paper
+//! measures and predicts at.
+//!
+//! # Execution backends
+//!
+//! Timing is always simulated; *numerics* are pluggable. Under
+//! [`BackendKind::Sim`] (the default) jobs carry no data and nothing is
+//! computed — the historical behavior, bit-identical event streams and
+//! reports. Under [`BackendKind::SimVerified`] every job carries a real
+//! model matrix (deterministic in [`crate::workload::JobSpec::matrix_id`]),
+//! encoded once through a shared [`s2c2_coding::EncodeCache`], and every
+//! completed iteration is decoded from exactly the worker coverage the
+//! timing model produced and checked against a sequential reference.
+//! [`BackendKind::Threaded`] does the same but dispatches the encoded
+//! chunk work to real [`s2c2_cluster::threaded::ThreadedCluster`]
+//! OS-thread workers (with cooperative cancellation mirroring the
+//! recovery ladder), so the schedule the engine decides is the schedule
+//! real threads execute. Cache hits/misses, verified-iteration counts,
+//! and decoded outputs land in the [`ServiceReport`].
+//!
+//! # Work conservation
+//!
+//! Shares are *not* frozen at iteration boundaries: whenever the
+//! resident set changes (admission, completion, failure), every running
+//! iteration's share is recomputed from the live weight mass and its
+//! in-flight tasks are rescaled at that instant. Capacity freed by a
+//! finishing job flows to its neighbours immediately instead of idling
+//! until their iteration boundaries, and a newly admitted job squeezes
+//! its neighbours immediately instead of over-subscribing the pool
+//! (stale share snapshots were precisely the bug that let reported
+//! utilization exceed 1). The rescale stretches a task's whole
+//! remaining span — a deliberate approximation: the transfer tail is a
+//! few control/row messages, negligible beside compute in the clusters
+//! this models.
+//!
+//! # Deadlines and QoS
+//!
+//! Jobs may carry a relative SLO ([`crate::workload::JobSpec::deadline`]).
+//! [`QueuePolicy::EarliestDeadline`] admits by least slack, and with
+//! [`ServeConfig::reject_infeasible_deadlines`] the engine refuses, at
+//! admission time, jobs whose deadline cannot be met even by the whole
+//! pool running the job alone (an optimistic lower bound, so only
+//! provably-hopeless jobs are turned away). Two capacity-side QoS levers
+//! extend that admission-side pair: per-tenant token-bucket **rate
+//! limits** ([`ServeConfig::tenant_rate_limits`]) cap a tenant's
+//! absolute burst admission, and **deadline-aware share boosting**
+//! ([`ServeConfig::deadline_boost`]) bumps a resident job's effective
+//! weight once its remaining slack falls below a threshold fraction of
+//! its SLO, pulling at-risk jobs forward inside the capacity layer.
+//!
+//! # Robustness ladder (per iteration)
+//!
+//! 1. Predictions feasible → shared-cluster S²C² (exactly-`k` coverage).
+//! 2. Predictions infeasible (< `k` workers believed alive) → that job
+//!    degrades to conventional coded computing over available workers.
+//! 3. Deadline miss (mis-prediction, churn) → finished workers recompute
+//!    the missing chunks (they already hold the coded partitions — no
+//!    data movement, ever).
+//! 4. Not enough finished workers → wait out the in-flight stragglers
+//!    (conventional semantics).
+//! 5. Nobody left (churn storm) → restart the iteration, up to
+//!    `max_retries`, then fail the job.
+
+pub mod backend;
+mod core;
+mod rebalance;
+mod recovery;
+#[cfg(test)]
+mod tests;
+
+pub use backend::BackendKind;
+
+use crate::admission::{QueuePolicy, QueuedJob, RateLimit, TokenBucket};
+use crate::event::{EventKind, EventQueue, JobId};
+use crate::metrics::ServiceReport;
+use crate::workload::JobSpec;
+use backend::ExecutionBackend;
+use core::ResidentJob;
+use s2c2_cluster::{ChurnProcess, ClusterSpec, CommModel, ComputeModel};
+use s2c2_core::speed_tracker::{PredictorSource, SpeedTracker};
+use s2c2_trace::BoxedSpeedModel;
+use std::collections::BTreeMap;
+
+/// How the engine schedules coded work onto the pool.
+pub enum SchedulerMode {
+    /// Even uncoded split over available workers; every task must finish.
+    Uncoded,
+    /// Conventional `(n, k)` MDS: every available worker computes its full
+    /// partition; the master takes the fastest `k` per chunk.
+    ConventionalMds,
+    /// Shared-cluster S²C²: capacity split across resident jobs, Algorithm
+    /// 1 per job on predicted speeds, timeout-and-reassign on mis-
+    /// prediction.
+    SharedS2c2 {
+        /// Where next-iteration speed estimates come from.
+        predictor: PredictorSource,
+    },
+}
+
+impl std::fmt::Display for SchedulerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SchedulerMode::Uncoded => "uncoded",
+            SchedulerMode::ConventionalMds => "mds",
+            SchedulerMode::SharedS2c2 { .. } => "s2c2",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::fmt::Debug for SchedulerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SchedulerMode::{self}")
+    }
+}
+
+/// Worker churn parameters (see [`ChurnProcess`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Per-epoch probability an up worker departs.
+    pub p_fail: f64,
+    /// Per-epoch probability a departed worker rejoins.
+    pub p_recover: f64,
+    /// Availability floor (keep ≥ the largest job `k`, or coded jobs can
+    /// wait indefinitely for capacity).
+    pub min_up: usize,
+}
+
+/// Deadline-aware share boosting: the capacity-layer complement to
+/// earliest-deadline *admission*.
+///
+/// A resident job carrying an SLO is watched at every share recompute
+/// point (iteration boundaries, resident-set changes, epoch ticks): once
+/// the fraction of its SLO budget still remaining drops below
+/// `slack_threshold`, its effective capacity weight is multiplied by
+/// `factor` for the rest of its residency (sticky — slack regained by
+/// the boost does not un-boost it, which would oscillate). Activations
+/// are counted in [`ServiceReport::boost_activations`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineBoost {
+    /// Boost when `remaining_slack / total_SLO` falls below this
+    /// fraction (in `(0, 1]`).
+    pub slack_threshold: f64,
+    /// Effective-weight multiplier applied to at-risk jobs (≥ 1).
+    pub factor: f64,
+}
+
+/// Engine configuration.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Scheduling mode.
+    pub scheduler: SchedulerMode,
+    /// Execution backend: timing-only simulation (default), master-side
+    /// verified numerics, or real OS-thread workers.
+    pub backend: BackendKind,
+    /// Admission-queue policy.
+    pub policy: QueuePolicy,
+    /// Maximum concurrently-resident jobs (the multiprogramming level).
+    pub max_resident: usize,
+    /// §4.3 timeout margin over the planned iteration span.
+    pub timeout_margin: f64,
+    /// Seconds between speed/churn resampling epochs.
+    pub epoch: f64,
+    /// Threads each worker devotes to its matvec. The timing model charges
+    /// the near-linear scaling measured for row-partitioned
+    /// [`s2c2_linalg::parallel::par_matvec`]: `1 + 0.9 · (threads − 1)`.
+    pub worker_threads: usize,
+    /// Optional worker churn.
+    pub churn: Option<ChurnConfig>,
+    /// Iteration restarts tolerated before a job is failed.
+    pub max_retries: usize,
+    /// Hard event budget (guards against configuration-induced livelock).
+    pub max_events: u64,
+    /// Deadline admission control: refuse jobs whose SLO cannot be met
+    /// even by the whole pool serving them alone (optimistic bound —
+    /// only provably-hopeless jobs are rejected). Rejected jobs resolve
+    /// immediately as failed with the `rejected` flag set.
+    pub reject_infeasible_deadlines: bool,
+    /// Per-tenant token-bucket rate limits on arrival admission. Tenants
+    /// without an entry are unlimited; a tenant that exhausts its bucket
+    /// has the arrival refused on the spot (recorded `rate_limited`,
+    /// disjoint from deadline rejections).
+    pub tenant_rate_limits: BTreeMap<u32, RateLimit>,
+    /// Optional deadline-aware share boosting for at-risk resident jobs.
+    pub deadline_boost: Option<DeadlineBoost>,
+}
+
+impl ServeConfig {
+    /// Sensible defaults around the given scheduling mode.
+    #[must_use]
+    pub fn new(scheduler: SchedulerMode) -> Self {
+        ServeConfig {
+            scheduler,
+            backend: BackendKind::Sim,
+            policy: QueuePolicy::Fifo,
+            max_resident: 4,
+            timeout_margin: 0.25,
+            epoch: 0.25,
+            worker_threads: 1,
+            churn: None,
+            max_retries: 3,
+            max_events: 2_000_000,
+            reject_infeasible_deadlines: false,
+            tenant_rate_limits: BTreeMap::new(),
+            deadline_boost: None,
+        }
+    }
+}
+
+/// Engine failure modes.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Rejected configuration.
+    InvalidConfig(String),
+    /// The event queue drained while jobs were still queued or resident.
+    Stalled {
+        /// Jobs still in the admission queue.
+        pending: usize,
+        /// Jobs still resident.
+        resident: usize,
+    },
+    /// The event budget was exhausted (livelock guard).
+    Runaway {
+        /// Events processed before giving up.
+        events: u64,
+    },
+    /// A numeric execution backend failed (encode/decode error, a
+    /// decoded iteration diverging from the sequential reference, or a
+    /// threaded worker failing to reply).
+    Backend(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve configuration: {msg}"),
+            ServeError::Stalled { pending, resident } => write!(
+                f,
+                "engine stalled with {pending} queued and {resident} resident jobs"
+            ),
+            ServeError::Runaway { events } => {
+                write!(f, "event budget exhausted after {events} events")
+            }
+            ServeError::Backend(msg) => write!(f, "execution backend failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Effective speedup of `threads`-way row-partitioned matvec.
+pub(crate) fn thread_speedup(threads: usize) -> f64 {
+    1.0 + 0.9 * threads.saturating_sub(1) as f64
+}
+
+/// The event-driven multi-job service engine.
+pub struct ServiceEngine {
+    cfg: ServeConfig,
+    models: Vec<BoxedSpeedModel>,
+    comm: CommModel,
+    compute: ComputeModel,
+    decode_flops_per_sec: f64,
+    churn: ChurnProcess,
+    tracker: SpeedTracker,
+    speeds: Vec<f64>,
+    up: Vec<bool>,
+    now: f64,
+    queue: EventQueue,
+    pending: Vec<QueuedJob>,
+    resident: BTreeMap<JobId, ResidentJob>,
+    arrivals_remaining: usize,
+    next_generation: u64,
+    report: ServiceReport,
+    backend: Box<dyn ExecutionBackend>,
+    buckets: BTreeMap<u32, TokenBucket>,
+}
+
+impl std::fmt::Debug for ServiceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceEngine")
+            .field("workers", &self.models.len())
+            .field("backend", &self.cfg.backend)
+            .field("now", &self.now)
+            .field("pending", &self.pending.len())
+            .field("resident", &self.resident.len())
+            .finish()
+    }
+}
+
+impl ServiceEngine {
+    /// Builds the engine over a cluster specification.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] on degenerate knobs.
+    pub fn new(spec: ClusterSpec, cfg: ServeConfig) -> Result<Self, ServeError> {
+        let n = spec.n();
+        if cfg.max_resident == 0 {
+            return Err(ServeError::InvalidConfig("max_resident must be ≥ 1".into()));
+        }
+        if !(cfg.epoch.is_finite() && cfg.epoch > 0.0) {
+            return Err(ServeError::InvalidConfig("epoch must be positive".into()));
+        }
+        if !(cfg.timeout_margin.is_finite() && cfg.timeout_margin >= 0.0) {
+            return Err(ServeError::InvalidConfig(
+                "timeout margin must be non-negative".into(),
+            ));
+        }
+        if cfg.worker_threads == 0 {
+            return Err(ServeError::InvalidConfig(
+                "worker_threads must be ≥ 1".into(),
+            ));
+        }
+        for (tenant, limit) in &cfg.tenant_rate_limits {
+            if !(limit.rate.is_finite() && limit.rate > 0.0) {
+                return Err(ServeError::InvalidConfig(format!(
+                    "tenant {tenant} rate limit must have a positive rate"
+                )));
+            }
+            if !(limit.burst.is_finite() && limit.burst >= 1.0) {
+                return Err(ServeError::InvalidConfig(format!(
+                    "tenant {tenant} rate limit must allow a burst of at least one job"
+                )));
+            }
+        }
+        if let Some(boost) = &cfg.deadline_boost {
+            if !(boost.slack_threshold.is_finite()
+                && boost.slack_threshold > 0.0
+                && boost.slack_threshold <= 1.0)
+            {
+                return Err(ServeError::InvalidConfig(
+                    "deadline boost slack_threshold must be in (0, 1]".into(),
+                ));
+            }
+            if !(boost.factor.is_finite() && boost.factor >= 1.0) {
+                return Err(ServeError::InvalidConfig(
+                    "deadline boost factor must be ≥ 1".into(),
+                ));
+            }
+        }
+        let churn = match &cfg.churn {
+            Some(c) => {
+                if c.min_up > n {
+                    return Err(ServeError::InvalidConfig(
+                        "churn min_up exceeds pool size".into(),
+                    ));
+                }
+                ChurnProcess::new(n, c.p_fail, c.p_recover, c.min_up, 0x5EEC)
+            }
+            None => ChurnProcess::none(n),
+        };
+        let predictor = match &cfg.scheduler {
+            SchedulerMode::SharedS2c2 { predictor } => predictor.clone(),
+            _ => PredictorSource::Uniform,
+        };
+        let buckets = cfg
+            .tenant_rate_limits
+            .iter()
+            .map(|(&tenant, &limit)| (tenant, TokenBucket::new(limit)))
+            .collect();
+        Ok(ServiceEngine {
+            tracker: SpeedTracker::new(&predictor, n),
+            backend: backend::make_backend(cfg.backend, n),
+            cfg,
+            models: spec.workers,
+            comm: spec.comm,
+            compute: spec.compute,
+            decode_flops_per_sec: spec.decode_flops_per_sec,
+            churn,
+            speeds: vec![1.0; n],
+            up: vec![true; n],
+            now: 0.0,
+            queue: EventQueue::new(),
+            pending: Vec::new(),
+            resident: BTreeMap::new(),
+            arrivals_remaining: 0,
+            next_generation: 1,
+            report: ServiceReport {
+                busy_time: vec![0.0; n],
+                ..ServiceReport::default()
+            },
+            buckets,
+        })
+    }
+
+    /// Number of pool workers.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Runs the workload (`(arrival_time, spec)` pairs) to completion and
+    /// returns the service report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Stalled`] if the event queue drains with jobs left
+    /// (configuration error — e.g. churn floor below every job's `k`);
+    /// [`ServeError::Runaway`] if the event budget is exhausted;
+    /// [`ServeError::Backend`] if a numeric backend fails (decode error,
+    /// verification divergence, or an unresponsive threaded worker).
+    pub fn run(mut self, workload: &[(f64, JobSpec)]) -> Result<ServiceReport, ServeError> {
+        let outcome = self.drive(workload);
+        // Always dismantle the backend (joins worker threads, merges
+        // cache/verification counters into the report) — including on
+        // the error paths, or a failed run would leak OS threads.
+        self.backend.finish(&mut self.report);
+        outcome?;
+
+        // Makespan is the time the last job resolved, not the time the
+        // last (possibly stale-straggler) event drained — throughput
+        // should not be diluted by work nobody waited for.
+        self.report.makespan = self
+            .report
+            .jobs
+            .iter()
+            .map(|j| j.finished)
+            .fold(0.0, f64::max);
+        if !self.pending.is_empty() || !self.resident.is_empty() {
+            return Err(ServeError::Stalled {
+                pending: self.pending.len(),
+                resident: self.resident.len(),
+            });
+        }
+        Ok(self.report)
+    }
+
+    /// The event loop proper: seeds arrivals and epoch ticks, then pops
+    /// until drained or the event budget runs out.
+    fn drive(&mut self, workload: &[(f64, JobSpec)]) -> Result<(), ServeError> {
+        // Initial samples: epoch 0.
+        for (w, m) in self.models.iter_mut().enumerate() {
+            self.speeds[w] = m.speed_at(0);
+        }
+        self.up.copy_from_slice(self.churn.advance_to(0));
+        self.arrivals_remaining = workload.len();
+        for (t, spec) in workload {
+            self.queue.push(*t, EventKind::JobArrival(spec.clone()));
+        }
+        if self.work_remains() {
+            self.queue
+                .push(self.cfg.epoch, EventKind::EpochTick { epoch: 1 });
+        }
+
+        while let Some((t, kind)) = self.queue.pop() {
+            self.now = t;
+            self.report.events_processed += 1;
+            if self.report.events_processed > self.cfg.max_events {
+                return Err(ServeError::Runaway {
+                    events: self.report.events_processed,
+                });
+            }
+            match kind {
+                EventKind::JobArrival(spec) => self.on_arrival(spec)?,
+                EventKind::TaskComplete {
+                    job,
+                    worker,
+                    generation,
+                    redo,
+                } => self.on_task_complete(job, worker, generation, redo, t)?,
+                EventKind::WorkerSpeedChange { worker, speed } => self.speeds[worker] = speed,
+                EventKind::Timeout { job, generation } => self.on_timeout(job, generation)?,
+                EventKind::WorkerChurn { worker, up } => self.on_churn(worker, up)?,
+                EventKind::EpochTick { epoch } => self.on_epoch_tick(epoch),
+            }
+        }
+        Ok(())
+    }
+
+    fn work_remains(&self) -> bool {
+        self.arrivals_remaining > 0 || !self.pending.is_empty() || !self.resident.is_empty()
+    }
+
+    fn avail_speeds(&self) -> Vec<f64> {
+        self.speeds
+            .iter()
+            .zip(self.up.iter())
+            .map(|(&s, &u)| if u { s } else { 0.0 })
+            .collect()
+    }
+
+    fn sample_queue_depth(&mut self) {
+        self.report.queue_depth.push((self.now, self.pending.len()));
+    }
+}

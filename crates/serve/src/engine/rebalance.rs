@@ -1,0 +1,160 @@
+//! Work-conserving share rebalancing and deadline-aware share boosting.
+//!
+//! Shares are a pure function of the live resident set's *effective*
+//! weight mass (nominal weights times any deadline boosts). Whenever
+//! that mass changes — admission, completion, failure, or a boost
+//! firing — every running iteration's share is recomputed and its
+//! in-flight tasks rescaled at the current instant, so capacity is
+//! never left idle waiting for an iteration boundary and the pool is
+//! never over-subscribed by stale snapshots.
+
+use super::core::ResidentJob;
+use super::ServiceEngine;
+use crate::event::{EventKind, JobId};
+
+impl ServiceEngine {
+    /// A resident job's effective capacity weight: its nominal weight,
+    /// multiplied by the deadline-boost factor once the job has been
+    /// flagged at-risk.
+    pub(crate) fn boosted_weight(&self, job: &ResidentJob) -> f64 {
+        match (&self.cfg.deadline_boost, job.boosted) {
+            (Some(boost), true) => job.spec.weight * boost.factor,
+            _ => job.spec.weight,
+        }
+    }
+
+    /// Flags resident jobs whose remaining SLO slack has dropped below
+    /// the configured threshold fraction. Returns whether any job's
+    /// boost state changed (the caller then rescales shares). Boosts
+    /// are sticky: un-boosting when the bump restores slack would
+    /// oscillate at every evaluation point.
+    pub(crate) fn update_deadline_boosts(&mut self) -> bool {
+        let Some(boost) = self.cfg.deadline_boost else {
+            return false;
+        };
+        let now = self.now;
+        let mut changed = false;
+        for job in self.resident.values_mut() {
+            if job.boosted {
+                continue;
+            }
+            let Some(deadline_abs) = job.deadline_abs else {
+                continue;
+            };
+            let total = deadline_abs - job.arrival;
+            if total <= 0.0 {
+                continue;
+            }
+            let remaining = deadline_abs - now;
+            if remaining / total < boost.slack_threshold {
+                job.boosted = true;
+                self.report.boost_activations += 1;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Work-conserving share rebalance: recomputes every running
+    /// iteration's share from the live resident weight mass and rescales
+    /// its in-flight tasks at the current instant. Called whenever the
+    /// resident set changes (admission, completion, failure) and when a
+    /// deadline boost fires, so shares always sum to 1 across residents
+    /// — which is also what keeps per-worker busy accounting within the
+    /// service horizon.
+    ///
+    /// Rescaling stretches a task's whole remaining span by
+    /// `old_share / new_share` and reschedules its completion event; the
+    /// superseded event is recognized (and dropped) by its stale finish
+    /// time. Busy accounting needs no adjustment: a task's dedicated
+    /// compute-seconds are share-invariant, and the refund rule
+    /// `(finish − now) · share` is preserved exactly by the rescale.
+    pub(crate) fn rebalance_shares(&mut self) {
+        self.update_deadline_boosts();
+        let total: f64 = self.resident.values().map(|j| self.boosted_weight(j)).sum();
+        if total <= 0.0 {
+            return;
+        }
+        let now = self.now;
+        let margin = self.cfg.timeout_margin;
+        let ids: Vec<JobId> = self.resident.keys().copied().collect();
+        for id in ids {
+            let weight = self.boosted_weight(&self.resident[&id]);
+            let new_share = weight / total;
+            let Some(iter) = self.resident.get_mut(&id).and_then(|j| j.iter.as_mut()) else {
+                continue;
+            };
+            let old_share = iter.share;
+            if (new_share - old_share).abs() <= 1e-12 * new_share.max(old_share) {
+                continue;
+            }
+            let stretch = old_share / new_share;
+            let generation = iter.generation;
+            let mut touched = false;
+            let mut latest = now;
+            for w in 0..iter.assignment.workers() {
+                if iter.valid[w]
+                    && !iter.done[w]
+                    && iter.finish[w].is_finite()
+                    && iter.finish[w] > now
+                {
+                    let nf = now + (iter.finish[w] - now) * stretch;
+                    iter.finish[w] = nf;
+                    latest = latest.max(nf);
+                    touched = true;
+                    self.queue.push(
+                        nf,
+                        EventKind::TaskComplete {
+                            job: id,
+                            worker: w,
+                            generation,
+                            redo: false,
+                        },
+                    );
+                }
+                if iter.redo_valid[w]
+                    && !iter.redo_done[w]
+                    && iter.redo_finish[w].is_finite()
+                    && iter.redo_finish[w] > now
+                {
+                    let nf = now + (iter.redo_finish[w] - now) * stretch;
+                    iter.redo_finish[w] = nf;
+                    latest = latest.max(nf);
+                    touched = true;
+                    self.queue.push(
+                        nf,
+                        EventKind::TaskComplete {
+                            job: id,
+                            worker: w,
+                            generation,
+                            redo: true,
+                        },
+                    );
+                }
+            }
+            // Close the old share segment so speed observations integrate
+            // the true dedicated time across the change.
+            iter.share_integral += (now - iter.share_anchor).max(0.0) * old_share;
+            iter.share_anchor = iter.share_anchor.max(now);
+            iter.share = new_share;
+            if !touched {
+                continue;
+            }
+            self.report.rebalances += 1;
+            // Stretched spans can outrun the armed §4.3 deadline; re-arm
+            // behind them so a squeezed (not straggling) iteration is
+            // not spuriously cancelled.
+            if latest >= iter.armed_deadline {
+                let deadline = now + (1.0 + margin) * (latest - now).max(f64::MIN_POSITIVE);
+                iter.armed_deadline = deadline;
+                self.queue.push(
+                    deadline,
+                    EventKind::Timeout {
+                        job: id,
+                        generation,
+                    },
+                );
+            }
+        }
+    }
+}

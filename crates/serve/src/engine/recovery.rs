@@ -1,0 +1,285 @@
+//! The §4.3 robustness ladder's recovery rungs (3–5): cancel late
+//! workers and hand their chunks to finished ones, wait out stragglers
+//! when nobody has spare capacity, and restart the iteration when a
+//! churn storm took everyone.
+//!
+//! Every cancellation and reassignment is mirrored to the execution
+//! backend, so a real-threads run cancels the same worker tasks (via
+//! the [`s2c2_cluster::threaded::ThreadedCluster`] cooperative-cancel
+//! hook) and dispatches the same redo work the timing model schedules.
+
+use super::core::{refund_busy, RunningIteration};
+use super::{thread_speedup, SchedulerMode, ServeError, ServiceEngine};
+use crate::event::{EventKind, JobId};
+use crate::metrics::JobRecord;
+
+impl ServiceEngine {
+    /// Deadline-miss / churn recovery: the robustness ladder's rungs 3–5.
+    #[allow(clippy::too_many_lines)]
+    pub(crate) fn recover(&mut self, id: JobId, from_timeout: bool) -> Result<(), ServeError> {
+        let now = self.now;
+        let speedup = thread_speedup(self.cfg.worker_threads);
+        let cancel_late = matches!(self.cfg.scheduler, SchedulerMode::SharedS2c2 { .. });
+        let cols = self.resident[&id].spec.cols;
+        let margin = self.cfg.timeout_margin;
+        let elements_per_sec = self.compute.elements_per_sec;
+        let comm = self.comm;
+        let speeds = self.speeds.clone();
+        let up = self.up.clone();
+
+        let job = self.resident.get_mut(&id).expect("resident job");
+        let iter = job.iter.as_mut().expect("running iteration");
+        let n = iter.assignment.workers();
+        let c = iter.assignment.chunks_per_partition;
+        let rpc = iter.rows_per_chunk;
+
+        // Outstanding need per chunk. Adaptive mode writes in-flight
+        // originals off as cancelled (the §4.3 rule); the baselines keep
+        // counting on them (they only recover from churn).
+        let mut need = vec![0usize; c];
+        let mut total_need = 0usize;
+        for (chunk, slot) in need.iter_mut().enumerate() {
+            let mut have = iter.done_cover(chunk) + iter.pending_redo_cover(chunk);
+            if !cancel_late {
+                have += iter.inflight_original_cover(chunk);
+            }
+            *slot = iter.k_eff.saturating_sub(have);
+            total_need += *slot;
+        }
+
+        let reschedule_after_inflight = |iter: &RunningIteration| -> f64 {
+            let mut latest = now;
+            for w in 0..n {
+                if iter.valid[w] && !iter.done[w] && iter.finish[w].is_finite() {
+                    latest = latest.max(iter.finish[w]);
+                }
+                if iter.redo_valid[w] && !iter.redo_done[w] && iter.redo_finish[w].is_finite() {
+                    latest = latest.max(iter.redo_finish[w]);
+                }
+            }
+            now + (1.0 + margin) * (latest - now).max(f64::MIN_POSITIVE)
+        };
+
+        if total_need == 0 {
+            // Everything outstanding is already being handled; re-arm the
+            // safety net behind the open tasks.
+            let deadline = reschedule_after_inflight(iter);
+            let generation = iter.generation;
+            iter.armed_deadline = deadline;
+            self.queue.push(
+                deadline,
+                EventKind::Timeout {
+                    job: id,
+                    generation,
+                },
+            );
+            return Ok(());
+        }
+
+        // Rung 3: hand the missing chunks to finished, still-present
+        // workers (they hold the coded partitions — no data movement).
+        let hosts: Vec<usize> = (0..n).filter(|&w| iter.done[w] && up[w]).collect();
+        let mut extra: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut satisfiable = true;
+        'chunks: for (chunk, &need_c) in need.iter().enumerate() {
+            for _ in 0..need_c {
+                let pick = hosts
+                    .iter()
+                    .copied()
+                    .filter(|&w| {
+                        !iter.covers(w, chunk)
+                            && !iter.redo_chunks[w].contains(&chunk)
+                            && !extra[w].contains(&chunk)
+                    })
+                    .min_by(|&a, &b| {
+                        (iter.redo_chunks[a].len() + extra[a].len())
+                            .cmp(&(iter.redo_chunks[b].len() + extra[b].len()))
+                            .then(iter.finish[a].total_cmp(&iter.finish[b]))
+                            .then(a.cmp(&b))
+                    });
+                match pick {
+                    Some(w) => extra[w].push(chunk),
+                    None => {
+                        satisfiable = false;
+                        break 'chunks;
+                    }
+                }
+            }
+        }
+
+        if satisfiable {
+            if cancel_late {
+                // Cancel the late workers AND feed the estimator what the
+                // master actually learned: by the deadline each cancelled
+                // worker had processed `rate · elapsed` elements (the
+                // single-job engine's partial-observation rule). Without
+                // this, a cold-start straggler is cancelled before it can
+                // ever report a speed and stays mispredicted forever.
+                let mut obs: Vec<Option<f64>> = vec![None; n];
+                let mut any_cancelled = false;
+                let t_in = comm.transfer_time((cols * 8) as u64);
+                for (w, slot) in obs.iter_mut().enumerate() {
+                    // `is_finite` matters: a worker with no task this
+                    // iteration has finish == INFINITY, and "cancelling"
+                    // it would fabricate a near-zero speed observation
+                    // that permanently excludes a healthy worker.
+                    if iter.valid[w]
+                        && !iter.done[w]
+                        && iter.finish[w].is_finite()
+                        && iter.finish[w] > now
+                    {
+                        iter.valid[w] = false;
+                        refund_busy(
+                            &mut self.report.busy_time[w],
+                            &mut iter.busy_charged[w],
+                            iter.finish[w],
+                            now,
+                            iter.share,
+                        );
+                        self.backend.on_cancel(id, iter.generation, w, false);
+                        let rows_w = iter.assignment.chunks[w].len() * rpc;
+                        let work = (rows_w * cols) as f64;
+                        let t_reply = comm.transfer_time((rows_w * 8) as u64);
+                        // Reconstruct progress in *dedicated* share-
+                        // seconds (the share integral), not wall time —
+                        // rebalances change the share mid-task, and wall
+                        // spans would misattribute the mixed-share
+                        // window. Comm legs are charged at the current
+                        // share (exact when the share never changed).
+                        let ded_total = iter.dedicated_by(iter.finish[w]).max(f64::MIN_POSITIVE);
+                        let ded_elapsed = iter.dedicated_by(now).max(f64::MIN_POSITIVE);
+                        let ded_comm = (t_in + t_reply) * iter.share;
+                        let compute_ded = (ded_total - ded_comm).max(f64::MIN_POSITIVE);
+                        let rate = work / compute_ded;
+                        let partial = (rate * (ded_elapsed - t_in * iter.share).max(0.0)).min(work);
+                        *slot = Some(partial.max(1.0) / ded_elapsed);
+                        any_cancelled = true;
+                    }
+                }
+                if any_cancelled {
+                    self.tracker.observe(&obs);
+                }
+            }
+            let generation = iter.generation;
+            let mut latest_redo = now;
+            for (w, new_chunks) in extra.into_iter().enumerate() {
+                if new_chunks.is_empty() {
+                    continue;
+                }
+                // Dispatch the reassigned chunks for real before merging
+                // them into the timing model's bookkeeping.
+                self.backend
+                    .on_redo(id, generation, w, &new_chunks)
+                    .map_err(ServeError::Backend)?;
+                // Merge with any still-pending redo on the same worker:
+                // the combined task finishes after both workloads.
+                let base = if iter.redo_valid[w] && !iter.redo_done[w] {
+                    iter.redo_finish[w]
+                } else {
+                    now
+                };
+                let rows_w = new_chunks.len() * rpc;
+                let work = (rows_w * cols) as f64;
+                let rate = speeds[w] * iter.share * elements_per_sec * speedup;
+                // Coded hosts already hold the partitions, so the work
+                // order is a 64-byte control message; uncoded hosts must
+                // first receive the raw rows being reassigned.
+                let order_bytes = if matches!(self.cfg.scheduler, SchedulerMode::Uncoded) {
+                    64 + (rows_w * cols * 8) as u64
+                } else {
+                    64
+                };
+                let finish = base
+                    + comm.transfer_time(order_bytes)
+                    + work / rate
+                    + comm.transfer_time((rows_w * 8) as u64);
+                iter.redo_chunks[w].extend(new_chunks);
+                iter.redo_finish[w] = finish;
+                iter.redo_done[w] = false;
+                iter.redo_valid[w] = true;
+                latest_redo = latest_redo.max(finish);
+                iter.redo_busy_charged[w] += work / rate * iter.share;
+                self.report.busy_time[w] += work / rate * iter.share;
+                self.queue.push(
+                    finish,
+                    EventKind::TaskComplete {
+                        job: id,
+                        worker: w,
+                        generation,
+                        redo: true,
+                    },
+                );
+            }
+            if from_timeout {
+                self.report.timeouts += 1;
+            }
+            let deadline = now + (1.0 + margin) * (latest_redo - now).max(f64::MIN_POSITIVE);
+            iter.armed_deadline = deadline;
+            self.queue.push(
+                deadline,
+                EventKind::Timeout {
+                    job: id,
+                    generation,
+                },
+            );
+            return Ok(());
+        }
+
+        // Rung 4: not enough finished workers — wait out whatever is
+        // still in flight (conventional semantics).
+        let has_inflight = (0..n).any(|w| {
+            (iter.valid[w] && !iter.done[w] && iter.finish[w].is_finite())
+                || (iter.redo_valid[w] && !iter.redo_done[w])
+        });
+        if has_inflight {
+            if !iter.waited_out {
+                iter.waited_out = true;
+                self.report.degraded_iterations += 1;
+            }
+            let deadline = reschedule_after_inflight(iter);
+            let generation = iter.generation;
+            iter.armed_deadline = deadline;
+            self.queue.push(
+                deadline,
+                EventKind::Timeout {
+                    job: id,
+                    generation,
+                },
+            );
+            return Ok(());
+        }
+
+        // Rung 5: churn storm took everyone — restart the iteration.
+        let generation = iter.generation;
+        self.backend.on_iteration_abandoned(id, generation);
+        job.iter = None;
+        job.iter_retries += 1;
+        job.total_retries += 1;
+        if job.iter_retries > self.cfg.max_retries {
+            let record = JobRecord {
+                id,
+                tenant: job.spec.tenant,
+                preset: job.spec.preset,
+                arrival: job.arrival,
+                admitted: job.admitted,
+                finished: now,
+                iterations: job.iterations_done,
+                retries: job.total_retries,
+                failed: true,
+                rejected: false,
+                rate_limited: false,
+                weight: job.spec.weight,
+                deadline: job.spec.deadline,
+                work: job.spec.total_work(),
+            };
+            self.report.jobs.push(record);
+            self.resident.remove(&id);
+            self.backend.on_job_resolved(id);
+            self.rebalance_shares();
+            self.try_admit()?;
+        } else {
+            self.start_iteration(id, now)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,820 @@
+//! Unit tests for the service engine: the timing/behavior suite from
+//! the monolithic-engine era (kept verbatim to pin the refactor), plus
+//! the backend, rate-limit, and deadline-boost suites.
+
+use super::*;
+use crate::workload::{generate_workload, ArrivalPattern, JobPreset};
+
+fn pool(n: usize, stragglers: &[usize]) -> ClusterSpec {
+    ClusterSpec::builder(n)
+        .compute_bound()
+        .seed(0xFEED)
+        .straggler_slowdown(5.0)
+        .stragglers(stragglers, 0.2)
+        .build()
+}
+
+fn workload(jobs: usize, rate: f64, n: usize, seed: u64) -> Vec<(f64, JobSpec)> {
+    generate_workload(
+        &ArrivalPattern::Poisson { rate },
+        &JobPreset::standard_mix(),
+        jobs,
+        3,
+        n,
+        seed,
+    )
+}
+
+fn run_mode(mode: SchedulerMode, jobs: usize, rate: f64) -> ServiceReport {
+    let n = 12;
+    let engine = ServiceEngine::new(pool(n, &[2, 7]), ServeConfig::new(mode)).unwrap();
+    engine.run(&workload(jobs, rate, n, 5)).unwrap()
+}
+
+#[test]
+fn single_job_completes() {
+    let n = 8;
+    let spec = JobPreset::small().instantiate(0, 0, n);
+    let engine = ServiceEngine::new(
+        pool(n, &[]),
+        ServeConfig::new(SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        }),
+    )
+    .unwrap();
+    let report = engine.run(&[(0.0, spec)]).unwrap();
+    assert_eq!(report.completed(), 1);
+    assert_eq!(report.failed(), 0);
+    assert!(report.jobs[0].latency() > 0.0);
+    assert!(report.makespan > 0.0);
+    assert!(report.utilization() > 0.0);
+}
+
+#[test]
+fn deterministic_given_seeds() {
+    let a = run_mode(
+        SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        },
+        20,
+        1.5,
+    );
+    let b = run_mode(
+        SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        },
+        20,
+        1.5,
+    );
+    assert_eq!(a.jobs, b.jobs);
+    assert_eq!(a.events_processed, b.events_processed);
+}
+
+#[test]
+fn s2c2_beats_conventional_tail_under_stragglers() {
+    let s2c2 = run_mode(
+        SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        },
+        30,
+        1.2,
+    );
+    let mds = run_mode(SchedulerMode::ConventionalMds, 30, 1.2);
+    assert_eq!(s2c2.completed(), 30);
+    assert_eq!(mds.completed(), 30);
+    assert!(
+        s2c2.latency_percentile(99.0) < mds.latency_percentile(99.0),
+        "s2c2 p99 {} should beat mds p99 {}",
+        s2c2.latency_percentile(99.0),
+        mds.latency_percentile(99.0)
+    );
+}
+
+#[test]
+fn uncoded_pays_the_straggler_tax() {
+    let uncoded = run_mode(SchedulerMode::Uncoded, 15, 0.5);
+    let s2c2 = run_mode(
+        SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        },
+        15,
+        0.5,
+    );
+    assert_eq!(uncoded.completed(), 15);
+    assert!(
+        uncoded.mean_latency() > s2c2.mean_latency(),
+        "uncoded {} should trail s2c2 {}",
+        uncoded.mean_latency(),
+        s2c2.mean_latency()
+    );
+}
+
+#[test]
+fn queue_builds_under_load_and_drains() {
+    let report = run_mode(SchedulerMode::ConventionalMds, 40, 8.0);
+    assert_eq!(report.completed(), 40);
+    assert!(report.max_queue_depth() > 0, "overload must queue");
+    assert_eq!(report.queue_depth.last().unwrap().1, 0, "queue drains");
+}
+
+#[test]
+fn mispredictions_fire_timeouts() {
+    // Uniform predictions on a straggler pool: the adaptive engine
+    // must detect and recover via timeouts.
+    let n = 12;
+    let engine = ServiceEngine::new(
+        pool(n, &[0, 5]),
+        ServeConfig::new(SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::Uniform,
+        }),
+    )
+    .unwrap();
+    let report = engine.run(&workload(10, 1.0, n, 9)).unwrap();
+    assert_eq!(report.completed(), 10);
+    assert!(report.timeouts > 0, "uniform predictions must mispredict");
+}
+
+#[test]
+fn survives_churn() {
+    let n = 12;
+    let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+        predictor: PredictorSource::LastValue,
+    });
+    cfg.churn = Some(ChurnConfig {
+        p_fail: 0.05,
+        p_recover: 0.4,
+        min_up: 10,
+    });
+    cfg.max_retries = 10;
+    let engine = ServiceEngine::new(pool(n, &[3]), cfg).unwrap();
+    let report = engine.run(&workload(25, 1.0, n, 21)).unwrap();
+    assert_eq!(
+        report.completed() + report.failed(),
+        25,
+        "every job resolves"
+    );
+    assert!(
+        report.completed() >= 23,
+        "churn floor keeps most jobs alive"
+    );
+}
+
+#[test]
+fn malformed_job_fails_fast() {
+    let n = 4;
+    let mut spec = JobPreset::small().instantiate(0, 0, 8);
+    spec.k = 8; // bigger than the 4-worker pool
+    let engine = ServiceEngine::new(
+        pool(n, &[]),
+        ServeConfig::new(SchedulerMode::ConventionalMds),
+    )
+    .unwrap();
+    let report = engine.run(&[(0.0, spec)]).unwrap();
+    assert_eq!(report.failed(), 1);
+    assert_eq!(report.completed(), 0);
+}
+
+#[test]
+fn worker_threads_cut_latency() {
+    let base = {
+        let engine = ServiceEngine::new(
+            pool(12, &[2]),
+            ServeConfig::new(SchedulerMode::SharedS2c2 {
+                predictor: PredictorSource::LastValue,
+            }),
+        )
+        .unwrap();
+        engine.run(&workload(12, 1.0, 12, 13)).unwrap()
+    };
+    let threaded = {
+        let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        });
+        cfg.worker_threads = 4;
+        let engine = ServiceEngine::new(pool(12, &[2]), cfg).unwrap();
+        engine.run(&workload(12, 1.0, 12, 13)).unwrap()
+    };
+    assert!(
+        threaded.mean_latency() < base.mean_latency(),
+        "4-thread workers {} should beat 1-thread {}",
+        threaded.mean_latency(),
+        base.mean_latency()
+    );
+}
+
+#[test]
+fn invalid_config_rejected() {
+    let mut cfg = ServeConfig::new(SchedulerMode::Uncoded);
+    cfg.max_resident = 0;
+    assert!(matches!(
+        ServiceEngine::new(pool(4, &[]), cfg),
+        Err(ServeError::InvalidConfig(_))
+    ));
+    let mut cfg = ServeConfig::new(SchedulerMode::Uncoded);
+    cfg.epoch = 0.0;
+    assert!(ServiceEngine::new(pool(4, &[]), cfg).is_err());
+}
+
+#[test]
+fn fair_share_spreads_tenants() {
+    // Two tenants, one flooding: fair-share must still admit the
+    // other tenant's job ahead of the flood's backlog.
+    let n = 8;
+    let mut arrivals: Vec<(f64, JobSpec)> = (0..6)
+        .map(|i| (0.001 * i as f64, JobPreset::medium().instantiate(i, 0, n)))
+        .collect();
+    arrivals.push((0.01, JobPreset::small().instantiate(6, 1, n)));
+    let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+        predictor: PredictorSource::LastValue,
+    });
+    cfg.policy = QueuePolicy::FairShare;
+    cfg.max_resident = 2;
+    let engine = ServiceEngine::new(pool(n, &[]), cfg).unwrap();
+    let report = engine.run(&arrivals).unwrap();
+    assert_eq!(report.completed(), 7);
+    let tenant1 = report.jobs.iter().find(|j| j.tenant == 1).unwrap();
+    // The tenant-1 job must not be admitted last even though it
+    // arrived last: fair share jumps it over the flood.
+    let later_admitted = report
+        .jobs
+        .iter()
+        .filter(|j| j.tenant == 0 && j.admitted > tenant1.admitted)
+        .count();
+    assert!(later_admitted >= 2, "fair share should leapfrog the flood");
+}
+
+#[test]
+fn thread_speedup_model() {
+    assert_eq!(thread_speedup(1), 1.0);
+    assert!((thread_speedup(4) - 3.7).abs() < 1e-12);
+}
+
+#[test]
+fn utilization_stays_within_bounds_with_abandoned_tasks() {
+    // Regression for the stale-share oversubscription bug: one huge
+    // single-iteration job snapshots the pool alone, then a stream
+    // of small jobs arrives mid-iteration. MDS over-provisions, so
+    // plenty of straggler tasks are abandoned (refunded) when the
+    // fastest k finish. Utilization used to report 1.24.
+    let n = 8;
+    let mut big = JobPreset::large().instantiate(0, 0, n);
+    big.rows = 200_000;
+    big.iterations = 1;
+    let mut arrivals: Vec<(f64, JobSpec)> = vec![(0.0, big)];
+    for i in 1..40u64 {
+        arrivals.push((0.02 * i as f64, JobPreset::small().instantiate(i, 0, n)));
+    }
+    for mode in [
+        SchedulerMode::ConventionalMds,
+        SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        },
+    ] {
+        let engine = ServiceEngine::new(pool(n, &[2]), ServeConfig::new(mode)).unwrap();
+        let r = engine.run(&arrivals).unwrap();
+        assert_eq!(r.completed(), 40);
+        assert!(
+            (0.0..=1.0).contains(&r.utilization()),
+            "utilization {} out of [0, 1]",
+            r.utilization()
+        );
+        // The invariant behind it: no worker is busier than the
+        // service horizon, even before the metric-level truncation.
+        let max_busy = r.busy_time.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max_busy <= r.makespan + 1e-6,
+            "worker busy {max_busy} exceeds makespan {}",
+            r.makespan
+        );
+        assert!(r.rebalances > 0, "membership churn must rebalance");
+    }
+}
+
+#[test]
+fn weighted_tenant_gets_proportional_throughput() {
+    // Two tenants with identical job streams; tenant 1 weighs 2.
+    // Under saturation its censored work share must approach 2x.
+    let n = 12;
+    let mut arrivals = Vec::new();
+    for i in 0..24u64 {
+        let tenant = (i % 2) as u32;
+        let w = if tenant == 1 { 2.0 } else { 1.0 };
+        arrivals.push((
+            0.01 * i as f64,
+            JobPreset::medium().with_weight(w).instantiate(i, tenant, n),
+        ));
+    }
+    let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+        predictor: PredictorSource::LastValue,
+    });
+    cfg.policy = QueuePolicy::WeightedFairShare;
+    cfg.max_resident = 2;
+    let engine = ServiceEngine::new(pool(n, &[3]), cfg).unwrap();
+    let r = engine.run(&arrivals).unwrap();
+    assert_eq!(r.completed(), 24);
+    let tenants = r.tenant_summaries();
+    assert!((tenants[0].entitled_share - 1.0 / 3.0).abs() < 1e-12);
+    assert!((tenants[1].entitled_share - 2.0 / 3.0).abs() < 1e-12);
+    let ratio = tenants[1].achieved_share / tenants[0].achieved_share;
+    assert!(
+        ratio >= 1.8,
+        "weight-2 tenant achieved only {ratio:.2}x the weight-1 share"
+    );
+}
+
+#[test]
+fn work_conserving_rebalance_frees_capacity_early() {
+    // Job A runs one long iteration; job B shares the pool briefly
+    // and departs. With work conservation A reclaims the freed half
+    // immediately, so its latency stays close to the solo run —
+    // without it, A would crawl at share 1/2 for the whole span.
+    let n = 8;
+    let mut long_job = JobPreset::large().instantiate(0, 0, n);
+    long_job.rows = 100_000;
+    long_job.iterations = 1;
+    let solo = {
+        let engine = ServiceEngine::new(
+            pool(n, &[]),
+            ServeConfig::new(SchedulerMode::ConventionalMds),
+        )
+        .unwrap();
+        engine.run(&[(0.0, long_job.clone())]).unwrap()
+    };
+    let shared = {
+        let engine = ServiceEngine::new(
+            pool(n, &[]),
+            ServeConfig::new(SchedulerMode::ConventionalMds),
+        )
+        .unwrap();
+        let mut small = JobPreset::small().instantiate(1, 1, n);
+        small.iterations = 1;
+        engine
+            .run(&[(0.0, long_job.clone()), (0.0, small)])
+            .unwrap()
+    };
+    let solo_latency = solo.jobs[0].latency();
+    let shared_latency = shared
+        .jobs
+        .iter()
+        .find(|j| j.id == 0)
+        .expect("long job resolves")
+        .latency();
+    assert!(
+        shared_latency < 1.3 * solo_latency,
+        "work conservation should keep the long job near its solo \
+         latency: solo {solo_latency:.3}, shared {shared_latency:.3}"
+    );
+    assert!(shared.rebalances > 0);
+}
+
+#[test]
+fn infeasible_deadlines_rejected_at_admission() {
+    let n = 8;
+    // A deadline no pool could meet, next to a comfortably feasible
+    // neighbour.
+    let hopeless = JobPreset::large().with_deadline(1e-6).instantiate(0, 0, n);
+    let fine = JobPreset::small().with_deadline(60.0).instantiate(1, 0, n);
+    let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+        predictor: PredictorSource::LastValue,
+    });
+    cfg.reject_infeasible_deadlines = true;
+    let engine = ServiceEngine::new(pool(n, &[]), cfg).unwrap();
+    let r = engine.run(&[(0.0, hopeless), (0.0, fine)]).unwrap();
+    assert_eq!(r.rejected(), 1);
+    assert_eq!(r.completed(), 1);
+    let rejected = r.jobs.iter().find(|j| j.rejected).unwrap();
+    assert_eq!(rejected.id, 0);
+    assert!(rejected.failed);
+    assert!(!rejected.on_time());
+    let served = r.jobs.iter().find(|j| !j.failed).unwrap();
+    assert!(served.on_time());
+    // Without the knob the hopeless job is served (late) instead.
+    let cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+        predictor: PredictorSource::LastValue,
+    });
+    let engine = ServiceEngine::new(pool(n, &[]), cfg).unwrap();
+    let hopeless = JobPreset::large().with_deadline(1e-6).instantiate(0, 0, n);
+    let fine = JobPreset::small().with_deadline(60.0).instantiate(1, 0, n);
+    let r = engine.run(&[(0.0, hopeless), (0.0, fine)]).unwrap();
+    assert_eq!(r.rejected(), 0);
+    assert_eq!(r.completed(), 2);
+    assert!(r.on_time_ratio() < 1.0);
+}
+
+#[test]
+fn earliest_deadline_admission_beats_fifo_on_time() {
+    // A burst of loose-deadline work arrives just before one
+    // tight-deadline job: FIFO makes it wait out the burst, EDF
+    // jumps it forward.
+    let n = 8;
+    let build = |policy: QueuePolicy| {
+        let mut arrivals: Vec<(f64, JobSpec)> = (0..6)
+            .map(|i| {
+                (
+                    0.001 * i as f64,
+                    JobPreset::medium()
+                        .with_deadline(120.0)
+                        .instantiate(i, 0, n),
+                )
+            })
+            .collect();
+        arrivals.push((
+            0.01,
+            JobPreset::small().with_deadline(3.0).instantiate(6, 1, n),
+        ));
+        let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        });
+        cfg.policy = policy;
+        cfg.max_resident = 1;
+        let engine = ServiceEngine::new(pool(n, &[]), cfg).unwrap();
+        engine.run(&arrivals).unwrap()
+    };
+    let fifo = build(QueuePolicy::Fifo);
+    let edf = build(QueuePolicy::EarliestDeadline);
+    assert_eq!(fifo.completed(), 7);
+    assert_eq!(edf.completed(), 7);
+    assert!(
+        edf.on_time_ratio() > fifo.on_time_ratio(),
+        "EDF on-time {} must beat FIFO {}",
+        edf.on_time_ratio(),
+        fifo.on_time_ratio()
+    );
+}
+
+#[test]
+fn malformed_qos_fields_fail_fast() {
+    let n = 4;
+    let bad_weight = JobPreset::small().with_weight(0.0).instantiate(0, 0, n);
+    let bad_deadline = JobPreset::small().with_deadline(-1.0).instantiate(1, 0, n);
+    let engine = ServiceEngine::new(
+        pool(n, &[]),
+        ServeConfig::new(SchedulerMode::ConventionalMds),
+    )
+    .unwrap();
+    let r = engine
+        .run(&[(0.0, bad_weight), (0.0, bad_deadline)])
+        .unwrap();
+    assert_eq!(r.failed(), 2);
+    assert_eq!(r.completed(), 0);
+}
+
+// ---- execution backends -------------------------------------------------
+
+/// A small preset so numeric-backend tests stay fast.
+fn tiny() -> JobPreset {
+    JobPreset {
+        name: "tiny",
+        rows: 120,
+        cols: 8,
+        k_frac: 0.75,
+        chunks_per_partition: 4,
+        iterations: 2,
+        weight: 1.0,
+        deadline: None,
+        matrix_id: None,
+    }
+}
+
+fn tiny_workload(jobs: usize, n: usize) -> Vec<(f64, JobSpec)> {
+    (0..jobs as u64)
+        .map(|i| (0.05 * i as f64, tiny().instantiate(i, (i % 2) as u32, n)))
+        .collect()
+}
+
+#[test]
+fn threaded_backend_serves_and_verifies_end_to_end() {
+    let n = 8;
+    let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+        predictor: PredictorSource::LastValue,
+    });
+    cfg.backend = BackendKind::Threaded;
+    let engine = ServiceEngine::new(pool(n, &[2]), cfg).unwrap();
+    let report = engine.run(&tiny_workload(6, n)).unwrap();
+    assert_eq!(report.completed(), 6);
+    // Every completed iteration was decoded from real worker output and
+    // checked against the sequential reference inside the engine.
+    assert_eq!(report.verified_iterations, 6 * 2);
+    assert!(report.max_decode_error < 1e-6);
+    assert_eq!(report.job_outputs.len(), 6, "one final output per job");
+    for (id, y) in &report.job_outputs {
+        assert_eq!(y.len(), 120, "job {id} output has the original rows");
+    }
+    // All six jobs share the tiny preset's matrix: one encode, five hits.
+    assert_eq!(report.encode_cache_misses, 1);
+    assert_eq!(report.encode_cache_hits, 5);
+}
+
+#[test]
+fn threaded_backend_survives_mispredictions_and_cancels() {
+    // Uniform predictions on a straggler pool force the §4.3 cancel +
+    // redo path; the threaded backend must keep numerics correct
+    // through cancellations and redo dispatches.
+    let n = 8;
+    let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+        predictor: PredictorSource::Uniform,
+    });
+    cfg.backend = BackendKind::Threaded;
+    let engine = ServiceEngine::new(pool(n, &[0, 4]), cfg).unwrap();
+    let report = engine.run(&tiny_workload(5, n)).unwrap();
+    assert_eq!(report.completed(), 5);
+    assert!(report.timeouts > 0, "uniform predictions must mispredict");
+    assert_eq!(report.verified_iterations, 5 * 2);
+    assert!(report.max_decode_error < 1e-6);
+}
+
+#[test]
+fn sim_verified_and_threaded_outputs_match() {
+    let n = 8;
+    let run_with = |backend: BackendKind| {
+        let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        });
+        cfg.backend = backend;
+        let engine = ServiceEngine::new(pool(n, &[1]), cfg).unwrap();
+        engine.run(&tiny_workload(4, n)).unwrap()
+    };
+    let sim = run_with(BackendKind::SimVerified);
+    let threaded = run_with(BackendKind::Threaded);
+    // Timing is backend-independent...
+    assert_eq!(sim.jobs, threaded.jobs);
+    assert_eq!(sim.events_processed, threaded.events_processed);
+    // ...and so are the decoded numerics: same coverage, same chunk
+    // arithmetic, same decode order.
+    assert_eq!(sim.job_outputs.len(), threaded.job_outputs.len());
+    for ((id_a, a), (id_b, b)) in sim.job_outputs.iter().zip(threaded.job_outputs.iter()) {
+        assert_eq!(id_a, id_b);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12, "job {id_a}: {x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn sim_backend_reports_no_numerics() {
+    let n = 8;
+    let engine = ServiceEngine::new(
+        pool(n, &[]),
+        ServeConfig::new(SchedulerMode::ConventionalMds),
+    )
+    .unwrap();
+    let report = engine.run(&tiny_workload(3, n)).unwrap();
+    assert_eq!(report.verified_iterations, 0);
+    assert_eq!(report.encode_cache_hits + report.encode_cache_misses, 0);
+    assert!(report.job_outputs.is_empty());
+}
+
+#[test]
+fn distinct_matrix_ids_do_not_share_encodings() {
+    let n = 8;
+    let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+        predictor: PredictorSource::LastValue,
+    });
+    cfg.backend = BackendKind::SimVerified;
+    let arrivals: Vec<(f64, JobSpec)> = (0..4u64)
+        .map(|i| {
+            (
+                0.05 * i as f64,
+                tiny().with_matrix_id(i).instantiate(i, 0, n),
+            )
+        })
+        .collect();
+    let engine = ServiceEngine::new(pool(n, &[]), cfg).unwrap();
+    let report = engine.run(&arrivals).unwrap();
+    assert_eq!(report.completed(), 4);
+    assert_eq!(report.encode_cache_misses, 4, "four distinct models");
+    assert_eq!(report.encode_cache_hits, 0);
+    assert_eq!(report.encode_cache_hit_rate(), 0.0);
+}
+
+#[test]
+fn threaded_backend_handles_uncoded_and_mds_modes() {
+    let n = 6;
+    for mode in [SchedulerMode::Uncoded, SchedulerMode::ConventionalMds] {
+        let mut cfg = ServeConfig::new(mode);
+        cfg.backend = BackendKind::Threaded;
+        let engine = ServiceEngine::new(pool(n, &[3]), cfg).unwrap();
+        let report = engine.run(&tiny_workload(3, n)).unwrap();
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.verified_iterations, 3 * 2);
+        assert!(report.max_decode_error < 1e-6);
+    }
+}
+
+#[test]
+fn threaded_backend_survives_churn_with_verified_numerics() {
+    // Churn + mispredictions drive the full recovery ladder — cancels,
+    // redo reassignment, redo invalidation when the redo host itself
+    // churns, rung-5 restarts — while the threaded backend executes
+    // every credited chunk for real. Crediting work nobody computed
+    // (e.g. churn-invalidated redo chunks) fails the run loudly.
+    let n = 8;
+    let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+        predictor: PredictorSource::Uniform,
+    });
+    cfg.backend = BackendKind::Threaded;
+    cfg.churn = Some(ChurnConfig {
+        p_fail: 0.08,
+        p_recover: 0.5,
+        min_up: 6,
+    });
+    cfg.max_retries = 10;
+    let engine = ServiceEngine::new(pool(n, &[1, 5]), cfg).unwrap();
+    let report = engine.run(&tiny_workload(8, n)).unwrap();
+    assert_eq!(report.completed() + report.failed(), 8);
+    assert!(report.completed() >= 6, "churn floor keeps most jobs alive");
+    assert!(report.verified_iterations >= report.completed() * 2);
+    assert!(report.max_decode_error < 1e-6);
+}
+
+// ---- per-tenant rate limiting -------------------------------------------
+
+#[test]
+fn tenant_rate_limit_rejects_bursts_separately_from_deadlines() {
+    let n = 8;
+    // Tenant 0 floods 10 jobs at t=0 under a burst-2 bucket; tenant 1 is
+    // unlimited. One tenant-0 job also carries a hopeless deadline so
+    // both rejection kinds appear in one run, counted apart.
+    let mut arrivals: Vec<(f64, JobSpec)> = (0..10u64)
+        .map(|i| (0.0, JobPreset::small().instantiate(i, 0, n)))
+        .collect();
+    arrivals.push((0.0, JobPreset::small().instantiate(10, 1, n)));
+    arrivals.push((
+        0.001,
+        JobPreset::large().with_deadline(1e-6).instantiate(11, 1, n),
+    ));
+    let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+        predictor: PredictorSource::LastValue,
+    });
+    cfg.reject_infeasible_deadlines = true;
+    cfg.tenant_rate_limits.insert(
+        0,
+        RateLimit {
+            rate: 0.1,
+            burst: 2.0,
+        },
+    );
+    let engine = ServiceEngine::new(pool(n, &[]), cfg).unwrap();
+    let report = engine.run(&arrivals).unwrap();
+    assert_eq!(report.rate_limited(), 8, "burst 2 of 10 admitted");
+    assert_eq!(report.rejected(), 1, "the hopeless SLO");
+    assert_eq!(report.completed(), 3);
+    let tenants = report.tenant_summaries();
+    assert_eq!(tenants[0].rate_limited, 8);
+    assert_eq!(tenants[0].rejected, 0);
+    assert_eq!(tenants[1].rate_limited, 0);
+    assert_eq!(tenants[1].rejected, 1);
+    // Rate-limited records never held a slot and are never on time.
+    for j in report.jobs.iter().filter(|j| j.rate_limited) {
+        assert!(j.failed && !j.rejected);
+        assert_eq!(j.iterations, 0);
+    }
+}
+
+#[test]
+fn tenant_rate_limit_refills_over_time() {
+    let n = 8;
+    // 1 job/s refill, burst 1: a 0.5s-spaced stream admits every other.
+    let arrivals: Vec<(f64, JobSpec)> = (0..6u64)
+        .map(|i| (0.5 * i as f64, JobPreset::small().instantiate(i, 0, n)))
+        .collect();
+    let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+        predictor: PredictorSource::LastValue,
+    });
+    cfg.tenant_rate_limits.insert(
+        0,
+        RateLimit {
+            rate: 1.0,
+            burst: 1.0,
+        },
+    );
+    let engine = ServiceEngine::new(pool(n, &[]), cfg).unwrap();
+    let report = engine.run(&arrivals).unwrap();
+    assert_eq!(report.rate_limited(), 3, "every other arrival refused");
+    assert_eq!(report.completed(), 3);
+}
+
+#[test]
+fn invalid_rate_limit_rejected_at_config() {
+    let mut cfg = ServeConfig::new(SchedulerMode::Uncoded);
+    cfg.tenant_rate_limits.insert(
+        0,
+        RateLimit {
+            rate: 0.0,
+            burst: 2.0,
+        },
+    );
+    assert!(matches!(
+        ServiceEngine::new(pool(4, &[]), cfg),
+        Err(ServeError::InvalidConfig(_))
+    ));
+    let mut cfg = ServeConfig::new(SchedulerMode::Uncoded);
+    cfg.tenant_rate_limits.insert(
+        0,
+        RateLimit {
+            rate: 1.0,
+            burst: 0.5,
+        },
+    );
+    assert!(ServiceEngine::new(pool(4, &[]), cfg).is_err());
+}
+
+// ---- deadline-aware share boosting --------------------------------------
+
+#[test]
+fn deadline_boost_activates_and_speeds_at_risk_job() {
+    let n = 8;
+    // A deadline-carrying job shares the pool with a heavy SLO-less
+    // neighbour; unboosted it finishes around 1.84s, so a 2.0s SLO
+    // burns through half its slack mid-run. The boost (8x past
+    // half-slack) then reclaims most of the pool.
+    let build = |boost: Option<DeadlineBoost>| {
+        let slo = JobPreset::medium().with_deadline(2.0).instantiate(0, 0, n);
+        let heavy = JobPreset::large().with_weight(2.0).instantiate(1, 1, n);
+        let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::LastValue,
+        });
+        cfg.deadline_boost = boost;
+        let engine = ServiceEngine::new(pool(n, &[]), cfg).unwrap();
+        engine.run(&[(0.0, slo), (0.0, heavy)]).unwrap()
+    };
+    let plain = build(None);
+    let boosted = build(Some(DeadlineBoost {
+        slack_threshold: 0.5,
+        factor: 8.0,
+    }));
+    assert_eq!(plain.boost_activations, 0);
+    assert!(boosted.boost_activations > 0, "the at-risk job must boost");
+    let latency = |r: &ServiceReport| r.jobs.iter().find(|j| j.id == 0).unwrap().latency();
+    assert!(
+        latency(&boosted) < latency(&plain),
+        "boost must cut the SLO job's latency: {} vs {}",
+        latency(&boosted),
+        latency(&plain)
+    );
+    // A boost firing at an iteration boundary must rescale the
+    // neighbour's in-flight tasks too: shares keep summing to 1, so no
+    // worker can accrue more dedicated busy time than the horizon (the
+    // oversubscription invariant PR 3 established).
+    assert!((0.0..=1.0).contains(&boosted.utilization()));
+    let max_busy = boosted.busy_time.iter().copied().fold(0.0, f64::max);
+    assert!(
+        max_busy <= boosted.makespan + 1e-6,
+        "worker busy {max_busy} exceeds makespan {}",
+        boosted.makespan
+    );
+}
+
+#[test]
+fn boost_firing_mid_stream_keeps_shares_consistent() {
+    // Many SLO-carrying jobs across staggered arrivals: boosts fire at
+    // iteration starts while neighbours are mid-iteration, repeatedly.
+    // Every firing must rescale the whole resident set.
+    let n = 8;
+    let mut arrivals: Vec<(f64, JobSpec)> = Vec::new();
+    for i in 0..10u64 {
+        arrivals.push((
+            0.3 * i as f64,
+            JobPreset::medium()
+                .with_deadline(2.5)
+                .instantiate(i, (i % 2) as u32, n),
+        ));
+    }
+    let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+        predictor: PredictorSource::LastValue,
+    });
+    cfg.deadline_boost = Some(DeadlineBoost {
+        slack_threshold: 0.6,
+        factor: 4.0,
+    });
+    let engine = ServiceEngine::new(pool(n, &[2]), cfg).unwrap();
+    let r = engine.run(&arrivals).unwrap();
+    assert_eq!(r.completed(), 10);
+    assert!(r.boost_activations > 0, "tight SLOs must trigger boosts");
+    assert!((0.0..=1.0).contains(&r.utilization()));
+    let max_busy = r.busy_time.iter().copied().fold(0.0, f64::max);
+    assert!(
+        max_busy <= r.makespan + 1e-6,
+        "worker busy {max_busy} exceeds makespan {}",
+        r.makespan
+    );
+}
+
+#[test]
+fn invalid_deadline_boost_rejected_at_config() {
+    for (threshold, factor) in [(0.0, 2.0), (1.5, 2.0), (0.5, 0.5), (f64::NAN, 2.0)] {
+        let mut cfg = ServeConfig::new(SchedulerMode::Uncoded);
+        cfg.deadline_boost = Some(DeadlineBoost {
+            slack_threshold: threshold,
+            factor,
+        });
+        assert!(
+            matches!(
+                ServiceEngine::new(pool(4, &[]), cfg),
+                Err(ServeError::InvalidConfig(_))
+            ),
+            "threshold {threshold}, factor {factor} must be rejected"
+        );
+    }
+}

@@ -24,7 +24,12 @@
 //! * [`engine`] — the [`engine::ServiceEngine`] tying it together, with
 //!   worker churn, §4.3-style timeout recovery, a retry ladder,
 //!   work-conserving share rebalancing at every resident-set change,
-//!   and optional deadline admission control.
+//!   optional deadline admission control, per-tenant token-bucket rate
+//!   limiting, and deadline-aware share boosting. Execution is
+//!   pluggable ([`engine::BackendKind`]): timing-only simulation,
+//!   master-side verified numerics, or real OS-thread workers over
+//!   [`s2c2_cluster::threaded::ThreadedCluster`] with an encode cache
+//!   shared across recurring jobs.
 //! * [`metrics`] — service-level reporting: sojourn-latency percentiles
 //!   (p50/p95/p99), throughput, utilization, queue depth over time, and
 //!   per-tenant QoS summaries (on-time ratio, achieved vs entitled
@@ -67,8 +72,10 @@ pub mod metrics;
 pub mod shared_alloc;
 pub mod workload;
 
-pub use admission::{QueuePolicy, QueuedJob, ResidentInfo};
-pub use engine::{ChurnConfig, SchedulerMode, ServeConfig, ServeError, ServiceEngine};
+pub use admission::{QueuePolicy, QueuedJob, RateLimit, ResidentInfo};
+pub use engine::{
+    BackendKind, ChurnConfig, DeadlineBoost, SchedulerMode, ServeConfig, ServeError, ServiceEngine,
+};
 pub use event::{EventKind, EventQueue, JobId};
 pub use metrics::{percentile, JobRecord, ServiceReport, TenantSummary};
 pub use shared_alloc::{allocate_shared, full_over_available, JobDemand, SharedAssignment};
@@ -76,8 +83,10 @@ pub use workload::{generate_workload, ArrivalPattern, JobPreset, JobSpec};
 
 /// One-stop imports for service-engine users.
 pub mod prelude {
-    pub use crate::admission::QueuePolicy;
-    pub use crate::engine::{ChurnConfig, SchedulerMode, ServeConfig, ServiceEngine};
+    pub use crate::admission::{QueuePolicy, RateLimit};
+    pub use crate::engine::{
+        BackendKind, ChurnConfig, DeadlineBoost, SchedulerMode, ServeConfig, ServiceEngine,
+    };
     pub use crate::metrics::{ServiceReport, TenantSummary};
     pub use crate::workload::{generate_workload, ArrivalPattern, JobPreset, JobSpec};
 }

@@ -67,6 +67,11 @@ pub struct JobRecord {
     /// Whether the job was rejected by deadline admission control
     /// (implies `failed`; it never held a residency slot).
     pub rejected: bool,
+    /// Whether the job was refused by its tenant's token-bucket rate
+    /// limit (implies `failed`; it never entered the admission queue).
+    /// Disjoint from `rejected`, so operators can tell "your SLO was
+    /// hopeless" from "you burst past your rate".
+    pub rate_limited: bool,
     /// Capacity weight the job ran with.
     pub weight: f64,
     /// Relative SLO it arrived with, if any.
@@ -114,6 +119,9 @@ pub struct TenantSummary {
     pub completed: usize,
     /// Jobs rejected by deadline admission control.
     pub rejected: usize,
+    /// Jobs refused by the tenant's token-bucket rate limit (counted
+    /// separately from deadline rejections).
+    pub rate_limited: usize,
     /// Fraction of the tenant's deadline-carrying jobs that completed
     /// within their SLO (1.0 when it submitted none).
     pub on_time_ratio: f64,
@@ -154,8 +162,27 @@ pub struct ServiceReport {
     /// Share rebalances applied when the resident set changed
     /// mid-iteration (the work-conserving path).
     pub rebalances: usize,
+    /// Deadline-aware share boosts activated: resident jobs whose
+    /// effective weight was bumped because their slack-to-deadline ratio
+    /// dropped below [`crate::engine::DeadlineBoost::slack_threshold`].
+    pub boost_activations: usize,
     /// Total events processed.
     pub events_processed: u64,
+    /// Encode-cache lookups served from cache (numeric backends only;
+    /// the timing-only backend never encodes).
+    pub encode_cache_hits: u64,
+    /// Encode-cache lookups that had to encode.
+    pub encode_cache_misses: u64,
+    /// Iterations whose decoded output a numeric backend checked against
+    /// the sequential reference.
+    pub verified_iterations: usize,
+    /// Largest relative decode error a numeric backend observed across
+    /// every verified iteration (0 when nothing was verified).
+    pub max_decode_error: f64,
+    /// Final-iteration decoded outputs per completed job, in completion
+    /// order (numeric backends only; empty under the timing-only
+    /// backend). The payload the parity tests compare across backends.
+    pub job_outputs: Vec<(JobId, Vec<f64>)>,
 }
 
 impl ServiceReport {
@@ -175,6 +202,24 @@ impl ServiceReport {
     #[must_use]
     pub fn rejected(&self) -> usize {
         self.jobs.iter().filter(|j| j.rejected).count()
+    }
+
+    /// Jobs refused by tenant token-bucket rate limits.
+    #[must_use]
+    pub fn rate_limited(&self) -> usize {
+        self.jobs.iter().filter(|j| j.rate_limited).count()
+    }
+
+    /// Encode-cache hit rate (`hits / lookups`), or 0 when the backend
+    /// never consulted the cache.
+    #[must_use]
+    pub fn encode_cache_hit_rate(&self) -> f64 {
+        let total = self.encode_cache_hits + self.encode_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.encode_cache_hits as f64 / total as f64
+        }
     }
 
     /// Ascending-sorted sojourn latencies of completed jobs.
@@ -345,6 +390,7 @@ impl ServiceReport {
                     jobs: mine.len(),
                     completed: mine.iter().filter(|j| !j.failed).count(),
                     rejected: mine.iter().filter(|j| j.rejected).count(),
+                    rate_limited: mine.iter().filter(|j| j.rate_limited).count(),
                     on_time_ratio: Self::on_time_ratio_of(mine.iter().copied()),
                     p50_latency: percentile(&lat, 50.0),
                     p99_latency: percentile(&lat, 99.0),
@@ -380,6 +426,7 @@ mod tests {
             retries: 0,
             failed,
             rejected: false,
+            rate_limited: false,
             weight: 1.0,
             deadline: None,
             work: 100.0,
@@ -553,6 +600,35 @@ mod tests {
         assert_eq!(tenants[1].completed, 2);
         assert!((tenants[1].p50_latency - 1.0).abs() < 1e-12);
         assert!((tenants[1].p99_latency - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_limited_counted_separately_from_rejections() {
+        let mut limited = record(0, 0.0, 0.0, 0.0, true);
+        limited.rate_limited = true;
+        let mut rejected = record(1, 0.0, 0.0, 0.0, true);
+        rejected.rejected = true;
+        let served = record(2, 0.0, 0.0, 1.0, false);
+        let report = ServiceReport {
+            jobs: vec![limited, rejected, served],
+            ..ServiceReport::default()
+        };
+        assert_eq!(report.rate_limited(), 1);
+        assert_eq!(report.rejected(), 1);
+        assert_eq!(report.failed(), 2);
+        let t = report.tenant_summaries();
+        assert_eq!(t[0].rate_limited, 1);
+        assert_eq!(t[0].rejected, 1);
+        assert_eq!(t[0].completed, 1);
+    }
+
+    #[test]
+    fn encode_cache_hit_rate_from_counters() {
+        let mut report = ServiceReport::default();
+        assert_eq!(report.encode_cache_hit_rate(), 0.0);
+        report.encode_cache_hits = 3;
+        report.encode_cache_misses = 1;
+        assert!((report.encode_cache_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -41,6 +41,13 @@ pub struct JobSpec {
     /// engine's admission-time infeasibility rejection; reported as
     /// `on_time` in job records.
     pub deadline: Option<f64>,
+    /// Identity of the job's model matrix. Jobs sharing a `matrix_id`
+    /// (and shape) declare they carry the *same* matrix — the key the
+    /// numeric backends' encode cache amortizes over, so a trace
+    /// workload re-submitting one model skips re-encoding. Presets stamp
+    /// a name-derived default (every job from one preset shares its
+    /// model); override per preset/spec with `with_matrix_id`.
+    pub matrix_id: u64,
 }
 
 impl JobSpec {
@@ -70,6 +77,24 @@ impl JobSpec {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Returns the spec with its model-matrix identity replaced.
+    #[must_use]
+    pub fn with_matrix_id(mut self, matrix_id: u64) -> Self {
+        self.matrix_id = matrix_id;
+        self
+    }
+}
+
+/// FNV-1a over a byte string — the stable default matrix identity for a
+/// preset name (no hasher-randomization, reproducible across runs).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// A job size class: shapes are fixed, the recovery threshold scales
@@ -92,6 +117,10 @@ pub struct JobPreset {
     pub weight: f64,
     /// Relative deadline stamped onto instantiated specs (default none).
     pub deadline: Option<f64>,
+    /// Model-matrix identity stamped onto instantiated specs; `None`
+    /// derives a stable id from the preset name, so every job drawn from
+    /// one preset carries the same model (the recurring-matrix regime).
+    pub matrix_id: Option<u64>,
 }
 
 impl JobPreset {
@@ -107,6 +136,7 @@ impl JobPreset {
             iterations: 4,
             weight: 1.0,
             deadline: None,
+            matrix_id: None,
         }
     }
 
@@ -122,6 +152,7 @@ impl JobPreset {
             iterations: 8,
             weight: 1.0,
             deadline: None,
+            matrix_id: None,
         }
     }
 
@@ -137,6 +168,7 @@ impl JobPreset {
             iterations: 12,
             weight: 1.0,
             deadline: None,
+            matrix_id: None,
         }
     }
 
@@ -152,6 +184,15 @@ impl JobPreset {
     #[must_use]
     pub fn with_deadline(mut self, deadline: f64) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns the preset with an explicit model-matrix identity stamped
+    /// onto every instantiated spec (instead of the name-derived
+    /// default).
+    #[must_use]
+    pub fn with_matrix_id(mut self, matrix_id: u64) -> Self {
+        self.matrix_id = Some(matrix_id);
         self
     }
 
@@ -186,6 +227,9 @@ impl JobPreset {
             preset: self.name,
             weight: self.weight,
             deadline: self.deadline,
+            matrix_id: self
+                .matrix_id
+                .unwrap_or_else(|| fnv1a(self.name.as_bytes())),
         }
     }
 }
@@ -386,6 +430,21 @@ mod tests {
         let s2 = d.with_weight(3.0).with_deadline(9.0);
         assert_eq!(s2.weight, 3.0);
         assert_eq!(s2.deadline, Some(9.0));
+    }
+
+    #[test]
+    fn matrix_identity_recurs_per_preset_and_overrides() {
+        // Same preset -> same model matrix (the recurring regime the
+        // encode cache amortizes); different presets -> different ids.
+        let a = JobPreset::small().instantiate(0, 0, 8);
+        let b = JobPreset::small().instantiate(1, 1, 8);
+        let c = JobPreset::medium().instantiate(2, 0, 8);
+        assert_eq!(a.matrix_id, b.matrix_id);
+        assert_ne!(a.matrix_id, c.matrix_id);
+        // Explicit identities override, at preset and spec level.
+        let d = JobPreset::small().with_matrix_id(42).instantiate(3, 0, 8);
+        assert_eq!(d.matrix_id, 42);
+        assert_eq!(d.with_matrix_id(43).matrix_id, 43);
     }
 
     #[test]

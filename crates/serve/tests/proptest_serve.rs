@@ -283,3 +283,80 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&ratio));
     }
 }
+
+// Numerics parity between execution backends needs fewer, heavier cases
+// than the allocation properties above: each case spawns a real
+// OS-thread pool and computes actual matvecs.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property 5: for any small job stream, the master-side verified
+    /// backend and the real-threads backend produce identical timing
+    /// *and* identical decoded outputs — the coverage the timing model
+    /// credits is the coverage both decode from, and chunk arithmetic
+    /// is thread-placement-independent.
+    #[test]
+    fn sim_and_threaded_backends_decode_identically(
+        jobs in 2usize..5,
+        rows in 40usize..160,
+        cols in 4usize..10,
+        chunks in 2usize..5,
+        seed in 0u64..64,
+        mispredict in any::<bool>(),
+    ) {
+        let n = 6;
+        let preset = JobPreset {
+            name: "parity",
+            rows,
+            cols,
+            k_frac: 0.67,
+            chunks_per_partition: chunks,
+            iterations: 2,
+            weight: 1.0,
+            deadline: None,
+            matrix_id: Some(seed),
+        };
+        let workload: Vec<(f64, JobSpec)> = (0..jobs as u64)
+            .map(|i| (0.03 * i as f64, preset.instantiate(i, 0, n)))
+            .collect();
+        let run = |backend: BackendKind| {
+            let pool = s2c2_cluster::ClusterSpec::builder(n)
+                .compute_bound()
+                .seed(seed ^ 0xF00D)
+                .straggler_slowdown(4.0)
+                .stragglers(&[2], 0.2)
+                .build();
+            let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+                // Uniform predictions on a straggler pool exercise the
+                // cancel/redo path through both backends.
+                predictor: if mispredict {
+                    PredictorSource::Uniform
+                } else {
+                    PredictorSource::LastValue
+                },
+            });
+            cfg.backend = backend;
+            ServiceEngine::new(pool, cfg).unwrap().run(&workload).unwrap()
+        };
+        let sim = run(BackendKind::SimVerified);
+        let threaded = run(BackendKind::Threaded);
+
+        prop_assert_eq!(&sim.jobs, &threaded.jobs, "timing must be backend-independent");
+        prop_assert_eq!(sim.verified_iterations, threaded.verified_iterations);
+        prop_assert_eq!(sim.encode_cache_hits, threaded.encode_cache_hits);
+        prop_assert_eq!(sim.encode_cache_misses, threaded.encode_cache_misses);
+        prop_assert!(sim.verified_iterations >= jobs, "every iteration verified");
+        prop_assert_eq!(sim.job_outputs.len(), threaded.job_outputs.len());
+        for ((ia, a), (ib, b)) in sim.job_outputs.iter().zip(threaded.job_outputs.iter()) {
+            prop_assert_eq!(ia, ib);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                prop_assert!((x - y).abs() <= 1e-12, "job {}: {} vs {}", ia, x, y);
+            }
+        }
+        // One shared matrix identity across the stream: the cache must
+        // have amortized every encode after the first.
+        prop_assert_eq!(sim.encode_cache_misses, 1);
+        prop_assert_eq!(sim.encode_cache_hits as usize, jobs - 1);
+    }
+}
