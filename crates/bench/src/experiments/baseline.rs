@@ -8,7 +8,7 @@
 //! service-level tail/throughput regressions without re-deriving the
 //! reference numbers.
 
-use crate::experiments::{common, e2e as e2e_exp, serve as serve_exp};
+use crate::experiments::{batch as batch_exp, common, e2e as e2e_exp, serve as serve_exp};
 use s2c2_coding::mds::MdsParams;
 use s2c2_core::job::CodedJobBuilder;
 use s2c2_core::speed_tracker::PredictorSource;
@@ -89,6 +89,23 @@ pub struct E2eBaseline {
     pub cache_misses: u64,
 }
 
+/// One batching-policy row from the high-λ small-job scenario.
+#[derive(Debug, Clone)]
+pub struct BatchBaseline {
+    /// Policy label (`unbatched` / `batch-size` / `batch-window`).
+    pub name: String,
+    /// Median job sojourn latency.
+    pub p50_latency: f64,
+    /// 99th-percentile job sojourn latency.
+    pub p99_latency: f64,
+    /// Completed jobs per second of makespan.
+    pub throughput: f64,
+    /// Multi-RHS rounds started (0 for the unbatched engine).
+    pub batch_rounds: usize,
+    /// Mean member count of the coalesced batches (0 when unbatched).
+    pub mean_batch: f64,
+}
+
 /// The full baseline record.
 #[derive(Debug, Clone)]
 pub struct Baseline {
@@ -116,6 +133,10 @@ pub struct Baseline {
     pub e2e_jobs: usize,
     /// Execution-backend rows from the e2e recurring-matrix trace.
     pub e2e: Vec<E2eBaseline>,
+    /// Jobs in the batching scenario.
+    pub batch_jobs: usize,
+    /// Batching-policy rows from the high-λ small-job stream.
+    pub batch: Vec<BatchBaseline>,
 }
 
 /// Runs the baseline job: a 1200×60 iterated coded matvec on 12 workers,
@@ -263,6 +284,31 @@ pub fn run() -> Baseline {
     })
     .collect();
 
+    // The batch rows reuse the canonical batching scenario, so the
+    // committed reference also guards the amortization win: batched
+    // rounds must keep beating the unbatched engine on throughput and
+    // p99 at high arrival rate.
+    let batch_jobs = 120usize;
+    let batch = batch_exp::policies()
+        .into_iter()
+        .map(|(label, policy)| {
+            let r = batch_exp::run_policy(policy, batch_jobs);
+            assert_eq!(
+                r.completed(),
+                batch_jobs,
+                "{label} batch baseline must complete every job"
+            );
+            BatchBaseline {
+                name: label.to_string(),
+                p50_latency: r.latency_percentile(50.0),
+                p99_latency: r.latency_percentile(99.0),
+                throughput: r.throughput(),
+                batch_rounds: r.batch_rounds,
+                mean_batch: r.mean_batch_size(),
+            }
+        })
+        .collect();
+
     Baseline {
         workers,
         stragglers,
@@ -276,6 +322,8 @@ pub fn run() -> Baseline {
         serve_tenants,
         e2e_jobs,
         e2e,
+        batch_jobs,
+        batch,
     }
 }
 
@@ -349,6 +397,21 @@ impl Baseline {
                 if i + 1 < self.e2e.len() { "," } else { "" }
             ));
         }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"batch_jobs\": {},\n", self.batch_jobs));
+        s.push_str("  \"batch\": [\n");
+        for (i, row) in self.batch.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"p50_latency\": {:.6}, \"p99_latency\": {:.6}, \"throughput\": {:.6}, \"batch_rounds\": {}, \"mean_batch\": {:.6}}}{}\n",
+                row.name,
+                row.p50_latency,
+                row.p99_latency,
+                row.throughput,
+                row.batch_rounds,
+                row.mean_batch,
+                if i + 1 < self.batch.len() { "," } else { "" }
+            ));
+        }
         s.push_str("  ]\n}\n");
         s
     }
@@ -399,7 +462,10 @@ mod tests {
     }
 
     #[test]
-    fn serve_summary_shows_the_tail_win() {
+    fn serve_summary_shows_the_tail_and_batch_wins() {
+        // One baseline run guards both service-level headlines (the
+        // batching scenario's own correctness/superiority tests live in
+        // experiments::batch; this only pins the recorded rows).
         let b = run();
         let get = |name: &str| {
             b.serve
@@ -414,6 +480,18 @@ mod tests {
             get("mds").p99_latency
         );
         assert!(get("s2c2").throughput > 0.0);
+        assert_eq!(b.batch.len(), 3);
+        let batch = |name: &str| b.batch.iter().find(|r| r.name == name).expect("batch row");
+        let off = batch("unbatched");
+        assert_eq!(off.batch_rounds, 0);
+        for name in ["batch-size", "batch-window"] {
+            let row = batch(name);
+            assert!(
+                row.throughput > off.throughput && row.p99_latency < off.p99_latency,
+                "{name} must beat unbatched on throughput and p99"
+            );
+            assert!(row.batch_rounds > 0 && row.mean_batch > 1.0);
+        }
     }
 
     #[test]
@@ -421,17 +499,20 @@ mod tests {
         let b = run();
         let j = b.to_json();
         assert!(j.starts_with('{') && j.ends_with("}\n"));
-        assert_eq!(j.matches("\"name\"").count(), 9);
-        // 3 schemes + 3 serve rows + 3 e2e rows + one per tenant.
+        assert_eq!(j.matches("\"name\"").count(), 12);
+        // 3 schemes + 3 serve rows + 3 e2e rows + 3 batch rows + one
+        // per tenant.
         assert_eq!(
             j.matches("\"p99_latency\"").count(),
-            9 + b.serve_tenants.len()
+            12 + b.serve_tenants.len()
         );
         assert!(j.contains("\"serve\""));
         assert!(j.contains("\"serve_tenants\""));
         assert!(j.contains("\"utilization\""));
         assert!(j.contains("\"e2e\""));
         assert!(j.contains("\"cache_hits\""));
+        assert!(j.contains("\"batch\""));
+        assert!(j.contains("\"mean_batch\""));
     }
 
     #[test]

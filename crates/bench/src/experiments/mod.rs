@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod baseline;
+pub mod batch;
 pub mod common;
 pub mod e2e;
 pub mod fig01_motivation;
@@ -163,6 +164,13 @@ pub fn registry() -> Vec<ExperimentDef> {
             summary: "execution backends: sim vs verified vs real threads + encode cache",
             in_all: true,
             run: |s, emit| emit(&e2e::run(s), "e2e_backends.csv"),
+        },
+        ExperimentDef {
+            name: "batch",
+            aliases: &[],
+            summary: "batched encode/dispatch rounds for small jobs at high arrival rate",
+            in_all: true,
+            run: |s, emit| emit(&batch::run(s), "batch_rounds.csv"),
         },
         ExperimentDef {
             name: "qos",

@@ -382,6 +382,50 @@ impl EncodedMatrix {
             .collect()
     }
 
+    /// Multi-RHS variant of [`Self::worker_compute_chunk`]: computes the
+    /// chunk's rows against *several* input vectors in one pass over the
+    /// stored partition — the stacked matvec a batch round dispatches,
+    /// where `m` small jobs sharing this encoding ride one task. Each
+    /// partition row is loaded once and dotted against every input, so
+    /// the per-row fixed costs (row traversal, dispatch) are paid once
+    /// instead of `m` times.
+    ///
+    /// Returns one [`WorkerChunkResult`] per input vector, in input
+    /// order. For a single input this is bit-identical to
+    /// [`Self::worker_compute_chunk`] (same dot-product evaluation
+    /// order), which is what keeps batched and unbatched decode outputs
+    /// comparable at machine precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices, an empty `xs`, or mismatched
+    /// input lengths.
+    #[must_use]
+    pub fn worker_compute_chunk_multi(
+        &self,
+        worker: usize,
+        chunk: usize,
+        xs: &[&Vector],
+    ) -> Vec<WorkerChunkResult> {
+        assert!(!xs.is_empty(), "stacked matvec needs at least one input");
+        let range = self.layout.chunk_range_in_partition(chunk);
+        let part = &self.partitions[worker];
+        let mut values: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|_| Vec::with_capacity(range.end - range.start))
+            .collect();
+        for r in range {
+            let row = part.row(r);
+            for (vals, x) in values.iter_mut().zip(xs.iter()) {
+                vals.push(s2c2_linalg::vector::dot_slices(row, x.as_slice()));
+            }
+        }
+        values
+            .into_iter()
+            .map(|v| WorkerChunkResult::new(worker, chunk, v))
+            .collect()
+    }
+
     /// Thread-parallel variant of [`Self::worker_compute_chunk`]: the
     /// chunk's rows are split across `threads` OS threads via
     /// [`s2c2_linalg::parallel::par_matvec_rows`], so one simulated
@@ -477,6 +521,40 @@ mod tests {
                 assert_slices_close(&p.values, &s.values, 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn multi_rhs_compute_matches_single_bitwise() {
+        let a = data_matrix(96, 9);
+        let code = MdsCode::new(MdsParams::new(6, 4)).unwrap();
+        let enc = code.encode(&a, 3).unwrap();
+        let xs: Vec<Vector> = (0..3)
+            .map(|j| Vector::from_fn(9, |i| (i as f64 * 0.3 + j as f64).sin()))
+            .collect();
+        let refs: Vec<&Vector> = xs.iter().collect();
+        for worker in 0..6 {
+            for chunk in 0..3 {
+                let stacked = enc.worker_compute_chunk_multi(worker, chunk, &refs);
+                assert_eq!(stacked.len(), 3);
+                for (j, x) in xs.iter().enumerate() {
+                    let single = enc.worker_compute_chunk(worker, chunk, x);
+                    assert_eq!(stacked[j].worker, single.worker);
+                    assert_eq!(stacked[j].chunk, single.chunk);
+                    // Bit-identical, not merely close: the stacked kernel
+                    // reuses the single path's dot-product order.
+                    assert_eq!(stacked[j].values, single.values);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn multi_rhs_rejects_empty_inputs() {
+        let a = data_matrix(24, 3);
+        let code = MdsCode::new(MdsParams::new(3, 2)).unwrap();
+        let enc = code.encode(&a, 2).unwrap();
+        let _ = enc.worker_compute_chunk_multi(0, 0, &[]);
     }
 
     #[test]

@@ -113,7 +113,11 @@ fn apportion_capped(weights: &[f64], total: usize, cap: usize) -> Vec<usize> {
             .min_by(|&a, &b| {
                 let fa = (counts[a] + 1) as f64 / weights[a];
                 let fb = (counts[b] + 1) as f64 / weights[b];
-                fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
+                // total_cmp, not partial_cmp().unwrap(): a NaN weight
+                // reaching this comparator (e.g. an unvalidated job
+                // weight upstream) must mis-sort at worst, never panic
+                // the allocator mid-run.
+                fa.total_cmp(&fb).then(a.cmp(&b))
             })
             .expect("total <= n*cap guarantees a slot");
         counts[pick] += 1;
@@ -122,7 +126,7 @@ fn apportion_capped(weights: &[f64], total: usize, cap: usize) -> Vec<usize> {
 
     // Stage 2: cap-and-spill, fastest first.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap().then(a.cmp(&b)));
+    order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then(a.cmp(&b)));
     let mut excess = 0usize;
     for &i in &order {
         if counts[i] > cap {
@@ -181,8 +185,7 @@ pub fn allocate_chunks(
     let mut order: Vec<usize> = (0..alive.len()).collect();
     order.sort_by(|&a, &b| {
         alive_weights[b]
-            .partial_cmp(&alive_weights[a])
-            .unwrap()
+            .total_cmp(&alive_weights[a])
             .then(a.cmp(&b))
     });
 
@@ -290,7 +293,7 @@ pub fn allocate_chunks_with_fixed_cost(
         .enumerate()
         .map(|(i, r)| (r - r.floor(), i))
         .collect();
-    rema.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    rema.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let mut ri = 0;
     while assigned < k * c {
         let i = rema[ri % rema.len()].1;
@@ -305,8 +308,7 @@ pub fn allocate_chunks_with_fixed_cost(
     let mut order: Vec<usize> = (0..alive.len()).collect();
     order.sort_by(|&a, &b| {
         speeds[alive[b]]
-            .partial_cmp(&speeds[alive[a]])
-            .unwrap()
+            .total_cmp(&speeds[alive[a]])
             .then(a.cmp(&b))
     });
     let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); n];

@@ -79,6 +79,103 @@ impl TokenBucket {
     }
 }
 
+/// How the engine coalesces queued small jobs into shared batch rounds.
+///
+/// S²C²'s advantage comes from amortizing coding work across the
+/// computation it protects; at high arrival rates a stream of small
+/// jobs gives that advantage back, because every job pays its own
+/// encode lookup, dispatch round-trip, decode, and residency slot. A
+/// batch groups queued jobs that share a [`batch key`](batch_key) —
+/// same model matrix *and* code geometry — into one round: a single
+/// cache-backed encode, one stacked multi-RHS dispatch per worker, one
+/// decode LU factorization per chunk, and one residency slot for the
+/// whole group. Per-job identity survives: QoS (weights, deadlines,
+/// boosts, rate limits) and all reporting see the member jobs, never
+/// the batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchPolicy {
+    /// No batching (default): every job runs its own rounds. The engine
+    /// is byte-identical to the pre-batching behavior.
+    Off,
+    /// Opportunistic coalescing: when a residency slot frees, the
+    /// admission policy's pick is admitted together with every queued
+    /// job sharing its batch key, up to `max_batch` members per round.
+    /// Never delays the pick, so policy ordering (FIFO/EDF/weighted
+    /// fair-share) is preserved exactly — mates merely ride along.
+    SizeThreshold {
+        /// Size threshold: a round is capped at this many member jobs
+        /// (≥ 2; the threshold flushes immediately when reached).
+        max_batch: usize,
+    },
+    /// Like [`BatchPolicy::SizeThreshold`], but a batchable pick whose
+    /// group is still below `max_batch` is additionally held for up to
+    /// `window` seconds after the group's earliest arrival, so mates
+    /// can accumulate even while slots are free. Reaching `max_batch`
+    /// flushes early; the window expiring flushes whatever gathered.
+    /// While one key's group is held, other queued jobs (different key
+    /// or none) are admitted normally — the window delays only its own
+    /// group, so no other job is ever starved by it.
+    TimeWindow {
+        /// Seconds a batchable pick may be held past the group's
+        /// earliest arrival (finite, > 0).
+        window: f64,
+        /// Size cap that flushes the group early (≥ 2).
+        max_batch: usize,
+    },
+}
+
+impl BatchPolicy {
+    /// Whether this policy ever groups jobs.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        !matches!(self, BatchPolicy::Off)
+    }
+
+    /// The member cap of one batch round (1 when batching is off).
+    #[must_use]
+    pub fn max_batch(&self) -> usize {
+        match *self {
+            BatchPolicy::Off => 1,
+            BatchPolicy::SizeThreshold { max_batch }
+            | BatchPolicy::TimeWindow { max_batch, .. } => max_batch,
+        }
+    }
+}
+
+impl std::fmt::Display for BatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchPolicy::Off => f.write_str("off"),
+            BatchPolicy::SizeThreshold { max_batch } => write!(f, "size({max_batch})"),
+            BatchPolicy::TimeWindow { window, max_batch } => {
+                write!(f, "window({window}s,{max_batch})")
+            }
+        }
+    }
+}
+
+/// The identity that makes two jobs batchable onto one round (the
+/// return of [`batch_key`]): `(matrix_id, rows, cols, k,
+/// chunks_per_partition, iterations)`.
+pub type BatchKey = (u64, usize, usize, usize, usize, usize);
+
+/// What makes two queued jobs batchable onto one round: the same model
+/// matrix (identity *and* shape — one encode serves both) and the same
+/// code geometry and iteration count (so their rounds stay in lockstep
+/// from admission to completion). Weights, deadlines, and tenants may
+/// differ — those stay per-member.
+#[must_use]
+pub fn batch_key(spec: &JobSpec) -> BatchKey {
+    (
+        spec.matrix_id,
+        spec.rows,
+        spec.cols,
+        spec.k,
+        spec.chunks_per_partition,
+        spec.iterations,
+    )
+}
+
 /// What the policy knows about one currently-resident job.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResidentInfo {
@@ -174,6 +271,35 @@ impl QueuePolicy {
             }
         };
         idx
+    }
+
+    /// Returns `head` plus up to `max_batch − 1` queued mates sharing its
+    /// [`batch_key`], in this policy's admission order (the head stays
+    /// first). The engine's batch-aware admission calls this after
+    /// [`Self::pick`]: the policy's pick is never displaced by
+    /// gathering — mates ride along behind it, themselves ordered the
+    /// way the policy would have admitted them (so a flushed batch under
+    /// earliest-deadline lists members by ascending deadline).
+    pub(crate) fn gather_batch(
+        &self,
+        queue: &[QueuedJob],
+        residents: &[ResidentInfo],
+        head: usize,
+        max_batch: usize,
+    ) -> Vec<usize> {
+        let key = batch_key(&queue[head].spec);
+        let mut group = vec![head];
+        let mut mates: Vec<usize> = (0..queue.len())
+            .filter(|&i| i != head && batch_key(&queue[i].spec) == key)
+            .collect();
+        while group.len() < max_batch && !mates.is_empty() {
+            let cand: Vec<QueuedJob> = mates.iter().map(|&i| queue[i].clone()).collect();
+            let ci = self
+                .pick(&cand, residents)
+                .expect("non-empty mate set always picks");
+            group.push(mates.remove(ci));
+        }
+        group
     }
 }
 
@@ -344,6 +470,60 @@ mod tests {
         // An earlier timestamp must not mint tokens or move time back.
         assert!(!b.try_admit(4.0));
         assert!(b.try_admit(6.0));
+    }
+
+    #[test]
+    fn batch_key_separates_geometry_and_identity() {
+        let a = JobPreset::small().instantiate(0, 0, 8);
+        let b = JobPreset::small().instantiate(1, 2, 8).with_weight(3.0);
+        // Same preset: same matrix and geometry — batchable, even across
+        // tenants and weights.
+        assert_eq!(batch_key(&a), batch_key(&b));
+        // Different model identity or shape: not batchable.
+        let c = JobPreset::small().with_matrix_id(99).instantiate(2, 0, 8);
+        let d = JobPreset::medium().instantiate(3, 0, 8);
+        assert_ne!(batch_key(&a), batch_key(&c));
+        assert_ne!(batch_key(&a), batch_key(&d));
+    }
+
+    #[test]
+    fn gather_batch_keeps_head_first_and_policy_orders_mates() {
+        // Four batchable small jobs with deadlines + one medium outsider.
+        let q = vec![
+            queued(0, 0, 0.0, JobPreset::small().with_deadline(9.0)),
+            queued(1, 0, 0.1, JobPreset::small().with_deadline(2.0)),
+            queued(2, 0, 0.2, JobPreset::medium().with_deadline(20.0)),
+            queued(3, 0, 0.3, JobPreset::small().with_deadline(5.0)),
+            queued(4, 0, 0.4, JobPreset::small().with_deadline(3.0)),
+        ];
+        let policy = QueuePolicy::EarliestDeadline;
+        // EDF head is job 1 (abs deadline 2.1).
+        let head = policy.pick(&q, &[]).unwrap();
+        assert_eq!(head, 1);
+        // Mates gathered in EDF order behind the head; the medium job
+        // (different batch key) never joins.
+        let group = policy.gather_batch(&q, &[], head, 4);
+        assert_eq!(group, vec![1, 4, 3, 0]);
+        // The size cap truncates the tail, never the head.
+        assert_eq!(policy.gather_batch(&q, &[], head, 2), vec![1, 4]);
+        assert_eq!(policy.gather_batch(&q, &[], head, 1), vec![1]);
+    }
+
+    #[test]
+    fn batch_policy_helpers() {
+        assert!(!BatchPolicy::Off.enabled());
+        assert_eq!(BatchPolicy::Off.max_batch(), 1);
+        let size = BatchPolicy::SizeThreshold { max_batch: 4 };
+        assert!(size.enabled());
+        assert_eq!(size.max_batch(), 4);
+        assert_eq!(size.to_string(), "size(4)");
+        let window = BatchPolicy::TimeWindow {
+            window: 0.5,
+            max_batch: 3,
+        };
+        assert_eq!(window.max_batch(), 3);
+        assert_eq!(window.to_string(), "window(0.5s,3)");
+        assert_eq!(BatchPolicy::Off.to_string(), "off");
     }
 
     #[test]

@@ -80,14 +80,23 @@ impl std::fmt::Display for BackendKind {
 
 /// The seam between the event loop and execution. Hook errors are
 /// surfaced as [`super::ServeError::Backend`].
+///
+/// Iteration-level hooks receive the *member specs* of the residency's
+/// batch (a solo job passes a one-element slice, `specs[0]` is always
+/// the leader whose id keys the engine's events): a batch round
+/// dispatches one stacked multi-RHS task per worker, and its results
+/// are de-interleaved, decoded, and verified per member.
 pub(crate) trait ExecutionBackend {
     /// A job was admitted: materialize/encode its model (via the cache)
-    /// under the engine's effective code geometry.
+    /// under the engine's effective code geometry. Called once per
+    /// batch member; members after the first hit the encode cache by
+    /// construction.
     fn on_admit(&mut self, spec: &JobSpec, k_eff: usize, c_eff: usize) -> Result<(), String>;
-    /// An iteration was scheduled: dispatch its per-worker chunk tasks.
+    /// An iteration was scheduled: dispatch its per-worker chunk tasks,
+    /// stacked across every member's input vector.
     fn on_iteration_start(
         &mut self,
-        spec: &JobSpec,
+        specs: &[JobSpec],
         iter: &RunningIteration,
         iteration_index: usize,
     ) -> Result<(), String>;
@@ -104,10 +113,11 @@ pub(crate) trait ExecutionBackend {
     /// straggler, churned worker, or superfluous work at completion).
     fn on_cancel(&mut self, job: JobId, generation: u64, worker: usize, redo: bool);
     /// The timing model completed an iteration: collect/compute the
-    /// credited workers' responses, decode, verify.
+    /// credited workers' responses, de-interleave them per member,
+    /// decode, verify — each member individually.
     fn on_iteration_complete(
         &mut self,
-        spec: &JobSpec,
+        specs: &[JobSpec],
         iter: &RunningIteration,
         iteration_index: usize,
         is_final: bool,
@@ -178,7 +188,7 @@ impl ExecutionBackend for SimBackend {
     }
     fn on_iteration_start(
         &mut self,
-        _: &JobSpec,
+        _: &[JobSpec],
         _: &RunningIteration,
         _: usize,
     ) -> Result<(), String> {
@@ -190,7 +200,7 @@ impl ExecutionBackend for SimBackend {
     fn on_cancel(&mut self, _: JobId, _: u64, _: usize, _: bool) {}
     fn on_iteration_complete(
         &mut self,
-        _: &JobSpec,
+        _: &[JobSpec],
         _: &RunningIteration,
         _: usize,
         _: bool,
@@ -222,8 +232,9 @@ struct NumericCore {
     jobs: BTreeMap<JobId, NumericJob>,
     /// Reference matrices by identity — resident jobs sharing a
     /// `matrix_id` alias one allocation instead of each materializing
-    /// its own copy.
-    models: HashMap<(u64, usize, usize), Arc<Matrix>>,
+    /// its own copy. A `BTreeMap` on principle: nothing report-visible
+    /// may sit behind hashed iteration order.
+    models: BTreeMap<(u64, usize, usize), Arc<Matrix>>,
     verified: usize,
     max_error: f64,
     outputs: Vec<(JobId, Vec<f64>)>,
@@ -281,6 +292,31 @@ impl NumericCore {
         job.y_ref = job.a.matvec(&x);
         job.x = x;
         Ok(())
+    }
+
+    /// The shared encoding and per-member input vectors of one batch
+    /// round. Members share the encoding by batch-key construction
+    /// (same matrix identity, shape, and code geometry), so the
+    /// leader's cached entry serves the whole group.
+    fn batch_inputs(
+        &self,
+        specs: &[JobSpec],
+    ) -> Result<(Arc<CachedEncoding>, Vec<Arc<Vector>>), String> {
+        let leader = self
+            .jobs
+            .get(&specs[0].id)
+            .ok_or_else(|| format!("job {} iterated before admission", specs[0].id))?;
+        let enc = Arc::clone(&leader.enc);
+        let xs = specs
+            .iter()
+            .map(|s| {
+                self.jobs
+                    .get(&s.id)
+                    .map(|j| Arc::clone(&j.x))
+                    .ok_or_else(|| format!("job {} iterated before admission", s.id))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((enc, xs))
     }
 
     /// Decodes `responses`, verifies against the reference, and records
@@ -369,11 +405,14 @@ impl ExecutionBackend for SimVerifiedBackend {
     }
     fn on_iteration_start(
         &mut self,
-        spec: &JobSpec,
+        specs: &[JobSpec],
         _iter: &RunningIteration,
         iteration_index: usize,
     ) -> Result<(), String> {
-        self.core.begin_iteration(spec, iteration_index)
+        for spec in specs {
+            self.core.begin_iteration(spec, iteration_index)?;
+        }
+        Ok(())
     }
     fn on_redo(&mut self, _: JobId, _: u64, _: usize, _: &[usize]) -> Result<(), String> {
         Ok(())
@@ -381,21 +420,29 @@ impl ExecutionBackend for SimVerifiedBackend {
     fn on_cancel(&mut self, _: JobId, _: u64, _: usize, _: bool) {}
     fn on_iteration_complete(
         &mut self,
-        spec: &JobSpec,
+        specs: &[JobSpec],
         iter: &RunningIteration,
         _iteration_index: usize,
         is_final: bool,
     ) -> Result<(), String> {
-        let job = self
-            .core
-            .jobs
-            .get(&spec.id)
-            .ok_or_else(|| format!("job {} completed before admission", spec.id))?;
-        let mut responses = Vec::new();
+        // One stacked pass per credited (worker, chunk) — the same
+        // kernel the threaded workers run — then de-interleave into
+        // per-member response sets and decode each member on its own.
+        let (enc, xs) = self.core.batch_inputs(specs)?;
+        let x_refs: Vec<&Vector> = xs.iter().map(Arc::as_ref).collect();
+        let mut responses: Vec<Vec<WorkerChunkResult>> = vec![Vec::new(); specs.len()];
         for (w, chunks, _redo) in credited_coverage(iter) {
-            responses.extend(job.enc.encoded.worker_compute_chunks(w, &chunks, &job.x));
+            for &chunk in &chunks {
+                let stacked = enc.encoded.worker_compute_chunk_multi(w, chunk, &x_refs);
+                for (member, result) in responses.iter_mut().zip(stacked) {
+                    member.push(result);
+                }
+            }
         }
-        self.core.verify(spec, &responses, is_final)
+        for (spec, member_responses) in specs.iter().zip(&responses) {
+            self.core.verify(spec, member_responses, is_final)?;
+        }
+        Ok(())
     }
     fn on_iteration_abandoned(&mut self, _: JobId, _: u64) {}
     fn on_job_resolved(&mut self, job: JobId) {
@@ -408,11 +455,12 @@ impl ExecutionBackend for SimVerifiedBackend {
 
 // ---- Threaded -----------------------------------------------------------
 
-/// A chunk task addressed to one OS-thread worker.
+/// A chunk task addressed to one OS-thread worker: the shared encoding,
+/// the chunk set, and the stacked member inputs (one for a solo job).
 struct WorkerTask {
     enc: Arc<CachedEncoding>,
     chunks: Vec<usize>,
-    x: Arc<Vector>,
+    xs: Vec<Arc<Vector>>,
 }
 
 /// Bookkeeping for one dispatched task.
@@ -420,16 +468,20 @@ struct TaskInfo {
     id: u64,
     worker: usize,
     redo: bool,
-    /// Chunks dispatched — a credited task's reply must carry exactly
-    /// this many results (fewer means the worker aborted mid-task).
-    chunks: usize,
+    /// Results dispatched (`chunks × members`) — a credited task's
+    /// reply must carry exactly this many (fewer means the worker
+    /// aborted mid-task).
+    expected: usize,
     cancelled: bool,
 }
 
-/// Per-job dispatch state for the current generation.
+/// Per-residency dispatch state for the current generation, keyed by
+/// the batch leader's job id.
 struct ThreadedJobTasks {
     generation: u64,
     tasks: Vec<TaskInfo>,
+    /// The round's stacked member inputs, kept for redo dispatches.
+    xs: Vec<Arc<Vector>>,
 }
 
 /// Real-threads backend: one OS thread per pool worker, crossbeam
@@ -450,7 +502,8 @@ impl ThreadedBackend {
     fn spawn(n: usize) -> Self {
         let cluster = ThreadedCluster::spawn_cancellable(n, |worker| {
             move |task: WorkerTask, token: &CancelToken| {
-                let mut results = Vec::with_capacity(task.chunks.len());
+                let xs: Vec<&Vector> = task.xs.iter().map(Arc::as_ref).collect();
+                let mut results = Vec::with_capacity(task.chunks.len() * xs.len());
                 for &chunk in &task.chunks {
                     // The cooperative-cancel point sits between chunks:
                     // a cancelled worker abandons the rest and replies
@@ -459,10 +512,12 @@ impl ThreadedBackend {
                     if token.is_cancelled() {
                         break;
                     }
-                    results.push(
+                    // One stacked pass over the chunk's rows for every
+                    // member input (chunk-major, member-minor order).
+                    results.extend(
                         task.enc
                             .encoded
-                            .worker_compute_chunk(worker, chunk, &task.x),
+                            .worker_compute_chunk_multi(worker, chunk, &xs),
                     );
                 }
                 results
@@ -482,7 +537,13 @@ impl ThreadedBackend {
         self.cluster.as_mut().expect("cluster alive until finish")
     }
 
-    fn dispatch(&mut self, job: JobId, worker: usize, chunks: Vec<usize>) -> Result<u64, String> {
+    fn dispatch(
+        &mut self,
+        job: JobId,
+        worker: usize,
+        chunks: Vec<usize>,
+        xs: Vec<Arc<Vector>>,
+    ) -> Result<u64, String> {
         let state = self
             .core
             .jobs
@@ -491,7 +552,7 @@ impl ThreadedBackend {
         let task = WorkerTask {
             enc: Arc::clone(&state.enc),
             chunks,
-            x: Arc::clone(&state.x),
+            xs,
         };
         Ok(self.cluster().submit(worker, task))
     }
@@ -504,30 +565,35 @@ impl ExecutionBackend for ThreadedBackend {
 
     fn on_iteration_start(
         &mut self,
-        spec: &JobSpec,
+        specs: &[JobSpec],
         iter: &RunningIteration,
         iteration_index: usize,
     ) -> Result<(), String> {
-        self.core.begin_iteration(spec, iteration_index)?;
+        for spec in specs {
+            self.core.begin_iteration(spec, iteration_index)?;
+        }
+        let (_, xs) = self.core.batch_inputs(specs)?;
+        let leader = specs[0].id;
         let mut tasks = Vec::new();
         for (w, chunks) in iter.assignment.chunks.iter().enumerate() {
             if chunks.is_empty() {
                 continue;
             }
-            let id = self.dispatch(spec.id, w, chunks.clone())?;
+            let id = self.dispatch(leader, w, chunks.clone(), xs.clone())?;
             tasks.push(TaskInfo {
                 id,
                 worker: w,
                 redo: false,
-                chunks: chunks.len(),
+                expected: chunks.len() * specs.len(),
                 cancelled: false,
             });
         }
         let prev = self.inflight.insert(
-            spec.id,
+            leader,
             ThreadedJobTasks {
                 generation: iter.generation,
                 tasks,
+                xs,
             },
         );
         debug_assert!(
@@ -550,7 +616,9 @@ impl ExecutionBackend for ThreadedBackend {
         if state.generation != generation {
             return Err(format!("job {job} redo against a stale generation"));
         }
-        let id = self.dispatch(job, worker, chunks.to_vec())?;
+        let xs = state.xs.clone();
+        let members = xs.len();
+        let id = self.dispatch(job, worker, chunks.to_vec(), xs)?;
         self.inflight
             .get_mut(&job)
             .expect("checked above")
@@ -559,7 +627,7 @@ impl ExecutionBackend for ThreadedBackend {
                 id,
                 worker,
                 redo: true,
-                chunks: chunks.len(),
+                expected: chunks.len() * members,
                 cancelled: false,
             });
         Ok(())
@@ -586,19 +654,17 @@ impl ExecutionBackend for ThreadedBackend {
 
     fn on_iteration_complete(
         &mut self,
-        spec: &JobSpec,
+        specs: &[JobSpec],
         iter: &RunningIteration,
         _iteration_index: usize,
         is_final: bool,
     ) -> Result<(), String> {
-        let Some(state) = self.inflight.remove(&spec.id) else {
-            return Err(format!(
-                "job {} completed without dispatched tasks",
-                spec.id
-            ));
+        let leader = specs[0].id;
+        let Some(state) = self.inflight.remove(&leader) else {
+            return Err(format!("job {leader} completed without dispatched tasks"));
         };
         if state.generation != iter.generation {
-            return Err(format!("job {} completed a stale generation", spec.id));
+            return Err(format!("job {leader} completed a stale generation"));
         }
         // Which physical tasks the timing model credits: originals of
         // done workers, every *live* redo task of workers whose merged
@@ -639,8 +705,7 @@ impl ExecutionBackend for ThreadedBackend {
             }
             let Some(reply) = self.cluster().recv_timeout(COLLECT_TIMEOUT) else {
                 return Err(format!(
-                    "job {}: threaded worker did not reply within {COLLECT_TIMEOUT:?}",
-                    spec.id
+                    "job {leader}: threaded worker did not reply within {COLLECT_TIMEOUT:?}"
                 ));
             };
             // Replies are absorbed raw, whichever job they belong to;
@@ -651,11 +716,13 @@ impl ExecutionBackend for ThreadedBackend {
             }
             self.arrived.insert(reply.task_id, reply.result);
         }
-        // Assemble the credited response set in deterministic
-        // (submission) order and decode. A credited task must have run
-        // to completion: a short reply means the worker aborted work
-        // the timing model counted on (timing/execution divergence).
-        let mut responses = Vec::new();
+        // Assemble the credited response sets in deterministic
+        // (submission) order, de-interleaved per member, and decode
+        // each member individually. A credited task must have run to
+        // completion: a short reply means the worker aborted work the
+        // timing model counted on (timing/execution divergence).
+        let members = specs.len();
+        let mut responses: Vec<Vec<WorkerChunkResult>> = vec![Vec::new(); members];
         for t in &state.tasks {
             let output = self
                 .arrived
@@ -665,19 +732,25 @@ impl ExecutionBackend for ThreadedBackend {
             if !is_needed {
                 continue;
             }
-            if output.len() != t.chunks {
+            if output.len() != t.expected {
                 return Err(format!(
-                    "job {}: worker {} replied {} of {} credited chunks \
+                    "job {leader}: worker {} replied {} of {} credited chunk results \
                      (timing/execution divergence)",
-                    spec.id,
                     t.worker,
                     output.len(),
-                    t.chunks
+                    t.expected
                 ));
             }
-            responses.extend(output);
+            // Workers reply chunk-major, member-minor: result i belongs
+            // to member i % members.
+            for (i, result) in output.into_iter().enumerate() {
+                responses[i % members].push(result);
+            }
         }
-        self.core.verify(spec, &responses, is_final)
+        for (spec, member_responses) in specs.iter().zip(&responses) {
+            self.core.verify(spec, member_responses, is_final)?;
+        }
+        Ok(())
     }
 
     fn on_iteration_abandoned(&mut self, job: JobId, generation: u64) {

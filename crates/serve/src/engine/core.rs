@@ -11,7 +11,7 @@
 //! [`super::recovery`]; share rescaling lives in [`super::rebalance`].
 
 use super::{ServeError, ServiceEngine};
-use crate::admission::{QueuedJob, ResidentInfo};
+use crate::admission::{batch_key, BatchKey, BatchPolicy, QueuedJob, ResidentInfo};
 use crate::event::{EventKind, JobId};
 use crate::metrics::JobRecord;
 use crate::shared_alloc::{allocate_for_resident, full_over_available};
@@ -37,13 +37,18 @@ pub(crate) fn refund_busy(
     *charged -= refund;
 }
 
-/// One in-flight iteration of a resident job.
+/// One in-flight iteration of a resident job (or batch of jobs).
 #[derive(Debug)]
 pub(crate) struct RunningIteration {
     pub(crate) generation: u64,
     pub(crate) share: f64,
     pub(crate) k_eff: usize,
     pub(crate) rows_per_chunk: usize,
+    /// Stacked right-hand sides this round carries: 1 for a solo job,
+    /// the member count for a batch round. Every compute charge,
+    /// transfer size, and decode cost scales by it (the shared LU
+    /// factorization does not — that is the decode amortization).
+    pub(crate) rhs: usize,
     pub(crate) assignment: ChunkAssignment,
     /// Scheduled finish time per worker (`INFINITY` = no task).
     pub(crate) finish: Vec<f64>,
@@ -118,22 +123,48 @@ impl RunningIteration {
     }
 }
 
-/// A job currently holding a residency slot.
+/// One job riding a resident batch. A solo job is a batch of one —
+/// per-member QoS state (weight, SLO, boost flag) is tracked here so
+/// batching never collapses member identities into the batch.
 #[derive(Debug)]
-pub(crate) struct ResidentJob {
+pub(crate) struct BatchMember {
     pub(crate) spec: JobSpec,
     pub(crate) arrival: f64,
+    /// Absolute SLO instant (`arrival + relative deadline`), if any.
+    pub(crate) deadline_abs: Option<f64>,
+    /// Whether deadline-aware share boosting has fired for this member
+    /// (sticky for the rest of its residency).
+    pub(crate) boosted: bool,
+}
+
+/// A job (or coalesced batch of jobs) currently holding a residency
+/// slot.
+#[derive(Debug)]
+pub(crate) struct ResidentJob {
+    /// Member jobs sharing this slot and its rounds; `members[0]` is
+    /// the leader whose id keys the resident map and every scheduled
+    /// event. All members share one [`batch_key`] (model identity,
+    /// shape, code geometry, iteration count), so their rounds run in
+    /// lockstep from admission to completion.
+    pub(crate) members: Vec<BatchMember>,
     pub(crate) admitted: f64,
     pub(crate) iterations_done: usize,
     pub(crate) iter: Option<RunningIteration>,
     pub(crate) iter_retries: usize,
     pub(crate) total_retries: usize,
     pub(crate) waiting_for_capacity: bool,
-    /// Absolute SLO instant (`arrival + relative deadline`), if any.
-    pub(crate) deadline_abs: Option<f64>,
-    /// Whether deadline-aware share boosting has fired for this job
-    /// (sticky for the rest of its residency).
-    pub(crate) boosted: bool,
+}
+
+impl ResidentJob {
+    /// The leader's spec: the shared geometry every member agrees on.
+    pub(crate) fn leader(&self) -> &JobSpec {
+        &self.members[0].spec
+    }
+
+    /// Stacked right-hand sides a round of this residency carries.
+    pub(crate) fn rhs(&self) -> usize {
+        self.members.len()
+    }
 }
 
 impl ServiceEngine {
@@ -166,14 +197,35 @@ impl ServiceEngine {
     pub(crate) fn on_arrival(&mut self, spec: JobSpec) -> Result<(), ServeError> {
         self.arrivals_remaining -= 1;
         let n = self.n();
+        // QoS fields are rejected with a *typed* error, not a silent
+        // failure record: a NaN/zero/negative weight that slipped
+        // through would flow into the normalized-share arithmetic and
+        // the queue-ordering comparators, where the best case is a
+        // mis-sorted queue and the worst a panicking `unwrap` deep in
+        // the allocator. Same for non-positive or non-finite deadlines.
+        if !(spec.weight.is_finite() && spec.weight > 0.0) {
+            return Err(ServeError::InvalidJob {
+                job: spec.id,
+                reason: format!("weight must be finite and positive, got {}", spec.weight),
+            });
+        }
+        if let Some(d) = spec.deadline {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(ServeError::InvalidJob {
+                    job: spec.id,
+                    reason: format!("deadline must be finite and positive, got {d}"),
+                });
+            }
+        }
+        // Structural mismatches against *this* pool (k above the pool
+        // size, empty shapes) resolve as failed records instead: the
+        // spec may be serveable elsewhere, so the stream keeps flowing.
         let malformed = spec.k == 0
             || spec.k > n
             || spec.rows == 0
             || spec.cols == 0
             || spec.chunks_per_partition == 0
-            || spec.iterations == 0
-            || !(spec.weight.is_finite() && spec.weight > 0.0)
-            || spec.deadline.is_some_and(|d| !(d.is_finite() && d > 0.0));
+            || spec.iterations == 0;
         if malformed {
             let record = self.stillborn_record(&spec, self.now, false, false);
             self.report.jobs.push(record);
@@ -198,44 +250,141 @@ impl ServiceEngine {
     }
 
     pub(crate) fn try_admit(&mut self) -> Result<(), ServeError> {
-        while self.resident.len() < self.cfg.max_resident {
+        'slots: while self.resident.len() < self.cfg.max_resident {
+            // The policy sees *member* jobs, never batches: a weight-2
+            // member counts its full weight toward its tenant's resident
+            // mass whether it rides a batch or runs alone.
             let residents: Vec<ResidentInfo> = self
                 .resident
                 .values()
-                .map(|j| ResidentInfo {
-                    tenant: j.spec.tenant,
-                    weight: j.spec.weight,
+                .flat_map(|j| {
+                    j.members.iter().map(|m| ResidentInfo {
+                        tenant: m.spec.tenant,
+                        weight: m.spec.weight,
+                    })
                 })
                 .collect();
-            let Some(i) = self.cfg.policy.pick(&self.pending, &residents) else {
-                break;
+            // Batch keys held open by an unexpired time window this
+            // pass: invisible to re-picks, so a held group defers only
+            // itself and never starves unrelated admissions.
+            let mut held: Vec<BatchKey> = Vec::new();
+            let group: Vec<QueuedJob> = loop {
+                // Most passes hold nothing: pick straight off the
+                // pending queue without copying it. The filtered clone
+                // is built only while a time-window key is actually
+                // held, so the Off/size-threshold hot path stays
+                // allocation-free per pick.
+                let filtered: Option<(Vec<usize>, Vec<QueuedJob>)> = if held.is_empty() {
+                    None
+                } else {
+                    let visible: Vec<usize> = (0..self.pending.len())
+                        .filter(|&i| !held.contains(&batch_key(&self.pending[i].spec)))
+                        .collect();
+                    let cand = visible.iter().map(|&i| self.pending[i].clone()).collect();
+                    Some((visible, cand))
+                };
+                let queue: &[QueuedJob] = filtered
+                    .as_ref()
+                    .map_or(self.pending.as_slice(), |(_, cand)| cand.as_slice());
+                let to_pending = |i: usize| filtered.as_ref().map_or(i, |(visible, _)| visible[i]);
+                let Some(ci) = self.cfg.policy.pick(queue, &residents) else {
+                    break 'slots;
+                };
+                if !self.cfg.batch.enabled() {
+                    let at = to_pending(ci);
+                    break vec![self.pending.remove(at)];
+                }
+                // Batch-aware admission: the policy's pick stays the
+                // head; queued mates sharing its key ride along, in
+                // policy order, up to the size cap.
+                let group_c =
+                    self.cfg
+                        .policy
+                        .gather_batch(queue, &residents, ci, self.cfg.batch.max_batch());
+                if let BatchPolicy::TimeWindow { window, max_batch } = self.cfg.batch {
+                    if group_c.len() < max_batch {
+                        let earliest = group_c
+                            .iter()
+                            .map(|&i| queue[i].arrival)
+                            .fold(f64::INFINITY, f64::min);
+                        let flush_at = earliest + window;
+                        if self.now + 1e-12 < flush_at {
+                            // Window still open: hold this key, flush
+                            // later, and give the rest of the queue a
+                            // chance at the slot now. One flush event
+                            // per (key, instant) — every arrival during
+                            // the window re-plans the same group, and
+                            // duplicate events would burn the event
+                            // budget on no-ops.
+                            let key = batch_key(&queue[ci].spec);
+                            held.push(key);
+                            if !self
+                                .pending_flushes
+                                .iter()
+                                .any(|&(k, at)| k == key && at == flush_at)
+                            {
+                                self.pending_flushes.push((key, flush_at));
+                                self.queue.push(flush_at, EventKind::BatchFlush);
+                            }
+                            continue;
+                        }
+                    }
+                }
+                // Remove the group from the queue (descending index
+                // order keeps earlier indices valid) while preserving
+                // the policy-ordered member sequence.
+                let taken: Vec<QueuedJob> = group_c.iter().map(|&i| queue[i].clone()).collect();
+                let mut rm: Vec<usize> = group_c.iter().map(|&i| to_pending(i)).collect();
+                rm.sort_unstable_by(|a, b| b.cmp(a));
+                for i in rm {
+                    self.pending.remove(i);
+                }
+                break taken;
             };
-            let queued = self.pending.remove(i);
-            if self.cfg.reject_infeasible_deadlines && self.deadline_infeasible(&queued) {
-                let record = self.stillborn_record(&queued.spec, queued.arrival, true, false);
-                self.report.jobs.push(record);
-                self.sample_queue_depth();
+            // Deadline admission control applies per member: a hopeless
+            // member is turned away without dragging its mates down.
+            let mut members: Vec<BatchMember> = Vec::with_capacity(group.len());
+            for queued in group {
+                if self.cfg.reject_infeasible_deadlines && self.deadline_infeasible(&queued) {
+                    let record = self.stillborn_record(&queued.spec, queued.arrival, true, false);
+                    self.report.jobs.push(record);
+                    self.sample_queue_depth();
+                    continue;
+                }
+                let deadline_abs = queued.spec.deadline.map(|d| queued.arrival + d);
+                members.push(BatchMember {
+                    spec: queued.spec,
+                    arrival: queued.arrival,
+                    deadline_abs,
+                    boosted: false,
+                });
+            }
+            if members.is_empty() {
                 continue;
             }
-            let id = queued.spec.id;
-            let (k_eff, c_eff, _) = self.effective_shape(&queued.spec);
-            self.backend
-                .on_admit(&queued.spec, k_eff, c_eff)
-                .map_err(ServeError::Backend)?;
-            let deadline_abs = queued.spec.deadline.map(|d| queued.arrival + d);
+            let id = members[0].spec.id;
+            let (k_eff, c_eff, _) = self.effective_shape(&members[0].spec);
+            // One shared encode serves the whole batch; every member
+            // after the first is a cache hit by construction.
+            for m in &members {
+                self.backend
+                    .on_admit(&m.spec, k_eff, c_eff)
+                    .map_err(ServeError::Backend)?;
+            }
+            if members.len() > 1 {
+                self.report.batches_admitted += 1;
+                self.report.batched_jobs += members.len();
+            }
             self.resident.insert(
                 id,
                 ResidentJob {
-                    spec: queued.spec,
-                    arrival: queued.arrival,
+                    members,
                     admitted: self.now,
                     iterations_done: 0,
                     iter: None,
                     iter_retries: 0,
                     total_retries: 0,
                     waiting_for_capacity: false,
-                    deadline_abs,
-                    boosted: false,
                 },
             );
             // The newcomer contends immediately: squeeze the neighbours
@@ -296,7 +445,8 @@ impl ServiceEngine {
         }
         let avail = self.avail_speeds();
         let alive = avail.iter().filter(|&&s| s > 0.0).count();
-        let spec = self.resident[&id].spec.clone();
+        let spec = self.resident[&id].leader().clone();
+        let rhs = self.resident[&id].rhs();
         let (k_eff, c_eff, rpc) = self.effective_shape(&spec);
 
         if alive < k_eff {
@@ -309,13 +459,13 @@ impl ServiceEngine {
         // Planning speeds and per-job assignment. Every mode rates the
         // job at its weight-normalized share of the live resident mass —
         // the same `weight / Σ weights` rule `split_worker_capacity`
-        // slices capacity by. Weights here are *effective* (deadline
-        // boosts included).
-        let weight = self.boosted_weight(&self.resident[&id]);
+        // slices capacity by. Weights here are *effective* (per-member
+        // deadline boosts included, summed over batch members).
+        let weight = self.effective_weight(&self.resident[&id]);
         let total_weight: f64 = self
             .resident
             .values()
-            .map(|j| self.boosted_weight(j))
+            .map(|j| self.effective_weight(j))
             .sum::<f64>()
             .max(f64::MIN_POSITIVE);
         let weighted_share = (weight / total_weight).min(1.0);
@@ -370,6 +520,7 @@ impl ServiceEngine {
             share,
             k_eff,
             rows_per_chunk: rpc,
+            rhs,
             assignment,
             finish: vec![f64::INFINITY; n],
             done: vec![false; n],
@@ -386,7 +537,12 @@ impl ServiceEngine {
             share_anchor: at,
         };
 
-        let t_in = self.comm.transfer_time((spec.cols * 8) as u64);
+        // A batch round ships every member's input in one transfer and
+        // every member's chunk results in one reply: the per-message
+        // latency is paid once per round, not once per member — the
+        // fixed cost batching exists to amortize. Compute still scales
+        // with the stacked width (`rhs` matvecs per assigned row).
+        let t_in = self.comm.transfer_time((spec.cols * rhs * 8) as u64);
         let speedup = thread_speedup(self.cfg.worker_threads);
         let mut max_planned_span: f64 = 0.0;
         let mut max_actual_span: f64 = 0.0;
@@ -396,9 +552,9 @@ impl ServiceEngine {
                 continue;
             }
             let rows_w = chunks * rpc;
-            let work = (rows_w * spec.cols) as f64;
+            let work = ((rows_w * spec.cols) * rhs) as f64;
             let rate = self.speeds[w] * share * self.compute.elements_per_sec * speedup;
-            let t_reply = self.comm.transfer_time((rows_w * 8) as u64);
+            let t_reply = self.comm.transfer_time(((rows_w * rhs) * 8) as u64);
             let span = t_in + work / rate + t_reply;
             iter.finish[w] = at + span;
             max_actual_span = max_actual_span.max(span);
@@ -438,10 +594,14 @@ impl ServiceEngine {
             },
         );
 
+        if rhs > 1 {
+            self.report.batch_rounds += 1;
+        }
         let job = self.resident.get_mut(&id).expect("resident job");
         let iteration_index = job.iterations_done;
+        let specs: Vec<JobSpec> = job.members.iter().map(|m| m.spec.clone()).collect();
         self.backend
-            .on_iteration_start(&spec, &iter, iteration_index)
+            .on_iteration_start(&specs, &iter, iteration_index)
             .map_err(ServeError::Backend)?;
         job.waiting_for_capacity = false;
         job.iter = Some(iter);
@@ -493,7 +653,10 @@ impl ServiceEngine {
                 let dedicated = iter
                     .dedicated_by(iter.finish[worker])
                     .max(f64::MIN_POSITIVE);
-                let observed = (rows_w * job.spec.cols) as f64 / dedicated;
+                // The observed rate covers the whole stacked width the
+                // worker actually computed, so batched and unbatched
+                // rounds feed the predictor the same per-element speed.
+                let observed = ((rows_w * job.members[0].spec.cols) * iter.rhs) as f64 / dedicated;
                 let mut obs: Vec<Option<f64>> = vec![None; self.speeds.len()];
                 obs[worker] = Some(observed);
                 self.tracker.observe(&obs);
@@ -534,9 +697,10 @@ impl ServiceEngine {
                 self.backend.on_cancel(id, iter.generation, w, true);
             }
         }
-        let is_final = job.iterations_done + 1 >= job.spec.iterations;
+        let is_final = job.iterations_done + 1 >= job.leader().iterations;
+        let specs: Vec<JobSpec> = job.members.iter().map(|m| m.spec.clone()).collect();
         self.backend
-            .on_iteration_complete(&job.spec, &iter, job.iterations_done, is_final)
+            .on_iteration_complete(&specs, &iter, job.iterations_done, is_final)
             .map_err(ServeError::Backend)?;
         let decode_time = match self.cfg.scheduler {
             SchedulerMode::Uncoded => 0.0,
@@ -548,26 +712,34 @@ impl ServiceEngine {
         let end = self.now + decode_time;
         job.iterations_done += 1;
         job.iter_retries = 0;
-        if job.iterations_done >= job.spec.iterations {
-            let record = JobRecord {
-                id,
-                tenant: job.spec.tenant,
-                preset: job.spec.preset,
-                arrival: job.arrival,
-                admitted: job.admitted,
-                finished: end,
-                iterations: job.iterations_done,
-                retries: job.total_retries,
-                failed: false,
-                rejected: false,
-                rate_limited: false,
-                weight: job.spec.weight,
-                deadline: job.spec.deadline,
-                work: job.spec.total_work(),
-            };
-            self.report.jobs.push(record);
+        if job.iterations_done >= job.leader().iterations {
+            // Every member resolves with its own record: its own
+            // arrival (and therefore sojourn), weight, SLO, and work —
+            // the batch is an execution detail, not a reporting unit.
+            for m in &job.members {
+                let record = JobRecord {
+                    id: m.spec.id,
+                    tenant: m.spec.tenant,
+                    preset: m.spec.preset,
+                    arrival: m.arrival,
+                    admitted: job.admitted,
+                    finished: end,
+                    iterations: job.iterations_done,
+                    retries: job.total_retries,
+                    failed: false,
+                    rejected: false,
+                    rate_limited: false,
+                    weight: m.spec.weight,
+                    deadline: m.spec.deadline,
+                    work: m.spec.total_work(),
+                };
+                self.report.jobs.push(record);
+            }
+            let member_ids: Vec<JobId> = job.members.iter().map(|m| m.spec.id).collect();
             self.resident.remove(&id);
-            self.backend.on_job_resolved(id);
+            for mid in member_ids {
+                self.backend.on_job_resolved(mid);
+            }
             // Work conservation: the freed capacity flows to the
             // survivors now, not at their next iteration boundaries.
             self.rebalance_shares();
@@ -702,10 +874,15 @@ impl ServiceEngine {
 
 /// Master-side decode cost of a completed iteration (same model as the
 /// single-job engine: per chunk, LU on the missing systematic rows).
+/// For a batch round the LU factorization is shared — every stacked
+/// right-hand side reuses it and pays only the per-column triangular
+/// solves and RHS adjustments. That factor-once term is the decode-side
+/// amortization batching buys.
 pub(crate) fn decode_flops(iter: &RunningIteration) -> f64 {
     let n = iter.assignment.workers();
     let k = iter.k_eff;
     let rpc = iter.rows_per_chunk as f64;
+    let rhs = iter.rhs as f64;
     let mut flops = 0.0;
     for chunk in 0..iter.assignment.chunks_per_partition {
         let mut finishers: Vec<(f64, usize)> = (0..n)
@@ -721,7 +898,9 @@ pub(crate) fn decode_flops(iter: &RunningIteration) -> f64 {
             .collect();
         finishers.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let missing = finishers.iter().take(k).filter(|&&(_, w)| w >= k).count() as f64;
-        flops += missing.powi(3) / 3.0 + rpc * missing.powi(2) + missing * k as f64 * rpc;
+        flops += missing.powi(3) / 3.0
+            + rhs * (rpc * missing.powi(2))
+            + rhs * (missing * k as f64 * rpc);
     }
     flops
 }

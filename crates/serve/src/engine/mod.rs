@@ -68,6 +68,19 @@
 //! few control/row messages, negligible beside compute in the clusters
 //! this models.
 //!
+//! # Batching
+//!
+//! [`ServeConfig::batch`] ([`BatchPolicy`]) coalesces queued jobs that
+//! share a batch key (model identity, shape, code geometry, iteration
+//! count) into one *batch round*: a single cache-backed encode, one
+//! stacked multi-RHS dispatch per worker, one decode LU factorization
+//! per chunk, and one residency slot for the whole group. QoS always
+//! sees the member jobs — per-member weights, deadline boosts,
+//! rejections, and records — and the recovery ladder degrades or
+//! redoes a straggling round *per batch*, so every member decodes from
+//! the identical coverage. With [`BatchPolicy::Off`] (the default) the
+//! engine is byte-identical to the pre-batching behavior.
+//!
 //! # Deadlines and QoS
 //!
 //! Jobs may carry a relative SLO ([`crate::workload::JobSpec::deadline`]).
@@ -105,7 +118,7 @@ mod tests;
 
 pub use backend::BackendKind;
 
-use crate::admission::{QueuePolicy, QueuedJob, RateLimit, TokenBucket};
+use crate::admission::{BatchKey, BatchPolicy, QueuePolicy, QueuedJob, RateLimit, TokenBucket};
 use crate::event::{EventKind, EventQueue, JobId};
 use crate::metrics::ServiceReport;
 use crate::workload::JobSpec;
@@ -218,6 +231,11 @@ pub struct ServeConfig {
     pub tenant_rate_limits: BTreeMap<u32, RateLimit>,
     /// Optional deadline-aware share boosting for at-risk resident jobs.
     pub deadline_boost: Option<DeadlineBoost>,
+    /// Batching/coalescing of queued jobs sharing a model matrix and
+    /// code geometry onto one encode/dispatch round (see
+    /// [`BatchPolicy`]). Off by default — the unbatched engine is
+    /// byte-identical to the pre-batching behavior.
+    pub batch: BatchPolicy,
 }
 
 impl ServeConfig {
@@ -238,6 +256,7 @@ impl ServeConfig {
             reject_infeasible_deadlines: false,
             tenant_rate_limits: BTreeMap::new(),
             deadline_boost: None,
+            batch: BatchPolicy::Off,
         }
     }
 }
@@ -263,6 +282,17 @@ pub enum ServeError {
     /// decoded iteration diverging from the sequential reference, or a
     /// threaded worker failing to reply).
     Backend(String),
+    /// A submitted [`JobSpec`] carried an invalid QoS field — a NaN,
+    /// infinite, zero, or negative `weight`, or a non-positive or
+    /// non-finite `deadline`. Rejected with a typed error at arrival,
+    /// before the value can reach the weight-normalization and
+    /// queue-ordering comparators.
+    InvalidJob {
+        /// The offending job.
+        job: crate::event::JobId,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -277,6 +307,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "event budget exhausted after {events} events")
             }
             ServeError::Backend(msg) => write!(f, "execution backend failed: {msg}"),
+            ServeError::InvalidJob { job, reason } => {
+                write!(f, "invalid job {job}: {reason}")
+            }
         }
     }
 }
@@ -308,6 +341,11 @@ pub struct ServiceEngine {
     report: ServiceReport,
     backend: Box<dyn ExecutionBackend>,
     buckets: BTreeMap<u32, TokenBucket>,
+    /// Batch-flush events already scheduled, by `(key, instant)` —
+    /// admission re-plans a held group on every arrival during its
+    /// window, and without this dedup each re-plan would enqueue
+    /// another identical no-op flush.
+    pending_flushes: Vec<(BatchKey, f64)>,
 }
 
 impl std::fmt::Debug for ServiceEngine {
@@ -356,6 +394,28 @@ impl ServiceEngine {
                 return Err(ServeError::InvalidConfig(format!(
                     "tenant {tenant} rate limit must allow a burst of at least one job"
                 )));
+            }
+        }
+        match cfg.batch {
+            BatchPolicy::Off => {}
+            BatchPolicy::SizeThreshold { max_batch } => {
+                if max_batch < 2 {
+                    return Err(ServeError::InvalidConfig(
+                        "batch size threshold must be ≥ 2 (use BatchPolicy::Off to disable)".into(),
+                    ));
+                }
+            }
+            BatchPolicy::TimeWindow { window, max_batch } => {
+                if !(window.is_finite() && window > 0.0) {
+                    return Err(ServeError::InvalidConfig(
+                        "batch time window must be finite and positive".into(),
+                    ));
+                }
+                if max_batch < 2 {
+                    return Err(ServeError::InvalidConfig(
+                        "batch size cap must be ≥ 2 (use BatchPolicy::Off to disable)".into(),
+                    ));
+                }
             }
         }
         if let Some(boost) = &cfg.deadline_boost {
@@ -415,6 +475,7 @@ impl ServiceEngine {
                 ..ServiceReport::default()
             },
             buckets,
+            pending_flushes: Vec::new(),
         })
     }
 
@@ -497,6 +558,13 @@ impl ServiceEngine {
                 EventKind::Timeout { job, generation } => self.on_timeout(job, generation)?,
                 EventKind::WorkerChurn { worker, up } => self.on_churn(worker, up)?,
                 EventKind::EpochTick { epoch } => self.on_epoch_tick(epoch),
+                // A batch window expired: drop the spent flush markers,
+                // then re-run admission so the held group (plus
+                // whatever mates accumulated) is flushed.
+                EventKind::BatchFlush => {
+                    self.pending_flushes.retain(|&(_, at)| at > t);
+                    self.try_admit()?;
+                }
             }
         }
         Ok(())

@@ -8,26 +8,37 @@
 //! never left idle waiting for an iteration boundary and the pool is
 //! never over-subscribed by stale snapshots.
 
-use super::core::ResidentJob;
+use super::core::{BatchMember, ResidentJob};
 use super::ServiceEngine;
 use crate::event::{EventKind, JobId};
 
 impl ServiceEngine {
-    /// A resident job's effective capacity weight: its nominal weight,
-    /// multiplied by the deadline-boost factor once the job has been
+    /// One member's effective capacity weight: its nominal weight,
+    /// multiplied by the deadline-boost factor once the member has been
     /// flagged at-risk.
-    pub(crate) fn boosted_weight(&self, job: &ResidentJob) -> f64 {
-        match (&self.cfg.deadline_boost, job.boosted) {
-            (Some(boost), true) => job.spec.weight * boost.factor,
-            _ => job.spec.weight,
+    fn member_weight(&self, member: &BatchMember) -> f64 {
+        match (&self.cfg.deadline_boost, member.boosted) {
+            (Some(boost), true) => member.spec.weight * boost.factor,
+            _ => member.spec.weight,
         }
     }
 
-    /// Flags resident jobs whose remaining SLO slack has dropped below
-    /// the configured threshold fraction. Returns whether any job's
-    /// boost state changed (the caller then rescales shares). Boosts
-    /// are sticky: un-boosting when the bump restores slack would
-    /// oscillate at every evaluation point.
+    /// A residency slot's effective capacity weight: the sum of its
+    /// members' effective weights. Batching is capacity-neutral by
+    /// construction — m coalesced weight-1 jobs hold exactly the
+    /// capacity m resident weight-1 jobs would, and a boost firing for
+    /// one member raises only that member's contribution.
+    pub(crate) fn effective_weight(&self, job: &ResidentJob) -> f64 {
+        job.members.iter().map(|m| self.member_weight(m)).sum()
+    }
+
+    /// Flags resident members whose remaining SLO slack has dropped
+    /// below the configured threshold fraction. Returns whether any
+    /// member's boost state changed (the caller then rescales shares).
+    /// Boosts are sticky: un-boosting when the bump restores slack
+    /// would oscillate at every evaluation point. Boost accounting is
+    /// per *member*: a batch carrying one at-risk job boosts that job's
+    /// weight contribution, not the whole batch.
     pub(crate) fn update_deadline_boosts(&mut self) -> bool {
         let Some(boost) = self.cfg.deadline_boost else {
             return false;
@@ -35,21 +46,23 @@ impl ServiceEngine {
         let now = self.now;
         let mut changed = false;
         for job in self.resident.values_mut() {
-            if job.boosted {
-                continue;
-            }
-            let Some(deadline_abs) = job.deadline_abs else {
-                continue;
-            };
-            let total = deadline_abs - job.arrival;
-            if total <= 0.0 {
-                continue;
-            }
-            let remaining = deadline_abs - now;
-            if remaining / total < boost.slack_threshold {
-                job.boosted = true;
-                self.report.boost_activations += 1;
-                changed = true;
+            for member in &mut job.members {
+                if member.boosted {
+                    continue;
+                }
+                let Some(deadline_abs) = member.deadline_abs else {
+                    continue;
+                };
+                let total = deadline_abs - member.arrival;
+                if total <= 0.0 {
+                    continue;
+                }
+                let remaining = deadline_abs - now;
+                if remaining / total < boost.slack_threshold {
+                    member.boosted = true;
+                    self.report.boost_activations += 1;
+                    changed = true;
+                }
             }
         }
         changed
@@ -71,7 +84,11 @@ impl ServiceEngine {
     /// `(finish − now) · share` is preserved exactly by the rescale.
     pub(crate) fn rebalance_shares(&mut self) {
         self.update_deadline_boosts();
-        let total: f64 = self.resident.values().map(|j| self.boosted_weight(j)).sum();
+        let total: f64 = self
+            .resident
+            .values()
+            .map(|j| self.effective_weight(j))
+            .sum();
         if total <= 0.0 {
             return;
         }
@@ -79,7 +96,7 @@ impl ServiceEngine {
         let margin = self.cfg.timeout_margin;
         let ids: Vec<JobId> = self.resident.keys().copied().collect();
         for id in ids {
-            let weight = self.boosted_weight(&self.resident[&id]);
+            let weight = self.effective_weight(&self.resident[&id]);
             let new_share = weight / total;
             let Some(iter) = self.resident.get_mut(&id).and_then(|j| j.iter.as_mut()) else {
                 continue;

@@ -20,7 +20,7 @@ impl ServiceEngine {
         let now = self.now;
         let speedup = thread_speedup(self.cfg.worker_threads);
         let cancel_late = matches!(self.cfg.scheduler, SchedulerMode::SharedS2c2 { .. });
-        let cols = self.resident[&id].spec.cols;
+        let cols = self.resident[&id].leader().cols;
         let margin = self.cfg.timeout_margin;
         let elements_per_sec = self.compute.elements_per_sec;
         let comm = self.comm;
@@ -32,6 +32,11 @@ impl ServiceEngine {
         let n = iter.assignment.workers();
         let c = iter.assignment.chunks_per_partition;
         let rpc = iter.rows_per_chunk;
+        // A mid-batch straggler degrades or redoes *per batch*: the
+        // whole stacked round is recovered at once, so per-member
+        // coverage accounting (every member decodes from the identical
+        // worker/chunk set) can never diverge inside one batch.
+        let rhs = iter.rhs;
 
         // Outstanding need per chunk. Adaptive mode writes in-flight
         // originals off as cancelled (the §4.3 rule); the baselines keep
@@ -117,7 +122,7 @@ impl ServiceEngine {
                 // ever report a speed and stays mispredicted forever.
                 let mut obs: Vec<Option<f64>> = vec![None; n];
                 let mut any_cancelled = false;
-                let t_in = comm.transfer_time((cols * 8) as u64);
+                let t_in = comm.transfer_time((cols * rhs * 8) as u64);
                 for (w, slot) in obs.iter_mut().enumerate() {
                     // `is_finite` matters: a worker with no task this
                     // iteration has finish == INFINITY, and "cancelling"
@@ -138,8 +143,8 @@ impl ServiceEngine {
                         );
                         self.backend.on_cancel(id, iter.generation, w, false);
                         let rows_w = iter.assignment.chunks[w].len() * rpc;
-                        let work = (rows_w * cols) as f64;
-                        let t_reply = comm.transfer_time((rows_w * 8) as u64);
+                        let work = ((rows_w * cols) * rhs) as f64;
+                        let t_reply = comm.transfer_time(((rows_w * rhs) * 8) as u64);
                         // Reconstruct progress in *dedicated* share-
                         // seconds (the share integral), not wall time —
                         // rebalances change the share mid-task, and wall
@@ -179,20 +184,20 @@ impl ServiceEngine {
                     now
                 };
                 let rows_w = new_chunks.len() * rpc;
-                let work = (rows_w * cols) as f64;
+                let work = ((rows_w * cols) * rhs) as f64;
                 let rate = speeds[w] * iter.share * elements_per_sec * speedup;
                 // Coded hosts already hold the partitions, so the work
                 // order is a 64-byte control message; uncoded hosts must
                 // first receive the raw rows being reassigned.
                 let order_bytes = if matches!(self.cfg.scheduler, SchedulerMode::Uncoded) {
-                    64 + (rows_w * cols * 8) as u64
+                    64 + ((rows_w * cols) * rhs * 8) as u64
                 } else {
                     64
                 };
                 let finish = base
                     + comm.transfer_time(order_bytes)
                     + work / rate
-                    + comm.transfer_time((rows_w * 8) as u64);
+                    + comm.transfer_time(((rows_w * rhs) * 8) as u64);
                 iter.redo_chunks[w].extend(new_chunks);
                 iter.redo_finish[w] = finish;
                 iter.redo_done[w] = false;
@@ -256,25 +261,33 @@ impl ServiceEngine {
         job.iter_retries += 1;
         job.total_retries += 1;
         if job.iter_retries > self.cfg.max_retries {
-            let record = JobRecord {
-                id,
-                tenant: job.spec.tenant,
-                preset: job.spec.preset,
-                arrival: job.arrival,
-                admitted: job.admitted,
-                finished: now,
-                iterations: job.iterations_done,
-                retries: job.total_retries,
-                failed: true,
-                rejected: false,
-                rate_limited: false,
-                weight: job.spec.weight,
-                deadline: job.spec.deadline,
-                work: job.spec.total_work(),
-            };
-            self.report.jobs.push(record);
+            // The retry budget is a property of the residency: when it
+            // is exhausted, every member of the batch fails together,
+            // each with its own record.
+            for m in &job.members {
+                let record = JobRecord {
+                    id: m.spec.id,
+                    tenant: m.spec.tenant,
+                    preset: m.spec.preset,
+                    arrival: m.arrival,
+                    admitted: job.admitted,
+                    finished: now,
+                    iterations: job.iterations_done,
+                    retries: job.total_retries,
+                    failed: true,
+                    rejected: false,
+                    rate_limited: false,
+                    weight: m.spec.weight,
+                    deadline: m.spec.deadline,
+                    work: m.spec.total_work(),
+                };
+                self.report.jobs.push(record);
+            }
+            let member_ids: Vec<JobId> = job.members.iter().map(|m| m.spec.id).collect();
             self.resident.remove(&id);
-            self.backend.on_job_resolved(id);
+            for mid in member_ids {
+                self.backend.on_job_resolved(mid);
+            }
             self.rebalance_shares();
             self.try_admit()?;
         } else {

@@ -72,7 +72,9 @@ pub mod metrics;
 pub mod shared_alloc;
 pub mod workload;
 
-pub use admission::{QueuePolicy, QueuedJob, RateLimit, ResidentInfo};
+pub use admission::{
+    batch_key, BatchKey, BatchPolicy, QueuePolicy, QueuedJob, RateLimit, ResidentInfo,
+};
 pub use engine::{
     BackendKind, ChurnConfig, DeadlineBoost, SchedulerMode, ServeConfig, ServeError, ServiceEngine,
 };
@@ -83,7 +85,7 @@ pub use workload::{generate_workload, ArrivalPattern, JobPreset, JobSpec};
 
 /// One-stop imports for service-engine users.
 pub mod prelude {
-    pub use crate::admission::{QueuePolicy, RateLimit};
+    pub use crate::admission::{BatchPolicy, QueuePolicy, RateLimit};
     pub use crate::engine::{
         BackendKind, ChurnConfig, DeadlineBoost, SchedulerMode, ServeConfig, ServiceEngine,
     };

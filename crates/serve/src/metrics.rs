@@ -162,6 +162,17 @@ pub struct ServiceReport {
     /// Share rebalances applied when the resident set changed
     /// mid-iteration (the work-conserving path).
     pub rebalances: usize,
+    /// Multi-member batches admitted (residency slots that carried ≥ 2
+    /// coalesced jobs; solo admissions are not counted).
+    pub batches_admitted: usize,
+    /// Jobs that rode multi-member batches (the sum of those batches'
+    /// member counts, so `batched_jobs / batches_admitted` is the mean
+    /// coalesced batch size).
+    pub batched_jobs: usize,
+    /// Iteration rounds started with a stacked multi-RHS payload
+    /// (`rhs > 1`) — each one an encode/dispatch/decode round that
+    /// several jobs shared.
+    pub batch_rounds: usize,
     /// Deadline-aware share boosts activated: resident jobs whose
     /// effective weight was bumped because their slack-to-deadline ratio
     /// dropped below [`crate::engine::DeadlineBoost::slack_threshold`].
@@ -208,6 +219,17 @@ impl ServiceReport {
     #[must_use]
     pub fn rate_limited(&self) -> usize {
         self.jobs.iter().filter(|j| j.rate_limited).count()
+    }
+
+    /// Mean member count of the multi-member batches admitted, or 0
+    /// when nothing was coalesced.
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches_admitted == 0 {
+            0.0
+        } else {
+            self.batched_jobs as f64 / self.batches_admitted as f64
+        }
     }
 
     /// Encode-cache hit rate (`hits / lookups`), or 0 when the backend
@@ -600,6 +622,79 @@ mod tests {
         assert_eq!(tenants[1].completed, 2);
         assert!((tenants[1].p50_latency - 1.0).abs() < 1e-12);
         assert!((tenants[1].p99_latency - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenant_summaries_ordered_by_id_regardless_of_record_order() {
+        // Records arrive in completion order, which interleaves tenants
+        // arbitrarily; the summaries must come back ascending by tenant
+        // id every time — CI diffs two runs byte-for-byte, so no
+        // report vector may depend on map iteration order.
+        let mut jobs = Vec::new();
+        for (i, tenant) in [7u32, 2, 9, 2, 0, 7, 9].iter().enumerate() {
+            let mut j = record(i as JobId, 0.0, 0.0, 1.0 + i as f64, false);
+            j.tenant = *tenant;
+            jobs.push(j);
+        }
+        let report = ServiceReport {
+            jobs,
+            ..ServiceReport::default()
+        };
+        let tenants: Vec<u32> = report.tenant_summaries().iter().map(|t| t.tenant).collect();
+        assert_eq!(tenants, vec![0, 2, 7, 9]);
+        // And the whole derivation is a pure function of the records.
+        assert_eq!(report.tenant_summaries(), report.tenant_summaries());
+    }
+
+    #[test]
+    fn zero_makespan_report_is_nan_free() {
+        // A run whose every job resolved at t = 0 (all rejected or
+        // rate-limited on arrival) has zero makespan: every derived
+        // metric must degrade to 0 (or a vacuous ratio), never NaN or
+        // a division by zero.
+        let mut rejected = record(0, 0.0, 0.0, 0.0, true);
+        rejected.rejected = true;
+        rejected.deadline = Some(1e-9);
+        let mut limited = record(1, 0.0, 0.0, 0.0, true);
+        limited.rate_limited = true;
+        let report = ServiceReport {
+            jobs: vec![rejected, limited],
+            queue_depth: vec![(0.0, 0)],
+            busy_time: vec![0.0; 4],
+            makespan: 0.0,
+            ..ServiceReport::default()
+        };
+        for v in [
+            report.throughput(),
+            report.utilization(),
+            report.mean_queue_depth(),
+            report.mean_latency(),
+            report.latency_percentile(50.0),
+            report.latency_percentile(99.0),
+            report.on_time_ratio(),
+            report.mean_batch_size(),
+            report.encode_cache_hit_rate(),
+        ] {
+            assert!(v.is_finite(), "zero-makespan metric must be finite: {v}");
+        }
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.on_time_ratio(), 0.0, "the SLO job missed");
+        for t in report.tenant_summaries() {
+            assert!(t.p50_latency.is_finite());
+            assert!(t.p99_latency.is_finite());
+            assert!(t.entitled_share.is_finite());
+            assert!(t.achieved_share.is_finite());
+            assert!(t.on_time_ratio.is_finite());
+        }
+    }
+
+    #[test]
+    fn mean_batch_size_guards_empty() {
+        let mut r = ServiceReport::default();
+        assert_eq!(r.mean_batch_size(), 0.0);
+        r.batches_admitted = 2;
+        r.batched_jobs = 7;
+        assert!((r.mean_batch_size() - 3.5).abs() < 1e-12);
     }
 
     #[test]

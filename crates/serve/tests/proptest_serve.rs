@@ -359,4 +359,119 @@ proptest! {
         prop_assert_eq!(sim.encode_cache_misses, 1);
         prop_assert_eq!(sim.encode_cache_hits as usize, jobs - 1);
     }
+
+    /// Property 6: batching is output-invariant. For any burst of small
+    /// jobs sharing one model, a batched run (size-threshold coalescing)
+    /// completes exactly the job set the unbatched run completes, with
+    /// per-job decoded outputs identical to 1e-12 — under the timing-only
+    /// backend (record parity), the master-side verified backend, and the
+    /// real-threads backend, including mispredicted rounds that force the
+    /// §4.3 recovery ladder on a mid-flight batch.
+    #[test]
+    fn batched_and_unbatched_runs_complete_identically(
+        jobs in 3usize..6,
+        rows in 40usize..160,
+        cols in 4usize..10,
+        chunks in 2usize..5,
+        max_batch in 2usize..4,
+        seed in 0u64..64,
+        mispredict in any::<bool>(),
+    ) {
+        let n = 6;
+        let preset = JobPreset {
+            name: "batchprop",
+            rows,
+            cols,
+            k_frac: 0.67,
+            chunks_per_partition: chunks,
+            iterations: 2,
+            weight: 1.0,
+            deadline: None,
+            matrix_id: Some(seed ^ 0xBA7C),
+        };
+        // A simultaneous burst behind a single residency slot: the
+        // queue is deep whenever a slot frees, so coalescing happens on
+        // every admission after the first.
+        let workload: Vec<(f64, JobSpec)> = (0..jobs as u64)
+            .map(|i| (0.0, preset.instantiate(i, (i % 2) as u32, n)))
+            .collect();
+        let run = |backend: BackendKind, batch: BatchPolicy| {
+            let pool = s2c2_cluster::ClusterSpec::builder(n)
+                .compute_bound()
+                .seed(seed ^ 0xBEEF)
+                .straggler_slowdown(4.0)
+                .stragglers(&[2], 0.2)
+                .build();
+            let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+                // Uniform predictions on a straggler pool force the
+                // cancel/redo ladder mid-batch.
+                predictor: if mispredict {
+                    PredictorSource::Uniform
+                } else {
+                    PredictorSource::LastValue
+                },
+            });
+            cfg.backend = backend;
+            cfg.batch = batch;
+            cfg.max_resident = 1;
+            ServiceEngine::new(pool, cfg).unwrap().run(&workload).unwrap()
+        };
+        let policy = BatchPolicy::SizeThreshold { max_batch };
+        let sorted_ids = |r: &ServiceReport| {
+            let mut v: Vec<u64> = r.jobs.iter().filter(|j| !j.failed).map(|j| j.id).collect();
+            v.sort_unstable();
+            v
+        };
+        let sorted_outputs = |r: &ServiceReport| {
+            let mut v = r.job_outputs.clone();
+            v.sort_by_key(|(id, _)| *id);
+            v
+        };
+        let mut batched_by_backend: Vec<ServiceReport> = Vec::new();
+        for backend in [BackendKind::Sim, BackendKind::SimVerified, BackendKind::Threaded] {
+            let off = run(backend, BatchPolicy::Off);
+            let batched = run(backend, policy);
+            prop_assert_eq!(off.completed(), jobs, "{} unbatched must serve all", backend);
+            prop_assert_eq!(batched.completed(), jobs, "{} batched must serve all", backend);
+            prop_assert_eq!(sorted_ids(&off), sorted_ids(&batched));
+            prop_assert!(batched.batches_admitted > 0, "{}: burst must coalesce", backend);
+            prop_assert_eq!(off.batches_admitted, 0);
+            if backend != BackendKind::Sim {
+                // Identical decoded outputs (≤ 1e-12) whether or not a
+                // job rode a batch: inputs are a function of (job,
+                // iteration), and both coverages decode the same A·x.
+                let a = sorted_outputs(&off);
+                let b = sorted_outputs(&batched);
+                prop_assert_eq!(a.len(), jobs);
+                prop_assert_eq!(b.len(), jobs);
+                for ((ia, ya), (ib, yb)) in a.iter().zip(b.iter()) {
+                    prop_assert_eq!(ia, ib);
+                    prop_assert_eq!(ya.len(), yb.len());
+                    for (x, y) in ya.iter().zip(yb.iter()) {
+                        prop_assert!((x - y).abs() <= 1e-12, "job {}: {} vs {}", ia, x, y);
+                    }
+                }
+            }
+            batched_by_backend.push(batched);
+        }
+        // Backend parity holds *under batching* too: identical timing
+        // records across all three backends, identical stacked-decode
+        // outputs between the two numeric backends.
+        let (sim, verified, threaded) = (
+            &batched_by_backend[0],
+            &batched_by_backend[1],
+            &batched_by_backend[2],
+        );
+        prop_assert_eq!(&sim.jobs, &verified.jobs);
+        prop_assert_eq!(&sim.jobs, &threaded.jobs);
+        prop_assert_eq!(verified.verified_iterations, threaded.verified_iterations);
+        let a = sorted_outputs(verified);
+        let b = sorted_outputs(threaded);
+        for ((ia, ya), (ib, yb)) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(ia, ib);
+            for (x, y) in ya.iter().zip(yb.iter()) {
+                prop_assert!((x - y).abs() <= 1e-12, "job {}: {} vs {}", ia, x, y);
+            }
+        }
+    }
 }
