@@ -1,0 +1,220 @@
+//! Per-kernel regression benches for the batch-first kernel layer.
+//!
+//! Three comparisons, each pairing the production kernel with the obvious
+//! reference it replaced:
+//!
+//! * **blocked vs naive** — the cache-blocked/unrolled single-RHS `matvec`
+//!   against a plain serial dot-product loop.
+//! * **multi-RHS vs m× single** — one `matvec_multi` over a contiguous
+//!   [`MultiVector`] against `m` independent `matvec` calls (the old
+//!   per-member serve path).
+//! * **fused vs two-pass** — `encode_matvec_multi` (parity products as
+//!   generator-weighted combinations of systematic products) against
+//!   materializing the parity partitions and multiplying every one.
+//!
+//! Runs as a custom `harness = false` binary:
+//!
+//! * `cargo bench -p s2c2-bench --bench kernel_benches` — full sweep.
+//! * `-- --save` — also rewrites `BENCH_KERNELS.json` at the repo root.
+//! * `-- --quick` — CI smoke: only the large preset, asserting the blocked
+//!   kernel is not slower than the naive reference.
+
+use criterion::{black_box, Criterion};
+use s2c2_coding::{MdsCode, MdsParams};
+use s2c2_linalg::{Matrix, MultiVector, Vector};
+
+/// Problem sizes: name, rows, cols.
+const PRESETS: &[(&str, usize, usize)] = &[
+    ("small", 256, 64),
+    ("medium", 1024, 256),
+    ("large", 4096, 512),
+];
+
+/// RHS counts for the multi-RHS comparison.
+const RHS_COUNTS: &[usize] = &[4, 8, 16];
+
+fn test_matrix(rows: usize, cols: usize) -> Matrix {
+    // Deterministic, mildly irregular values; benches must not depend on
+    // an RNG so reruns time the identical computation.
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((r * 31 + c * 7) % 17) as f64 * 0.25 - 2.0
+    })
+}
+
+fn test_multivector(count: usize, len: usize) -> MultiVector {
+    MultiVector::from_fn(count, len, |m, i| {
+        ((m * 13 + i * 3) % 11) as f64 * 0.5 - 2.5
+    })
+}
+
+/// Plain serial reference: one fold per row, no unrolling, no blocking.
+fn naive_matvec(a: &Matrix, x: &Vector) -> Vector {
+    Vector::from_fn(a.rows(), |r| {
+        a.row(r)
+            .iter()
+            .zip(x.as_slice())
+            .map(|(av, xv)| av * xv)
+            .sum::<f64>()
+    })
+}
+
+fn bench_blocked_vs_naive(c: &mut Criterion, presets: &[(&str, usize, usize)]) {
+    for &(name, rows, cols) in presets {
+        let a = test_matrix(rows, cols);
+        let x = Vector::from_fn(cols, |i| (i % 7) as f64 - 3.0);
+        c.bench_function(&format!("matvec_blocked/{name}"), |b| {
+            b.iter(|| black_box(&a).matvec(black_box(&x)))
+        });
+        c.bench_function(&format!("matvec_naive/{name}"), |b| {
+            b.iter(|| naive_matvec(black_box(&a), black_box(&x)))
+        });
+    }
+}
+
+fn bench_multi_vs_single(c: &mut Criterion) {
+    for &(name, rows, cols) in PRESETS {
+        let a = test_matrix(rows, cols);
+        for &m in RHS_COUNTS {
+            let xs = test_multivector(m, cols);
+            let singles: Vec<Vector> = xs.to_vectors();
+            c.bench_function(&format!("matvec_multi/{name}/m{m}"), |b| {
+                b.iter(|| black_box(&a).matvec_multi(black_box(&xs)))
+            });
+            c.bench_function(&format!("matvec_single_x{m}/{name}/m{m}"), |b| {
+                b.iter(|| {
+                    singles
+                        .iter()
+                        .map(|x| black_box(&a).matvec(black_box(x)))
+                        .collect::<Vec<_>>()
+                })
+            });
+        }
+    }
+}
+
+fn bench_fused_vs_two_pass(c: &mut Criterion) {
+    let code = MdsCode::new(MdsParams::new(10, 8)).expect("valid params");
+    let chunks = 4;
+    let m = 8;
+    for &(name, rows, cols) in &PRESETS[1..] {
+        let a = test_matrix(rows, cols);
+        let xs = test_multivector(m, cols);
+        c.bench_function(&format!("encode_multiply_fused/{name}/m{m}"), |b| {
+            b.iter(|| {
+                code.encode_matvec_multi(black_box(&a), chunks, black_box(&xs))
+                    .expect("encode-multiply")
+            })
+        });
+        c.bench_function(&format!("encode_multiply_two_pass/{name}/m{m}"), |b| {
+            b.iter(|| {
+                let enc = code.encode(black_box(&a), chunks).expect("encode");
+                let all: Vec<usize> = (0..chunks).collect();
+                (0..code.params().n)
+                    .map(|w| enc.worker_compute_chunks_multi(w, &all, black_box(&xs)))
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+}
+
+fn median_ns(c: &Criterion, label: &str) -> f64 {
+    c.measurements()
+        .iter()
+        .find(|(l, _)| l == label)
+        .map(|(_, d)| d.as_secs_f64() * 1e9)
+        .unwrap_or_else(|| panic!("no measurement recorded for {label}"))
+}
+
+fn write_report(c: &Criterion, path: &std::path::Path) {
+    let mut rows = String::new();
+    let mut push_row = |name: &str, fast: &str, slow: &str, fast_ns: f64, slow_ns: f64| {
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"{fast}_ns\": {fast_ns:.1}, \"{slow}_ns\": {slow_ns:.1}, \"speedup\": {:.3}}}",
+            slow_ns / fast_ns
+        ));
+    };
+    for &(name, _, _) in PRESETS {
+        let blocked = median_ns(c, &format!("matvec_blocked/{name}"));
+        let naive = median_ns(c, &format!("matvec_naive/{name}"));
+        push_row(
+            &format!("matvec/{name}"),
+            "blocked",
+            "naive",
+            blocked,
+            naive,
+        );
+    }
+    for &(name, _, _) in PRESETS {
+        for &m in RHS_COUNTS {
+            let multi = median_ns(c, &format!("matvec_multi/{name}/m{m}"));
+            let single = median_ns(c, &format!("matvec_single_x{m}/{name}/m{m}"));
+            push_row(
+                &format!("matvec_multi/{name}/m{m}"),
+                "multi",
+                "per_member",
+                multi,
+                single,
+            );
+        }
+    }
+    for &(name, _, _) in &PRESETS[1..] {
+        let fused = median_ns(c, &format!("encode_multiply_fused/{name}/m8"));
+        let two_pass = median_ns(c, &format!("encode_multiply_two_pass/{name}/m8"));
+        push_row(
+            &format!("encode_multiply/{name}/m8"),
+            "fused",
+            "two_pass",
+            fused,
+            two_pass,
+        );
+    }
+    let json = format!(
+        "{{\n  \"note\": \"median ns/iter from `cargo bench -p s2c2-bench --bench kernel_benches -- --save` (release); speedup = reference / kernel\",\n  \"kernels\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::write(path, json).expect("write BENCH_KERNELS.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    // `cargo test --benches` compile-checks bench binaries with `--test`.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let quick = std::env::args().any(|a| a == "--quick");
+    let save = std::env::args().any(|a| a == "--save");
+
+    let mut c = Criterion::default().sample_size(10);
+    if quick {
+        // CI smoke: the blocked kernel must not regress below the naive
+        // reference on the large (memory-resident) preset. The margin
+        // absorbs shared-runner timer noise without hiding a real
+        // regression to an un-unrolled loop.
+        let large = &PRESETS[2..];
+        bench_blocked_vs_naive(&mut c, large);
+        let blocked = median_ns(&c, "matvec_blocked/large");
+        let naive = median_ns(&c, "matvec_naive/large");
+        println!(
+            "quick check: blocked {blocked:.0} ns vs naive {naive:.0} ns ({:.2}x)",
+            naive / blocked
+        );
+        assert!(
+            blocked <= naive * 1.10,
+            "blocked matvec ({blocked:.0} ns) slower than naive reference ({naive:.0} ns)"
+        );
+        return;
+    }
+
+    bench_blocked_vs_naive(&mut c, PRESETS);
+    bench_multi_vs_single(&mut c);
+    bench_fused_vs_two_pass(&mut c);
+
+    if save {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_KERNELS.json");
+        write_report(&c, &root);
+    }
+}

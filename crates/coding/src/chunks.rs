@@ -132,6 +132,146 @@ impl WorkerChunkResult {
     }
 }
 
+/// One worker's *stacked* result for one chunk: the products of the
+/// chunk's rows against `members` right-hand sides, stored as a single
+/// contiguous `rows_per_chunk × members` buffer (chunk-row-major,
+/// member-minor — element `(row, member)` lives at `row * members +
+/// member`).
+///
+/// This is the wire format of the batch-first kernel layer: a worker's
+/// reply for a chunk ships one flat block, and the stacked decoder
+/// consumes it without per-member de-interleaving. A single-member block
+/// is the unbatched case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiChunkResult {
+    /// Responding worker id (`0..n`).
+    pub worker: usize,
+    /// Chunk index within the worker's partition.
+    pub chunk: usize,
+    /// Number of stacked right-hand sides.
+    pub members: usize,
+    /// Row-major `rows_per_chunk × members` block of computed values.
+    pub values: Vec<f64>,
+}
+
+impl MultiChunkResult {
+    /// Convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members == 0` or `values.len()` is not a multiple of
+    /// `members`.
+    #[must_use]
+    pub fn new(worker: usize, chunk: usize, members: usize, values: Vec<f64>) -> Self {
+        assert!(members > 0, "a stacked result needs at least one member");
+        assert_eq!(
+            values.len() % members,
+            0,
+            "stacked payload length must be a multiple of the member count"
+        );
+        MultiChunkResult {
+            worker,
+            chunk,
+            members,
+            values,
+        }
+    }
+
+    /// Number of chunk rows in the block.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.values.len() / self.members
+    }
+
+    /// Extracts member `m`'s column as an owned vector (strided copy —
+    /// compatibility/diagnostic path, not the decode hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= members`.
+    #[must_use]
+    pub fn member_values(&self, m: usize) -> Vec<f64> {
+        assert!(m < self.members, "member index out of range");
+        self.values
+            .iter()
+            .skip(m)
+            .step_by(self.members)
+            .copied()
+            .collect()
+    }
+
+    /// Splits the block into per-member [`WorkerChunkResult`]s, in member
+    /// order.
+    #[must_use]
+    pub fn into_member_results(self) -> Vec<WorkerChunkResult> {
+        (0..self.members)
+            .map(|m| WorkerChunkResult::new(self.worker, self.chunk, self.member_values(m)))
+            .collect()
+    }
+
+    /// Wraps a single-member result as a stacked block.
+    #[must_use]
+    pub fn from_single(r: WorkerChunkResult) -> Self {
+        MultiChunkResult::new(r.worker, r.chunk, 1, r.values)
+    }
+}
+
+/// Groups stacked blocks by chunk, validating worker/chunk bounds, a
+/// uniform member count, payload length, and duplicate `(worker, chunk)`
+/// pairs — the block-layout counterpart of [`group_by_chunk`].
+///
+/// Returns `per_chunk[chunk] = Vec<&MultiChunkResult>`.
+///
+/// # Errors
+///
+/// [`CodingError::MalformedResponse`] on out-of-range indices, a member
+/// count differing from `members`, or wrong payload length;
+/// [`CodingError::DuplicateResponse`] on duplicates.
+pub fn group_blocks_by_chunk<'a>(
+    responses: &'a [MultiChunkResult],
+    workers: usize,
+    layout: &ChunkLayout,
+    members: usize,
+    rows_per_chunk: usize,
+) -> Result<Vec<Vec<&'a MultiChunkResult>>, CodingError> {
+    let mut per_chunk: Vec<Vec<&MultiChunkResult>> = vec![Vec::new(); layout.chunks_per_partition];
+    for r in responses {
+        if r.worker >= workers {
+            return Err(CodingError::MalformedResponse(format!(
+                "worker {} out of range (n = {workers})",
+                r.worker
+            )));
+        }
+        if r.chunk >= layout.chunks_per_partition {
+            return Err(CodingError::MalformedResponse(format!(
+                "chunk {} out of range ({} chunks per partition)",
+                r.chunk, layout.chunks_per_partition
+            )));
+        }
+        if r.members != members {
+            return Err(CodingError::MalformedResponse(format!(
+                "stacked block has {} members, expected {members}",
+                r.members
+            )));
+        }
+        if r.values.len() != rows_per_chunk * members {
+            return Err(CodingError::MalformedResponse(format!(
+                "stacked payload has {} values, expected {}",
+                r.values.len(),
+                rows_per_chunk * members
+            )));
+        }
+        if per_chunk[r.chunk].iter().any(|e| e.worker == r.worker) {
+            return Err(CodingError::DuplicateResponse {
+                worker: r.worker,
+                chunk: r.chunk,
+            });
+        }
+        per_chunk[r.chunk].push(r);
+    }
+    Ok(per_chunk)
+}
+
 /// Groups responses by chunk, validating worker/chunk bounds, payload
 /// length, and duplicate `(worker, chunk)` pairs.
 ///
@@ -270,5 +410,81 @@ mod tests {
     fn chunk_range_bounds() {
         let l = ChunkLayout::new(40, 2, 2).unwrap();
         let _ = l.chunk_range_in_partition(2);
+    }
+
+    #[test]
+    fn multi_chunk_result_member_views() {
+        // 3 rows × 2 members, row-major member-minor.
+        let block = MultiChunkResult::new(1, 0, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0]);
+        assert_eq!(block.rows(), 3);
+        assert_eq!(block.member_values(0), vec![1.0, 2.0, 3.0]);
+        assert_eq!(block.member_values(1), vec![10.0, 20.0, 30.0]);
+        let singles = block.clone().into_member_results();
+        assert_eq!(singles.len(), 2);
+        assert_eq!(singles[0].values, vec![1.0, 2.0, 3.0]);
+        assert_eq!(singles[1].worker, 1);
+        let wrapped = MultiChunkResult::from_single(singles[0].clone());
+        assert_eq!(wrapped.members, 1);
+        assert_eq!(wrapped.values, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the member count")]
+    fn multi_chunk_result_rejects_ragged_payload() {
+        let _ = MultiChunkResult::new(0, 0, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn group_blocks_by_chunk_validates() {
+        let l = ChunkLayout::new(40, 2, 2).unwrap();
+        let rpc = l.rows_per_chunk();
+        let members = 3;
+        let ok = vec![
+            MultiChunkResult::new(0, 0, members, vec![0.0; rpc * members]),
+            MultiChunkResult::new(1, 0, members, vec![0.0; rpc * members]),
+            MultiChunkResult::new(0, 1, members, vec![0.0; rpc * members]),
+        ];
+        let grouped = group_blocks_by_chunk(&ok, 3, &l, members, rpc).unwrap();
+        assert_eq!(grouped[0].len(), 2);
+        assert_eq!(grouped[1].len(), 1);
+
+        let dup = vec![
+            MultiChunkResult::new(0, 0, members, vec![0.0; rpc * members]),
+            MultiChunkResult::new(0, 0, members, vec![0.0; rpc * members]),
+        ];
+        assert!(matches!(
+            group_blocks_by_chunk(&dup, 3, &l, members, rpc),
+            Err(CodingError::DuplicateResponse {
+                worker: 0,
+                chunk: 0
+            })
+        ));
+
+        let wrong_members = vec![MultiChunkResult::new(0, 0, 2, vec![0.0; rpc * 2])];
+        assert!(group_blocks_by_chunk(&wrong_members, 3, &l, members, rpc).is_err());
+
+        let bad_worker = vec![MultiChunkResult::new(
+            9,
+            0,
+            members,
+            vec![0.0; rpc * members],
+        )];
+        assert!(group_blocks_by_chunk(&bad_worker, 3, &l, members, rpc).is_err());
+
+        let bad_len = vec![MultiChunkResult::new(
+            0,
+            0,
+            members,
+            vec![0.0; (rpc + 1) * members],
+        )];
+        assert!(group_blocks_by_chunk(&bad_len, 3, &l, members, rpc).is_err());
+
+        let bad_chunk = vec![MultiChunkResult::new(
+            0,
+            7,
+            members,
+            vec![0.0; rpc * members],
+        )];
+        assert!(group_blocks_by_chunk(&bad_chunk, 3, &l, members, rpc).is_err());
     }
 }

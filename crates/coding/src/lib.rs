@@ -36,7 +36,7 @@ pub mod mds;
 pub mod polynomial;
 
 pub use cache::{CachedEncoding, EncodeCache, EncodeKey};
-pub use chunks::{ChunkLayout, WorkerChunkResult};
+pub use chunks::{ChunkLayout, MultiChunkResult, WorkerChunkResult};
 pub use error::CodingError;
 pub use mds::{EncodedMatrix, MdsCode, MdsParams};
 pub use polynomial::{EncodedPair, PolyParams, PolynomialCode};

@@ -23,11 +23,14 @@
 //! systematic blocks solves only an `m × m` system (`m ≤ n − k` ≤ 10 in
 //! every configuration the paper evaluates).
 
-use crate::chunks::{group_by_chunk, ChunkLayout, WorkerChunkResult};
+use crate::chunks::{
+    group_blocks_by_chunk, group_by_chunk, ChunkLayout, MultiChunkResult, WorkerChunkResult,
+};
 use crate::error::CodingError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use s2c2_linalg::{LuFactors, Matrix, Vector};
+use s2c2_linalg::multivector::ROW_BLOCK_ELEMS;
+use s2c2_linalg::{LuFactors, Matrix, MultiVector, Vector};
 
 /// `(n, k)` MDS code parameters: `n` workers, any `k` responses decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,21 +184,36 @@ impl MdsCode {
             }
             partitions.push(part);
         }
-        // Parity partitions: weighted sums across blocks.
-        for p in 0..self.params.n - k {
-            let mut part = Matrix::zeros(prow, cols);
-            for j in 0..k {
-                let w = self.parity.get(p, j);
-                for r in 0..prow {
-                    if let Some(src) = padded_row(j * prow + r) {
-                        let dst = part.row_mut(r);
-                        for (d, s) in dst.iter_mut().zip(src.iter()) {
-                            *d += w * s;
+        // Parity partitions: one cache-blocked pass over the data instead
+        // of a full sweep per parity node. Row blocks are sized so the
+        // source rows plus every parity destination block stay resident,
+        // so each data element is read from memory once rather than
+        // `n − k` times. Per output element the k contributions still
+        // accumulate in ascending-j order, identical to a per-partition
+        // sweep.
+        let pcount = self.params.n - k;
+        if pcount > 0 {
+            let mut parity_parts = vec![Matrix::zeros(prow, cols); pcount];
+            let block_rows = (ROW_BLOCK_ELEMS / (cols.max(1) * (pcount + 1))).clamp(1, prow);
+            let mut b = 0;
+            while b < prow {
+                let bend = (b + block_rows).min(prow);
+                for j in 0..k {
+                    for r in b..bend {
+                        let Some(src) = padded_row(j * prow + r) else {
+                            continue;
+                        };
+                        for (p, part) in parity_parts.iter_mut().enumerate() {
+                            let w = self.parity.get(p, j);
+                            for (d, s) in part.row_mut(r).iter_mut().zip(src.iter()) {
+                                *d += w * s;
+                            }
                         }
                     }
                 }
+                b = bend;
             }
-            partitions.push(part);
+            partitions.extend(parity_parts);
         }
 
         Ok(EncodedMatrix {
@@ -221,11 +239,91 @@ impl MdsCode {
         layout: &ChunkLayout,
         responses: &[WorkerChunkResult],
     ) -> Result<Vector, CodingError> {
+        let rpc = layout.rows_per_chunk();
+        let per_chunk = group_by_chunk(responses, self.params.n, layout, rpc)?
+            .into_iter()
+            .map(|rs| {
+                rs.into_iter()
+                    .map(|r| (r.worker, r.values.as_slice()))
+                    .collect()
+            })
+            .collect();
+        let mut out = self.decode_stacked(layout, per_chunk, 1)?;
+        out.truncate(layout.original_rows);
+        Ok(Vector::from(out))
+    }
+
+    /// Decodes `A·x_m` for every member of a stacked batch from
+    /// contiguous per-chunk blocks — the batch-first counterpart of
+    /// [`Self::decode_matvec`].
+    ///
+    /// All blocks must carry the same member count; coverage rules are
+    /// as for single decoding (every chunk needs ≥ `k` distinct
+    /// workers, fastest-`k` preferred). The LU system of a chunk is
+    /// factored once and back-substituted over the whole stacked block,
+    /// and each member's output is bit-identical to decoding that
+    /// member's responses alone.
+    ///
+    /// Returns one output vector per member, truncated to the original
+    /// row count.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::decode_matvec`]; additionally
+    /// [`CodingError::MalformedResponse`] for blocks with inconsistent
+    /// member counts.
+    pub fn decode_matvec_multi(
+        &self,
+        layout: &ChunkLayout,
+        responses: &[MultiChunkResult],
+    ) -> Result<Vec<Vector>, CodingError> {
+        let Some(first) = responses.first() else {
+            return Err(CodingError::NotEnoughResponses {
+                chunk: 0,
+                got: 0,
+                need: self.params.k,
+            });
+        };
+        let members = first.members;
+        let rpc = layout.rows_per_chunk();
+        let per_chunk = group_blocks_by_chunk(responses, self.params.n, layout, members, rpc)?
+            .into_iter()
+            .map(|rs| {
+                rs.into_iter()
+                    .map(|r| (r.worker, r.values.as_slice()))
+                    .collect()
+            })
+            .collect();
+        let out = self.decode_stacked(layout, per_chunk, members)?;
+        let padded = layout.padded_rows;
+        Ok((0..members)
+            .map(|mem| {
+                let mut v = out[mem * padded..(mem + 1) * padded].to_vec();
+                v.truncate(layout.original_rows);
+                Vector::from(v)
+            })
+            .collect())
+    }
+
+    /// The shared stacked decode core.
+    ///
+    /// `per_chunk[chunk]` holds `(worker, values)` pairs whose values are
+    /// `rows_per_chunk × members` blocks (chunk-row-major, member-minor);
+    /// the return buffer is member-major (`members × padded_rows`).
+    /// Single decoding is the `members == 1` case, with identical
+    /// operation order.
+    fn decode_stacked(
+        &self,
+        layout: &ChunkLayout,
+        per_chunk: Vec<Vec<(usize, &[f64])>>,
+        members: usize,
+    ) -> Result<Vec<f64>, CodingError> {
         let k = self.params.k;
         let rpc = layout.rows_per_chunk();
-        let per_chunk = group_by_chunk(responses, self.params.n, layout, rpc)?;
+        let padded = layout.padded_rows;
+        let width = rpc * members;
 
-        let mut out = vec![0.0; layout.padded_rows];
+        let mut out = vec![0.0; members * padded];
         for (chunk, mut resps) in per_chunk.into_iter().enumerate() {
             if resps.len() < k {
                 return Err(CodingError::NotEnoughResponses {
@@ -236,59 +334,63 @@ impl MdsCode {
             }
             // Deterministic preference for systematic responses: they decode
             // for free, minimizing the solve size.
-            resps.sort_by_key(|r| r.worker);
+            resps.sort_by_key(|r| r.0);
             resps.truncate(k);
 
             // Place systematic results directly; collect missing blocks.
             let mut have = vec![false; k];
-            for r in &resps {
-                if r.worker < k {
-                    have[r.worker] = true;
-                    let dst = layout.output_range(r.worker, chunk);
-                    out[dst].copy_from_slice(&r.values);
+            for &(w, vals) in &resps {
+                if w < k {
+                    have[w] = true;
+                    let dst = layout.output_range(w, chunk);
+                    for (col, &v) in vals[..width].iter().enumerate() {
+                        out[(col % members) * padded + dst.start + col / members] = v;
+                    }
                 }
             }
             let missing: Vec<usize> = (0..k).filter(|j| !have[*j]).collect();
             if missing.is_empty() {
                 continue;
             }
-            let parity_resps: Vec<&&WorkerChunkResult> =
-                resps.iter().filter(|r| r.worker >= k).collect();
+            let parity_resps: Vec<(usize, &[f64])> =
+                resps.iter().copied().filter(|r| r.0 >= k).collect();
             debug_assert!(parity_resps.len() >= missing.len());
 
-            // Build the m×m sub-Cauchy system over the missing coordinates.
+            // Build the m×m generator subsystem over the missing
+            // coordinates and factor it once for the whole stacked block.
             let m = missing.len();
             let sys = Matrix::from_fn(m, m, |pi, mj| {
-                self.parity.get(parity_resps[pi].worker - k, missing[mj])
+                self.parity.get(parity_resps[pi].0 - k, missing[mj])
             });
             let lu = LuFactors::factor(&sys).map_err(|_| CodingError::DecodeSingular { chunk })?;
 
-            // RHS: parity values minus contributions from known blocks,
-            // one column per row inside the chunk.
-            let mut rhs = Matrix::zeros(m, rpc);
-            for (pi, pr) in parity_resps.iter().enumerate() {
-                let prow_idx = pr.worker - k;
-                for (c, &pv) in pr.values[..rpc].iter().enumerate() {
+            // RHS: parity values minus contributions from known blocks —
+            // one column per (chunk row, member) pair, built flat and
+            // handed to the solver in one piece.
+            let mut rhs = Vec::with_capacity(m * width);
+            for &(pw, vals) in &parity_resps {
+                let prow_idx = pw - k;
+                for (col, &pv) in vals[..width].iter().enumerate() {
+                    let base = (col % members) * padded + col / members;
                     let mut v = pv;
                     for j in 0..k {
                         if have[j] {
-                            let known = out[layout.output_range(j, chunk)][c];
+                            let known = out[base + layout.output_range(j, chunk).start];
                             v -= self.parity.get(prow_idx, j) * known;
                         }
                     }
-                    rhs.set(pi, c, v);
+                    rhs.push(v);
                 }
             }
-            let solved = lu.solve_matrix(&rhs);
+            let solved = lu.solve_matrix(&Matrix::from_flat(m, width, rhs));
             for (mi, &j) in missing.iter().enumerate() {
                 let dst = layout.output_range(j, chunk);
-                for c in 0..rpc {
-                    out[dst.start + c] = solved.get(mi, c);
+                for col in 0..width {
+                    out[(col % members) * padded + dst.start + col / members] = solved.get(mi, col);
                 }
             }
         }
-        out.truncate(layout.original_rows);
-        Ok(Vector::from(out))
+        Ok(out)
     }
 
     /// Estimated floating-point operations to decode one iteration given
@@ -302,6 +404,93 @@ impl MdsCode {
         // LU factor m^3/3 + per-column triangular solves m^2 each,
         // + RHS adjustment m·k·rpc.
         chunks * (m.powi(3) / 3.0 + rpc * m.powi(2) + m * self.params.k as f64 * rpc)
+    }
+
+    /// Fused encode-multiply: every worker's stacked chunk products for
+    /// `xs`, computed directly from the data matrix without ever
+    /// materializing parity partitions.
+    ///
+    /// The code is systematic and the products are linear in the stored
+    /// rows, so parity products are generator-weighted combinations of
+    /// the systematic chunk products: `k` row-range matvecs over `A`
+    /// (exactly the systematic work) plus cheap length-`rows_per_chunk ×
+    /// members` axpys replace the full `(n − k) × partition` parity
+    /// encode pass. A one-shot multiply therefore skips `(n − k)/n` of
+    /// the encode cost entirely — the right tool when an encoding will
+    /// be used once rather than cached across iterations.
+    ///
+    /// Systematic blocks are bit-identical to
+    /// [`EncodedMatrix::worker_compute_chunk_multi`] on an encoding of
+    /// `a`; parity blocks differ by rounding only (weighted sums of
+    /// products instead of products of weighted rows), which decoding
+    /// absorbs within [`s2c2_linalg::ROUND_TRIP_TOL`].
+    ///
+    /// Returns the layout and one block per `(worker, chunk)` pair,
+    /// worker-major.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::InvalidParams`] when `xs.len() != a.cols()`, plus
+    /// layout errors for degenerate shapes.
+    pub fn encode_matvec_multi(
+        &self,
+        a: &Matrix,
+        chunks_per_partition: usize,
+        xs: &MultiVector,
+    ) -> Result<(ChunkLayout, Vec<MultiChunkResult>), CodingError> {
+        if xs.len() != a.cols() {
+            return Err(CodingError::InvalidParams(format!(
+                "input length {} does not match matrix columns {}",
+                xs.len(),
+                a.cols()
+            )));
+        }
+        let k = self.params.k;
+        let layout = ChunkLayout::new(a.rows(), k, chunks_per_partition)?;
+        let prow = layout.partition_rows();
+        let chunks = layout.chunks_per_partition;
+        let members = xs.count();
+        let width = layout.rows_per_chunk() * members;
+
+        // Systematic products straight off `a`'s rows; rows beyond the
+        // original count are zero padding, so their products are zeros.
+        let mut sys: Vec<Vec<f64>> = Vec::with_capacity(k * chunks);
+        for j in 0..k {
+            for c in 0..chunks {
+                let local = layout.chunk_range_in_partition(c);
+                let begin = (j * prow + local.start).min(a.rows());
+                let end = (j * prow + local.end).min(a.rows());
+                let mut vals = a.matvec_multi_rows(xs, begin, end).into_flat();
+                vals.resize(width, 0.0);
+                sys.push(vals);
+            }
+        }
+        // Parity products as generator-weighted combinations of the
+        // systematic products.
+        let mut parity_blocks = Vec::with_capacity((self.params.n - k) * chunks);
+        for p in 0..self.params.n - k {
+            for c in 0..chunks {
+                let mut vals = vec![0.0; width];
+                for j in 0..k {
+                    let w = self.parity.get(p, j);
+                    for (d, s) in vals.iter_mut().zip(&sys[j * chunks + c]) {
+                        *d += w * s;
+                    }
+                }
+                parity_blocks.push(MultiChunkResult::new(k + p, c, members, vals));
+            }
+        }
+        let mut results = Vec::with_capacity(self.params.n * chunks);
+        for (idx, vals) in sys.into_iter().enumerate() {
+            results.push(MultiChunkResult::new(
+                idx / chunks,
+                idx % chunks,
+                members,
+                vals,
+            ));
+        }
+        results.extend(parity_blocks);
+        Ok((layout, results))
     }
 }
 
@@ -383,46 +572,51 @@ impl EncodedMatrix {
     }
 
     /// Multi-RHS variant of [`Self::worker_compute_chunk`]: computes the
-    /// chunk's rows against *several* input vectors in one pass over the
-    /// stored partition — the stacked matvec a batch round dispatches,
-    /// where `m` small jobs sharing this encoding ride one task. Each
-    /// partition row is loaded once and dotted against every input, so
-    /// the per-row fixed costs (row traversal, dispatch) are paid once
-    /// instead of `m` times.
+    /// chunk's rows against every member of a stacked batch in one
+    /// cache-blocked pass over the stored partition — the stacked matvec
+    /// a batch round dispatches, where `m` small jobs sharing this
+    /// encoding ride one task. The kernel
+    /// ([`Matrix::matvec_multi_rows`]) tiles members so each partition
+    /// row is loaded once per member tile instead of once per member.
     ///
-    /// Returns one [`WorkerChunkResult`] per input vector, in input
-    /// order. For a single input this is bit-identical to
-    /// [`Self::worker_compute_chunk`] (same dot-product evaluation
-    /// order), which is what keeps batched and unbatched decode outputs
-    /// comparable at machine precision.
+    /// Returns one contiguous [`MultiChunkResult`] block
+    /// (`rows_per_chunk × members`, member-minor) — the wire format the
+    /// stacked decoder consumes directly. Every member's column is
+    /// bit-identical to [`Self::worker_compute_chunk`] on that member
+    /// alone (same dot-product evaluation order), which is what keeps
+    /// batched and unbatched decode outputs comparable at machine
+    /// precision.
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range indices, an empty `xs`, or mismatched
-    /// input lengths.
+    /// Panics on out-of-range indices or mismatched input length.
     #[must_use]
     pub fn worker_compute_chunk_multi(
         &self,
         worker: usize,
         chunk: usize,
-        xs: &[&Vector],
-    ) -> Vec<WorkerChunkResult> {
-        assert!(!xs.is_empty(), "stacked matvec needs at least one input");
+        xs: &MultiVector,
+    ) -> MultiChunkResult {
         let range = self.layout.chunk_range_in_partition(chunk);
-        let part = &self.partitions[worker];
-        let mut values: Vec<Vec<f64>> = xs
+        let block = self.partitions[worker].matvec_multi_rows(xs, range.start, range.end);
+        MultiChunkResult::new(worker, chunk, xs.count(), block.into_flat())
+    }
+
+    /// Computes worker `i`'s stacked blocks for every chunk in `chunks`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::worker_compute_chunk_multi`].
+    #[must_use]
+    pub fn worker_compute_chunks_multi(
+        &self,
+        worker: usize,
+        chunks: &[usize],
+        xs: &MultiVector,
+    ) -> Vec<MultiChunkResult> {
+        chunks
             .iter()
-            .map(|_| Vec::with_capacity(range.end - range.start))
-            .collect();
-        for r in range {
-            let row = part.row(r);
-            for (vals, x) in values.iter_mut().zip(xs.iter()) {
-                vals.push(s2c2_linalg::vector::dot_slices(row, x.as_slice()));
-            }
-        }
-        values
-            .into_iter()
-            .map(|v| WorkerChunkResult::new(worker, chunk, v))
+            .map(|&c| self.worker_compute_chunk_multi(worker, c, xs))
             .collect()
     }
 
@@ -528,33 +722,128 @@ mod tests {
         let a = data_matrix(96, 9);
         let code = MdsCode::new(MdsParams::new(6, 4)).unwrap();
         let enc = code.encode(&a, 3).unwrap();
-        let xs: Vec<Vector> = (0..3)
+        // 5 members exercises a full RHS tile plus a remainder.
+        let vs: Vec<Vector> = (0..5)
             .map(|j| Vector::from_fn(9, |i| (i as f64 * 0.3 + j as f64).sin()))
             .collect();
-        let refs: Vec<&Vector> = xs.iter().collect();
+        let refs: Vec<&Vector> = vs.iter().collect();
+        let xs = MultiVector::from_vectors(&refs);
         for worker in 0..6 {
             for chunk in 0..3 {
-                let stacked = enc.worker_compute_chunk_multi(worker, chunk, &refs);
-                assert_eq!(stacked.len(), 3);
-                for (j, x) in xs.iter().enumerate() {
+                let stacked = enc.worker_compute_chunk_multi(worker, chunk, &xs);
+                assert_eq!(stacked.worker, worker);
+                assert_eq!(stacked.chunk, chunk);
+                assert_eq!(stacked.members, 5);
+                for (j, x) in vs.iter().enumerate() {
                     let single = enc.worker_compute_chunk(worker, chunk, x);
-                    assert_eq!(stacked[j].worker, single.worker);
-                    assert_eq!(stacked[j].chunk, single.chunk);
                     // Bit-identical, not merely close: the stacked kernel
-                    // reuses the single path's dot-product order.
-                    assert_eq!(stacked[j].values, single.values);
+                    // preserves the single path's dot-product order.
+                    assert_eq!(stacked.member_values(j), single.values);
                 }
             }
         }
     }
 
     #[test]
-    #[should_panic(expected = "at least one input")]
-    fn multi_rhs_rejects_empty_inputs() {
+    #[should_panic(expected = "dimension mismatch")]
+    fn multi_rhs_rejects_mismatched_input_length() {
         let a = data_matrix(24, 3);
         let code = MdsCode::new(MdsParams::new(3, 2)).unwrap();
         let enc = code.encode(&a, 2).unwrap();
-        let _ = enc.worker_compute_chunk_multi(0, 0, &[]);
+        let xs = MultiVector::zeros(2, 5);
+        let _ = enc.worker_compute_chunk_multi(0, 0, &xs);
+    }
+
+    #[test]
+    fn stacked_decode_matches_single_decode_bitwise() {
+        let a = data_matrix(72, 6);
+        let code = MdsCode::new(MdsParams::new(6, 4)).unwrap();
+        let enc = code.encode(&a, 3).unwrap();
+        let vs: Vec<Vector> = (0..4)
+            .map(|j| Vector::from_fn(6, |i| (i as f64 * 0.7 - j as f64).cos()))
+            .collect();
+        let refs: Vec<&Vector> = vs.iter().collect();
+        let xs = MultiVector::from_vectors(&refs);
+        // Mixed coverage with parity workers involved (worker 1 missing).
+        let workers = [0usize, 2, 3, 4];
+        let blocks: Vec<MultiChunkResult> = workers
+            .iter()
+            .flat_map(|&w| enc.worker_compute_chunks_multi(w, &[0, 1, 2], &xs))
+            .collect();
+        let outs = code.decode_matvec_multi(enc.layout(), &blocks).unwrap();
+        assert_eq!(outs.len(), 4);
+        for (j, x) in vs.iter().enumerate() {
+            // Per-member single decode over the same responses.
+            let singles: Vec<WorkerChunkResult> = blocks
+                .iter()
+                .map(|b| WorkerChunkResult::new(b.worker, b.chunk, b.member_values(j)))
+                .collect();
+            let single = code.decode_matvec(enc.layout(), &singles).unwrap();
+            // The stacked core performs identical per-member operations.
+            assert_eq!(outs[j].as_slice(), single.as_slice());
+            assert_slices_close(outs[j].as_slice(), a.matvec(x).as_slice(), 1e-8);
+        }
+    }
+
+    #[test]
+    fn stacked_decode_empty_reports_not_enough() {
+        let code = MdsCode::new(MdsParams::new(4, 2)).unwrap();
+        let layout = ChunkLayout::new(40, 2, 2).unwrap();
+        let err = code.decode_matvec_multi(&layout, &[]).unwrap_err();
+        assert_eq!(
+            err,
+            CodingError::NotEnoughResponses {
+                chunk: 0,
+                got: 0,
+                need: 2
+            }
+        );
+    }
+
+    #[test]
+    fn fused_encode_multiply_matches_two_pass() {
+        let a = data_matrix(50, 7);
+        let code = MdsCode::new(MdsParams::new(6, 4)).unwrap();
+        let enc = code.encode(&a, 3).unwrap();
+        let xs = MultiVector::from_fn(3, 7, |m, i| ((m * 3 + i) % 5) as f64 * 0.4 - 0.9);
+        let (layout, fused) = code.encode_matvec_multi(&a, 3, &xs).unwrap();
+        assert_eq!(&layout, enc.layout());
+        assert_eq!(fused.len(), 6 * 3);
+        for block in &fused {
+            let direct = enc.worker_compute_chunk_multi(block.worker, block.chunk, &xs);
+            if block.worker < 4 {
+                // Systematic products come off the same rows through the
+                // same kernel: bit-identical.
+                assert_eq!(block.values, direct.values);
+            } else {
+                // Parity products are combinations of products rather than
+                // products of combinations: equal up to rounding.
+                assert_slices_close(&block.values, &direct.values, 1e-9);
+            }
+        }
+        // Fused responses decode like any others: drop one systematic
+        // worker, keep a parity worker in the mix.
+        let subset: Vec<MultiChunkResult> = fused
+            .iter()
+            .filter(|b| b.worker != 1 && b.worker != 5)
+            .cloned()
+            .collect();
+        let outs = code.decode_matvec_multi(&layout, &subset).unwrap();
+        for (m, y) in outs.iter().enumerate() {
+            let x = Vector::from(xs.member(m).to_vec());
+            assert_slices_close(y.as_slice(), a.matvec(&x).as_slice(), 1e-6);
+        }
+    }
+
+    #[test]
+    fn fused_encode_multiply_rejects_bad_input_length() {
+        let a = data_matrix(20, 4);
+        let code = MdsCode::new(MdsParams::new(3, 2)).unwrap();
+        let xs = MultiVector::zeros(2, 9);
+        assert!(matches!(
+            code.encode_matvec_multi(&a, 2, &xs),
+            Err(CodingError::InvalidParams(_))
+        ));
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 pub mod error;
 pub mod matrix;
+pub mod multivector;
 pub mod parallel;
 pub mod solve;
 pub mod structured;
@@ -40,6 +41,7 @@ pub mod vector;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use multivector::MultiVector;
 pub use solve::LuFactors;
 pub use vector::Vector;
 

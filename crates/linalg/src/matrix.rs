@@ -6,6 +6,7 @@
 //! single `memcpy`-like copy of contiguous storage.
 
 use crate::error::LinalgError;
+use crate::multivector::{matvec_multi_block, MultiVector};
 use crate::vector::{dot_slices, Vector};
 
 /// A dense row-major `f64` matrix.
@@ -160,6 +161,12 @@ impl Matrix {
         &self.data
     }
 
+    /// Consumes the matrix, returning its flat row-major buffer.
+    #[must_use]
+    pub fn into_flat(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Flat mutable view of the underlying storage.
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
@@ -167,24 +174,24 @@ impl Matrix {
 
     /// `y = self · x` (matrix–vector product).
     ///
+    /// The single-vector product is the `count == 1` degenerate case of
+    /// the batch-first kernel behind [`Matrix::matvec_multi_rows`].
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.cols()`.
     #[must_use]
     pub fn matvec(&self, x: &Vector) -> Vector {
-        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
-        let xs = x.as_slice();
-        let mut out = Vec::with_capacity(self.rows);
-        for r in 0..self.rows {
-            out.push(dot_slices(self.row(r), xs));
-        }
-        Vector::from(out)
+        self.matvec_rows(x, 0, self.rows)
     }
 
     /// Matrix–vector product restricted to the row range `[begin, end)`.
     ///
     /// Workers computing a chunk of their partition call this so only the
-    /// assigned rows are touched.
+    /// assigned rows are touched. Implemented as the single-member case
+    /// of the stacked kernel, which routes through the same 4-wide
+    /// unrolled dot product as the historical per-row loop — results are
+    /// bit-identical to it.
     #[must_use]
     pub fn matvec_rows(&self, x: &Vector, begin: usize, end: usize) -> Vector {
         assert_eq!(x.len(), self.cols, "matvec_rows: dimension mismatch");
@@ -192,12 +199,60 @@ impl Matrix {
             begin <= end && end <= self.rows,
             "matvec_rows: range out of bounds"
         );
-        let xs = x.as_slice();
-        let mut out = Vec::with_capacity(end - begin);
-        for r in begin..end {
-            out.push(dot_slices(self.row(r), xs));
-        }
+        let mut out = vec![0.0; end - begin];
+        matvec_multi_block(&self.data, self.cols, begin, end, x.as_slice(), 1, &mut out);
         Vector::from(out)
+    }
+
+    /// Stacked matrix–vector product: `self · xᵀ` for every member of a
+    /// [`MultiVector`], over all rows.
+    ///
+    /// Returns a `rows × count` matrix (output-row-major, member-minor),
+    /// matching the chunk-major × member-minor layout the coded reply
+    /// path ships over the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != self.cols()`.
+    #[must_use]
+    pub fn matvec_multi(&self, xs: &MultiVector) -> Matrix {
+        self.matvec_multi_rows(xs, 0, self.rows)
+    }
+
+    /// Stacked matrix–vector product restricted to rows `[begin, end)`.
+    ///
+    /// This is the batch-first primitive of the kernel layer: the
+    /// cache-blocked kernel tiles members in
+    /// [`RHS_TILE`](crate::multivector::RHS_TILE)-wide groups inside
+    /// row blocks sized by
+    /// [`row_block_for`](crate::multivector::row_block_for), so each
+    /// matrix row is loaded once per member tile instead of once per
+    /// member. Each member's column of the result is bit-identical to
+    /// `self.matvec_rows(member, begin, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != self.cols()` or the row range is out of
+    /// bounds.
+    #[must_use]
+    pub fn matvec_multi_rows(&self, xs: &MultiVector, begin: usize, end: usize) -> Matrix {
+        assert_eq!(xs.len(), self.cols, "matvec_multi_rows: dimension mismatch");
+        assert!(
+            begin <= end && end <= self.rows,
+            "matvec_multi_rows: range out of bounds"
+        );
+        let count = xs.count();
+        let mut out = vec![0.0; (end - begin) * count];
+        matvec_multi_block(
+            &self.data,
+            self.cols,
+            begin,
+            end,
+            xs.as_slice(),
+            count,
+            &mut out,
+        );
+        Matrix::from_flat(end - begin, count, out)
     }
 
     /// Dense matrix–matrix product `self · other`.
@@ -495,5 +550,40 @@ mod tests {
     fn from_flat_roundtrip() {
         let m = Matrix::from_flat(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn matvec_multi_columns_match_single_bitwise() {
+        let m = Matrix::from_fn(23, 13, |r, c| ((r * 7 + c * 3) % 11) as f64 * 0.5 - 2.0);
+        let vs: Vec<Vector> = (0..6)
+            .map(|i| Vector::from_fn(13, |j| ((i * 5 + j) % 9) as f64 * 0.25 - 1.0))
+            .collect();
+        let refs: Vec<&Vector> = vs.iter().collect();
+        let xs = MultiVector::from_vectors(&refs);
+        let stacked = m.matvec_multi(&xs);
+        assert_eq!(stacked.shape(), (23, 6));
+        for (i, v) in vs.iter().enumerate() {
+            let single = m.matvec(v);
+            for r in 0..23 {
+                assert_eq!(
+                    stacked.get(r, i),
+                    single.as_slice()[r],
+                    "row {r} member {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_multi_rows_matches_full() {
+        let m = Matrix::from_fn(19, 8, |r, c| (r + c) as f64);
+        let xs = MultiVector::from_fn(3, 8, |i, j| (i * 8 + j) as f64 * 0.1);
+        let full = m.matvec_multi(&xs);
+        let part = m.matvec_multi_rows(&xs, 4, 11);
+        for r in 4..11 {
+            for c in 0..3 {
+                assert_eq!(part.get(r - 4, c), full.get(r, c));
+            }
+        }
     }
 }

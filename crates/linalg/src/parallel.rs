@@ -11,10 +11,29 @@
 use crate::matrix::Matrix;
 use crate::vector::{dot_slices, Vector};
 
+/// Minimum number of matrix *elements* (`rows × cols`) a row-range matvec
+/// must touch before [`par_matvec_rows`] spawns OS threads.
+///
+/// Thread spawn + join costs a few microseconds; a matvec over fewer
+/// elements than this finishes sequentially in about that time, so
+/// spawning would only add latency. The cutoff is on work, not rows: a
+/// short-wide range (few rows, many columns) carries as much arithmetic
+/// as a tall-narrow one and deserves the same decision.
+pub const PAR_SPAWN_WORK: usize = 32 * 1024;
+
+/// Whether a row-range matvec of `rows × cols` elements should spawn
+/// `threads` OS threads rather than fall through to the sequential
+/// kernel. Exposed so the spawn boundary is unit-testable.
+#[must_use]
+pub fn should_spawn(rows: usize, cols: usize, threads: usize) -> bool {
+    threads > 1 && rows > 0 && rows.saturating_mul(cols) >= PAR_SPAWN_WORK
+}
+
 /// Computes `A·x` with `threads` OS threads, splitting rows evenly.
 ///
-/// Falls back to the sequential kernel for a single thread or tiny inputs
-/// (the crossover is far below any matrix the workloads produce).
+/// Falls back to the sequential kernel for a single thread or when the
+/// total work `rows × cols` is below [`PAR_SPAWN_WORK`] (the crossover is
+/// far below any matrix the workloads produce).
 ///
 /// # Panics
 ///
@@ -43,7 +62,7 @@ pub fn par_matvec_rows(a: &Matrix, x: &Vector, begin: usize, end: usize, threads
         a.rows()
     );
     let rows = end - begin;
-    if threads == 1 || rows < 256 {
+    if !should_spawn(rows, a.cols(), threads) {
         return a.matvec_rows(x, begin, end);
     }
     let threads = threads.min(rows);
@@ -153,6 +172,40 @@ mod tests {
         let a = random_matrix(10, 5, 2);
         let x = Vector::filled(5, 1.0);
         assert_eq!(par_matvec(&a, &x, 8), a.matvec(&x));
+    }
+
+    #[test]
+    fn spawn_threshold_is_work_based() {
+        // Exactly at the cutoff spawns; one element of work less does not.
+        let cols = 64;
+        let rows_at = PAR_SPAWN_WORK / cols;
+        assert!(should_spawn(rows_at, cols, 4));
+        assert!(!should_spawn(rows_at - 1, cols, 4));
+        // Short-wide ranges count their columns: 8 rows of 4096 columns
+        // is the same work as 512 rows of 64.
+        assert!(should_spawn(8, PAR_SPAWN_WORK / 8, 4));
+        assert!(!should_spawn(8, PAR_SPAWN_WORK / 8 - 1, 4));
+        // A single thread or an empty range never spawns, however large.
+        assert!(!should_spawn(1 << 20, 1 << 20, 1));
+        assert!(!should_spawn(0, 1 << 20, 4));
+    }
+
+    #[test]
+    fn par_matvec_rows_spawns_at_threshold_boundary() {
+        // Shapes straddling the work cutoff must agree with the
+        // sequential kernel bit-for-bit on both sides.
+        let cols = 32;
+        let rows = PAR_SPAWN_WORK / cols + 1;
+        let a = random_matrix(rows, cols, 11);
+        let x = Vector::from_fn(cols, |i| (i as f64).cos());
+        // One row above the cutoff: spawns.
+        assert!(should_spawn(rows, cols, 4));
+        let par = par_matvec_rows(&a, &x, 0, rows, 4);
+        assert_eq!(par, a.matvec_rows(&x, 0, rows));
+        // Narrow the range below the cutoff: sequential fallback.
+        assert!(!should_spawn(rows - 2, cols, 4));
+        let par = par_matvec_rows(&a, &x, 1, rows - 1, 4);
+        assert_eq!(par, a.matvec_rows(&x, 1, rows - 1));
     }
 
     #[test]

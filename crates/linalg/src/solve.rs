@@ -129,15 +129,33 @@ impl LuFactors {
         assert_eq!(b.rows(), n, "solve_matrix: rhs row mismatch");
         let cols = b.cols();
         let mut out = Matrix::zeros(n, cols);
-        // Work column-by-column with a scratch vector to stay allocation-light.
-        let mut col = vec![0.0; n];
+        // Substitute directly in two reused scratch buffers: the stacked
+        // decoder solves `rows_per_chunk × members` columns per chunk, so
+        // per-column allocations would dominate the small-system solves.
+        let mut rhs = vec![0.0; n];
+        let mut x = vec![0.0; n];
         for c in 0..cols {
-            for (r, slot) in col.iter_mut().enumerate() {
+            for (r, slot) in rhs.iter_mut().enumerate() {
                 *slot = b.get(r, c);
             }
-            let x = self.solve(&Vector::from(col.clone()));
-            for r in 0..n {
-                out.set(r, c, x.as_slice()[r]);
+            // Forward substitution on the permuted rhs (unit diagonal L).
+            for i in 0..n {
+                let mut sum = rhs[self.perm[i]];
+                for (j, &xj) in x[..i].iter().enumerate() {
+                    sum -= self.lu.get(i, j) * xj;
+                }
+                x[i] = sum;
+            }
+            // Back substitution through U.
+            for i in (0..n).rev() {
+                let mut sum = x[i];
+                for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                    sum -= self.lu.get(i, j) * xj;
+                }
+                x[i] = sum / self.lu.get(i, i);
+            }
+            for (r, &xr) in x.iter().enumerate() {
+                out.set(r, c, xr);
             }
         }
         out

@@ -36,8 +36,8 @@ use crate::metrics::ServiceReport;
 use crate::workload::JobSpec;
 use s2c2_cluster::threaded::{CancelToken, ThreadedCluster};
 use s2c2_coding::cache::{CachedEncoding, EncodeCache, EncodeKey};
-use s2c2_coding::chunks::WorkerChunkResult;
-use s2c2_linalg::{Matrix, Vector};
+use s2c2_coding::chunks::MultiChunkResult;
+use s2c2_linalg::{Matrix, MultiVector, Vector};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
@@ -84,8 +84,10 @@ impl std::fmt::Display for BackendKind {
 /// Iteration-level hooks receive the *member specs* of the residency's
 /// batch (a solo job passes a one-element slice, `specs[0]` is always
 /// the leader whose id keys the engine's events): a batch round
-/// dispatches one stacked multi-RHS task per worker, and its results
-/// are de-interleaved, decoded, and verified per member.
+/// dispatches one stacked multi-RHS task per worker, whose contiguous
+/// reply blocks feed the stacked decoder directly — every member is
+/// decoded and verified from one pass, with no per-member
+/// de-interleaving.
 pub(crate) trait ExecutionBackend {
     /// A job was admitted: materialize/encode its model (via the cache)
     /// under the engine's effective code geometry. Called once per
@@ -113,8 +115,8 @@ pub(crate) trait ExecutionBackend {
     /// straggler, churned worker, or superfluous work at completion).
     fn on_cancel(&mut self, job: JobId, generation: u64, worker: usize, redo: bool);
     /// The timing model completed an iteration: collect/compute the
-    /// credited workers' responses, de-interleave them per member,
-    /// decode, verify — each member individually.
+    /// credited workers' stacked blocks and decode/verify every batch
+    /// member from them in one stacked pass.
     fn on_iteration_complete(
         &mut self,
         specs: &[JobSpec],
@@ -294,71 +296,86 @@ impl NumericCore {
         Ok(())
     }
 
-    /// The shared encoding and per-member input vectors of one batch
-    /// round. Members share the encoding by batch-key construction
+    /// The shared encoding and the stacked member inputs of one batch
+    /// round, as a single contiguous multi-RHS buffer (one member for a
+    /// solo job). Members share the encoding by batch-key construction
     /// (same matrix identity, shape, and code geometry), so the
     /// leader's cached entry serves the whole group.
     fn batch_inputs(
         &self,
         specs: &[JobSpec],
-    ) -> Result<(Arc<CachedEncoding>, Vec<Arc<Vector>>), String> {
+    ) -> Result<(Arc<CachedEncoding>, Arc<MultiVector>), String> {
         let leader = self
             .jobs
             .get(&specs[0].id)
             .ok_or_else(|| format!("job {} iterated before admission", specs[0].id))?;
         let enc = Arc::clone(&leader.enc);
-        let xs = specs
-            .iter()
-            .map(|s| {
-                self.jobs
-                    .get(&s.id)
-                    .map(|j| Arc::clone(&j.x))
-                    .ok_or_else(|| format!("job {} iterated before admission", s.id))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok((enc, xs))
+        let mut xs = MultiVector::zeros(specs.len(), specs[0].cols);
+        for (m, s) in specs.iter().enumerate() {
+            let job = self
+                .jobs
+                .get(&s.id)
+                .ok_or_else(|| format!("job {} iterated before admission", s.id))?;
+            xs.member_mut(m).copy_from_slice(job.x.as_slice());
+        }
+        Ok((enc, Arc::new(xs)))
     }
 
-    /// Decodes `responses`, verifies against the reference, and records
-    /// the outcome.
-    fn verify(
+    /// Decodes the round's stacked blocks (all members in one pass, LU
+    /// factored once per chunk), verifies every member against its
+    /// sequential reference, and records the outcomes.
+    fn verify_multi(
         &mut self,
-        spec: &JobSpec,
-        responses: &[WorkerChunkResult],
+        specs: &[JobSpec],
+        blocks: &[MultiChunkResult],
         is_final: bool,
     ) -> Result<(), String> {
-        let job = self
+        let leader = self
             .jobs
-            .get(&spec.id)
-            .ok_or_else(|| format!("job {} completed before admission", spec.id))?;
-        let y = job
+            .get(&specs[0].id)
+            .ok_or_else(|| format!("job {} completed before admission", specs[0].id))?;
+        let outs = leader
             .enc
             .code
-            .decode_matvec(job.enc.encoded.layout(), responses)
-            .map_err(|e| format!("job {} decode failed: {e}", spec.id))?;
-        let scale = 1.0
-            + job
-                .y_ref
-                .as_slice()
-                .iter()
-                .fold(0.0f64, |m, v| m.max(v.abs()));
-        let err = y
-            .as_slice()
-            .iter()
-            .zip(job.y_ref.as_slice())
-            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
-            / scale;
-        if err.is_nan() || err > VERIFY_TOL {
+            .decode_matvec_multi(leader.enc.encoded.layout(), blocks)
+            .map_err(|e| format!("job {} decode failed: {e}", specs[0].id))?;
+        if outs.len() != specs.len() {
             return Err(format!(
-                "job {} decoded output diverged from the sequential reference \
-                 (relative error {err:.3e} > {VERIFY_TOL:.0e})",
-                spec.id
+                "batch led by job {} decoded {} members, expected {}",
+                specs[0].id,
+                outs.len(),
+                specs.len()
             ));
         }
-        self.verified += 1;
-        self.max_error = self.max_error.max(err);
-        if is_final {
-            self.outputs.push((spec.id, y.into_vec()));
+        for (spec, y) in specs.iter().zip(outs) {
+            let job = self
+                .jobs
+                .get(&spec.id)
+                .ok_or_else(|| format!("job {} completed before admission", spec.id))?;
+            let scale = 1.0
+                + job
+                    .y_ref
+                    .as_slice()
+                    .iter()
+                    .fold(0.0f64, |m, v| m.max(v.abs()));
+            let err = y
+                .as_slice()
+                .iter()
+                .zip(job.y_ref.as_slice())
+                .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+                / scale;
+            if err.is_nan() || err > VERIFY_TOL {
+                return Err(format!(
+                    "job {} decoded output diverged from the sequential reference \
+                     (relative error {err:.3e} > {VERIFY_TOL:.0e})",
+                    spec.id
+                ));
+            }
+            self.verified += 1;
+            self.max_error = self.max_error.max(err);
+            if is_final {
+                self.outputs.push((spec.id, y.into_vec()));
+            }
         }
         Ok(())
     }
@@ -425,24 +442,30 @@ impl ExecutionBackend for SimVerifiedBackend {
         _iteration_index: usize,
         is_final: bool,
     ) -> Result<(), String> {
-        // One stacked pass per credited (worker, chunk) — the same
-        // kernel the threaded workers run — then de-interleave into
-        // per-member response sets and decode each member on its own.
+        // One stacked block per (worker, chunk) the decoder will
+        // actually consume — the same kernel the threaded workers run.
+        // The decode rule keeps the lowest-k worker ids per chunk
+        // (fastest-k with deterministic systematic preference), so this
+        // backend truncates the credited coverage *before* computing:
+        // responses beyond k would be materialized only to be dropped.
         let (enc, xs) = self.core.batch_inputs(specs)?;
-        let x_refs: Vec<&Vector> = xs.iter().map(Arc::as_ref).collect();
-        let mut responses: Vec<Vec<WorkerChunkResult>> = vec![Vec::new(); specs.len()];
+        let k = enc.encoded.params().k;
+        let mut per_chunk: Vec<Vec<usize>> =
+            vec![Vec::new(); enc.encoded.layout().chunks_per_partition];
         for (w, chunks, _redo) in credited_coverage(iter) {
             for &chunk in &chunks {
-                let stacked = enc.encoded.worker_compute_chunk_multi(w, chunk, &x_refs);
-                for (member, result) in responses.iter_mut().zip(stacked) {
-                    member.push(result);
-                }
+                per_chunk[chunk].push(w);
             }
         }
-        for (spec, member_responses) in specs.iter().zip(&responses) {
-            self.core.verify(spec, member_responses, is_final)?;
+        let mut blocks = Vec::new();
+        for (chunk, mut ws) in per_chunk.into_iter().enumerate() {
+            ws.sort_unstable();
+            ws.truncate(k);
+            for w in ws {
+                blocks.push(enc.encoded.worker_compute_chunk_multi(w, chunk, &xs));
+            }
         }
-        Ok(())
+        self.core.verify_multi(specs, &blocks, is_final)
     }
     fn on_iteration_abandoned(&mut self, _: JobId, _: u64) {}
     fn on_job_resolved(&mut self, job: JobId) {
@@ -456,11 +479,12 @@ impl ExecutionBackend for SimVerifiedBackend {
 // ---- Threaded -----------------------------------------------------------
 
 /// A chunk task addressed to one OS-thread worker: the shared encoding,
-/// the chunk set, and the stacked member inputs (one for a solo job).
+/// the chunk set, and the round's stacked inputs — one contiguous
+/// multi-RHS buffer shared (not copied) across every worker's task.
 struct WorkerTask {
     enc: Arc<CachedEncoding>,
     chunks: Vec<usize>,
-    xs: Vec<Arc<Vector>>,
+    xs: Arc<MultiVector>,
 }
 
 /// Bookkeeping for one dispatched task.
@@ -468,7 +492,7 @@ struct TaskInfo {
     id: u64,
     worker: usize,
     redo: bool,
-    /// Results dispatched (`chunks × members`) — a credited task's
+    /// Stacked blocks dispatched (one per chunk) — a credited task's
     /// reply must carry exactly this many (fewer means the worker
     /// aborted mid-task).
     expected: usize,
@@ -480,19 +504,19 @@ struct TaskInfo {
 struct ThreadedJobTasks {
     generation: u64,
     tasks: Vec<TaskInfo>,
-    /// The round's stacked member inputs, kept for redo dispatches.
-    xs: Vec<Arc<Vector>>,
+    /// The round's stacked inputs, kept for redo dispatches.
+    xs: Arc<MultiVector>,
 }
 
 /// Real-threads backend: one OS thread per pool worker, crossbeam
 /// channels, cooperative cancellation.
 struct ThreadedBackend {
     core: NumericCore,
-    cluster: Option<ThreadedCluster<WorkerTask, Vec<WorkerChunkResult>>>,
+    cluster: Option<ThreadedCluster<WorkerTask, Vec<MultiChunkResult>>>,
     n: usize,
     inflight: BTreeMap<JobId, ThreadedJobTasks>,
     /// Replies received but not yet consumed, by task id.
-    arrived: HashMap<u64, Vec<WorkerChunkResult>>,
+    arrived: HashMap<u64, Vec<MultiChunkResult>>,
     /// Task ids whose replies should be dropped on arrival (abandoned
     /// generations).
     discard: BTreeSet<u64>,
@@ -502,8 +526,7 @@ impl ThreadedBackend {
     fn spawn(n: usize) -> Self {
         let cluster = ThreadedCluster::spawn_cancellable(n, |worker| {
             move |task: WorkerTask, token: &CancelToken| {
-                let xs: Vec<&Vector> = task.xs.iter().map(Arc::as_ref).collect();
-                let mut results = Vec::with_capacity(task.chunks.len() * xs.len());
+                let mut results = Vec::with_capacity(task.chunks.len());
                 for &chunk in &task.chunks {
                     // The cooperative-cancel point sits between chunks:
                     // a cancelled worker abandons the rest and replies
@@ -512,12 +535,13 @@ impl ThreadedBackend {
                     if token.is_cancelled() {
                         break;
                     }
-                    // One stacked pass over the chunk's rows for every
-                    // member input (chunk-major, member-minor order).
-                    results.extend(
+                    // One cache-blocked stacked pass over the chunk's
+                    // rows; the reply block ships chunk-row-major,
+                    // member-minor — exactly what the decoder consumes.
+                    results.push(
                         task.enc
                             .encoded
-                            .worker_compute_chunk_multi(worker, chunk, &xs),
+                            .worker_compute_chunk_multi(worker, chunk, &task.xs),
                     );
                 }
                 results
@@ -533,7 +557,7 @@ impl ThreadedBackend {
         }
     }
 
-    fn cluster(&mut self) -> &mut ThreadedCluster<WorkerTask, Vec<WorkerChunkResult>> {
+    fn cluster(&mut self) -> &mut ThreadedCluster<WorkerTask, Vec<MultiChunkResult>> {
         self.cluster.as_mut().expect("cluster alive until finish")
     }
 
@@ -542,7 +566,7 @@ impl ThreadedBackend {
         job: JobId,
         worker: usize,
         chunks: Vec<usize>,
-        xs: Vec<Arc<Vector>>,
+        xs: Arc<MultiVector>,
     ) -> Result<u64, String> {
         let state = self
             .core
@@ -579,12 +603,12 @@ impl ExecutionBackend for ThreadedBackend {
             if chunks.is_empty() {
                 continue;
             }
-            let id = self.dispatch(leader, w, chunks.clone(), xs.clone())?;
+            let id = self.dispatch(leader, w, chunks.clone(), Arc::clone(&xs))?;
             tasks.push(TaskInfo {
                 id,
                 worker: w,
                 redo: false,
-                expected: chunks.len() * specs.len(),
+                expected: chunks.len(),
                 cancelled: false,
             });
         }
@@ -616,8 +640,7 @@ impl ExecutionBackend for ThreadedBackend {
         if state.generation != generation {
             return Err(format!("job {job} redo against a stale generation"));
         }
-        let xs = state.xs.clone();
-        let members = xs.len();
+        let xs = Arc::clone(&state.xs);
         let id = self.dispatch(job, worker, chunks.to_vec(), xs)?;
         self.inflight
             .get_mut(&job)
@@ -627,7 +650,7 @@ impl ExecutionBackend for ThreadedBackend {
                 id,
                 worker,
                 redo: true,
-                expected: chunks.len() * members,
+                expected: chunks.len(),
                 cancelled: false,
             });
         Ok(())
@@ -716,13 +739,14 @@ impl ExecutionBackend for ThreadedBackend {
             }
             self.arrived.insert(reply.task_id, reply.result);
         }
-        // Assemble the credited response sets in deterministic
-        // (submission) order, de-interleaved per member, and decode
-        // each member individually. A credited task must have run to
-        // completion: a short reply means the worker aborted work the
-        // timing model counted on (timing/execution divergence).
-        let members = specs.len();
-        let mut responses: Vec<Vec<WorkerChunkResult>> = vec![Vec::new(); members];
+        // Assemble the credited stacked blocks in deterministic
+        // (submission) order and hand them to the stacked decoder as
+        // they arrived — the blocks already carry every member, so
+        // there is nothing to de-interleave. A credited task must have
+        // run to completion: a short reply means the worker aborted
+        // work the timing model counted on (timing/execution
+        // divergence).
+        let mut blocks: Vec<MultiChunkResult> = Vec::new();
         for t in &state.tasks {
             let output = self
                 .arrived
@@ -734,23 +758,16 @@ impl ExecutionBackend for ThreadedBackend {
             }
             if output.len() != t.expected {
                 return Err(format!(
-                    "job {leader}: worker {} replied {} of {} credited chunk results \
+                    "job {leader}: worker {} replied {} of {} credited chunk blocks \
                      (timing/execution divergence)",
                     t.worker,
                     output.len(),
                     t.expected
                 ));
             }
-            // Workers reply chunk-major, member-minor: result i belongs
-            // to member i % members.
-            for (i, result) in output.into_iter().enumerate() {
-                responses[i % members].push(result);
-            }
+            blocks.extend(output);
         }
-        for (spec, member_responses) in specs.iter().zip(&responses) {
-            self.core.verify(spec, member_responses, is_final)?;
-        }
-        Ok(())
+        self.core.verify_multi(specs, &blocks, is_final)
     }
 
     fn on_iteration_abandoned(&mut self, job: JobId, generation: u64) {

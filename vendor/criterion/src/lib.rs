@@ -79,9 +79,9 @@ impl Bencher {
         }
     }
 
-    fn report(&self, label: &str) {
+    fn report(&self, label: &str) -> Option<Duration> {
         if self.samples.is_empty() {
-            return;
+            return None;
         }
         let mut sorted = self.samples.clone();
         sorted.sort();
@@ -93,18 +93,21 @@ impl Bencher {
             sorted[sorted.len() - 1],
             sorted.len()
         );
+        Some(median)
     }
 }
 
 /// Top-level benchmark driver; mirrors `criterion::Criterion`.
 pub struct Criterion {
     default_sample_size: usize,
+    measurements: Vec<(String, Duration)>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
             default_sample_size: 10,
+            measurements: Vec::new(),
         }
     }
 }
@@ -117,6 +120,16 @@ impl Criterion {
         self
     }
 
+    /// Every `(label, median)` recorded so far, in run order.
+    ///
+    /// Extension over upstream criterion: custom `harness = false` drivers
+    /// use this to compute speedup ratios and persist committed regression
+    /// baselines (e.g. `BENCH_KERNELS.json`) without re-parsing stdout.
+    #[must_use]
+    pub fn measurements(&self) -> &[(String, Duration)] {
+        &self.measurements
+    }
+
     /// Runs a single named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
@@ -124,7 +137,9 @@ impl Criterion {
             sample_size: self.default_sample_size,
         };
         f(&mut b);
-        b.report(name);
+        if let Some(median) = b.report(name) {
+            self.measurements.push((name.to_string(), median));
+        }
         self
     }
 
@@ -133,7 +148,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.default_sample_size,
-            _criterion: self,
+            criterion: self,
         }
     }
 }
@@ -142,7 +157,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -163,7 +178,10 @@ impl BenchmarkGroup<'_> {
             sample_size: self.sample_size,
         };
         f(&mut b);
-        b.report(&format!("{}/{}", self.name, id));
+        let label = format!("{}/{}", self.name, id);
+        if let Some(median) = b.report(&label) {
+            self.criterion.measurements.push((label, median));
+        }
         self
     }
 
@@ -179,7 +197,10 @@ impl BenchmarkGroup<'_> {
             sample_size: self.sample_size,
         };
         f(&mut b, input);
-        b.report(&format!("{}/{}", self.name, id));
+        let label = format!("{}/{}", self.name, id);
+        if let Some(median) = b.report(&label) {
+            self.criterion.measurements.push((label, median));
+        }
         self
     }
 
