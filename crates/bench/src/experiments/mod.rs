@@ -21,6 +21,7 @@ pub mod fig13_scale;
 pub mod prediction;
 pub mod qos;
 pub mod serve;
+pub mod trace;
 
 /// Experiment size selector.
 ///
@@ -181,6 +182,24 @@ pub fn registry() -> Vec<ExperimentDef> {
                 let out = qos::run(s);
                 emit(&out.weights, "qos_weights.csv");
                 emit(&out.deadline, "qos_deadline.csv");
+            },
+        },
+        ExperimentDef {
+            name: "trace",
+            aliases: &[],
+            summary: "telemetry: trace spans, rung counts, phase profile + exported timelines",
+            in_all: true,
+            run: |s, emit| {
+                emit(&trace::run(s), "trace_telemetry.csv");
+                let dir = std::path::PathBuf::from("results");
+                match trace::write_exports(s, &dir) {
+                    Ok(()) => println!(
+                        "[written {} and {}]\n",
+                        dir.join("trace_events.jsonl").display(),
+                        dir.join("trace_chrome.json").display()
+                    ),
+                    Err(e) => eprintln!("warning: could not write trace exports: {e}"),
+                }
             },
         },
         ExperimentDef {

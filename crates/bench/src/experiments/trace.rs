@@ -1,0 +1,202 @@
+//! The `trace` experiment: the telemetry layer over the e2e scenario.
+//!
+//! Re-runs the canonical recurring-matrix workload with tracing enabled
+//! on every execution backend and reports what the telemetry layer saw:
+//! trace-event volume, recovery-ladder rung counts, and the virtual
+//! phase profile (dispatch / compute / collect / decode split of total
+//! iteration time). Everything tabulated is virtual-clock data, so the
+//! table — like the exported JSONL event log and Chrome trace timeline —
+//! is byte-deterministic and backend-independent.
+//!
+//! The exporter artifacts land under `results/`:
+//!
+//! * `trace_events.jsonl` — one JSON object per trace event;
+//! * `trace_chrome.json` — Chrome trace-event format (load in
+//!   `chrome://tracing` or Perfetto) with one track per worker and one
+//!   per tenant.
+
+use crate::experiments::{common, e2e, Scale};
+use crate::report::Table;
+use s2c2_core::speed_tracker::PredictorSource;
+use s2c2_serve::prelude::*;
+use s2c2_telemetry::{export, Telemetry};
+use std::path::Path;
+
+/// Runs the canonical e2e scenario with telemetry enabled.
+///
+/// # Panics
+///
+/// Panics if the engine rejects the configuration or the run fails —
+/// the scenario is the committed e2e one, which must always serve.
+#[must_use]
+pub fn run_traced(backend: BackendKind, jobs: usize) -> ServiceReport {
+    let pool = common::controlled_cluster(e2e::POOL, e2e::STRAGGLERS, e2e::SEED);
+    let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+        predictor: PredictorSource::LastValue,
+    });
+    cfg.backend = backend;
+    cfg.telemetry = true;
+    ServiceEngine::new(pool, cfg)
+        .expect("trace configuration is valid")
+        .run(&e2e::trace_workload(jobs))
+        .expect("trace run completes")
+}
+
+fn telemetry(report: &ServiceReport) -> &Telemetry {
+    report
+        .telemetry
+        .as_ref()
+        .expect("telemetry was enabled for this run")
+}
+
+/// Runs the trace experiment.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let jobs = scale.pick(10, 30);
+    let mut table = Table::new(
+        format!(
+            "TRACE — telemetry over the {jobs}-job e2e scenario, \
+             {}-worker pool ({} straggler)",
+            e2e::POOL,
+            e2e::STRAGGLERS
+        ),
+        vec![
+            "trace_events".into(),
+            "rung1_normal".into(),
+            "rung2_degraded".into(),
+            "rung3_redo".into(),
+            "rung4_wait".into(),
+            "rung5_restart".into(),
+            "dispatch_s".into(),
+            "compute_s".into(),
+            "collect_s".into(),
+            "decode_s".into(),
+            "iter_total_s".into(),
+        ],
+    );
+    for backend in [
+        BackendKind::Sim,
+        BackendKind::SimVerified,
+        BackendKind::Threaded,
+    ] {
+        let r = run_traced(backend, jobs);
+        let tel = telemetry(&r);
+        let p = r.phase_virtual;
+        let rungs = r.recovery_rung_counts;
+        table.push_row(
+            backend.to_string(),
+            vec![
+                tel.trace.len() as f64,
+                rungs[0] as f64,
+                rungs[1] as f64,
+                rungs[2] as f64,
+                rungs[3] as f64,
+                rungs[4] as f64,
+                p.dispatch,
+                p.compute,
+                p.collect,
+                p.decode,
+                r.iteration_time_total,
+            ],
+        );
+    }
+    table
+}
+
+/// Writes the exporter artifacts (JSONL event log, Chrome trace) of one
+/// traced Sim run into `dir`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from writing the artifact files.
+pub fn write_exports(scale: Scale, dir: &Path) -> std::io::Result<()> {
+    let jobs = scale.pick(10, 30);
+    let r = run_traced(BackendKind::Sim, jobs);
+    let events = telemetry(&r).trace.events();
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("trace_events.jsonl"), export::jsonl(events))?;
+    std::fs::write(dir.join("trace_chrome.json"), export::chrome_trace(events))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_backend_independent() {
+        let jobs = 6;
+        let sim = run_traced(BackendKind::Sim, jobs);
+        let verified = run_traced(BackendKind::SimVerified, jobs);
+        let threaded = run_traced(BackendKind::Threaded, jobs);
+        let base = &telemetry(&sim).trace;
+        assert!(!base.is_empty(), "the scenario must emit events");
+        assert_eq!(
+            base,
+            &telemetry(&verified).trace,
+            "sim-verified must replay the identical virtual event stream"
+        );
+        assert_eq!(
+            base,
+            &telemetry(&threaded).trace,
+            "threaded must replay the identical virtual event stream"
+        );
+    }
+
+    #[test]
+    fn report_rung_counts_match_the_trace() {
+        let r = run_traced(BackendKind::Sim, 8);
+        assert_eq!(
+            r.recovery_rung_counts,
+            telemetry(&r).trace.rung_counts(),
+            "aggregate counters and the event log must tell one story"
+        );
+        assert!(
+            r.recovery_rung_counts[0] > 0,
+            "normal starts must occur in the canonical scenario"
+        );
+    }
+
+    #[test]
+    fn virtual_phases_sum_to_iteration_time() {
+        for backend in [BackendKind::Sim, BackendKind::Threaded] {
+            let r = run_traced(backend, 8);
+            let sum = r.phase_virtual.total();
+            assert!(
+                (sum - r.iteration_time_total).abs() <= 0.01 * r.iteration_time_total,
+                "{backend}: phase sum {sum} vs iteration total {}",
+                r.iteration_time_total
+            );
+            assert!(r.iteration_time_total > 0.0);
+        }
+    }
+
+    #[test]
+    fn jsonl_export_is_deterministic() {
+        let a = run_traced(BackendKind::Sim, 6);
+        let b = run_traced(BackendKind::Sim, 6);
+        let ja = export::jsonl(telemetry(&a).trace.events());
+        let jb = export::jsonl(telemetry(&b).trace.events());
+        assert_eq!(ja, jb, "same seed must export byte-identical JSONL");
+        assert!(!ja.is_empty());
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json() {
+        let r = run_traced(BackendKind::Sim, 6);
+        let chrome = export::chrome_trace(telemetry(&r).trace.events());
+        export::validate_json(&chrome).expect("chrome trace must be valid JSON");
+    }
+
+    #[test]
+    fn disabling_telemetry_reproduces_the_e2e_report() {
+        // The tracing flag must be observability-only: the same scenario
+        // with telemetry off is the e2e run, bit for bit.
+        let jobs = 6;
+        let traced = run_traced(BackendKind::Sim, jobs);
+        let plain = e2e::run_backend(BackendKind::Sim, jobs);
+        assert_eq!(traced.latencies(), plain.latencies());
+        assert_eq!(traced.makespan.to_bits(), plain.makespan.to_bits());
+        assert_eq!(traced.events_processed, plain.events_processed);
+    }
+}

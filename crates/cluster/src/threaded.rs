@@ -13,10 +13,10 @@
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A task envelope addressed to one worker.
 #[derive(Debug)]
@@ -69,6 +69,9 @@ pub struct ThreadedCluster<T, R> {
     /// Cancel flags of tasks not yet seen back by the master; pruned as
     /// replies are received and on explicit cancellation.
     cancels: Mutex<BTreeMap<u64, Arc<AtomicBool>>>,
+    /// Wall-clock nanoseconds each worker thread has spent inside its
+    /// task closure (queue/channel wait time excluded).
+    busy_nanos: Arc<Vec<AtomicU64>>,
 }
 
 impl<T, R> ThreadedCluster<T, R>
@@ -109,6 +112,7 @@ where
     {
         assert!(n > 0, "need at least one worker");
         let (result_tx, result_rx) = unbounded::<WorkerReply<R>>();
+        let busy_nanos: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
         let mut senders = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for worker in 0..n {
@@ -116,13 +120,17 @@ where
             let (tx, rx) = bounded::<Envelope<T>>(1024);
             let results = result_tx.clone();
             let mut work = make_worker(worker);
+            let busy = Arc::clone(&busy_nanos);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("s2c2-worker-{worker}"))
                     .spawn(move || {
                         while let Ok(env) = rx.recv() {
                             let token = CancelToken(Arc::clone(&env.cancel));
+                            let t0 = Instant::now();
                             let result = work(env.payload, &token);
+                            let spent = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            busy[worker].fetch_add(spent, Ordering::Relaxed);
                             // The master may have shut down early (it got
                             // its k results); a send failure is then fine.
                             if results
@@ -147,6 +155,7 @@ where
             handles,
             next_task: 0,
             cancels: Mutex::new(BTreeMap::new()),
+            busy_nanos,
         }
     }
 
@@ -154,6 +163,18 @@ where
     #[must_use]
     pub fn n(&self) -> usize {
         self.senders.len()
+    }
+
+    /// Wall-clock seconds each worker has spent executing task closures
+    /// so far (channel/queue wait excluded). Read while tasks are in
+    /// flight this is a live snapshot; read after the replies are in it
+    /// is the pool's real per-worker compute time.
+    #[must_use]
+    pub fn busy_seconds(&self) -> Vec<f64> {
+        self.busy_nanos
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed) as f64 * 1e-9)
+            .collect()
     }
 
     /// Sends a task to `worker`; returns the task id.
@@ -369,6 +390,18 @@ mod tests {
         cluster.submit(1, ());
         let got = cluster.collect_until(Duration::from_millis(300), |rs| rs.len() >= 2);
         assert_eq!(got.len(), 1, "only the fast worker inside the timeout");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn busy_time_accrues_only_on_working_threads() {
+        let mut cluster: ThreadedCluster<(), ()> =
+            ThreadedCluster::spawn(2, |_| |()| spin_delay_micros(2_000));
+        cluster.submit(0, ());
+        let _ = cluster.recv();
+        let busy = cluster.busy_seconds();
+        assert!(busy[0] >= 1e-3, "worker 0 spun ~2ms, measured {}", busy[0]);
+        assert_eq!(busy[1], 0.0, "idle worker accrues nothing");
         cluster.shutdown();
     }
 

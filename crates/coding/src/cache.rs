@@ -19,6 +19,7 @@ use crate::mds::{EncodedMatrix, MdsCode, MdsParams};
 use s2c2_linalg::Matrix;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Identity of one encoding: *which* matrix under *which* code geometry.
 ///
@@ -59,6 +60,7 @@ pub struct EncodeCache {
     map: HashMap<EncodeKey, Arc<CachedEncoding>>,
     hits: u64,
     misses: u64,
+    encode_seconds: f64,
 }
 
 impl EncodeCache {
@@ -87,10 +89,12 @@ impl EncodeCache {
             return Ok(Arc::clone(hit));
         }
         self.misses += 1;
+        let t0 = Instant::now();
         let code = MdsCode::new(MdsParams { n: key.n, k: key.k })?;
         let a = matrix();
         debug_assert_eq!((a.rows(), a.cols()), (key.rows, key.cols));
         let encoded = code.encode(&a, key.chunks_per_partition)?;
+        self.encode_seconds += t0.elapsed().as_secs_f64();
         let entry = Arc::new(CachedEncoding { code, encoded });
         self.map.insert(key, Arc::clone(&entry));
         Ok(entry)
@@ -106,6 +110,15 @@ impl EncodeCache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Total wall-clock seconds spent building encodings on the miss
+    /// path (matrix materialization included — on a miss it happens
+    /// solely to be encoded). Hits cost nothing here; the ratio of this
+    /// to run time is the amortization the cache buys.
+    #[must_use]
+    pub fn encode_seconds(&self) -> f64 {
+        self.encode_seconds
     }
 
     /// Distinct encodings held.
@@ -208,6 +221,17 @@ mod tests {
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn encode_time_accrues_on_misses_only() {
+        let mut cache = EncodeCache::new();
+        assert_eq!(cache.encode_seconds(), 0.0);
+        cache.get_or_encode(key(1, 6, 4, 3), matrix).unwrap();
+        let after_miss = cache.encode_seconds();
+        assert!(after_miss > 0.0, "a miss spends encode time");
+        cache.get_or_encode(key(1, 6, 4, 3), matrix).unwrap();
+        assert_eq!(cache.encode_seconds(), after_miss, "hits are free");
     }
 
     #[test]

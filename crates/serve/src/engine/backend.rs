@@ -38,9 +38,10 @@ use s2c2_cluster::threaded::{CancelToken, ThreadedCluster};
 use s2c2_coding::cache::{CachedEncoding, EncodeCache, EncodeKey};
 use s2c2_coding::chunks::MultiChunkResult;
 use s2c2_linalg::{Matrix, MultiVector, Vector};
+use s2c2_telemetry::PhaseTotals;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Relative decode-vs-reference divergence that fails a verified run.
 /// Decoding solves at most `(n − k) × (n − k)` systems over a
@@ -240,6 +241,10 @@ struct NumericCore {
     verified: usize,
     max_error: f64,
     outputs: Vec<(JobId, Vec<f64>)>,
+    /// Real wall time this backend spent per pipeline phase (encode is
+    /// read off the cache at merge time; compute is filled by the
+    /// concrete backend that owns the compute loop).
+    phase_wall: PhaseTotals,
 }
 
 impl NumericCore {
@@ -334,11 +339,13 @@ impl NumericCore {
             .jobs
             .get(&specs[0].id)
             .ok_or_else(|| format!("job {} completed before admission", specs[0].id))?;
+        let t0 = Instant::now();
         let outs = leader
             .enc
             .code
             .decode_matvec_multi(leader.enc.encoded.layout(), blocks)
             .map_err(|e| format!("job {} decode failed: {e}", specs[0].id))?;
+        self.phase_wall.decode += t0.elapsed().as_secs_f64();
         if outs.len() != specs.len() {
             return Err(format!(
                 "batch led by job {} decoded {} members, expected {}",
@@ -347,6 +354,7 @@ impl NumericCore {
                 specs.len()
             ));
         }
+        let t0 = Instant::now();
         for (spec, y) in specs.iter().zip(outs) {
             let job = self
                 .jobs
@@ -377,6 +385,7 @@ impl NumericCore {
                 self.outputs.push((spec.id, y.into_vec()));
             }
         }
+        self.phase_wall.verify += t0.elapsed().as_secs_f64();
         Ok(())
     }
 
@@ -386,6 +395,8 @@ impl NumericCore {
         report.verified_iterations = self.verified;
         report.max_decode_error = self.max_error;
         report.job_outputs = std::mem::take(&mut self.outputs);
+        self.phase_wall.encode = self.cache.encode_seconds();
+        report.phase_wall.add(&self.phase_wall);
     }
 }
 
@@ -457,6 +468,7 @@ impl ExecutionBackend for SimVerifiedBackend {
                 per_chunk[chunk].push(w);
             }
         }
+        let t0 = Instant::now();
         let mut blocks = Vec::new();
         for (chunk, mut ws) in per_chunk.into_iter().enumerate() {
             ws.sort_unstable();
@@ -465,6 +477,7 @@ impl ExecutionBackend for SimVerifiedBackend {
                 blocks.push(enc.encoded.worker_compute_chunk_multi(w, chunk, &xs));
             }
         }
+        self.core.phase_wall.compute += t0.elapsed().as_secs_f64();
         self.core.verify_multi(specs, &blocks, is_final)
     }
     fn on_iteration_abandoned(&mut self, _: JobId, _: u64) {}
@@ -807,6 +820,11 @@ impl ExecutionBackend for ThreadedBackend {
             }
         }
         if let Some(cluster) = self.cluster.take() {
+            // The pool's compute phase is what the threads really spent
+            // inside task closures, summed across workers — measured, not
+            // modeled, and naturally larger than the elapsed wall span
+            // when workers overlap.
+            self.core.phase_wall.compute += cluster.busy_seconds().iter().sum::<f64>();
             cluster.shutdown();
         }
         self.core.merge_into(report);

@@ -10,13 +10,14 @@
 //! the job. Timeout and churn events are handed to
 //! [`super::recovery`]; share rescaling lives in [`super::rebalance`].
 
-use super::{ServeError, ServiceEngine};
+use super::{trace_into, ServeError, ServiceEngine};
 use crate::admission::{batch_key, BatchKey, BatchPolicy, QueuedJob, ResidentInfo};
 use crate::event::{EventKind, JobId};
 use crate::metrics::JobRecord;
 use crate::shared_alloc::{allocate_for_resident, full_over_available};
 use crate::workload::JobSpec;
 use s2c2_core::{allocate_chunks_basic, ChunkAssignment};
+use s2c2_telemetry::TraceEventKind;
 
 use super::thread_speedup;
 use super::SchedulerMode;
@@ -79,6 +80,15 @@ pub(crate) struct RunningIteration {
     pub(crate) share_integral: f64,
     /// Instant the current share segment began.
     pub(crate) share_anchor: f64,
+    /// Instant this iteration was started (phase-profiling anchor).
+    pub(crate) started: f64,
+    /// Input-broadcast transfer time of this round (the virtual
+    /// "dispatch" phase).
+    pub(crate) t_input: f64,
+    /// Reply transfer time of the most recent task completion — by the
+    /// time the iteration completes, the "collect" phase of the
+    /// critical path.
+    pub(crate) last_reply: f64,
 }
 
 impl RunningIteration {
@@ -217,6 +227,12 @@ impl ServiceEngine {
                 });
             }
         }
+        let (jid, tenant, preset, now) = (spec.id, spec.tenant, spec.preset, self.now);
+        trace_into(&mut self.telemetry, now, || TraceEventKind::JobArrival {
+            job: jid,
+            tenant,
+            preset,
+        });
         // Structural mismatches against *this* pool (k above the pool
         // size, empty shapes) resolve as failed records instead: the
         // spec may be serveable elsewhere, so the stream keeps flowing.
@@ -227,6 +243,9 @@ impl ServiceEngine {
             || spec.chunks_per_partition == 0
             || spec.iterations == 0;
         if malformed {
+            trace_into(&mut self.telemetry, now, || TraceEventKind::Malformed {
+                job: jid,
+            });
             let record = self.stillborn_record(&spec, self.now, false, false);
             self.report.jobs.push(record);
             return Ok(());
@@ -236,6 +255,9 @@ impl ServiceEngine {
         // can occupy queue space or a residency slot.
         if let Some(bucket) = self.buckets.get_mut(&spec.tenant) {
             if !bucket.try_admit(self.now) {
+                trace_into(&mut self.telemetry, now, || TraceEventKind::RateLimited {
+                    job: jid,
+                });
                 let record = self.stillborn_record(&spec, self.now, false, true);
                 self.report.jobs.push(record);
                 return Ok(());
@@ -346,6 +368,10 @@ impl ServiceEngine {
             let mut members: Vec<BatchMember> = Vec::with_capacity(group.len());
             for queued in group {
                 if self.cfg.reject_infeasible_deadlines && self.deadline_infeasible(&queued) {
+                    let (jid, now) = (queued.spec.id, self.now);
+                    trace_into(&mut self.telemetry, now, || TraceEventKind::Rejected {
+                        job: jid,
+                    });
                     let record = self.stillborn_record(&queued.spec, queued.arrival, true, false);
                     self.report.jobs.push(record);
                     self.sample_queue_depth();
@@ -374,6 +400,21 @@ impl ServiceEngine {
             if members.len() > 1 {
                 self.report.batches_admitted += 1;
                 self.report.batched_jobs += members.len();
+                let (count, now) = (members.len(), self.now);
+                trace_into(&mut self.telemetry, now, || TraceEventKind::BatchFormed {
+                    leader: id,
+                    members: count,
+                });
+            }
+            if self.telemetry.is_some() {
+                let now = self.now;
+                for m in &members {
+                    let jid = m.spec.id;
+                    trace_into(&mut self.telemetry, now, || TraceEventKind::Admitted {
+                        job: jid,
+                        leader: id,
+                    });
+                }
             }
             self.resident.insert(
                 id,
@@ -515,6 +556,26 @@ impl ServiceEngine {
         let n = self.n();
         let generation = self.next_generation;
         self.next_generation += 1;
+        // Rungs 1 and 2 of the recovery ladder are decided right here at
+        // planning time: a predict-feasible start is rung 1, a degraded
+        // (reduced-redundancy) start is rung 2. Rungs 3-5 are counted at
+        // their trigger points in `super::recovery`.
+        let rung: u8 = if degraded { 2 } else { 1 };
+        self.report.recovery_rung_counts[usize::from(rung - 1)] += 1;
+        let iteration_index = self.resident[&id].iterations_done;
+        trace_into(&mut self.telemetry, at, || TraceEventKind::IterationStart {
+            job: id,
+            iteration: iteration_index,
+            generation,
+            rhs,
+            share,
+            degraded,
+        });
+        trace_into(&mut self.telemetry, at, || TraceEventKind::RecoveryRung {
+            job: id,
+            generation,
+            rung,
+        });
         let mut iter = RunningIteration {
             generation,
             share,
@@ -535,6 +596,9 @@ impl ServiceEngine {
             armed_deadline: f64::INFINITY,
             share_integral: 0.0,
             share_anchor: at,
+            started: at,
+            t_input: 0.0,
+            last_reply: 0.0,
         };
 
         // A batch round ships every member's input in one transfer and
@@ -543,6 +607,7 @@ impl ServiceEngine {
         // fixed cost batching exists to amortize. Compute still scales
         // with the stacked width (`rhs` matvecs per assigned row).
         let t_in = self.comm.transfer_time((spec.cols * rhs * 8) as u64);
+        iter.t_input = t_in;
         let speedup = thread_speedup(self.cfg.worker_threads);
         let mut max_planned_span: f64 = 0.0;
         let mut max_actual_span: f64 = 0.0;
@@ -565,6 +630,13 @@ impl ServiceEngine {
             // share factor stretches wall time, not work done).
             iter.busy_charged[w] = work / rate * share;
             self.report.busy_time[w] += iter.busy_charged[w];
+            trace_into(&mut self.telemetry, at, || TraceEventKind::TaskDispatch {
+                job: id,
+                worker: w,
+                generation,
+                chunks,
+                redo: false,
+            });
             self.queue.push(
                 iter.finish[w],
                 EventKind::TaskComplete {
@@ -598,7 +670,6 @@ impl ServiceEngine {
             self.report.batch_rounds += 1;
         }
         let job = self.resident.get_mut(&id).expect("resident job");
-        let iteration_index = job.iterations_done;
         let specs: Vec<JobSpec> = job.members.iter().map(|m| m.spec.clone()).collect();
         self.backend
             .on_iteration_start(&specs, &iter, iteration_index)
@@ -634,6 +705,8 @@ impl ServiceEngine {
                 return Ok(());
             }
             iter.redo_done[worker] = true;
+            let rows_w = iter.redo_chunks[worker].len() * iter.rows_per_chunk;
+            iter.last_reply = self.comm.transfer_time(((rows_w * iter.rhs) * 8) as u64);
         } else {
             // The finish-time match drops completion events superseded
             // by a share rebalance (the task was rescheduled).
@@ -641,6 +714,10 @@ impl ServiceEngine {
                 return Ok(());
             }
             iter.done[worker] = true;
+            let reply_rows = iter.assignment.chunks[worker].len() * iter.rows_per_chunk;
+            iter.last_reply = self
+                .comm
+                .transfer_time(((reply_rows * iter.rhs) * 8) as u64);
             // Feed the predictor with the observed relative rate. Redo
             // tasks are excluded (their span includes master-side idle
             // time, which would skew the estimate — same rule as the
@@ -662,7 +739,20 @@ impl ServiceEngine {
                 self.tracker.observe(&obs);
             }
         }
-        if job.iter.as_ref().expect("still running").complete() {
+        let generation = job.iter.as_ref().expect("still running").generation;
+        trace_into(&mut self.telemetry, t, || TraceEventKind::TaskComplete {
+            job: id,
+            worker,
+            generation,
+            redo,
+        });
+        if self
+            .resident
+            .get(&id)
+            .and_then(|j| j.iter.as_ref())
+            .expect("still running")
+            .complete()
+        {
             self.complete_iteration(id)?;
         }
         Ok(())
@@ -685,6 +775,13 @@ impl ServiceEngine {
                     iter.share,
                 );
                 self.backend.on_cancel(id, iter.generation, w, false);
+                let (generation, now) = (iter.generation, self.now);
+                trace_into(&mut self.telemetry, now, || TraceEventKind::TaskCancel {
+                    job: id,
+                    worker: w,
+                    generation,
+                    redo: false,
+                });
             }
             if iter.redo_valid[w] && !iter.redo_done[w] && iter.redo_finish[w].is_finite() {
                 refund_busy(
@@ -695,6 +792,13 @@ impl ServiceEngine {
                     iter.share,
                 );
                 self.backend.on_cancel(id, iter.generation, w, true);
+                let (generation, now) = (iter.generation, self.now);
+                trace_into(&mut self.telemetry, now, || TraceEventKind::TaskCancel {
+                    job: id,
+                    worker: w,
+                    generation,
+                    redo: true,
+                });
             }
         }
         let is_final = job.iterations_done + 1 >= job.leader().iterations;
@@ -710,6 +814,44 @@ impl ServiceEngine {
             }
         };
         let end = self.now + decode_time;
+        // Virtual phase decomposition of the completed round: the span
+        // from iteration start to the last counted reply splits into the
+        // input broadcast (dispatch), the straggler-bounded compute, and
+        // the final reply transfer (collect); decode is appended after.
+        // The pieces are carved out of the span itself, so they sum to
+        // `iteration_time_total` exactly — no separate model to drift.
+        let span = (self.now - iter.started).max(0.0);
+        let dispatch = iter.t_input.min(span);
+        let rest = span - dispatch;
+        let collect = iter.last_reply.min(rest);
+        let compute = rest - collect;
+        self.report.phase_virtual.dispatch += dispatch;
+        self.report.phase_virtual.compute += compute;
+        self.report.phase_virtual.collect += collect;
+        self.report.phase_virtual.decode += decode_time;
+        self.report.iteration_time_total += span + decode_time;
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.metrics.observe("iteration_span", span + decode_time);
+        }
+        let generation = iter.generation;
+        let iteration_index = job.iterations_done;
+        let now = self.now;
+        trace_into(&mut self.telemetry, now, || TraceEventKind::Decode {
+            job: id,
+            generation,
+            seconds: decode_time,
+        });
+        trace_into(&mut self.telemetry, end, || TraceEventKind::Verify {
+            job: id,
+            generation,
+        });
+        trace_into(&mut self.telemetry, end, || {
+            TraceEventKind::IterationComplete {
+                job: id,
+                iteration: iteration_index,
+                generation,
+            }
+        });
         job.iterations_done += 1;
         job.iter_retries = 0;
         if job.iterations_done >= job.leader().iterations {
@@ -734,6 +876,14 @@ impl ServiceEngine {
                     work: m.spec.total_work(),
                 };
                 self.report.jobs.push(record);
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.metrics.observe("job_latency", end - m.arrival);
+                }
+                let (jid, tenant) = (m.spec.id, m.spec.tenant);
+                trace_into(&mut self.telemetry, end, || TraceEventKind::JobComplete {
+                    job: jid,
+                    tenant,
+                });
             }
             let member_ids: Vec<JobId> = job.members.iter().map(|m| m.spec.id).collect();
             self.resident.remove(&id);
@@ -770,6 +920,14 @@ impl ServiceEngine {
 
     pub(crate) fn on_churn(&mut self, worker: usize, up: bool) -> Result<(), ServeError> {
         self.up[worker] = up;
+        let now = self.now;
+        trace_into(&mut self.telemetry, now, || {
+            if up {
+                TraceEventKind::WorkerUp { worker }
+            } else {
+                TraceEventKind::WorkerDown { worker }
+            }
+        });
         if up {
             // Capacity returned: wake jobs stalled on feasibility.
             let waiting: Vec<JobId> = self
@@ -802,6 +960,13 @@ impl ServiceEngine {
                     iter.share,
                 );
                 self.backend.on_cancel(id, iter.generation, worker, false);
+                let generation = iter.generation;
+                trace_into(&mut self.telemetry, now, || TraceEventKind::TaskCancel {
+                    job: id,
+                    worker,
+                    generation,
+                    redo: false,
+                });
                 affected = true;
             }
             if iter.redo_valid[worker] && !iter.redo_done[worker] {
@@ -820,6 +985,13 @@ impl ServiceEngine {
                 // would credit coverage nobody computed.
                 iter.redo_chunks[worker].clear();
                 iter.redo_finish[worker] = f64::INFINITY;
+                let generation = iter.generation;
+                trace_into(&mut self.telemetry, now, || TraceEventKind::TaskCancel {
+                    job: id,
+                    worker,
+                    generation,
+                    redo: true,
+                });
                 affected = true;
             }
             if !affected {
@@ -862,6 +1034,24 @@ impl ServiceEngine {
         // change.
         if self.update_deadline_boosts() {
             self.rebalance_shares();
+        }
+        // Epoch ticks double as the utilization / memory sampler: one
+        // point per tick keeps the series bounded by run length, not by
+        // event volume.
+        if self.telemetry.is_some() {
+            let busy: f64 = self.report.busy_time.iter().sum();
+            let denom = self.now * self.n() as f64;
+            let util = if denom > 0.0 {
+                (busy / denom).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let rss = s2c2_telemetry::registry::resident_set_bytes() as f64;
+            let now = self.now;
+            if let Some(tel) = &mut self.telemetry {
+                tel.metrics.sample("utilization", now, util);
+                tel.metrics.sample("rss_bytes", now, rss);
+            }
         }
         if self.work_remains() {
             self.queue.push(

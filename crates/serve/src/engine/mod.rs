@@ -126,8 +126,26 @@ use backend::ExecutionBackend;
 use core::ResidentJob;
 use s2c2_cluster::{ChurnProcess, ClusterSpec, CommModel, ComputeModel};
 use s2c2_core::speed_tracker::{PredictorSource, SpeedTracker};
+use s2c2_telemetry::{Telemetry, TraceEvent, TraceEventKind, TraceSink};
 use s2c2_trace::BoxedSpeedModel;
 use std::collections::BTreeMap;
+
+/// Records the event built by `f` into an enabled telemetry bundle.
+///
+/// A free function over the `Option` field (rather than a method on the
+/// engine) so emission sites can run while other engine fields are
+/// borrowed; the closure is never evaluated when telemetry is off, which
+/// is the zero-cost-when-disabled guarantee.
+#[inline]
+pub(crate) fn trace_into(
+    telemetry: &mut Option<Telemetry>,
+    time: f64,
+    f: impl FnOnce() -> TraceEventKind,
+) {
+    if let Some(tel) = telemetry.as_mut() {
+        tel.trace.record(TraceEvent { time, kind: f() });
+    }
+}
 
 /// How the engine schedules coded work onto the pool.
 pub enum SchedulerMode {
@@ -236,6 +254,12 @@ pub struct ServeConfig {
     /// [`BatchPolicy`]). Off by default — the unbatched engine is
     /// byte-identical to the pre-batching behavior.
     pub batch: BatchPolicy,
+    /// Record structured trace events and a metrics registry during the
+    /// run, surfaced as [`ServiceReport::telemetry`]. Off by default;
+    /// the disabled path never constructs an event (emission sites take
+    /// closures that are simply not evaluated), so existing outputs stay
+    /// byte-identical.
+    pub telemetry: bool,
 }
 
 impl ServeConfig {
@@ -257,6 +281,7 @@ impl ServeConfig {
             tenant_rate_limits: BTreeMap::new(),
             deadline_boost: None,
             batch: BatchPolicy::Off,
+            telemetry: false,
         }
     }
 }
@@ -341,6 +366,10 @@ pub struct ServiceEngine {
     report: ServiceReport,
     backend: Box<dyn ExecutionBackend>,
     buckets: BTreeMap<u32, TokenBucket>,
+    /// Trace buffer + metrics registry, present only when
+    /// [`ServeConfig::telemetry`] is on. Every emission site goes
+    /// through [`trace_into`], so the `None` path costs one branch.
+    telemetry: Option<Telemetry>,
     /// Batch-flush events already scheduled, by `(key, instant)` —
     /// admission re-plans a held group on every arrival during its
     /// window, and without this dedup each re-plan would enqueue
@@ -456,6 +485,7 @@ impl ServiceEngine {
         Ok(ServiceEngine {
             tracker: SpeedTracker::new(&predictor, n),
             backend: backend::make_backend(cfg.backend, n),
+            telemetry: cfg.telemetry.then(Telemetry::new),
             cfg,
             models: spec.workers,
             comm: spec.comm,
@@ -518,7 +548,45 @@ impl ServiceEngine {
                 resident: self.resident.len(),
             });
         }
+        self.finalize_telemetry();
         Ok(self.report)
+    }
+
+    /// Rolls run-level summary counters and gauges into the metrics
+    /// registry and hands the whole telemetry bundle to the report.
+    fn finalize_telemetry(&mut self) {
+        let Some(mut tel) = self.telemetry.take() else {
+            return;
+        };
+        let trace_events = tel.trace.len() as u64;
+        let m = &mut tel.metrics;
+        m.inc_by("events_processed", self.report.events_processed);
+        m.inc_by("trace_events", trace_events);
+        m.inc_by("jobs_completed", self.report.completed() as u64);
+        m.inc_by("jobs_failed", self.report.failed() as u64);
+        m.inc_by("jobs_rejected", self.report.rejected() as u64);
+        m.inc_by("jobs_rate_limited", self.report.rate_limited() as u64);
+        m.inc_by("timeouts", self.report.timeouts as u64);
+        m.inc_by(
+            "degraded_iterations",
+            self.report.degraded_iterations as u64,
+        );
+        m.inc_by("rebalances", self.report.rebalances as u64);
+        m.inc_by("batch_rounds", self.report.batch_rounds as u64);
+        const RUNGS: [&str; 5] = [
+            "rung_1_normal",
+            "rung_2_degraded",
+            "rung_3_redo",
+            "rung_4_wait_out",
+            "rung_5_restart",
+        ];
+        for (name, &count) in RUNGS.iter().zip(self.report.recovery_rung_counts.iter()) {
+            m.inc_by(name, count);
+        }
+        m.set_gauge("makespan", self.report.makespan);
+        m.set_gauge("utilization", self.report.utilization());
+        m.set_gauge("throughput", self.report.throughput());
+        self.report.telemetry = Some(tel);
     }
 
     /// The event loop proper: seeds arrivals and epoch ticks, then pops
@@ -563,6 +631,10 @@ impl ServiceEngine {
                 // whatever mates accumulated) is flushed.
                 EventKind::BatchFlush => {
                     self.pending_flushes.retain(|&(_, at)| at > t);
+                    let pending = self.pending.len();
+                    trace_into(&mut self.telemetry, t, || TraceEventKind::BatchFlush {
+                        pending,
+                    });
                     self.try_admit()?;
                 }
             }
@@ -584,5 +656,11 @@ impl ServiceEngine {
 
     fn sample_queue_depth(&mut self) {
         self.report.queue_depth.push((self.now, self.pending.len()));
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.metrics
+                .sample("queue_depth", self.now, self.pending.len() as f64);
+            tel.metrics
+                .sample("resident_jobs", self.now, self.resident.len() as f64);
+        }
     }
 }

@@ -9,8 +9,9 @@
 //! never over-subscribed by stale snapshots.
 
 use super::core::{BatchMember, ResidentJob};
-use super::ServiceEngine;
+use super::{trace_into, ServiceEngine};
 use crate::event::{EventKind, JobId};
+use s2c2_telemetry::TraceEventKind;
 
 impl ServiceEngine {
     /// One member's effective capacity weight: its nominal weight,
@@ -95,6 +96,7 @@ impl ServiceEngine {
         let now = self.now;
         let margin = self.cfg.timeout_margin;
         let ids: Vec<JobId> = self.resident.keys().copied().collect();
+        let resident_count = ids.len();
         for id in ids {
             let weight = self.effective_weight(&self.resident[&id]);
             let new_share = weight / total;
@@ -158,6 +160,9 @@ impl ServiceEngine {
                 continue;
             }
             self.report.rebalances += 1;
+            trace_into(&mut self.telemetry, now, || TraceEventKind::Rebalance {
+                resident: resident_count,
+            });
             // Stretched spans can outrun the armed §4.3 deadline; re-arm
             // behind them so a squeezed (not straggling) iteration is
             // not spuriously cancelled.

@@ -9,9 +9,10 @@
 //! hook) and dispatches the same redo work the timing model schedules.
 
 use super::core::{refund_busy, RunningIteration};
-use super::{thread_speedup, SchedulerMode, ServeError, ServiceEngine};
+use super::{thread_speedup, trace_into, SchedulerMode, ServeError, ServiceEngine};
 use crate::event::{EventKind, JobId};
 use crate::metrics::JobRecord;
+use s2c2_telemetry::TraceEventKind;
 
 impl ServiceEngine {
     /// Deadline-miss / churn recovery: the robustness ladder's rungs 3–5.
@@ -142,6 +143,13 @@ impl ServiceEngine {
                             iter.share,
                         );
                         self.backend.on_cancel(id, iter.generation, w, false);
+                        let generation = iter.generation;
+                        trace_into(&mut self.telemetry, now, || TraceEventKind::TaskCancel {
+                            job: id,
+                            worker: w,
+                            generation,
+                            redo: false,
+                        });
                         let rows_w = iter.assignment.chunks[w].len() * rpc;
                         let work = ((rows_w * cols) * rhs) as f64;
                         let t_reply = comm.transfer_time(((rows_w * rhs) * 8) as u64);
@@ -166,6 +174,14 @@ impl ServiceEngine {
                 }
             }
             let generation = iter.generation;
+            // Rung 3 of the ladder: chunks actually move to finished
+            // workers this recovery pass.
+            self.report.recovery_rung_counts[2] += 1;
+            trace_into(&mut self.telemetry, now, || TraceEventKind::RecoveryRung {
+                job: id,
+                generation,
+                rung: 3,
+            });
             let mut latest_redo = now;
             for (w, new_chunks) in extra.into_iter().enumerate() {
                 if new_chunks.is_empty() {
@@ -205,6 +221,14 @@ impl ServiceEngine {
                 latest_redo = latest_redo.max(finish);
                 iter.redo_busy_charged[w] += work / rate * iter.share;
                 self.report.busy_time[w] += work / rate * iter.share;
+                let chunks = iter.redo_chunks[w].len();
+                trace_into(&mut self.telemetry, now, || TraceEventKind::TaskDispatch {
+                    job: id,
+                    worker: w,
+                    generation,
+                    chunks,
+                    redo: true,
+                });
                 self.queue.push(
                     finish,
                     EventKind::TaskComplete {
@@ -240,6 +264,16 @@ impl ServiceEngine {
             if !iter.waited_out {
                 iter.waited_out = true;
                 self.report.degraded_iterations += 1;
+                // Rung 4: no spare finished workers — conventional
+                // wait-out. Counted once per iteration (the flag), not
+                // once per re-armed deadline.
+                self.report.recovery_rung_counts[3] += 1;
+                let generation = iter.generation;
+                trace_into(&mut self.telemetry, now, || TraceEventKind::RecoveryRung {
+                    job: id,
+                    generation,
+                    rung: 4,
+                });
             }
             let deadline = reschedule_after_inflight(iter);
             let generation = iter.generation;
@@ -256,6 +290,12 @@ impl ServiceEngine {
 
         // Rung 5: churn storm took everyone — restart the iteration.
         let generation = iter.generation;
+        self.report.recovery_rung_counts[4] += 1;
+        trace_into(&mut self.telemetry, now, || TraceEventKind::RecoveryRung {
+            job: id,
+            generation,
+            rung: 5,
+        });
         self.backend.on_iteration_abandoned(id, generation);
         job.iter = None;
         job.iter_retries += 1;
@@ -282,6 +322,11 @@ impl ServiceEngine {
                     work: m.spec.total_work(),
                 };
                 self.report.jobs.push(record);
+                let (jid, tenant) = (m.spec.id, m.spec.tenant);
+                trace_into(&mut self.telemetry, now, || TraceEventKind::JobFailed {
+                    job: jid,
+                    tenant,
+                });
             }
             let member_ids: Vec<JobId> = job.members.iter().map(|m| m.spec.id).collect();
             self.resident.remove(&id);

@@ -1270,3 +1270,69 @@ fn invalid_deadline_boost_rejected_at_config() {
         );
     }
 }
+
+// ---- telemetry ----------------------------------------------------------
+
+#[test]
+fn telemetry_is_off_by_default() {
+    let report = run_mode(SchedulerMode::ConventionalMds, 5, 1.0);
+    assert!(report.telemetry.is_none(), "tracing must be opt-in");
+}
+
+#[test]
+fn rung_trace_events_mirror_ladder_transitions() {
+    use s2c2_telemetry::TraceEventKind;
+    // Uniform predictions on a straggler pool force timeout recovery,
+    // so the ladder climbs past its entry rungs.
+    let n = 12;
+    let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+        predictor: PredictorSource::Uniform,
+    });
+    cfg.telemetry = true;
+    let engine = ServiceEngine::new(pool(n, &[0, 5]), cfg).unwrap();
+    let report = engine.run(&workload(10, 1.0, n, 9)).unwrap();
+    assert!(report.timeouts > 0, "uniform predictions must mispredict");
+    let tel = report.telemetry.as_ref().expect("telemetry was enabled");
+    assert_eq!(
+        report.recovery_rung_counts,
+        tel.trace.rung_counts(),
+        "aggregate counters and the event log must agree rung by rung"
+    );
+    // Every iteration start is announced by exactly one entry-rung
+    // event (1 normal, 2 degraded), adjacent, same instant, matching
+    // the start's degraded flag.
+    let events = tel.trace.events();
+    let mut starts = 0u64;
+    for pair in events.windows(2) {
+        if let TraceEventKind::IterationStart {
+            job,
+            generation,
+            degraded,
+            ..
+        } = pair[0].kind
+        {
+            starts += 1;
+            match pair[1].kind {
+                TraceEventKind::RecoveryRung {
+                    job: j,
+                    generation: g,
+                    rung,
+                } => {
+                    assert_eq!((j, g), (job, generation));
+                    assert_eq!(rung, if degraded { 2 } else { 1 });
+                    assert_eq!(pair[1].time.to_bits(), pair[0].time.to_bits());
+                }
+                ref other => panic!("iteration start not chased by its rung event: {other:?}"),
+            }
+        }
+    }
+    assert_eq!(
+        starts,
+        report.recovery_rung_counts[0] + report.recovery_rung_counts[1],
+        "entry-rung transitions count exactly the iteration starts"
+    );
+    assert!(
+        report.recovery_rung_counts[2] + report.recovery_rung_counts[3] > 0,
+        "timeout recovery must surface as rung-3 redo or rung-4 wait-out"
+    );
+}

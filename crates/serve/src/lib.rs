@@ -80,6 +80,7 @@ pub use engine::{
 };
 pub use event::{EventKind, EventQueue, JobId};
 pub use metrics::{percentile, JobRecord, ServiceReport, TenantSummary};
+pub use s2c2_telemetry::{PhaseTotals, Telemetry, TraceEvent, TraceEventKind};
 pub use shared_alloc::{allocate_shared, full_over_available, JobDemand, SharedAssignment};
 pub use workload::{generate_workload, ArrivalPattern, JobPreset, JobSpec};
 
@@ -91,4 +92,5 @@ pub mod prelude {
     };
     pub use crate::metrics::{ServiceReport, TenantSummary};
     pub use crate::workload::{generate_workload, ArrivalPattern, JobPreset, JobSpec};
+    pub use s2c2_telemetry::{PhaseTotals, Telemetry, TraceEvent, TraceEventKind};
 }

@@ -19,6 +19,7 @@
 //!   samples past makespan are ignored rather than diluting the mean.
 
 use crate::event::JobId;
+use s2c2_telemetry::{PhaseTotals, StreamingHistogram, Telemetry};
 
 /// Nearest-rank percentile of an ascending-sorted slice.
 ///
@@ -194,6 +195,29 @@ pub struct ServiceReport {
     /// order (numeric backends only; empty under the timing-only
     /// backend). The payload the parity tests compare across backends.
     pub job_outputs: Vec<(JobId, Vec<f64>)>,
+    /// Recovery-ladder transitions per rung, indexed `[rung-1]`:
+    /// `[0]` normal predict-feasible starts, `[1]` degraded starts,
+    /// `[2]` redo-on-finished-workers recoveries, `[3]` wait-out
+    /// escalations, `[4]` abandon-and-restart escalations. Mirrors the
+    /// trace's `RecoveryRung` events exactly.
+    pub recovery_rung_counts: [u64; 5],
+    /// Virtual-clock phase split of every completed iteration round.
+    /// Deterministic and backend-independent; by construction
+    /// `dispatch + compute + collect + decode` equals
+    /// [`iteration_time_total`](Self::iteration_time_total).
+    pub phase_virtual: PhaseTotals,
+    /// Wall-clock phase time measured by the numeric backends (encode /
+    /// decode / verify in the master, worker busy time from real
+    /// threads). Nondeterministic; all-zero under the timing-only `Sim`
+    /// backend, and never part of diffed outputs.
+    pub phase_wall: PhaseTotals,
+    /// Total virtual service time of completed iteration rounds
+    /// (dispatch to decoded result), the denominator the virtual phase
+    /// split accounts for.
+    pub iteration_time_total: f64,
+    /// Trace buffer + metrics registry, present when the run had
+    /// telemetry enabled ([`crate::engine::ServeConfig::telemetry`]).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl ServiceReport {
@@ -257,10 +281,31 @@ impl ServiceReport {
         l
     }
 
-    /// Sojourn-latency percentile (`p` in `[0, 100]`) over completed jobs.
+    /// Exact-mode streaming histogram over completed-job sojourn
+    /// latencies: single pass, no sort, and nearest-rank percentiles
+    /// that are bit-identical to the sorted-vector path.
+    #[must_use]
+    pub fn latency_histogram(&self) -> StreamingHistogram {
+        Self::latency_histogram_of(self.jobs.iter())
+    }
+
+    fn latency_histogram_of<'a>(
+        jobs: impl IntoIterator<Item = &'a JobRecord>,
+    ) -> StreamingHistogram {
+        let mut h = StreamingHistogram::exact();
+        for j in jobs {
+            if !j.failed {
+                h.record(j.latency());
+            }
+        }
+        h
+    }
+
+    /// Sojourn-latency percentile (`p` in `[0, 100]`) over completed
+    /// jobs, streamed through the exact histogram.
     #[must_use]
     pub fn latency_percentile(&self, p: f64) -> f64 {
-        percentile(&self.latencies(), p)
+        self.latency_histogram().percentile(p)
     }
 
     /// Mean sojourn latency over completed jobs.
@@ -399,12 +444,7 @@ impl ServiceReport {
             .map(|tenant| {
                 let mine: Vec<&JobRecord> =
                     self.jobs.iter().filter(|j| j.tenant == tenant).collect();
-                let mut lat: Vec<f64> = mine
-                    .iter()
-                    .filter(|j| !j.failed)
-                    .map(|j| j.latency())
-                    .collect();
-                lat.sort_by(f64::total_cmp);
+                let lat = Self::latency_histogram_of(mine.iter().copied());
                 let weight_mass: f64 = mine.iter().map(|j| j.weight).sum();
                 let done_work: f64 = censored_work(tenant);
                 TenantSummary {
@@ -414,8 +454,8 @@ impl ServiceReport {
                     rejected: mine.iter().filter(|j| j.rejected).count(),
                     rate_limited: mine.iter().filter(|j| j.rate_limited).count(),
                     on_time_ratio: Self::on_time_ratio_of(mine.iter().copied()),
-                    p50_latency: percentile(&lat, 50.0),
-                    p99_latency: percentile(&lat, 99.0),
+                    p50_latency: lat.percentile(50.0),
+                    p99_latency: lat.percentile(99.0),
                     entitled_share: if total_weight > 0.0 {
                         weight_mass / total_weight
                     } else {
@@ -464,6 +504,46 @@ mod tests {
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&v, 100.0), 10.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty: a service that served nothing has no tail.
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 100.0), 0.0);
+        // Single sample dominates every percentile.
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(percentile(&[7.25], p), 7.25);
+        }
+        // p = 0 is the minimum, p = 100 the maximum.
+        let v = vec![1.5, 2.5, 9.0];
+        assert_eq!(percentile(&v, 0.0), 1.5);
+        assert_eq!(percentile(&v, 100.0), 9.0);
+    }
+
+    #[test]
+    fn latency_percentiles_stream_bit_identically_to_the_sorted_path() {
+        // The streaming-histogram path must reproduce the legacy
+        // sort-the-whole-vector nearest-rank result bit-for-bit — the
+        // full-scale qos/e2e figures are pinned on it.
+        let mut jobs = Vec::new();
+        for i in 0..57u32 {
+            let latency = f64::from(i % 13).mul_add(0.731, 0.01) * f64::from(1 + i / 17);
+            jobs.push(record(JobId::from(i), 0.0, 0.0, latency, i % 9 == 5));
+        }
+        let report = ServiceReport {
+            jobs,
+            ..ServiceReport::default()
+        };
+        let sorted = report.latencies();
+        for p in [0.0, 1.0, 50.0, 73.0, 99.0, 100.0] {
+            assert_eq!(
+                report.latency_percentile(p).to_bits(),
+                percentile(&sorted, p).to_bits(),
+                "p = {p}"
+            );
+        }
+        assert_eq!(report.latency_histogram().count() as usize, sorted.len());
     }
 
     #[test]

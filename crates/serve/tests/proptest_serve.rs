@@ -474,4 +474,70 @@ proptest! {
             }
         }
     }
+
+    /// Property 7: the structured trace is part of the deterministic
+    /// surface. For any small job stream, all three execution backends
+    /// emit the *identical* virtual-time event sequence (trace events
+    /// carry only virtual clocks — wall time never leaks in), and the
+    /// trace's recovery-rung events agree with the report's aggregate
+    /// rung counters.
+    #[test]
+    fn trace_event_streams_are_backend_identical(
+        jobs in 2usize..5,
+        rows in 40usize..160,
+        cols in 4usize..10,
+        chunks in 2usize..5,
+        seed in 0u64..64,
+        mispredict in any::<bool>(),
+    ) {
+        let n = 6;
+        let preset = JobPreset {
+            name: "traceprop",
+            rows,
+            cols,
+            k_frac: 0.67,
+            chunks_per_partition: chunks,
+            iterations: 2,
+            weight: 1.0,
+            deadline: None,
+            matrix_id: Some(seed ^ 0x7124),
+        };
+        let workload: Vec<(f64, JobSpec)> = (0..jobs as u64)
+            .map(|i| (0.03 * i as f64, preset.instantiate(i, (i % 2) as u32, n)))
+            .collect();
+        let run = |backend: BackendKind| {
+            let pool = s2c2_cluster::ClusterSpec::builder(n)
+                .compute_bound()
+                .seed(seed ^ 0xF00D)
+                .straggler_slowdown(4.0)
+                .stragglers(&[2], 0.2)
+                .build();
+            let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+                // Uniform predictions on a straggler pool exercise the
+                // cancel/redo rungs through the trace as well.
+                predictor: if mispredict {
+                    PredictorSource::Uniform
+                } else {
+                    PredictorSource::LastValue
+                },
+            });
+            cfg.backend = backend;
+            cfg.telemetry = true;
+            ServiceEngine::new(pool, cfg).unwrap().run(&workload).unwrap()
+        };
+        let sim = run(BackendKind::Sim);
+        let verified = run(BackendKind::SimVerified);
+        let threaded = run(BackendKind::Threaded);
+        let trace_of = |r: &ServiceReport| {
+            r.telemetry.as_ref().expect("telemetry enabled").trace.clone()
+        };
+        let base = trace_of(&sim);
+        prop_assert!(!base.is_empty(), "a served workload must leave a trace");
+        prop_assert_eq!(&base, &trace_of(&verified), "sim-verified trace diverged");
+        prop_assert_eq!(&base, &trace_of(&threaded), "threaded trace diverged");
+        prop_assert_eq!(
+            sim.recovery_rung_counts, base.rung_counts(),
+            "aggregate rung counters must match the event log"
+        );
+    }
 }

@@ -16,6 +16,7 @@
 //! | **the paper** | [`core`] | Algorithm 1 allocator, S²C² strategies, job driver |
 //! | applications | [`workloads`] | LR, SVM, PageRank, graph filtering, Hessian |
 //! | service | [`serve`] | event-driven multi-job engine, shared-cluster S²C² |
+//! | observability | [`telemetry`] | trace spans, metrics registry, phase profiles, exporters |
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@ pub use s2c2_core as core;
 pub use s2c2_linalg as linalg;
 pub use s2c2_predict as predict;
 pub use s2c2_serve as serve;
+pub use s2c2_telemetry as telemetry;
 pub use s2c2_trace as trace;
 pub use s2c2_workloads as workloads;
 
