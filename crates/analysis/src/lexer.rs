@@ -1,0 +1,705 @@
+//! A hand-rolled Rust lexer, just deep enough for lint-level analysis.
+//!
+//! The rules in [`crate::rules`] match on *token* streams, never on raw
+//! text, so the lexer's one job is to make sure source text that merely
+//! *looks* like code — `"HashMap"` inside a string literal, `unwrap()`
+//! inside a comment, `//` inside a char literal — never reaches a rule.
+//! That requires getting the awkward corners of Rust's lexical grammar
+//! right:
+//!
+//! * line comments and block comments, the latter with **nesting**;
+//! * string literals with escapes, **raw strings** with arbitrary `#`
+//!   guard runs (`r#"..."#`), byte strings (`b"..."`), raw byte strings
+//!   (`br##"..."##`), and C strings (`c"..."`);
+//! * char literals vs **lifetimes** (`'a'` vs `'a`), including escaped
+//!   quotes (`'\''`) and chars that open comments (`'/'`);
+//! * raw identifiers (`r#match`) vs raw strings (`r#"..."`).
+//!
+//! Everything else (numbers, idents, punctuation) is deliberately
+//! coarse: a rule that needs `.partial_cmp(` only has to see the three
+//! tokens `.` `partial_cmp` `(` in order.
+
+/// What a [`Token`] is, structurally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `fn`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`) — *not* a char literal.
+    Lifetime,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\''`, `b'x'`.
+    Char,
+    /// Numeric literal (integer or float, any base, any suffix).
+    Num,
+    /// A single punctuation character (`.`, `[`, `!`, …). Multi-char
+    /// operators arrive as consecutive tokens (`::` is `:` `:`).
+    Punct(char),
+    /// `// …` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Structural kind.
+    pub kind: TokenKind,
+    /// The token's full source text (comments keep their delimiters).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` for line and block comments.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Character cursor with line/column tracking.
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes `n` chars, returning the collected text.
+    fn take(&mut self, n: usize) -> String {
+        let mut out = String::new();
+        for _ in 0..n {
+            match self.bump() {
+                Some(c) => out.push(c),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// Lexes `src` into a token stream. Unterminated constructs (a string
+/// or block comment cut off by EOF) consume to end of input rather than
+/// erroring: a linter must degrade gracefully on text rustc rejects.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        let token = if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur)
+        } else if c == 'r' && raw_guard_len(&cur, 1).is_some() {
+            // r"…" or r#"…"# — but r#ident falls through to Ident below.
+            let guard = raw_guard_len(&cur, 1).unwrap_or(0);
+            lex_raw_string(&mut cur, 1, guard)
+        } else if c == 'b' && cur.peek(1) == Some('\'') {
+            cur.bump(); // b
+            cur.bump(); // opening '
+            lex_char_literal(&mut cur, String::from("b"))
+        } else if c == 'b' && cur.peek(1) == Some('"') {
+            lex_string(&mut cur, 1)
+        } else if c == 'b' && cur.peek(1) == Some('r') && raw_guard_len(&cur, 2).is_some() {
+            let guard = raw_guard_len(&cur, 2).unwrap_or(0);
+            lex_raw_string(&mut cur, 2, guard)
+        } else if c == 'c' && cur.peek(1) == Some('"') {
+            lex_string(&mut cur, 1)
+        } else if is_ident_start(c) {
+            lex_ident(&mut cur)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else if c == '"' {
+            lex_string(&mut cur, 0)
+        } else if c == '\'' {
+            lex_quote(&mut cur)
+        } else {
+            let ch = cur.bump().unwrap_or(c);
+            Token {
+                kind: TokenKind::Punct(ch),
+                text: ch.to_string(),
+                line,
+                col,
+            }
+        };
+        tokens.push(Token { line, col, ..token });
+    }
+    tokens
+}
+
+/// If the chars at `offset` form `#…#"` (zero or more guards then a
+/// quote), returns the guard count — i.e. this is a raw-string opener.
+fn raw_guard_len(cur: &Cursor, offset: usize) -> Option<usize> {
+    let mut guards = 0;
+    loop {
+        match cur.peek(offset + guards) {
+            Some('#') => guards += 1,
+            Some('"') => return Some(guards),
+            _ => return None,
+        }
+    }
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(cur.bump().unwrap_or('\n'));
+    }
+    Token {
+        kind: TokenKind::LineComment,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> Token {
+    let mut text = cur.take(2); // "/*"
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                text.push_str(&cur.take(2));
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                text.push_str(&cur.take(2));
+            }
+            (Some(_), _) => {
+                text.push_str(&cur.take(1));
+            }
+            (None, _) => break,
+        }
+    }
+    Token {
+        kind: TokenKind::BlockComment,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_ident(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or('_'));
+    // Raw identifier: `r#match`. (`r#"` was already routed to the raw
+    // string path by the caller, so a `#` here is always a raw ident.)
+    if text == "r" && cur.peek(0) == Some('#') {
+        text.push_str(&cur.take(1));
+    }
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            text.push(cur.bump().unwrap_or('_'));
+        } else {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Ident,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_number(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_alphanumeric() || c == '_' {
+            // Covers 0x/0b prefixes, digits, and type suffixes. An
+            // exponent sign (`1e-3`) rides along only when sandwiched
+            // between an `e`/`E` and a digit.
+            text.push(cur.bump().unwrap_or('0'));
+        } else if c == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            // `1.5` continues the number; `1.max(…)` and `0..n` do not.
+            text.push(cur.bump().unwrap_or('.'));
+        } else if (c == '+' || c == '-')
+            && text.ends_with(['e', 'E'])
+            && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+        {
+            text.push(cur.bump().unwrap_or('+'));
+        } else {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Num,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Lexes a `"…"`-delimited string with escape handling; `prefix_len`
+/// chars (the `b` of `b"…"` or `c` of `c"…"`) are consumed first.
+fn lex_string(cur: &mut Cursor, prefix_len: usize) -> Token {
+    let mut text = cur.take(prefix_len + 1); // prefix + opening quote
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push_str(&cur.take(2));
+        } else if c == '"' {
+            text.push_str(&cur.take(1));
+            break;
+        } else {
+            text.push_str(&cur.take(1));
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Lexes `r#"…"#` / `br##"…"##`-style raw strings: `prefix_len` chars of
+/// `r`/`br`, then `guards` `#`s, a quote, and content that only ends at
+/// a quote followed by the same number of `#`s. No escapes exist.
+fn lex_raw_string(cur: &mut Cursor, prefix_len: usize, guards: usize) -> Token {
+    let mut text = cur.take(prefix_len + guards + 1);
+    while cur.peek(0).is_some() {
+        if cur.peek(0) == Some('"') && (0..guards).all(|i| cur.peek(1 + i) == Some('#')) {
+            text.push_str(&cur.take(1 + guards));
+            break;
+        }
+        text.push_str(&cur.take(1));
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Disambiguates what follows a `'`: a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor) -> Token {
+    debug_assert_eq!(cur.peek(0), Some('\''));
+    match (cur.peek(1), cur.peek(2)) {
+        // '\…' — escaped char literal ('\'', '\\', '\u{…}', '\n').
+        (Some('\\'), _) => {
+            let mut text = cur.take(1); // '
+            lex_char_body_escaped(cur, &mut text);
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line: 0,
+                col: 0,
+            }
+        }
+        // 'x' — a one-char literal whose char could also start an ident
+        // ('a', '_'). The closing quote right after decides: present →
+        // char literal, absent → lifetime ('a, '_).
+        (Some(c), Some('\'')) if is_ident_start(c) => {
+            cur.bump(); // opening '
+            lex_char_literal(cur, String::new())
+        }
+        (Some(c), _) if is_ident_start(c) => {
+            let mut text = cur.take(1); // '
+            while let Some(c) = cur.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(cur.bump().unwrap_or('_'));
+                } else {
+                    break;
+                }
+            }
+            Token {
+                kind: TokenKind::Lifetime,
+                text,
+                line: 0,
+                col: 0,
+            }
+        }
+        // Anything else — '(', '0', '"', '/' — is a char literal.
+        _ => {
+            cur.bump(); // opening '
+            lex_char_literal(cur, String::new())
+        }
+    }
+}
+
+/// Consumes a char-literal body up to and including the closing `'`;
+/// the opening `'` (and any `b` prefix, passed via `text`) is already
+/// consumed.
+fn lex_char_literal(cur: &mut Cursor, mut text: String) -> Token {
+    text.push('\'');
+    debug_assert_eq!(cur.chars.get(cur.pos - 1), Some(&'\''));
+    if cur.peek(0) == Some('\\') {
+        lex_char_body_escaped(cur, &mut text);
+    } else {
+        // One payload char, then the closing quote.
+        text.push_str(&cur.take(1));
+        if cur.peek(0) == Some('\'') {
+            text.push_str(&cur.take(1));
+        }
+    }
+    Token {
+        kind: TokenKind::Char,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Consumes `\…'` — an escape sequence plus the closing quote.
+fn lex_char_body_escaped(cur: &mut Cursor, text: &mut String) {
+    text.push_str(&cur.take(2)); // backslash + escape head
+    if text.ends_with('u') && cur.peek(0) == Some('{') {
+        while let Some(c) = cur.peek(0) {
+            text.push_str(&cur.take(1));
+            if c == '}' {
+                break;
+            }
+        }
+    }
+    if cur.peek(0) == Some('\'') {
+        text.push_str(&cur.take(1));
+    }
+}
+
+/// Marks every token inside test-only regions: items annotated
+/// `#[cfg(test)]` (or any `cfg(…)` whose argument list mentions `test`)
+/// and `#[test]` functions. Returns one flag per token.
+///
+/// The scan is syntactic: after a matching attribute it skips any
+/// further attributes, then swallows either a `;`-terminated item or a
+/// braced item via brace matching. That covers `mod tests { … }`,
+/// annotated functions, and `use` statements — the shapes that occur in
+/// practice.
+#[must_use]
+pub fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut ci = 0;
+    while ci < code.len() {
+        let start = ci;
+        match match_test_attribute(tokens, &code, ci) {
+            Some(after_attr) => {
+                let end = consume_item(tokens, &code, after_attr);
+                for &ti in &code[start..end.min(code.len())] {
+                    mask[ti] = true;
+                }
+                ci = end;
+            }
+            None => ci += 1,
+        }
+    }
+    mask
+}
+
+fn tok_is(t: &Token, p: char) -> bool {
+    t.kind == TokenKind::Punct(p)
+}
+
+/// If `code[ci..]` starts a `#[cfg(…test…)]` or `#[test]` attribute,
+/// returns the code-index just past its closing `]`.
+fn match_test_attribute(tokens: &[Token], code: &[usize], ci: usize) -> Option<usize> {
+    let tok = |i: usize| -> Option<&Token> { code.get(i).map(|&t| &tokens[t]) };
+    if !tok_is(tok(ci)?, '#') || !tok_is(tok(ci + 1)?, '[') {
+        return None;
+    }
+    // Collect the attribute body up to the matching `]`.
+    let mut depth = 1usize;
+    let mut j = ci + 2;
+    let mut body: Vec<&Token> = Vec::new();
+    while depth > 0 {
+        let t = tok(j)?;
+        if tok_is(t, '[') {
+            depth += 1;
+        } else if tok_is(t, ']') {
+            depth -= 1;
+        }
+        if depth > 0 {
+            body.push(t);
+        }
+        j += 1;
+    }
+    let is_test = match body.first() {
+        Some(t) if t.text == "test" && body.len() == 1 => true,
+        // `cfg(test)` / `cfg(any(test, …))` — but a body mentioning
+        // `not` (`cfg(not(test))`) guards *live* code, so it never
+        // counts as a test region.
+        Some(t) if t.text == "cfg" => {
+            body.iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text == "test")
+                && !body
+                    .iter()
+                    .any(|t| t.kind == TokenKind::Ident && t.text == "not")
+        }
+        _ => false,
+    };
+    is_test.then_some(j)
+}
+
+/// Consumes attributes then one item starting at code-index `ci`,
+/// returning the code-index just past it. An item either ends at the
+/// first `;` seen before any `{`, or at the brace matching its first `{`.
+fn consume_item(tokens: &[Token], code: &[usize], mut ci: usize) -> usize {
+    // Skip stacked attributes (`#[allow(…)]` between the cfg and item).
+    while ci + 1 < code.len()
+        && tok_is(&tokens[code[ci]], '#')
+        && tok_is(&tokens[code[ci + 1]], '[')
+    {
+        let mut depth = 0usize;
+        ci += 1;
+        while ci < code.len() {
+            let t = &tokens[code[ci]];
+            if tok_is(t, '[') {
+                depth += 1;
+            } else if tok_is(t, ']') {
+                depth -= 1;
+                if depth == 0 {
+                    ci += 1;
+                    break;
+                }
+            }
+            ci += 1;
+        }
+    }
+    let mut depth = 0usize;
+    while ci < code.len() {
+        let t = &tokens[code[ci]];
+        if depth == 0 && tok_is(t, ';') {
+            return ci + 1;
+        }
+        if tok_is(t, '{') {
+            depth += 1;
+        } else if tok_is(t, '}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return ci + 1;
+            }
+        }
+        ci += 1;
+    }
+    ci
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn line_and_block_comments_swallow_code() {
+        assert_eq!(idents("// unwrap() HashMap\nfoo"), vec!["foo"]);
+        assert_eq!(idents("/* unwrap() */ bar"), vec!["bar"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unwrap() */ still comment */ after";
+        assert_eq!(idents(src), vec!["after"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "HashMap::new()";"#), vec!["let", "s"]);
+        assert_eq!(idents(r#"let s = "escaped \" HashMap";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r##"let s = r#"contains "quotes" and HashMap"#;"##;
+        assert_eq!(idents(src), vec!["let", "s"]);
+        // Two-guard raw string containing a one-guard terminator.
+        let src2 = "let s = r##\"has \"# inside\"##; tail";
+        assert_eq!(idents(src2), vec!["let", "s", "tail"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(idents(r#"let s = b"unwrap()";"#), vec!["let", "s"]);
+        assert_eq!(idents("let s = br#\"unwrap()\"#;"), vec!["let", "s"]);
+        assert_eq!(idents(r#"let s = c"unwrap()";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        // 'a' is a char; 'a in a generic list is a lifetime.
+        let toks = lex("let c = 'a'; fn f<'a>(x: &'a str) {}");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, vec!["'a'"]);
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+    }
+
+    #[test]
+    fn tricky_char_literals() {
+        // A double quote inside a char must not open a string.
+        assert_eq!(idents("let q = '\"'; tail"), vec!["let", "q", "tail"]);
+        // A slash inside a char must not open a comment.
+        assert_eq!(idents("let s = '/'; tail"), vec!["let", "s", "tail"]);
+        // Escaped quote.
+        assert_eq!(idents(r"let e = '\''; tail"), vec!["let", "e", "tail"]);
+        // Unicode escape.
+        assert_eq!(idents(r"let u = '\u{1F600}'; t"), vec!["let", "u", "t"]);
+        // Byte char.
+        assert_eq!(idents("let b = b'x'; tail"), vec!["let", "b", "tail"]);
+        // Underscore char vs anonymous lifetime.
+        assert_eq!(kinds("'_'")[0], TokenKind::Char);
+        assert_eq!(kinds("&'_ str")[1], TokenKind::Lifetime);
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        assert_eq!(idents("let r#match = 1;"), vec!["let", "r#match"]);
+    }
+
+    #[test]
+    fn numbers_stay_single_tokens() {
+        assert_eq!(kinds("1.5e-3"), vec![TokenKind::Num]);
+        assert_eq!(
+            kinds("0..n"),
+            vec![
+                TokenKind::Num,
+                TokenKind::Punct('.'),
+                TokenKind::Punct('.'),
+                TokenKind::Ident
+            ]
+        );
+        // `1.max(2)` — the dot is a method call, not a decimal point.
+        assert_eq!(kinds("1.max(2)")[1], TokenKind::Punct('.'));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn cfg_test_region_masks_the_whole_module() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let toks = lex(src);
+        let mask = test_region_mask(&toks);
+        let masked: Vec<_> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| m)
+            .map(|(t, _)| t.text.clone())
+            .collect();
+        assert!(masked.contains(&"unwrap".to_string()));
+        // Code outside the module stays unmasked.
+        let live: Vec<_> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| !m)
+            .map(|(t, _)| t.text.clone())
+            .collect();
+        assert!(live.contains(&"live".to_string()));
+        assert!(live.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_with_stacked_attributes_and_semicolon_items() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t() { u.unwrap() }\nfn live() {}";
+        let toks = lex(src);
+        let mask = test_region_mask(&toks);
+        let unmasked: Vec<_> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| !m)
+            .map(|(t, _)| t.text.clone())
+            .collect();
+        assert!(!unmasked.contains(&"unwrap".to_string()));
+        assert!(unmasked.contains(&"live".to_string()));
+
+        // `#[cfg(test)] use foo;` ends at the semicolon.
+        let src2 = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}";
+        let toks2 = lex(src2);
+        let mask2 = test_region_mask(&toks2);
+        let unmasked2: Vec<_> = toks2
+            .iter()
+            .zip(&mask2)
+            .filter(|(_, &m)| !m)
+            .map(|(t, _)| t.text.clone())
+            .collect();
+        assert!(!unmasked2.contains(&"HashMap".to_string()));
+        assert!(unmasked2.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn cfg_any_test_counts_as_test() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nmod helpers { fn h() { y.unwrap() } }";
+        let toks = lex(src);
+        let mask = test_region_mask(&toks);
+        assert!(toks
+            .iter()
+            .zip(&mask)
+            .all(|(t, &m)| t.text != "unwrap" || m));
+    }
+}

@@ -1,0 +1,34 @@
+//! `s2c2-analysis`: a dependency-free static-analysis pass over the
+//! workspace's own source, enforcing the invariants the test suite can
+//! only check dynamically.
+//!
+//! The serve engine guarantees byte-identical event/trace streams
+//! across backends and repeat runs. The hazards that historically broke
+//! that guarantee — nondeterministic `HashMap` iteration, NaN-unsound
+//! `partial_cmp` sorts, wall-clock reads in decision paths — are all
+//! *lexically visible*, so this crate catches them before a proptest
+//! ever runs:
+//!
+//! * [`lexer`] — a hand-rolled Rust lexer (nested block comments, raw
+//!   strings with `#` guards, char-vs-lifetime disambiguation) so rules
+//!   match tokens, never text inside strings or comments;
+//! * [`rules`] — the rule engine: per-rule path scoping, inline
+//!   `// s2c2-allow: <rule> -- <justification>` waivers, and the five
+//!   workspace rules (`no-wall-clock`, `no-unordered-iteration`,
+//!   `no-partial-float-order`, `no-panic-paths`, `unsafe-audit`);
+//! * [`scan`] — deterministic workspace walking;
+//! * [`report`] — rustc-style diagnostics, the summary table, and the
+//!   `results/unsafe_audit.json` inventory.
+//!
+//! Run it as `cargo run -p s2c2-analysis -- check` (non-zero exit on
+//! findings) or `-- report` (summary table); CI gates on `check`.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use rules::{analyze_source, FileAnalysis, Finding, Severity, UnsafeSite};
+pub use scan::{scan_workspace, ScanResult};

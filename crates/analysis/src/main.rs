@@ -1,0 +1,161 @@
+//! CLI driver: `check` gates on deny findings, `report` summarizes.
+
+use s2c2_analysis::report::{render_finding, render_report, unsafe_audit_json};
+use s2c2_analysis::rules::Severity;
+use s2c2_analysis::scan::scan_workspace;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+s2c2-analysis — workspace linter for determinism, panic-freedom, and float ordering
+
+USAGE:
+    cargo run -p s2c2-analysis -- check [--warnings] [--root <dir>]
+    cargo run -p s2c2-analysis -- report [--root <dir>]
+
+SUBCOMMANDS:
+    check     print findings rustc-style; exit 1 if any unwaived deny finding
+    report    print the rule x crate summary table and waiver tallies
+
+OPTIONS:
+    --warnings    in check, list advisory (warn) findings individually
+    --root <dir>  workspace root to scan (default: auto-detected)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd: Option<&str> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut show_warnings = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" | "report" if cmd.is_none() => {
+                cmd = Some(if a == "check" { "check" } else { "report" });
+            }
+            "--warnings" => show_warnings = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(cmd) = cmd else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let root = root.unwrap_or_else(workspace_root);
+    let scan = match scan_workspace(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    // The inventory is refreshed by both subcommands so it can never go
+    // stale relative to the tree that was checked.
+    let results_dir = root.join("results");
+    let inventory = unsafe_audit_json(&scan.unsafe_sites);
+    if let Err(e) = std::fs::create_dir_all(&results_dir)
+        .and_then(|()| std::fs::write(results_dir.join("unsafe_audit.json"), inventory))
+    {
+        eprintln!("error: writing results/unsafe_audit.json: {e}");
+        return ExitCode::from(2);
+    }
+
+    match cmd {
+        "report" => {
+            print!("{}", render_report(&scan));
+            ExitCode::SUCCESS
+        }
+        _ => run_check(&scan, show_warnings),
+    }
+}
+
+fn run_check(scan: &s2c2_analysis::ScanResult, show_warnings: bool) -> ExitCode {
+    let mut deny = 0usize;
+    let mut waived = 0usize;
+    let mut warn = 0usize;
+    let mut warn_by_file: BTreeMap<&str, usize> = BTreeMap::new();
+
+    for f in &scan.findings {
+        if f.waived {
+            waived += 1;
+            continue;
+        }
+        match f.severity {
+            Severity::Deny => {
+                deny += 1;
+                print!("{}", render_finding(f));
+                println!();
+            }
+            Severity::Warn => {
+                warn += 1;
+                *warn_by_file.entry(f.file.as_str()).or_default() += 1;
+                if show_warnings {
+                    print!("{}", render_finding(f));
+                    println!();
+                }
+            }
+        }
+    }
+
+    if warn > 0 && !show_warnings {
+        println!("advisory: {warn} warn-level finding(s) (rerun with --warnings to list):");
+        for (file, n) in &warn_by_file {
+            println!("  {file}: {n}");
+        }
+        println!();
+    }
+    println!(
+        "s2c2-analysis: {} file(s), {deny} error(s), {warn} warning(s), {waived} waived",
+        scan.files
+    );
+    if deny > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Locates the workspace root: walk up from the current directory (then
+/// from this crate's compile-time location) until a `Cargo.toml`
+/// containing `[workspace]` appears.
+fn workspace_root() -> PathBuf {
+    let starts = [
+        std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")),
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")),
+    ];
+    for start in starts {
+        let mut dir: &Path = &start;
+        loop {
+            let manifest = dir.join("Cargo.toml");
+            if manifest.is_file() {
+                let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+                if text.contains("[workspace]") {
+                    return dir.to_path_buf();
+                }
+            }
+            match dir.parent() {
+                Some(p) => dir = p,
+                None => break,
+            }
+        }
+    }
+    PathBuf::from(".")
+}

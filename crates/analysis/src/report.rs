@@ -1,0 +1,225 @@
+//! Diagnostic rendering: rustc-style findings, the `report` summary
+//! table, and the machine-readable unsafe-audit inventory.
+
+use crate::rules::{rules, Finding, Severity, UnsafeSite};
+use crate::scan::ScanResult;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders one finding in rustc's `error: … --> file:line:col` shape.
+#[must_use]
+pub fn render_finding(f: &Finding) -> String {
+    let level = match f.severity {
+        Severity::Deny => "error",
+        Severity::Warn => "warning",
+    };
+    format!(
+        "{level}[{rule}]: {msg}\n  --> {file}:{line}:{col}\n  help: {help}\n",
+        rule = f.rule,
+        msg = f.message,
+        file = f.file,
+        line = f.line,
+        col = f.col,
+        help = f.help,
+    )
+}
+
+/// Splits a workspace-relative path into its owning "crate" bucket for
+/// the summary table (`crates/serve`, `vendor/rand`, `src`, …).
+fn crate_bucket(path: &str) -> String {
+    let parts: Vec<&str> = path.split('/').collect();
+    match parts.first().copied() {
+        Some("crates") | Some("vendor") if parts.len() >= 2 => {
+            format!("{}/{}", parts[0], parts[1])
+        }
+        Some(top) => top.to_string(),
+        None => String::new(),
+    }
+}
+
+/// The `report` subcommand body: a rule × crate matrix of active deny
+/// findings plus waived/warn tallies and the unsafe inventory summary.
+#[must_use]
+pub fn render_report(scan: &ScanResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "s2c2-analysis report — {} files scanned", scan.files);
+    let _ = writeln!(out);
+
+    // rule → crate → (active deny, waived, warn)
+    let mut matrix: BTreeMap<&str, BTreeMap<String, (usize, usize, usize)>> = BTreeMap::new();
+    for f in &scan.findings {
+        let cell = matrix
+            .entry(f.rule)
+            .or_default()
+            .entry(crate_bucket(&f.file))
+            .or_default();
+        match (f.severity, f.waived) {
+            (Severity::Deny, false) => cell.0 += 1,
+            (_, true) => cell.1 += 1,
+            (Severity::Warn, false) => cell.2 += 1,
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "{:<24} {:<18} {:>6} {:>7} {:>6}",
+        "rule", "crate", "deny", "waived", "warn"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(66));
+    for rule in rules() {
+        match matrix.get(rule.name) {
+            Some(crates) => {
+                for (krate, (deny, waived, warn)) in crates {
+                    let _ = writeln!(
+                        out,
+                        "{:<24} {:<18} {:>6} {:>7} {:>6}",
+                        rule.name, krate, deny, waived, warn
+                    );
+                }
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:<18} {:>6} {:>7} {:>6}",
+                    rule.name, "(clean)", 0, 0, 0
+                );
+            }
+        }
+    }
+    if let Some(crates) = matrix.get(crate::rules::WAIVER_SYNTAX) {
+        for (krate, (deny, waived, warn)) in crates {
+            let _ = writeln!(
+                out,
+                "{:<24} {:<18} {:>6} {:>7} {:>6}",
+                crate::rules::WAIVER_SYNTAX,
+                krate,
+                deny,
+                waived,
+                warn
+            );
+        }
+    }
+
+    let _ = writeln!(out);
+    let with_safety = scan.unsafe_sites.iter().filter(|s| s.has_safety).count();
+    let _ = writeln!(
+        out,
+        "unsafe inventory: {} site(s), {} with SAFETY comments (results/unsafe_audit.json)",
+        scan.unsafe_sites.len(),
+        with_safety
+    );
+
+    let _ = writeln!(out);
+    let _ = writeln!(out, "rule catalog:");
+    for rule in rules() {
+        let _ = writeln!(out, "  {:<24} {}", rule.name, rule.summary);
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The machine-readable unsafe inventory, deterministic field and row
+/// order. Hand-rolled JSON: the workspace is registry-free by design.
+#[must_use]
+pub fn unsafe_audit_json(sites: &[UnsafeSite]) -> String {
+    let mut sorted: Vec<&UnsafeSite> = sites.iter().collect();
+    sorted.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    let mut out =
+        String::from("{\n  \"tool\": \"s2c2-analysis\",\n  \"rule\": \"unsafe-audit\",\n");
+    let _ = writeln!(out, "  \"total_sites\": {},", sorted.len());
+    let _ = writeln!(
+        out,
+        "  \"documented_sites\": {},",
+        sorted.iter().filter(|s| s.has_safety).count()
+    );
+    out.push_str("  \"sites\": [");
+    for (i, s) in sorted.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"has_safety\": {}, \"head\": \"{}\"}}",
+            json_escape(&s.file),
+            s.line,
+            s.col,
+            s.has_safety,
+            json_escape(&s.head)
+        );
+    }
+    if !sorted.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_renders_rustc_style() {
+        let f = Finding {
+            rule: "no-wall-clock",
+            severity: Severity::Deny,
+            message: "wall-clock type `Instant`".to_string(),
+            help: "use the virtual clock",
+            file: "crates/serve/src/engine/core.rs".to_string(),
+            line: 12,
+            col: 9,
+            waived: false,
+            justification: None,
+        };
+        let s = render_finding(&f);
+        assert!(s.starts_with("error[no-wall-clock]:"));
+        assert!(s.contains("--> crates/serve/src/engine/core.rs:12:9"));
+    }
+
+    #[test]
+    fn unsafe_json_is_sorted_and_escaped() {
+        let sites = vec![
+            UnsafeSite {
+                file: "b.rs".to_string(),
+                line: 2,
+                col: 1,
+                has_safety: true,
+                head: "{".to_string(),
+            },
+            UnsafeSite {
+                file: "a.rs".to_string(),
+                line: 9,
+                col: 3,
+                has_safety: false,
+                head: "fn".to_string(),
+            },
+        ];
+        let j = unsafe_audit_json(&sites);
+        let a = j.find("a.rs").expect("a.rs listed");
+        let b = j.find("b.rs").expect("b.rs listed");
+        assert!(a < b, "rows sorted by file");
+        assert!(j.contains("\"total_sites\": 2"));
+        assert!(j.contains("\"documented_sites\": 1"));
+    }
+
+    #[test]
+    fn empty_inventory_is_valid_json_shape() {
+        let j = unsafe_audit_json(&[]);
+        assert!(j.contains("\"total_sites\": 0"));
+        assert!(j.contains("\"sites\": []"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Workspace file discovery and whole-tree analysis.
+//!
+//! The walk is deterministic (directory entries are sorted) so
+//! diagnostics, the report table, and the unsafe inventory come out
+//! byte-identical across runs — the linter holds itself to the
+//! invariant it enforces.
+
+use crate::rules::{analyze_source, Finding, UnsafeSite};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories scanned for `.rs` files.
+const ROOTS: &[&str] = &["src", "crates", "examples", "tests", "vendor"];
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git"];
+
+/// Paths (workspace-relative prefixes) excluded from live scans: the
+/// linter's own fixture corpus contains deliberately-bad snippets.
+const SKIP_PREFIXES: &[&str] = &["crates/analysis/tests/fixtures"];
+
+/// Combined result of scanning a workspace tree.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Findings across all files, waived included.
+    pub findings: Vec<Finding>,
+    /// Every `unsafe` site, for the audit inventory.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
+/// Collects all `.rs` files under the scan roots, workspace-relative,
+/// sorted.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut rel: Vec<PathBuf> = files
+        .into_iter()
+        .filter_map(|p| p.strip_prefix(root).ok().map(Path::to_path_buf))
+        .filter(|p| {
+            let s = path_str(p);
+            !SKIP_PREFIXES.iter().any(|pre| s.starts_with(pre))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                walk(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The forward-slash form of a relative path, used for rule scoping.
+#[must_use]
+pub fn path_str(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Analyzes every `.rs` file under `root`.
+pub fn scan_workspace(root: &Path) -> io::Result<ScanResult> {
+    let mut result = ScanResult::default();
+    for rel in collect_files(root)? {
+        let src = fs::read_to_string(root.join(&rel))?;
+        let analysis = analyze_source(&path_str(&rel), &src);
+        result.findings.extend(analysis.findings);
+        result.unsafe_sites.extend(analysis.unsafe_sites);
+        result.files += 1;
+    }
+    Ok(result)
+}

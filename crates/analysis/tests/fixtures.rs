@@ -1,0 +1,202 @@
+//! Fixture-based end-to-end tests: known-bad snippets must fire, waived
+//! and lexer-edge-case snippets must not, and the live workspace tree
+//! must scan clean.
+//!
+//! Fixtures live under `tests/fixtures/` as real files (excluded from
+//! live scans by `scan::SKIP_PREFIXES`) and are analyzed under
+//! *synthetic* workspace paths so each rule's scoping is exercised
+//! exactly as in production.
+
+use s2c2_analysis::rules::{analyze_source, Severity, WAIVER_SYNTAX};
+
+/// The strictest synthetic path: every rule applies to an engine
+/// decision file.
+const ENGINE_PATH: &str = "crates/serve/src/engine/core.rs";
+
+fn active_deny(path: &str, src: &str) -> Vec<(String, u32, String)> {
+    analyze_source(path, src)
+        .findings
+        .into_iter()
+        .filter(|f| f.severity == Severity::Deny && !f.waived)
+        .map(|f| (f.rule.to_string(), f.line, f.message))
+        .collect()
+}
+
+fn rules_fired(path: &str, src: &str) -> Vec<String> {
+    let mut rules: Vec<String> = active_deny(path, src)
+        .into_iter()
+        .map(|(rule, _, _)| rule)
+        .collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+// --- known-bad fixtures: every rule fires -------------------------------
+
+#[test]
+fn bad_wall_clock_fires() {
+    let src = include_str!("fixtures/bad_wall_clock.rs");
+    let fired = rules_fired(ENGINE_PATH, src);
+    assert!(fired.contains(&"no-wall-clock".to_string()), "{fired:?}");
+    // Both the type names and the std::time path are caught.
+    let hits = active_deny(ENGINE_PATH, src)
+        .into_iter()
+        .filter(|(r, _, _)| r == "no-wall-clock")
+        .count();
+    assert!(hits >= 3, "Instant, SystemTime, and std::time all flagged");
+}
+
+#[test]
+fn bad_wall_clock_is_allowed_in_measurement_site() {
+    // The same source under the designated measurement path is clean:
+    // scoping is per-rule, per-path.
+    let src = include_str!("fixtures/bad_wall_clock.rs");
+    let fired = rules_fired("crates/serve/src/engine/backend.rs", src);
+    assert!(!fired.contains(&"no-wall-clock".to_string()), "{fired:?}");
+}
+
+#[test]
+fn bad_unordered_fires() {
+    let src = include_str!("fixtures/bad_unordered.rs");
+    let fired = rules_fired(ENGINE_PATH, src);
+    assert!(
+        fired.contains(&"no-unordered-iteration".to_string()),
+        "{fired:?}"
+    );
+    // Out of scope for a crate that never feeds the trace stream.
+    assert!(rules_fired("crates/trace/src/model.rs", src).is_empty());
+}
+
+#[test]
+fn bad_partial_cmp_fires_workspace_wide_but_not_in_tests() {
+    let src = include_str!("fixtures/bad_partial_cmp.rs");
+    for path in [
+        ENGINE_PATH,
+        "crates/linalg/src/solve.rs",
+        "examples/pagerank.rs",
+        "src/lib.rs",
+    ] {
+        assert!(
+            rules_fired(path, src).contains(&"no-partial-float-order".to_string()),
+            "{path} must be in scope"
+        );
+    }
+    // Test paths are exempt.
+    assert!(rules_fired("crates/linalg/tests/proptest_kernels.rs", src).is_empty());
+}
+
+#[test]
+fn bad_panic_fires_all_constructs() {
+    let src = include_str!("fixtures/bad_panic.rs");
+    let msgs: Vec<String> = active_deny(ENGINE_PATH, src)
+        .into_iter()
+        .filter(|(r, _, _)| r == "no-panic-paths")
+        .map(|(_, _, m)| m)
+        .collect();
+    for needle in ["`.unwrap()`", "`.expect()`", "`panic!`", "`unreachable!`"] {
+        assert!(
+            msgs.iter().any(|m| m.contains(needle)),
+            "{needle} missing from {msgs:?}"
+        );
+    }
+    // Panic-freedom is a serve-only rule.
+    assert!(!rules_fired("crates/linalg/src/solve.rs", src).contains(&"no-panic-paths".to_string()));
+}
+
+#[test]
+fn bad_unsafe_fires_and_is_inventoried() {
+    let src = include_str!("fixtures/bad_unsafe.rs");
+    // The audit covers everything, vendored shims included.
+    for path in [ENGINE_PATH, "vendor/crossbeam/src/lib.rs"] {
+        let out = analyze_source(path, src);
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.rule == "unsafe-audit" && !f.waived));
+        assert_eq!(out.unsafe_sites.len(), 1);
+        assert!(!out.unsafe_sites[0].has_safety);
+    }
+}
+
+#[test]
+fn bad_waivers_are_findings_and_do_not_silence() {
+    let src = include_str!("fixtures/bad_waiver.rs");
+    let found = active_deny(ENGINE_PATH, src);
+    // Two malformed waivers (missing justification, unknown rule)…
+    assert_eq!(
+        found.iter().filter(|(r, _, _)| r == WAIVER_SYNTAX).count(),
+        2,
+        "{found:?}"
+    );
+    // …and the HashMap findings they failed to cover still fire.
+    assert!(found.iter().any(|(r, _, _)| r == "no-unordered-iteration"));
+}
+
+// --- waived fixture: justified waivers silence everything ----------------
+
+#[test]
+fn justified_waivers_silence_every_rule() {
+    let src = include_str!("fixtures/waived_all.rs");
+    let found = active_deny(ENGINE_PATH, src);
+    assert!(found.is_empty(), "expected zero active findings: {found:?}");
+    // The waived findings are still recorded, with their justifications.
+    let out = analyze_source(ENGINE_PATH, src);
+    let waived: Vec<_> = out.findings.iter().filter(|f| f.waived).collect();
+    assert!(waived.len() >= 5, "waivers recorded: {}", waived.len());
+    assert!(waived.iter().all(|f| f
+        .justification
+        .as_deref()
+        .is_some_and(|j| j.contains("fixture"))));
+    // The SAFETY-commented unsafe block is inventoried, not flagged.
+    assert_eq!(out.unsafe_sites.len(), 1);
+    assert!(out.unsafe_sites[0].has_safety);
+}
+
+// --- lexer edge cases: zero false positives ------------------------------
+
+#[test]
+fn lexer_edge_cases_produce_zero_findings() {
+    let src = include_str!("fixtures/clean_lexer_edges.rs");
+    let out = analyze_source(ENGINE_PATH, src);
+    let active: Vec<_> = out.findings.iter().filter(|f| !f.waived).collect();
+    assert!(
+        active.is_empty(),
+        "false positives in lexer edge cases: {active:?}"
+    );
+    assert!(
+        out.unsafe_sites.is_empty(),
+        "`unsafe` only ever in comments"
+    );
+}
+
+// --- the tree itself ------------------------------------------------------
+
+#[test]
+fn live_workspace_scans_clean() {
+    // The repo root is two levels above this crate. Running the full
+    // scan here keeps `cargo test` and the CI `analysis` job enforcing
+    // the same invariant.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analysis sits two levels below the workspace root")
+        .to_path_buf();
+    let scan = s2c2_analysis::scan_workspace(&root).expect("workspace scan succeeds");
+    let active: Vec<_> = scan
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny && !f.waived)
+        .map(|f| format!("{}:{}:{} {}", f.file, f.line, f.col, f.rule))
+        .collect();
+    assert!(
+        active.is_empty(),
+        "the tree must stay lint-clean (fix or waive):\n{}",
+        active.join("\n")
+    );
+    // Fixture corpus is excluded from live scans.
+    assert!(scan
+        .findings
+        .iter()
+        .all(|f| !f.file.contains("tests/fixtures")));
+}

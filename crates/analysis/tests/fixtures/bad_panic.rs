@@ -1,0 +1,12 @@
+// Known-bad: panic-prone constructs in non-test serve code.
+fn lookup(map: &std::collections::BTreeMap<u64, f64>, id: u64) -> f64 {
+    let direct = map.get(&id).unwrap();
+    let described = map.get(&id).expect("job is resident");
+    if *direct != *described {
+        panic!("diverged");
+    }
+    match id {
+        0 => unreachable!(),
+        _ => *direct,
+    }
+}

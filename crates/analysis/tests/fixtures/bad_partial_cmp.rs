@@ -1,0 +1,4 @@
+// Known-bad: partial_cmp on float keys (NaN-unsound, panics via unwrap).
+fn rank(times: &mut Vec<f64>) {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,4 @@
+// Known-bad: an undocumented unsafe block (no safety comment at all).
+fn head(xs: &[u64]) -> u64 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,6 @@
+// Known-bad: waivers that must themselves be findings.
+// s2c2-allow: no-unordered-iteration
+use std::collections::HashMap;
+
+// s2c2-allow: not-a-real-rule -- the rule name is unknown
+fn noop(_m: HashMap<u64, u64>) {}

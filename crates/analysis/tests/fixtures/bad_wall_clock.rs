@@ -1,0 +1,12 @@
+// Known-bad: wall-clock reads in a decision path. Scanned under a
+// synthetic engine path by the fixture harness; never compiled.
+use std::time::Instant;
+
+fn decide(deadline: f64) -> bool {
+    let now = Instant::now();
+    now.elapsed().as_secs_f64() < deadline
+}
+
+fn also_bad() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,21 @@
+// Every rule violated once, every violation carrying a justified
+// waiver: this file must produce zero active findings.
+// s2c2-allow: no-wall-clock -- fixture: measurement-only helper mirrored from backend.rs
+use std::time::Instant;
+
+// s2c2-allow: no-unordered-iteration -- fixture: keyed lookups only, never iterated
+use std::collections::HashMap;
+
+fn order(a: f64, b: f64) -> std::cmp::Ordering {
+    // s2c2-allow: no-partial-float-order -- fixture: inputs proven finite by the caller
+    a.partial_cmp(&b).unwrap() // s2c2-allow: no-panic-paths -- fixture: same finiteness proof covers the unwrap
+}
+
+// s2c2-allow: no-unordered-iteration -- fixture: parameter type only, nothing iterates it
+fn timed(map: &HashMap<u64, f64>) -> f64 {
+    // s2c2-allow: no-wall-clock -- fixture: measurement-only site
+    let t0 = Instant::now();
+    // SAFETY: fixture — the pointer derives from a live reference.
+    let v = unsafe { *std::ptr::addr_of!(map).cast::<f64>() };
+    v + t0.elapsed().as_secs_f64()
+}

@@ -10,11 +10,11 @@ fn bench_mds_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("mds_encode");
     for (n, k) in [(12usize, 10usize), (12, 6), (10, 7), (50, 40)] {
         let a = Matrix::from_fn(k * 40, 64, |r, cc| ((r * 3 + cc) % 17) as f64);
-        let code = MdsCode::new(MdsParams::new(n, k)).unwrap();
+        let code = MdsCode::new(MdsParams::new(n, k)).expect("valid (n, k)");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("({n},{k})")),
             &a,
-            |b, a| b.iter(|| code.encode(a, 8).unwrap()),
+            |b, a| b.iter(|| code.encode(a, 8).expect("encode")),
         );
     }
     group.finish();
@@ -24,8 +24,8 @@ fn bench_mds_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("mds_decode_worst_case");
     for (n, k) in [(12usize, 10usize), (10, 7), (50, 40)] {
         let a = Matrix::from_fn(k * 40, 64, |r, cc| ((r * 3 + cc) % 17) as f64);
-        let code = MdsCode::new(MdsParams::new(n, k)).unwrap();
-        let enc = code.encode(&a, 8).unwrap();
+        let code = MdsCode::new(MdsParams::new(n, k)).expect("valid (n, k)");
+        let enc = code.encode(&a, 8).expect("encode");
         let x = Vector::filled(64, 1.0);
         // Worst case: the last k workers (max parity involvement).
         let chunks: Vec<usize> = (0..8).collect();
@@ -35,7 +35,7 @@ fn bench_mds_decode(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("({n},{k})")),
             &responses,
-            |b, responses| b.iter(|| code.decode_matvec(enc.layout(), responses).unwrap()),
+            |b, responses| b.iter(|| code.decode_matvec(enc.layout(), responses).expect("decode")),
         );
     }
     group.finish();
@@ -47,18 +47,21 @@ fn bench_poly_roundtrip(c: &mut Criterion) {
     let dim = 96;
     let a = Matrix::from_fn(dim, dim, |r, cc| ((r + cc * 5) % 13) as f64 * 0.1);
     let a_t = a.transpose();
-    let code = PolynomialCode::new(PolyParams::new(12, 3, 3)).unwrap();
-    let enc = code.encode_pair(&a_t, &a, 4).unwrap();
+    let code = PolynomialCode::new(PolyParams::new(12, 3, 3)).expect("valid params");
+    let enc = code.encode_pair(&a_t, &a, 4).expect("encode");
     let w = Vector::filled(dim, 0.25);
     group.bench_function("encode_pair", |b| {
-        b.iter(|| code.encode_pair(&a_t, &a, 4).unwrap())
+        b.iter(|| code.encode_pair(&a_t, &a, 4).expect("encode"))
     });
     let chunks: Vec<usize> = (0..4).collect();
     let responses: Vec<_> = (3..12)
         .flat_map(|wk| enc.worker_compute_chunks(wk, &chunks, Some(&w)))
         .collect();
     group.bench_function("decode_product", |b| {
-        b.iter(|| code.decode_product(enc.layout(), &responses).unwrap())
+        b.iter(|| {
+            code.decode_product(enc.layout(), &responses)
+                .expect("decode")
+        })
     });
     group.finish();
 }
@@ -70,7 +73,7 @@ fn bench_allocator(c: &mut Criterion) {
             .map(|i| 0.3 + 0.7 * ((i * 7 % 10) as f64 / 10.0))
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &speeds, |b, speeds| {
-            b.iter(|| s2c2_core::allocate_chunks(speeds, n * 4 / 5, 32).unwrap())
+            b.iter(|| s2c2_core::allocate_chunks(speeds, n * 4 / 5, 32).expect("feasible"))
         });
     }
     group.finish();

@@ -33,7 +33,7 @@ pub fn run(scale: Scale) -> TraceFigures {
             (stats::std_dev(s) / stats::mean(s), i)
         })
         .collect();
-    volatility.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    volatility.sort_by(|a, b| a.0.total_cmp(&b.0));
     let picks = [
         volatility[0].1,
         volatility[nodes / 3].1,
@@ -69,7 +69,7 @@ pub fn run(scale: Scale) -> TraceFigures {
     for &p in &picks {
         let s = set.node(p).samples();
         let mut steps: Vec<f64> = s.windows(2).map(|w| (w[1] - w[0]).abs() / w[0]).collect();
-        steps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        steps.sort_by(|a, b| a.total_cmp(b));
         let median_step = if steps.is_empty() {
             0.0
         } else {

@@ -178,7 +178,7 @@ pub fn kth_completion(times: &[f64], need: usize) -> f64 {
     if finite.len() < need {
         return f64::INFINITY;
     }
-    finite.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    finite.sort_by(|a, b| a.total_cmp(b));
     finite[need - 1]
 }
 

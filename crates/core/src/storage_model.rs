@@ -69,7 +69,7 @@ pub fn simulate_storage(
             assigned += sizes[w];
             rema.push((ideal - sizes[w] as f64, w));
         }
-        rema.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        rema.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         for i in 0..rows - assigned {
             sizes[rema[i % n].1] += 1;
         }

@@ -119,7 +119,7 @@ pub fn run_coded_round(
         })
         .collect();
     let mut by_time: Vec<usize> = assigned.clone();
-    by_time.sort_by(|&a, &b| times[a].partial_cmp(&times[b]).unwrap());
+    by_time.sort_by(|&a, &b| times[a].total_cmp(&times[b]));
     let t_kth = times[by_time[k - 1]];
     let mean_rate: f64 = by_time[..k]
         .iter()
@@ -178,7 +178,7 @@ pub fn run_coded_round(
         // already cover it. Without load spreading, one fast worker would
         // serialize the entire redo.
         let mut candidates: Vec<usize> = active.clone();
-        candidates.sort_by(|&a, &b| times[a].partial_cmp(&times[b]).unwrap());
+        candidates.sort_by(|&a, &b| times[a].total_cmp(&times[b]));
         'chunks: for &chunk in &deficit {
             let live = active.iter().filter(|&&w| covers(w, chunk)).count();
             let mut need = k - live;
@@ -250,7 +250,7 @@ pub fn run_coded_round(
                 cands.push((t2[w], w, true));
             }
         }
-        cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         if cands.len() < k {
             return Err(S2c2Error::IterationFailed(format!(
                 "chunk {chunk} has only {} results after reassignment",

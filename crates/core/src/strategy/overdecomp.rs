@@ -148,7 +148,7 @@ impl MatvecStrategy for OverDecompositionStrategy {
                 .min_by(|&a, &b| {
                     let fa = (counts[a] + 1) as f64 / preds[a].max(1e-9);
                     let fb = (counts[b] + 1) as f64 / preds[b].max(1e-9);
-                    fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
+                    fa.total_cmp(&fb).then(a.cmp(&b))
                 })
                 .expect("n > 0");
             counts[pick] += 1;
@@ -158,7 +158,7 @@ impl MatvecStrategy for OverDecompositionStrategy {
         let mut owner = vec![usize::MAX; parts];
         let mut load = vec![0usize; n];
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| preds[b].partial_cmp(&preds[a]).unwrap().then(a.cmp(&b)));
+        order.sort_by(|&a, &b| preds[b].total_cmp(&preds[a]).then(a.cmp(&b)));
         // Pass 1a: primary copies — each partition to its primary holder
         // while that worker has capacity (avoids stealing another
         // worker's primaries through a secondary copy).
@@ -233,7 +233,7 @@ impl MatvecStrategy for OverDecompositionStrategy {
             })
             .collect();
         let mut by_time = workers_with_work.clone();
-        by_time.sort_by(|&a, &b| times[a].partial_cmp(&times[b]).unwrap());
+        by_time.sort_by(|&a, &b| times[a].total_cmp(&times[b]));
         let k_obs = (by_time.len() * 7 / 10).max(1);
         let t_kobs = times[by_time[k_obs - 1]];
         let mean_rate: f64 = by_time[..k_obs]
@@ -261,7 +261,7 @@ impl MatvecStrategy for OverDecompositionStrategy {
             let mut hosts: Vec<usize> = (0..n)
                 .filter(|&w| times[w].is_finite() && times[w] <= deadline_for(w))
                 .collect();
-            hosts.sort_by(|&a, &b| times[a].partial_cmp(&times[b]).unwrap());
+            hosts.sort_by(|&a, &b| times[a].total_cmp(&times[b]));
             if !hosts.is_empty() {
                 for (i, &slow) in lagging.iter().enumerate() {
                     let host = hosts[i % hosts.len()];

@@ -129,7 +129,7 @@ impl PolyShared {
             })
             .collect();
         let mut by_time: Vec<usize> = assigned.clone();
-        by_time.sort_by(|&a, &b| times[a].partial_cmp(&times[b]).unwrap());
+        by_time.sort_by(|&a, &b| times[a].total_cmp(&times[b]));
         let t_kth = times[by_time[need - 1]];
         let mean_rate: f64 = by_time[..need]
             .iter()
@@ -164,7 +164,7 @@ impl PolyShared {
         if !cancelled.is_empty() {
             let mut ok = true;
             let mut candidates = active.clone();
-            candidates.sort_by(|&a, &b| times[a].partial_cmp(&times[b]).unwrap());
+            candidates.sort_by(|&a, &b| times[a].total_cmp(&times[b]));
             'outer: for chunk in 0..c {
                 let live = active.iter().filter(|&&wk| covers(wk, chunk)).count();
                 if live >= need {
@@ -229,7 +229,7 @@ impl PolyShared {
                     cands.push((t2[wk], wk));
                 }
             }
-            cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             if cands.len() < need {
                 return Err(S2c2Error::IterationFailed(format!(
                     "chunk {chunk}: only {} poly results",

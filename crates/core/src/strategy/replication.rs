@@ -149,19 +149,19 @@ impl MatvecStrategy for ReplicationStrategy {
         // (progress-rate divergence), otherwise a straggler majority would
         // postpone detection indefinitely.
         let mut sorted = primary_time.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let detect_idx = ((n as f64 * self.detect_quantile).ceil() as usize).clamp(1, n) - 1;
         let t_detect = sorted[detect_idx].min(1.5 * sorted[n / 2]);
 
         // Speculation: slowest unfinished tasks first.
         let mut lagging: Vec<usize> = (0..n).filter(|&p| primary_time[p] > t_detect).collect();
-        lagging.sort_by(|&a, &b| primary_time[b].partial_cmp(&primary_time[a]).unwrap());
+        lagging.sort_by(|&a, &b| primary_time[b].total_cmp(&primary_time[a]));
         lagging.truncate(self.max_speculative);
 
         // Helpers for choosing speculation hosts: finished workers,
         // fastest first, each used once per round.
         let mut hosts: Vec<usize> = (0..n).filter(|&w| primary_time[w] <= t_detect).collect();
-        hosts.sort_by(|&a, &b| primary_time[a].partial_cmp(&primary_time[b]).unwrap());
+        hosts.sort_by(|&a, &b| primary_time[a].total_cmp(&primary_time[b]));
         let mut host_used = vec![false; n];
 
         let mut metrics = RoundMetrics::new(iteration, n);

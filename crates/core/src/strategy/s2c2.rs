@@ -131,7 +131,7 @@ impl S2c2Strategy {
             S2c2Mode::General => allocate_chunks(preds, p.k, c),
             S2c2Mode::Basic => {
                 let mut sorted: Vec<f64> = preds.to_vec();
-                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                sorted.sort_by(|a, b| a.total_cmp(b));
                 let median = sorted[sorted.len() / 2];
                 let available: Vec<bool> = preds
                     .iter()

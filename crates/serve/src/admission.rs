@@ -294,9 +294,12 @@ impl QueuePolicy {
             .collect();
         while group.len() < max_batch && !mates.is_empty() {
             let cand: Vec<QueuedJob> = mates.iter().map(|&i| queue[i].clone()).collect();
-            let ci = self
-                .pick(&cand, residents)
-                .expect("non-empty mate set always picks");
+            // `pick` returns None only for an empty queue and the loop
+            // guard keeps `mates` non-empty; if a policy ever declined
+            // anyway, stop growing the batch rather than panic.
+            let Some(ci) = self.pick(&cand, residents) else {
+                break;
+            };
             group.push(mates.remove(ci));
         }
         group

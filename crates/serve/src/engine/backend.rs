@@ -39,7 +39,7 @@ use s2c2_coding::cache::{CachedEncoding, EncodeCache, EncodeKey};
 use s2c2_coding::chunks::MultiChunkResult;
 use s2c2_linalg::{Matrix, MultiVector, Vector};
 use s2c2_telemetry::PhaseTotals;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -529,7 +529,7 @@ struct ThreadedBackend {
     n: usize,
     inflight: BTreeMap<JobId, ThreadedJobTasks>,
     /// Replies received but not yet consumed, by task id.
-    arrived: HashMap<u64, Vec<MultiChunkResult>>,
+    arrived: BTreeMap<u64, Vec<MultiChunkResult>>,
     /// Task ids whose replies should be dropped on arrival (abandoned
     /// generations).
     discard: BTreeSet<u64>,
@@ -565,12 +565,13 @@ impl ThreadedBackend {
             cluster: Some(cluster),
             n,
             inflight: BTreeMap::new(),
-            arrived: HashMap::new(),
+            arrived: BTreeMap::new(),
             discard: BTreeSet::new(),
         }
     }
 
     fn cluster(&mut self) -> &mut ThreadedCluster<WorkerTask, Vec<MultiChunkResult>> {
+        // s2c2-allow: no-panic-paths -- backend invariant: `finish` is the only taker and the engine never dispatches after it
         self.cluster.as_mut().expect("cluster alive until finish")
     }
 
@@ -657,6 +658,7 @@ impl ExecutionBackend for ThreadedBackend {
         let id = self.dispatch(job, worker, chunks.to_vec(), xs)?;
         self.inflight
             .get_mut(&job)
+            // s2c2-allow: no-panic-paths -- backend invariant: the let-else guard above returned on a missing entry
             .expect("checked above")
             .tasks
             .push(TaskInfo {
@@ -764,6 +766,7 @@ impl ExecutionBackend for ThreadedBackend {
             let output = self
                 .arrived
                 .remove(&t.id)
+                // s2c2-allow: no-panic-paths -- backend invariant: the collect loop above blocks until every credited task has replied
                 .expect("collected in the loop above");
             let is_needed = needed.iter().any(|nt| nt.id == t.id);
             if !is_needed {

@@ -491,6 +491,7 @@ impl ServiceEngine {
         let (k_eff, c_eff, rpc) = self.effective_shape(&spec);
 
         if alive < k_eff {
+            // s2c2-allow: no-panic-paths -- engine invariant: iteration starts are only scheduled for ids the event loop keeps resident
             let job = self.resident.get_mut(&id).expect("resident job");
             job.waiting_for_capacity = true;
             job.iter = None;
@@ -514,6 +515,7 @@ impl ServiceEngine {
             SchedulerMode::Uncoded => {
                 let mask: Vec<bool> = avail.iter().map(|&s| s > 0.0).collect();
                 let a = allocate_chunks_basic(&mask, 1, c_eff)
+                    // s2c2-allow: no-panic-paths -- engine invariant: the alive >= k_eff guard above makes k=1 allocation infallible
                     .expect("alive >= 1 guarantees feasibility");
                 let uniform: Vec<f64> = avail
                     .iter()
@@ -669,6 +671,7 @@ impl ServiceEngine {
         if rhs > 1 {
             self.report.batch_rounds += 1;
         }
+        // s2c2-allow: no-panic-paths -- engine invariant: this runs inside an iteration start for a job verified resident above
         let job = self.resident.get_mut(&id).expect("resident job");
         let specs: Vec<JobSpec> = job.members.iter().map(|m| m.spec.clone()).collect();
         self.backend
@@ -739,6 +742,7 @@ impl ServiceEngine {
                 self.tracker.observe(&obs);
             }
         }
+        // s2c2-allow: no-panic-paths -- engine invariant: stale-generation completions were filtered above, so the iteration is live
         let generation = job.iter.as_ref().expect("still running").generation;
         trace_into(&mut self.telemetry, t, || TraceEventKind::TaskComplete {
             job: id,
@@ -750,6 +754,7 @@ impl ServiceEngine {
             .resident
             .get(&id)
             .and_then(|j| j.iter.as_ref())
+            // s2c2-allow: no-panic-paths -- engine invariant: same live-generation guarantee as the trace emission above
             .expect("still running")
             .complete()
         {
@@ -759,7 +764,9 @@ impl ServiceEngine {
     }
 
     pub(crate) fn complete_iteration(&mut self, id: JobId) -> Result<(), ServeError> {
+        // s2c2-allow: no-panic-paths -- engine invariant: complete_iteration is called only from handlers that proved the job resident
         let job = self.resident.get_mut(&id).expect("resident job");
+        // s2c2-allow: no-panic-paths -- engine invariant: only a completed live iteration reaches here, so one is always running
         let mut iter = job.iter.take().expect("running iteration");
         // The master stops caring about still-running tasks (conventional
         // stragglers, superfluous redo): refund the compute they will not

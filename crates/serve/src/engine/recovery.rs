@@ -28,7 +28,9 @@ impl ServiceEngine {
         let speeds = self.speeds.clone();
         let up = self.up.clone();
 
+        // s2c2-allow: no-panic-paths -- engine invariant: recovery fires from a timeout armed while this job was resident
         let job = self.resident.get_mut(&id).expect("resident job");
+        // s2c2-allow: no-panic-paths -- engine invariant: the timeout's generation check upstream proves an iteration is in flight
         let iter = job.iter.as_mut().expect("running iteration");
         let n = iter.assignment.workers();
         let c = iter.assignment.chunks_per_partition;

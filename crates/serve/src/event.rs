@@ -186,10 +186,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(2.0, EventKind::EpochTick { epoch: 0 });
         q.push(1.0, EventKind::EpochTick { epoch: 1 });
-        assert_eq!(q.pop().unwrap().0, 1.0);
+        assert_eq!(q.pop().map(|(t, _)| t), Some(1.0));
         q.push(1.5, EventKind::EpochTick { epoch: 2 });
-        assert_eq!(q.pop().unwrap().0, 1.5);
-        assert_eq!(q.pop().unwrap().0, 2.0);
+        assert_eq!(q.pop().map(|(t, _)| t), Some(1.5));
+        assert_eq!(q.pop().map(|(t, _)| t), Some(2.0));
         assert!(q.is_empty());
     }
 
@@ -207,6 +207,6 @@ mod tests {
         q.push(2.5, EventKind::EpochTick { epoch: 1 });
         assert_eq!(q.peek_time(), Some(2.5));
         assert_eq!(q.len(), 2);
-        assert_eq!(q.pop().unwrap().0, 2.5);
+        assert_eq!(q.pop().map(|(t, _)| t), Some(2.5));
     }
 }

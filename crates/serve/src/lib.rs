@@ -42,6 +42,7 @@
 //! use s2c2_cluster::ClusterSpec;
 //! use s2c2_core::speed_tracker::PredictorSource;
 //!
+//! # fn main() -> Result<(), s2c2_serve::engine::ServeError> {
 //! // A 12-worker pool with two hidden 5x stragglers.
 //! let pool = ClusterSpec::builder(12)
 //!     .compute_bound()
@@ -58,9 +59,11 @@
 //! let cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
 //!     predictor: PredictorSource::LastValue,
 //! });
-//! let report = ServiceEngine::new(pool, cfg).unwrap().run(&jobs).unwrap();
+//! let report = ServiceEngine::new(pool, cfg)?.run(&jobs)?;
 //! assert_eq!(report.completed(), 20);
 //! println!("p99 sojourn: {:.3}s", report.latency_percentile(99.0));
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]

@@ -135,11 +135,14 @@ pub fn allocate_for_resident(
     let rest = total_weight - weight;
     let (share, slice) = if rest > 0.0 {
         // The job's slice of a two-way split: itself vs everyone else.
-        let split = split_worker_capacity(speeds, &[weight, rest]);
-        (
-            weight / total_weight,
-            split.into_iter().next().expect("2 slices"),
-        )
+        // `split_worker_capacity` yields one slice per weight; should
+        // that contract ever break, falling back to the whole pool
+        // degrades gracefully instead of panicking mid-service.
+        let slice = split_worker_capacity(speeds, &[weight, rest])
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| speeds.to_vec());
+        (weight / total_weight, slice)
     } else {
         // Sole resident: the whole pool.
         (1.0, speeds.to_vec())

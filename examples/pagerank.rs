@@ -44,7 +44,7 @@ fn main() {
         }
     }
     let mut ranked: Vec<usize> = (0..graph.nodes()).collect();
-    ranked.sort_by(|&a, &b| pr.rank()[b].partial_cmp(&pr.rank()[a]).unwrap());
+    ranked.sort_by(|&a, &b| pr.rank()[b].total_cmp(&pr.rank()[a]));
     println!("\ntop 5 nodes by PageRank:");
     for &node in ranked.iter().take(5) {
         println!(
