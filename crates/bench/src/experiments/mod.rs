@@ -18,6 +18,7 @@ pub mod fig07_pagerank;
 pub mod fig08_cloud;
 pub mod fig12_polynomial;
 pub mod fig13_scale;
+pub mod pipeline;
 pub mod prediction;
 pub mod qos;
 pub mod serve;
@@ -199,6 +200,36 @@ pub fn registry() -> Vec<ExperimentDef> {
                         dir.join("trace_chrome.json").display()
                     ),
                     Err(e) => eprintln!("warning: could not write trace exports: {e}"),
+                }
+            },
+        },
+        ExperimentDef {
+            name: "pipeline",
+            aliases: &[],
+            summary: "cross-round pipelined serving: window depth vs tail latency and stalls",
+            in_all: true,
+            run: |s, emit| {
+                let out = pipeline::run(s);
+                emit(&out.table, "pipeline_depth.csv");
+                let dir = std::path::PathBuf::from("results");
+                match pipeline::write_exports(s, &dir) {
+                    Ok(()) => println!(
+                        "[written {}]\n",
+                        dir.join("pipeline_events.jsonl").display()
+                    ),
+                    Err(e) => eprintln!("warning: could not write pipeline exports: {e}"),
+                }
+                // Wall-clock timings are machine-dependent, so the bench
+                // file is rewritten only by full-scale runs (the scale
+                // the committed reference was recorded at).
+                if s == Scale::Full {
+                    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                        .join("../..")
+                        .join("BENCH_PIPELINE.json");
+                    match std::fs::write(&path, pipeline::bench_json(&out)) {
+                        Ok(()) => println!("[written {}]\n", path.display()),
+                        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+                    }
                 }
             },
         },

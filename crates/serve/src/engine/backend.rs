@@ -221,11 +221,17 @@ impl ExecutionBackend for SimBackend {
 struct NumericJob {
     enc: Arc<CachedEncoding>,
     a: Arc<Matrix>,
-    /// Current iteration's input.
-    x: Arc<Vector>,
-    /// Current iteration's sequential reference (`A·x`).
-    y_ref: Vector,
+    /// Per in-flight round, keyed by iteration index: the deterministic
+    /// input and its sequential reference (`A·x`). Pipelined serving
+    /// holds up to `depth` live entries at once; the barrier engine
+    /// exactly one. Entries are consumed at verification (and dropped
+    /// wholesale when the job resolves).
+    rounds: BTreeMap<usize, (Arc<Vector>, Vector)>,
 }
+
+/// Upper bound on pooled stacked-input buffers (see
+/// [`NumericCore::recycle`]).
+const XS_POOL_CAP: usize = 16;
 
 /// Encode/decode/verify plumbing shared by [`SimVerifiedBackend`] and
 /// [`ThreadedBackend`].
@@ -245,6 +251,12 @@ struct NumericCore {
     /// read off the cache at merge time; compute is filled by the
     /// concrete backend that owns the compute loop).
     phase_wall: PhaseTotals,
+    /// Stacked multi-RHS input buffers returned by completed rounds,
+    /// reused (fully overwritten) by the next round of identical shape
+    /// instead of reallocating `members × cols` doubles per round.
+    xs_pool: Vec<MultiVector>,
+    /// How many rounds drew their input buffer from the pool.
+    xs_reuses: u64,
 }
 
 impl NumericCore {
@@ -282,23 +294,38 @@ impl NumericCore {
             NumericJob {
                 enc,
                 a,
-                x: Arc::new(Vector::filled(spec.cols, 0.0)),
-                y_ref: Vector::filled(0, 0.0),
+                rounds: BTreeMap::new(),
             },
         );
         Ok(())
     }
 
-    /// Sets the iteration's deterministic input and its reference.
+    /// Materializes the round's deterministic input and its reference.
+    /// Idempotent per round index: a rung-5 restart re-dispatches the
+    /// same index, and the input is a pure function of `(job, index)`,
+    /// so the existing entry is reused.
     fn begin_iteration(&mut self, spec: &JobSpec, iteration_index: usize) -> Result<(), String> {
         let job = self
             .jobs
             .get_mut(&spec.id)
             .ok_or_else(|| format!("job {} iterated before admission", spec.id))?;
-        let x = Arc::new(iteration_input(spec.id, iteration_index, spec.cols));
-        job.y_ref = job.a.matvec(&x);
-        job.x = x;
+        if !job.rounds.contains_key(&iteration_index) {
+            let x = Arc::new(iteration_input(spec.id, iteration_index, spec.cols));
+            let y_ref = job.a.matvec(&x);
+            job.rounds.insert(iteration_index, (x, y_ref));
+        }
         Ok(())
+    }
+
+    /// Returns a round's stacked input buffer to the pool once nothing
+    /// else holds it (threaded workers may still own clones briefly; a
+    /// contended buffer is simply dropped).
+    fn recycle(&mut self, xs: Arc<MultiVector>) {
+        if self.xs_pool.len() < XS_POOL_CAP {
+            if let Ok(v) = Arc::try_unwrap(xs) {
+                self.xs_pool.push(v);
+            }
+        }
     }
 
     /// The shared encoding and the stacked member inputs of one batch
@@ -307,21 +334,40 @@ impl NumericCore {
     /// (same matrix identity, shape, and code geometry), so the
     /// leader's cached entry serves the whole group.
     fn batch_inputs(
-        &self,
+        &mut self,
         specs: &[JobSpec],
+        iteration_index: usize,
     ) -> Result<(Arc<CachedEncoding>, Arc<MultiVector>), String> {
         let leader = self
             .jobs
             .get(&specs[0].id)
             .ok_or_else(|| format!("job {} iterated before admission", specs[0].id))?;
         let enc = Arc::clone(&leader.enc);
-        let mut xs = MultiVector::zeros(specs.len(), specs[0].cols);
+        // Draw a shape-matching buffer from the pool when one is free;
+        // every member slot is fully overwritten below, so reuse is
+        // bit-invisible to the numerics.
+        let (count, cols) = (specs.len(), specs[0].cols);
+        let mut xs = match self
+            .xs_pool
+            .iter()
+            .position(|v| v.count() == count && v.len() == cols)
+        {
+            Some(i) => {
+                self.xs_reuses += 1;
+                self.xs_pool.swap_remove(i)
+            }
+            None => MultiVector::zeros(count, cols),
+        };
         for (m, s) in specs.iter().enumerate() {
             let job = self
                 .jobs
                 .get(&s.id)
                 .ok_or_else(|| format!("job {} iterated before admission", s.id))?;
-            xs.member_mut(m).copy_from_slice(job.x.as_slice());
+            let (x, _) = job
+                .rounds
+                .get(&iteration_index)
+                .ok_or_else(|| format!("job {} round {iteration_index} input missing", s.id))?;
+            xs.member_mut(m).copy_from_slice(x.as_slice());
         }
         Ok((enc, Arc::new(xs)))
     }
@@ -333,6 +379,7 @@ impl NumericCore {
         &mut self,
         specs: &[JobSpec],
         blocks: &[MultiChunkResult],
+        iteration_index: usize,
         is_final: bool,
     ) -> Result<(), String> {
         let leader = self
@@ -356,20 +403,23 @@ impl NumericCore {
         }
         let t0 = Instant::now();
         for (spec, y) in specs.iter().zip(outs) {
-            let job = self
+            // Consume (not just read) the round's reference: rounds
+            // commit in order exactly once, and the entry must not
+            // outlive its round under pipelining.
+            let (_, y_ref) = self
                 .jobs
-                .get(&spec.id)
-                .ok_or_else(|| format!("job {} completed before admission", spec.id))?;
-            let scale = 1.0
-                + job
-                    .y_ref
-                    .as_slice()
-                    .iter()
-                    .fold(0.0f64, |m, v| m.max(v.abs()));
+                .get_mut(&spec.id)
+                .ok_or_else(|| format!("job {} completed before admission", spec.id))?
+                .rounds
+                .remove(&iteration_index)
+                .ok_or_else(|| {
+                    format!("job {} round {iteration_index} reference missing", spec.id)
+                })?;
+            let scale = 1.0 + y_ref.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs()));
             let err = y
                 .as_slice()
                 .iter()
-                .zip(job.y_ref.as_slice())
+                .zip(y_ref.as_slice())
                 .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
                 / scale;
             if err.is_nan() || err > VERIFY_TOL {
@@ -395,6 +445,7 @@ impl NumericCore {
         report.verified_iterations = self.verified;
         report.max_decode_error = self.max_error;
         report.job_outputs = std::mem::take(&mut self.outputs);
+        report.scratch_reuses += self.xs_reuses;
         self.phase_wall.encode = self.cache.encode_seconds();
         report.phase_wall.add(&self.phase_wall);
     }
@@ -450,7 +501,7 @@ impl ExecutionBackend for SimVerifiedBackend {
         &mut self,
         specs: &[JobSpec],
         iter: &RunningIteration,
-        _iteration_index: usize,
+        iteration_index: usize,
         is_final: bool,
     ) -> Result<(), String> {
         // One stacked block per (worker, chunk) the decoder will
@@ -459,7 +510,7 @@ impl ExecutionBackend for SimVerifiedBackend {
         // (fastest-k with deterministic systematic preference), so this
         // backend truncates the credited coverage *before* computing:
         // responses beyond k would be materialized only to be dropped.
-        let (enc, xs) = self.core.batch_inputs(specs)?;
+        let (enc, xs) = self.core.batch_inputs(specs, iteration_index)?;
         let k = enc.encoded.params().k;
         let mut per_chunk: Vec<Vec<usize>> =
             vec![Vec::new(); enc.encoded.layout().chunks_per_partition];
@@ -478,7 +529,11 @@ impl ExecutionBackend for SimVerifiedBackend {
             }
         }
         self.core.phase_wall.compute += t0.elapsed().as_secs_f64();
-        self.core.verify_multi(specs, &blocks, is_final)
+        // Nothing else holds the buffer here (the compute loop borrows
+        // it), so it always returns to the pool.
+        self.core.recycle(xs);
+        self.core
+            .verify_multi(specs, &blocks, iteration_index, is_final)
     }
     fn on_iteration_abandoned(&mut self, _: JobId, _: u64) {}
     fn on_job_resolved(&mut self, job: JobId) {
@@ -512,10 +567,11 @@ struct TaskInfo {
     cancelled: bool,
 }
 
-/// Per-residency dispatch state for the current generation, keyed by
-/// the batch leader's job id.
+/// Per-round dispatch state, keyed by `(leader job id, generation)` —
+/// pipelined serving keeps several generations of one residency in
+/// flight at once, so the generation is part of the key, not a field to
+/// check.
 struct ThreadedJobTasks {
-    generation: u64,
     tasks: Vec<TaskInfo>,
     /// The round's stacked inputs, kept for redo dispatches.
     xs: Arc<MultiVector>,
@@ -527,7 +583,7 @@ struct ThreadedBackend {
     core: NumericCore,
     cluster: Option<ThreadedCluster<WorkerTask, Vec<MultiChunkResult>>>,
     n: usize,
-    inflight: BTreeMap<JobId, ThreadedJobTasks>,
+    inflight: BTreeMap<(JobId, u64), ThreadedJobTasks>,
     /// Replies received but not yet consumed, by task id.
     arrived: BTreeMap<u64, Vec<MultiChunkResult>>,
     /// Task ids whose replies should be dropped on arrival (abandoned
@@ -610,7 +666,7 @@ impl ExecutionBackend for ThreadedBackend {
         for spec in specs {
             self.core.begin_iteration(spec, iteration_index)?;
         }
-        let (_, xs) = self.core.batch_inputs(specs)?;
+        let (_, xs) = self.core.batch_inputs(specs, iteration_index)?;
         let leader = specs[0].id;
         let mut tasks = Vec::new();
         for (w, chunks) in iter.assignment.chunks.iter().enumerate() {
@@ -626,17 +682,12 @@ impl ExecutionBackend for ThreadedBackend {
                 cancelled: false,
             });
         }
-        let prev = self.inflight.insert(
-            leader,
-            ThreadedJobTasks {
-                generation: iter.generation,
-                tasks,
-                xs,
-            },
-        );
+        let prev = self
+            .inflight
+            .insert((leader, iter.generation), ThreadedJobTasks { tasks, xs });
         debug_assert!(
             prev.is_none(),
-            "previous generation must be completed or abandoned first"
+            "a generation is dispatched at most once per round"
         );
         Ok(())
     }
@@ -648,16 +699,15 @@ impl ExecutionBackend for ThreadedBackend {
         worker: usize,
         chunks: &[usize],
     ) -> Result<(), String> {
-        let Some(state) = self.inflight.get(&job) else {
-            return Err(format!("job {job} redo without a running iteration"));
+        let Some(state) = self.inflight.get(&(job, generation)) else {
+            return Err(format!(
+                "job {job} redo against a generation that is not running"
+            ));
         };
-        if state.generation != generation {
-            return Err(format!("job {job} redo against a stale generation"));
-        }
         let xs = Arc::clone(&state.xs);
         let id = self.dispatch(job, worker, chunks.to_vec(), xs)?;
         self.inflight
-            .get_mut(&job)
+            .get_mut(&(job, generation))
             // s2c2-allow: no-panic-paths -- backend invariant: the let-else guard above returned on a missing entry
             .expect("checked above")
             .tasks
@@ -672,12 +722,9 @@ impl ExecutionBackend for ThreadedBackend {
     }
 
     fn on_cancel(&mut self, job: JobId, generation: u64, worker: usize, redo: bool) {
-        let Some(state) = self.inflight.get_mut(&job) else {
+        let Some(state) = self.inflight.get_mut(&(job, generation)) else {
             return;
         };
-        if state.generation != generation {
-            return;
-        }
         let mut to_cancel = Vec::new();
         for t in &mut state.tasks {
             if t.worker == worker && t.redo == redo && !t.cancelled {
@@ -694,16 +741,13 @@ impl ExecutionBackend for ThreadedBackend {
         &mut self,
         specs: &[JobSpec],
         iter: &RunningIteration,
-        _iteration_index: usize,
+        iteration_index: usize,
         is_final: bool,
     ) -> Result<(), String> {
         let leader = specs[0].id;
-        let Some(state) = self.inflight.remove(&leader) else {
+        let Some(state) = self.inflight.remove(&(leader, iter.generation)) else {
             return Err(format!("job {leader} completed without dispatched tasks"));
         };
-        if state.generation != iter.generation {
-            return Err(format!("job {leader} completed a stale generation"));
-        }
         // Which physical tasks the timing model credits: originals of
         // done workers, every *live* redo task of workers whose merged
         // redo set is done. Cancelled tasks are never credited — the
@@ -783,14 +827,18 @@ impl ExecutionBackend for ThreadedBackend {
             }
             blocks.extend(output);
         }
-        self.core.verify_multi(specs, &blocks, is_final)
+        // Workers drop their task clones when they reply; with every
+        // reply collected the buffer is usually uncontended and returns
+        // to the pool.
+        self.core.recycle(state.xs);
+        self.core
+            .verify_multi(specs, &blocks, iteration_index, is_final)
     }
 
     fn on_iteration_abandoned(&mut self, job: JobId, generation: u64) {
-        let Some(state) = self.inflight.remove(&job) else {
+        let Some(state) = self.inflight.remove(&(job, generation)) else {
             return;
         };
-        debug_assert_eq!(state.generation, generation);
         for t in state.tasks {
             if let Some(_stale) = self.arrived.remove(&t.id) {
                 continue;
@@ -804,10 +852,15 @@ impl ExecutionBackend for ThreadedBackend {
     }
 
     fn on_job_resolved(&mut self, job: JobId) {
-        // Any leftover generation state (failed jobs) is abandoned.
-        if let Some(state) = self.inflight.get(&job) {
-            let generation = state.generation;
-            self.on_iteration_abandoned(job, generation);
+        // Any leftover generation state (failed jobs) is abandoned —
+        // a pipelined residency can leave several in-flight rounds.
+        let leftover: Vec<(JobId, u64)> = self
+            .inflight
+            .range((job, 0)..=(job, u64::MAX))
+            .map(|(&key, _)| key)
+            .collect();
+        for (j, generation) in leftover {
+            self.on_iteration_abandoned(j, generation);
         }
         self.core.jobs.remove(&job);
     }
@@ -815,12 +868,9 @@ impl ExecutionBackend for ThreadedBackend {
     fn finish(&mut self, report: &mut ServiceReport) {
         // Cancel whatever is still in flight (stalled/failed runs), then
         // join the worker threads.
-        let jobs: Vec<JobId> = self.inflight.keys().copied().collect();
-        for job in jobs {
-            if let Some(state) = self.inflight.get(&job) {
-                let generation = state.generation;
-                self.on_iteration_abandoned(job, generation);
-            }
+        let keys: Vec<(JobId, u64)> = self.inflight.keys().copied().collect();
+        for (job, generation) in keys {
+            self.on_iteration_abandoned(job, generation);
         }
         if let Some(cluster) = self.cluster.take() {
             // The pool's compute phase is what the threads really spent

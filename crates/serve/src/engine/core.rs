@@ -2,14 +2,18 @@
 //!
 //! Everything here reacts to one popped event: arrivals feed the
 //! admission queue ([`ServiceEngine::on_arrival`], with token-bucket
-//! rate limiting), admission starts iterations whose per-worker tasks
-//! are scheduled from the shared allocation
-//! ([`ServiceEngine::start_iteration`]), task completions mark coverage
-//! and feed the speed predictor, and completed iterations decode (via
-//! the execution backend) and either start the next iteration or retire
-//! the job. Timeout and churn events are handed to
-//! [`super::recovery`]; share rescaling lives in [`super::rebalance`].
+//! rate limiting), admission fills a job's in-flight round window
+//! whose per-worker tasks are scheduled from the shared allocation
+//! ([`ServiceEngine::dispatch_round`]), task completions mark coverage
+//! and feed the speed predictor, and completed rounds decode (via the
+//! execution backend) strictly in round order — a round that finishes
+//! ahead of an earlier sibling parks until the window head retires
+//! ([`ServiceEngine::retire_ready_rounds`]). Timeout and churn events
+//! are handed to [`super::recovery`]; share rescaling lives in
+//! [`super::rebalance`]; the window policy itself is
+//! [`super::pipeline::PipelinePolicy`].
 
+use super::pipeline::{IterScratch, SCRATCH_POOL_CAP};
 use super::{trace_into, ServeError, ServiceEngine};
 use crate::admission::{batch_key, BatchKey, BatchPolicy, QueuedJob, ResidentInfo};
 use crate::event::{EventKind, JobId};
@@ -38,10 +42,36 @@ pub(crate) fn refund_busy(
     *charged -= refund;
 }
 
-/// One in-flight iteration of a resident job (or batch of jobs).
+/// Returns a retired round's per-worker vectors to the scratch pool for
+/// the next dispatch (see [`IterScratch`]). A full pool simply drops
+/// them.
+pub(crate) fn reclaim_scratch(pool: &mut Vec<IterScratch>, iter: RunningIteration) {
+    if pool.len() < SCRATCH_POOL_CAP {
+        pool.push(IterScratch {
+            finish: iter.finish,
+            done: iter.done,
+            valid: iter.valid,
+            redo_chunks: iter.redo_chunks,
+            redo_finish: iter.redo_finish,
+            redo_done: iter.redo_done,
+            redo_valid: iter.redo_valid,
+            busy_charged: iter.busy_charged,
+            redo_busy_charged: iter.redo_busy_charged,
+            ded_offset: iter.ded_offset,
+        });
+    }
+}
+
+/// One in-flight iteration round of a resident job (or batch of jobs).
+/// A job holds up to `pipeline.depth()` of these at once, committed in
+/// `round_index` order.
 #[derive(Debug)]
 pub(crate) struct RunningIteration {
     pub(crate) generation: u64,
+    /// Zero-based iteration index of this round within its job — the
+    /// in-order commit key: a round retires only when every earlier
+    /// index has.
+    pub(crate) round_index: usize,
     pub(crate) share: f64,
     pub(crate) k_eff: usize,
     pub(crate) rows_per_chunk: usize,
@@ -65,13 +95,30 @@ pub(crate) struct RunningIteration {
     pub(crate) busy_charged: Vec<f64>,
     /// Same, for redo tasks.
     pub(crate) redo_busy_charged: Vec<f64>,
+    /// Dedicated share-seconds between this round's dispatch and each
+    /// worker's actual task start. A pipelined round queues behind the
+    /// job's earlier in-flight rounds on a shared worker, so speed
+    /// observations must subtract this offset from the share integral
+    /// or the queueing delay would be billed as slowness. Exactly 0 for
+    /// every worker at pipeline depth 1.
+    pub(crate) ded_offset: Vec<f64>,
+    /// Set once this round's coverage completed and it is waiting for
+    /// its earlier siblings to retire (in-order commit). The value is
+    /// the completion instant; `None` while tasks are still in flight.
+    pub(crate) parked_at: Option<f64>,
     /// Set once this iteration fell back to waiting out stragglers.
     pub(crate) waited_out: bool,
-    /// The currently-armed §4.3 deadline. Timeout events earlier than
-    /// this were superseded (share rebalances stretch in-flight spans
-    /// and re-arm) and must be ignored, or a squeezed iteration would be
-    /// cancelled while legitimately on schedule.
+    /// The currently-armed §4.3 deadline. Kept for the rebalance
+    /// re-arm condition (`latest >= armed_deadline`); staleness of
+    /// timeout *events* is decided by [`Self::armed_seq`].
     pub(crate) armed_deadline: f64,
+    /// Arming sequence number: bumped at every (re)arm of this round's
+    /// deadline, carried in the scheduled timeout event. A timeout
+    /// whose `arm` does not match was superseded (share rebalances
+    /// stretch in-flight spans and re-arm) and is dropped — keyed per
+    /// round, so a retired round's stale timeout can never fire against
+    /// a successor round.
+    pub(crate) armed_seq: u64,
     /// Dedicated share-seconds accumulated over completed share
     /// segments: `∫ share dt` from iteration start to [`Self::share_anchor`].
     /// With rebalancing, `duration · share` is wrong whenever the share
@@ -80,7 +127,7 @@ pub(crate) struct RunningIteration {
     pub(crate) share_integral: f64,
     /// Instant the current share segment began.
     pub(crate) share_anchor: f64,
-    /// Instant this iteration was started (phase-profiling anchor).
+    /// Instant this round was dispatched (phase-profiling anchor).
     pub(crate) started: f64,
     /// Input-broadcast transfer time of this round (the virtual
     /// "dispatch" phase).
@@ -158,11 +205,25 @@ pub(crate) struct ResidentJob {
     /// lockstep from admission to completion.
     pub(crate) members: Vec<BatchMember>,
     pub(crate) admitted: f64,
+    /// Rounds committed (decoded/verified) so far — the in-order commit
+    /// cursor: the next retirable round is exactly `round_index ==
+    /// iterations_done`.
     pub(crate) iterations_done: usize,
-    pub(crate) iter: Option<RunningIteration>,
+    /// In-flight rounds, sorted by `round_index`; at most
+    /// `pipeline.depth()` long. At depth 1 this is the classic barrier
+    /// engine: zero or one round.
+    pub(crate) window: Vec<RunningIteration>,
+    /// Round indices dispatched but stalled on pool capacity
+    /// (`alive < k_eff`), sorted; re-dispatched when a worker rejoins.
+    pub(crate) stalled_rounds: Vec<usize>,
+    /// Total rounds ever handed to [`ServiceEngine::dispatch_round`]
+    /// (including currently stalled ones); the next fresh round index.
+    pub(crate) iterations_dispatched: usize,
+    /// Virtual instant the most recent round retired (decode end) —
+    /// anchor for per-round pipeline-overlap accounting.
+    pub(crate) last_retire_end: f64,
     pub(crate) iter_retries: usize,
     pub(crate) total_retries: usize,
-    pub(crate) waiting_for_capacity: bool,
 }
 
 impl ResidentJob {
@@ -422,10 +483,12 @@ impl ServiceEngine {
                     members,
                     admitted: self.now,
                     iterations_done: 0,
-                    iter: None,
+                    window: Vec::new(),
+                    stalled_rounds: Vec::new(),
+                    iterations_dispatched: 0,
+                    last_retire_end: self.now,
                     iter_retries: 0,
                     total_retries: 0,
-                    waiting_for_capacity: false,
                 },
             );
             // The newcomer contends immediately: squeeze the neighbours
@@ -434,7 +497,7 @@ impl ServiceEngine {
             self.rebalance_shares();
             self.sample_queue_depth();
             let at = self.now;
-            self.start_iteration(id, at)?;
+            self.fill_window(id, at)?;
         }
         Ok(())
     }
@@ -475,7 +538,43 @@ impl ServiceEngine {
         }
     }
 
-    pub(crate) fn start_iteration(&mut self, id: JobId, at: f64) -> Result<(), ServeError> {
+    /// Dispatches fresh rounds for `id` until its in-flight window is
+    /// full (the pipeline depth), a round stalls on capacity, or the
+    /// job runs out of iterations. At depth 1 this is exactly the
+    /// barrier engine's "start the next iteration".
+    pub(crate) fn fill_window(&mut self, id: JobId, at: f64) -> Result<(), ServeError> {
+        let depth = self.cfg.pipeline.depth();
+        loop {
+            let Some(job) = self.resident.get_mut(&id) else {
+                return Ok(());
+            };
+            // A capacity-stalled round blocks the window: later indices
+            // would stall on the same `k_eff` anyway, and dispatch order
+            // must stay the commit order.
+            if !job.stalled_rounds.is_empty()
+                || job.iterations_dispatched >= job.leader().iterations
+                || job.window.len() >= depth
+            {
+                return Ok(());
+            }
+            let round_index = job.iterations_dispatched;
+            job.iterations_dispatched += 1;
+            self.dispatch_round(id, round_index, at)?;
+        }
+    }
+
+    /// Schedules one iteration round's per-worker tasks from the shared
+    /// allocation. A pipelined round (depth ≥ 2) queues behind the job's
+    /// earlier in-flight rounds on each shared worker — the job's
+    /// capacity share is constant regardless of depth; the window only
+    /// overlaps a round's dispatch/collect/decode with its siblings'
+    /// compute.
+    pub(crate) fn dispatch_round(
+        &mut self,
+        id: JobId,
+        round_index: usize,
+        at: f64,
+    ) -> Result<(), ServeError> {
         // A boost firing here changes the whole resident set's effective
         // weight mass: the neighbours' in-flight tasks must be rescaled
         // too, or shares stop summing to 1 (the oversubscription bug) —
@@ -491,10 +590,12 @@ impl ServiceEngine {
         let (k_eff, c_eff, rpc) = self.effective_shape(&spec);
 
         if alive < k_eff {
-            // s2c2-allow: no-panic-paths -- engine invariant: iteration starts are only scheduled for ids the event loop keeps resident
+            // s2c2-allow: no-panic-paths -- engine invariant: round dispatches are only scheduled for ids the event loop keeps resident
             let job = self.resident.get_mut(&id).expect("resident job");
-            job.waiting_for_capacity = true;
-            job.iter = None;
+            if !job.stalled_rounds.contains(&round_index) {
+                job.stalled_rounds.push(round_index);
+                job.stalled_rounds.sort_unstable();
+            }
             return Ok(());
         }
 
@@ -564,10 +665,9 @@ impl ServiceEngine {
         // their trigger points in `super::recovery`.
         let rung: u8 = if degraded { 2 } else { 1 };
         self.report.recovery_rung_counts[usize::from(rung - 1)] += 1;
-        let iteration_index = self.resident[&id].iterations_done;
         trace_into(&mut self.telemetry, at, || TraceEventKind::IterationStart {
             job: id,
-            iteration: iteration_index,
+            iteration: round_index,
             generation,
             rhs,
             share,
@@ -578,24 +678,32 @@ impl ServiceEngine {
             generation,
             rung,
         });
+        // Per-worker bookkeeping comes from the scratch pool when a
+        // retired round left one (reset in place — contents identical to
+        // fresh allocation).
+        let sc = self.take_scratch(n);
         let mut iter = RunningIteration {
             generation,
+            round_index,
             share,
             k_eff,
             rows_per_chunk: rpc,
             rhs,
             assignment,
-            finish: vec![f64::INFINITY; n],
-            done: vec![false; n],
-            valid: vec![true; n],
-            redo_chunks: vec![Vec::new(); n],
-            redo_finish: vec![f64::INFINITY; n],
-            redo_done: vec![false; n],
-            redo_valid: vec![false; n],
-            busy_charged: vec![0.0; n],
-            redo_busy_charged: vec![0.0; n],
+            finish: sc.finish,
+            done: sc.done,
+            valid: sc.valid,
+            redo_chunks: sc.redo_chunks,
+            redo_finish: sc.redo_finish,
+            redo_done: sc.redo_done,
+            redo_valid: sc.redo_valid,
+            busy_charged: sc.busy_charged,
+            redo_busy_charged: sc.redo_busy_charged,
+            ded_offset: sc.ded_offset,
+            parked_at: None,
             waited_out: false,
             armed_deadline: f64::INFINITY,
+            armed_seq: 1,
             share_integral: 0.0,
             share_anchor: at,
             started: at,
@@ -613,21 +721,42 @@ impl ServiceEngine {
         let speedup = thread_speedup(self.cfg.worker_threads);
         let mut max_planned_span: f64 = 0.0;
         let mut max_actual_span: f64 = 0.0;
+        let window = &self.resident[&id].window;
         for (w, &plan_speed) in plan_speeds.iter().enumerate() {
             let chunks = iter.assignment.chunks[w].len();
             if chunks == 0 {
                 continue;
             }
+            // Intra-job serialization: a worker computes one job's
+            // rounds in dispatch order at the job's share, so this
+            // round's task starts after the worker's live tasks from
+            // earlier window rounds. With an empty window (depth 1)
+            // `start_w == at` exactly.
+            let start_w = window.iter().fold(at, |acc, r| {
+                let mut latest = acc;
+                if r.valid[w] && !r.done[w] && r.finish[w].is_finite() {
+                    latest = latest.max(r.finish[w]);
+                }
+                if r.redo_valid[w] && !r.redo_done[w] && r.redo_finish[w].is_finite() {
+                    latest = latest.max(r.redo_finish[w]);
+                }
+                latest
+            });
+            let offset = start_w - at;
             let rows_w = chunks * rpc;
             let work = ((rows_w * spec.cols) * rhs) as f64;
             let rate = self.speeds[w] * share * self.compute.elements_per_sec * speedup;
             let t_reply = self.comm.transfer_time(((rows_w * rhs) * 8) as u64);
             let span = t_in + work / rate + t_reply;
-            iter.finish[w] = at + span;
-            max_actual_span = max_actual_span.max(span);
+            iter.finish[w] = start_w + span;
+            // Freeze the queueing delay in dedicated share-seconds so
+            // speed observations can subtract it (approximate across a
+            // later rebalance, exact otherwise; identically 0 at depth 1).
+            iter.ded_offset[w] = offset * share;
+            max_actual_span = max_actual_span.max(offset + span);
             let plan_rate =
                 plan_speed.max(f64::MIN_POSITIVE) * share * self.compute.elements_per_sec * speedup;
-            max_planned_span = max_planned_span.max(t_in + work / plan_rate + t_reply);
+            max_planned_span = max_planned_span.max(offset + (t_in + work / plan_rate + t_reply));
             // Utilization is accounted in dedicated compute-seconds (the
             // share factor stretches wall time, not work done).
             iter.busy_charged[w] = work / rate * share;
@@ -665,21 +794,36 @@ impl ServiceEngine {
             EventKind::Timeout {
                 job: id,
                 generation,
+                arm: iter.armed_seq,
             },
         );
 
         if rhs > 1 {
             self.report.batch_rounds += 1;
         }
-        // s2c2-allow: no-panic-paths -- engine invariant: this runs inside an iteration start for a job verified resident above
+        // s2c2-allow: no-panic-paths -- engine invariant: this runs inside a round dispatch for a job verified resident above
         let job = self.resident.get_mut(&id).expect("resident job");
         let specs: Vec<JobSpec> = job.members.iter().map(|m| m.spec.clone()).collect();
         self.backend
-            .on_iteration_start(&specs, &iter, iteration_index)
+            .on_iteration_start(&specs, &iter, round_index)
             .map_err(ServeError::Backend)?;
-        job.waiting_for_capacity = false;
-        job.iter = Some(iter);
+        job.stalled_rounds.retain(|&r| r != round_index);
+        let pos = job.window.partition_point(|r| r.round_index < round_index);
+        job.window.insert(pos, iter);
         Ok(())
+    }
+
+    /// Pops a pooled scratch set (reset in place) or builds a fresh one.
+    fn take_scratch(&mut self, n: usize) -> IterScratch {
+        let mut sc = match self.scratch.pop() {
+            Some(sc) => {
+                self.report.scratch_reuses += 1;
+                sc
+            }
+            None => IterScratch::default(),
+        };
+        sc.reset(n);
+        sc
     }
 
     pub(crate) fn on_task_complete(
@@ -690,99 +834,121 @@ impl ServiceEngine {
         redo: bool,
         t: f64,
     ) -> Result<(), ServeError> {
-        let Some(job) = self.resident.get_mut(&id) else {
-            return Ok(());
-        };
-        let Some(iter) = job.iter.as_mut() else {
-            return Ok(());
-        };
-        if iter.generation != generation {
-            return Ok(());
-        }
-        if redo {
-            // A rescheduled (merged) redo task supersedes this event.
-            if !iter.redo_valid[worker]
-                || iter.redo_done[worker]
-                || (t - iter.redo_finish[worker]).abs() > 1e-9
-            {
+        {
+            let Some(job) = self.resident.get_mut(&id) else {
+                return Ok(());
+            };
+            let Some(iter) = job.window.iter_mut().find(|r| r.generation == generation) else {
+                return Ok(());
+            };
+            // A parked round's live tasks were cancelled at park time;
+            // any straggling completion event for it is stale.
+            if iter.parked_at.is_some() {
                 return Ok(());
             }
-            iter.redo_done[worker] = true;
-            let rows_w = iter.redo_chunks[worker].len() * iter.rows_per_chunk;
-            iter.last_reply = self.comm.transfer_time(((rows_w * iter.rhs) * 8) as u64);
-        } else {
-            // The finish-time match drops completion events superseded
-            // by a share rebalance (the task was rescheduled).
-            if !iter.valid[worker] || iter.done[worker] || (t - iter.finish[worker]).abs() > 1e-9 {
-                return Ok(());
-            }
-            iter.done[worker] = true;
-            let reply_rows = iter.assignment.chunks[worker].len() * iter.rows_per_chunk;
-            iter.last_reply = self
-                .comm
-                .transfer_time(((reply_rows * iter.rhs) * 8) as u64);
-            // Feed the predictor with the observed relative rate. Redo
-            // tasks are excluded (their span includes master-side idle
-            // time, which would skew the estimate — same rule as the
-            // single-job engine). The denominator is the share
-            // *integral*, not `duration · share`: rebalances change the
-            // share mid-task and the naive product would mis-scale the
-            // estimate by up to `old_share / new_share`.
-            if matches!(self.cfg.scheduler, SchedulerMode::SharedS2c2 { .. }) {
-                let rows_w = iter.assignment.chunks[worker].len() * iter.rows_per_chunk;
-                let dedicated = iter
-                    .dedicated_by(iter.finish[worker])
-                    .max(f64::MIN_POSITIVE);
-                // The observed rate covers the whole stacked width the
-                // worker actually computed, so batched and unbatched
-                // rounds feed the predictor the same per-element speed.
-                let observed = ((rows_w * job.members[0].spec.cols) * iter.rhs) as f64 / dedicated;
-                let mut obs: Vec<Option<f64>> = vec![None; self.speeds.len()];
-                obs[worker] = Some(observed);
-                self.tracker.observe(&obs);
+            if redo {
+                // A rescheduled (merged) redo task supersedes this event.
+                if !iter.redo_valid[worker]
+                    || iter.redo_done[worker]
+                    || (t - iter.redo_finish[worker]).abs() > 1e-9
+                {
+                    return Ok(());
+                }
+                iter.redo_done[worker] = true;
+                let rows_w = iter.redo_chunks[worker].len() * iter.rows_per_chunk;
+                iter.last_reply = self.comm.transfer_time(((rows_w * iter.rhs) * 8) as u64);
+            } else {
+                // The finish-time match drops completion events superseded
+                // by a share rebalance (the task was rescheduled).
+                if !iter.valid[worker]
+                    || iter.done[worker]
+                    || (t - iter.finish[worker]).abs() > 1e-9
+                {
+                    return Ok(());
+                }
+                iter.done[worker] = true;
+                let reply_rows = iter.assignment.chunks[worker].len() * iter.rows_per_chunk;
+                iter.last_reply = self
+                    .comm
+                    .transfer_time(((reply_rows * iter.rhs) * 8) as u64);
+                // Feed the predictor with the observed relative rate. Redo
+                // tasks are excluded (their span includes master-side idle
+                // time, which would skew the estimate — same rule as the
+                // single-job engine). The denominator is the share
+                // *integral*, not `duration · share`: rebalances change the
+                // share mid-task and the naive product would mis-scale the
+                // estimate by up to `old_share / new_share`. Pipelined
+                // rounds additionally subtract the queueing offset the
+                // task spent waiting behind earlier window rounds.
+                if matches!(self.cfg.scheduler, SchedulerMode::SharedS2c2 { .. }) {
+                    let rows_w = iter.assignment.chunks[worker].len() * iter.rows_per_chunk;
+                    let dedicated = (iter.dedicated_by(iter.finish[worker])
+                        - iter.ded_offset[worker])
+                        .max(f64::MIN_POSITIVE);
+                    // The observed rate covers the whole stacked width the
+                    // worker actually computed, so batched and unbatched
+                    // rounds feed the predictor the same per-element speed.
+                    let observed =
+                        ((rows_w * job.members[0].spec.cols) * iter.rhs) as f64 / dedicated;
+                    let mut obs: Vec<Option<f64>> = vec![None; self.speeds.len()];
+                    obs[worker] = Some(observed);
+                    self.tracker.observe(&obs);
+                }
             }
         }
-        // s2c2-allow: no-panic-paths -- engine invariant: stale-generation completions were filtered above, so the iteration is live
-        let generation = job.iter.as_ref().expect("still running").generation;
         trace_into(&mut self.telemetry, t, || TraceEventKind::TaskComplete {
             job: id,
             worker,
             generation,
             redo,
         });
-        if self
+        let completed = self
             .resident
             .get(&id)
-            .and_then(|j| j.iter.as_ref())
-            // s2c2-allow: no-panic-paths -- engine invariant: same live-generation guarantee as the trace emission above
-            .expect("still running")
-            .complete()
-        {
-            self.complete_iteration(id)?;
+            .and_then(|j| j.window.iter().find(|r| r.generation == generation))
+            .is_some_and(RunningIteration::complete);
+        if completed {
+            self.on_round_complete(id, generation)?;
         }
         Ok(())
     }
 
-    pub(crate) fn complete_iteration(&mut self, id: JobId) -> Result<(), ServeError> {
-        // s2c2-allow: no-panic-paths -- engine invariant: complete_iteration is called only from handlers that proved the job resident
-        let job = self.resident.get_mut(&id).expect("resident job");
-        // s2c2-allow: no-panic-paths -- engine invariant: only a completed live iteration reaches here, so one is always running
-        let mut iter = job.iter.take().expect("running iteration");
+    /// A round's coverage is complete: cancel the tasks nobody waits for
+    /// and either retire it (window head) or park it behind its earlier
+    /// siblings (in-order commit).
+    pub(crate) fn on_round_complete(
+        &mut self,
+        id: JobId,
+        generation: u64,
+    ) -> Result<(), ServeError> {
+        let now = self.now;
+        let Some(job) = self.resident.get_mut(&id) else {
+            return Ok(());
+        };
+        let Some(pos) = job.window.iter().position(|r| r.generation == generation) else {
+            return Ok(());
+        };
+        // Retirable only when every earlier round has already been
+        // committed — a capacity-stalled earlier round is *not* in the
+        // window, so head position alone is not enough.
+        let head = pos == 0 && job.window[0].round_index == job.iterations_done;
+        let iter = &mut job.window[pos];
         // The master stops caring about still-running tasks (conventional
         // stragglers, superfluous redo): refund the compute they will not
         // perform, and tell the backend so real workers drop the stale
-        // work too.
+        // work too. The valid flags are cleared so a later churn event
+        // cannot refund the same task twice while the round sits parked.
         for w in 0..iter.assignment.workers() {
             if iter.valid[w] && !iter.done[w] && iter.finish[w].is_finite() {
+                iter.valid[w] = false;
                 refund_busy(
                     &mut self.report.busy_time[w],
                     &mut iter.busy_charged[w],
                     iter.finish[w],
-                    self.now,
+                    now,
                     iter.share,
                 );
-                self.backend.on_cancel(id, iter.generation, w, false);
-                let (generation, now) = (iter.generation, self.now);
+                self.backend.on_cancel(id, generation, w, false);
                 trace_into(&mut self.telemetry, now, || TraceEventKind::TaskCancel {
                     job: id,
                     worker: w,
@@ -791,15 +957,15 @@ impl ServiceEngine {
                 });
             }
             if iter.redo_valid[w] && !iter.redo_done[w] && iter.redo_finish[w].is_finite() {
+                iter.redo_valid[w] = false;
                 refund_busy(
                     &mut self.report.busy_time[w],
                     &mut iter.redo_busy_charged[w],
                     iter.redo_finish[w],
-                    self.now,
+                    now,
                     iter.share,
                 );
-                self.backend.on_cancel(id, iter.generation, w, true);
-                let (generation, now) = (iter.generation, self.now);
+                self.backend.on_cancel(id, generation, w, true);
                 trace_into(&mut self.telemetry, now, || TraceEventKind::TaskCancel {
                     job: id,
                     worker: w,
@@ -808,121 +974,206 @@ impl ServiceEngine {
                 });
             }
         }
-        let is_final = job.iterations_done + 1 >= job.leader().iterations;
-        let specs: Vec<JobSpec> = job.members.iter().map(|m| m.spec.clone()).collect();
-        self.backend
-            .on_iteration_complete(&specs, &iter, job.iterations_done, is_final)
-            .map_err(ServeError::Backend)?;
-        let decode_time = match self.cfg.scheduler {
-            SchedulerMode::Uncoded => 0.0,
-            _ => {
-                let flops = decode_flops(&iter);
-                flops / self.decode_flops_per_sec
-            }
-        };
-        let end = self.now + decode_time;
-        // Virtual phase decomposition of the completed round: the span
-        // from iteration start to the last counted reply splits into the
-        // input broadcast (dispatch), the straggler-bounded compute, and
-        // the final reply transfer (collect); decode is appended after.
-        // The pieces are carved out of the span itself, so they sum to
-        // `iteration_time_total` exactly — no separate model to drift.
-        let span = (self.now - iter.started).max(0.0);
-        let dispatch = iter.t_input.min(span);
-        let rest = span - dispatch;
-        let collect = iter.last_reply.min(rest);
-        let compute = rest - collect;
-        self.report.phase_virtual.dispatch += dispatch;
-        self.report.phase_virtual.compute += compute;
-        self.report.phase_virtual.collect += collect;
-        self.report.phase_virtual.decode += decode_time;
-        self.report.iteration_time_total += span + decode_time;
-        if let Some(tel) = self.telemetry.as_mut() {
-            tel.metrics.observe("iteration_span", span + decode_time);
+        iter.parked_at = Some(now);
+        if head {
+            return self.retire_ready_rounds(id);
         }
-        let generation = iter.generation;
-        let iteration_index = job.iterations_done;
-        let now = self.now;
-        trace_into(&mut self.telemetry, now, || TraceEventKind::Decode {
+        // Parked: an earlier round is still running (or being
+        // recovered). The decode/verify commit waits for it.
+        self.report.rounds_parked += 1;
+        let iteration = iter.round_index;
+        trace_into(&mut self.telemetry, now, || TraceEventKind::RoundParked {
             job: id,
-            generation,
-            seconds: decode_time,
-        });
-        trace_into(&mut self.telemetry, end, || TraceEventKind::Verify {
-            job: id,
+            iteration,
             generation,
         });
-        trace_into(&mut self.telemetry, end, || {
-            TraceEventKind::IterationComplete {
-                job: id,
-                iteration: iteration_index,
-                generation,
-            }
-        });
-        job.iterations_done += 1;
-        job.iter_retries = 0;
-        if job.iterations_done >= job.leader().iterations {
-            // Every member resolves with its own record: its own
-            // arrival (and therefore sojourn), weight, SLO, and work —
-            // the batch is an execution detail, not a reporting unit.
-            for m in &job.members {
-                let record = JobRecord {
-                    id: m.spec.id,
-                    tenant: m.spec.tenant,
-                    preset: m.spec.preset,
-                    arrival: m.arrival,
-                    admitted: job.admitted,
-                    finished: end,
-                    iterations: job.iterations_done,
-                    retries: job.total_retries,
-                    failed: false,
-                    rejected: false,
-                    rate_limited: false,
-                    weight: m.spec.weight,
-                    deadline: m.spec.deadline,
-                    work: m.spec.total_work(),
-                };
-                self.report.jobs.push(record);
-                if let Some(tel) = self.telemetry.as_mut() {
-                    tel.metrics.observe("job_latency", end - m.arrival);
-                }
-                let (jid, tenant) = (m.spec.id, m.spec.tenant);
-                trace_into(&mut self.telemetry, end, || TraceEventKind::JobComplete {
-                    job: jid,
-                    tenant,
-                });
-            }
-            let member_ids: Vec<JobId> = job.members.iter().map(|m| m.spec.id).collect();
-            self.resident.remove(&id);
-            for mid in member_ids {
-                self.backend.on_job_resolved(mid);
-            }
-            // Work conservation: the freed capacity flows to the
-            // survivors now, not at their next iteration boundaries.
-            self.rebalance_shares();
-            self.try_admit()?;
-        } else {
-            self.start_iteration(id, end)?;
-        }
         Ok(())
     }
 
-    pub(crate) fn on_timeout(&mut self, id: JobId, generation: u64) -> Result<(), ServeError> {
+    /// Retires the job's window head and every parked successor behind
+    /// it, committing decode/verify strictly in round order, then tops
+    /// the window back up. At depth 1 this is exactly the barrier
+    /// engine's iteration completion.
+    #[allow(clippy::too_many_lines)]
+    pub(crate) fn retire_ready_rounds(&mut self, id: JobId) -> Result<(), ServeError> {
+        let mut at = self.now;
+        // The head this call retires was the round blocking any parked
+        // successors: account the in-order-commit stall it caused.
+        if self.cfg.pipeline.overlapping() {
+            if let Some(job) = self.resident.get(&id) {
+                let earliest_parked = job
+                    .window
+                    .iter()
+                    .skip(1)
+                    .filter_map(|r| r.parked_at)
+                    .fold(f64::INFINITY, f64::min);
+                if let Some(head) = job.window.first() {
+                    if earliest_parked.is_finite() {
+                        let head_gen = head.generation;
+                        let seconds = (at - earliest_parked).max(0.0);
+                        trace_into(&mut self.telemetry, at, || TraceEventKind::PipelineStall {
+                            job: id,
+                            generation: head_gen,
+                            seconds,
+                        });
+                    }
+                }
+            }
+        }
+        loop {
+            let Some(job) = self.resident.get_mut(&id) else {
+                return Ok(());
+            };
+            let ready = job
+                .window
+                .first()
+                .is_some_and(|r| r.parked_at.is_some() && r.round_index == job.iterations_done);
+            if !ready {
+                break;
+            }
+            let iter = job.window.remove(0);
+            let completed_at = iter.parked_at.unwrap_or(at);
+            let is_final = job.iterations_done + 1 >= job.leader().iterations;
+            let specs: Vec<JobSpec> = job.members.iter().map(|m| m.spec.clone()).collect();
+            self.backend
+                .on_iteration_complete(&specs, &iter, job.iterations_done, is_final)
+                .map_err(ServeError::Backend)?;
+            let decode_time = match self.cfg.scheduler {
+                SchedulerMode::Uncoded => 0.0,
+                _ => {
+                    let flops = decode_flops(&iter);
+                    flops / self.decode_flops_per_sec
+                }
+            };
+            let end = at + decode_time;
+            // Virtual phase decomposition of the completed round: the span
+            // from round dispatch to the last counted reply splits into the
+            // input broadcast (dispatch), the straggler-bounded compute, and
+            // the final reply transfer (collect); decode is appended after.
+            // The pieces are carved out of the span itself, so they sum to
+            // `iteration_time_total` exactly — no separate model to drift.
+            let span = (completed_at - iter.started).max(0.0);
+            let dispatch = iter.t_input.min(span);
+            let rest = span - dispatch;
+            let collect = iter.last_reply.min(rest);
+            let compute = rest - collect;
+            self.report.phase_virtual.dispatch += dispatch;
+            self.report.phase_virtual.compute += compute;
+            self.report.phase_virtual.collect += collect;
+            self.report.phase_virtual.decode += decode_time;
+            self.report.iteration_time_total += span + decode_time;
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.metrics.observe("iteration_span", span + decode_time);
+            }
+            let generation = iter.generation;
+            let iteration_index = job.iterations_done;
+            trace_into(&mut self.telemetry, at, || TraceEventKind::Decode {
+                job: id,
+                generation,
+                seconds: decode_time,
+            });
+            trace_into(&mut self.telemetry, end, || TraceEventKind::Verify {
+                job: id,
+                generation,
+            });
+            trace_into(&mut self.telemetry, end, || {
+                TraceEventKind::IterationComplete {
+                    job: id,
+                    iteration: iteration_index,
+                    generation,
+                }
+            });
+            // Pipeline accounting: how long this round sat parked behind
+            // its predecessors, and how much of its span overlapped the
+            // previous round's lifetime. Both are identically 0 at
+            // depth 1.
+            let parked_for = (at - completed_at).max(0.0);
+            self.report.pipeline_stall_time += parked_for;
+            self.report.pipeline_overlap_time += (job.last_retire_end - iter.started).max(0.0);
+            if self.cfg.pipeline.overlapping() {
+                trace_into(&mut self.telemetry, end, || TraceEventKind::RoundRetired {
+                    job: id,
+                    iteration: iteration_index,
+                    generation,
+                    parked: parked_for,
+                });
+            }
+            job.iterations_done += 1;
+            job.iter_retries = 0;
+            job.last_retire_end = end;
+            reclaim_scratch(&mut self.scratch, iter);
+            if job.iterations_done >= job.leader().iterations {
+                // Every member resolves with its own record: its own
+                // arrival (and therefore sojourn), weight, SLO, and work —
+                // the batch is an execution detail, not a reporting unit.
+                for m in &job.members {
+                    let record = JobRecord {
+                        id: m.spec.id,
+                        tenant: m.spec.tenant,
+                        preset: m.spec.preset,
+                        arrival: m.arrival,
+                        admitted: job.admitted,
+                        finished: end,
+                        iterations: job.iterations_done,
+                        retries: job.total_retries,
+                        failed: false,
+                        rejected: false,
+                        rate_limited: false,
+                        weight: m.spec.weight,
+                        deadline: m.spec.deadline,
+                        work: m.spec.total_work(),
+                    };
+                    self.report.jobs.push(record);
+                    if let Some(tel) = self.telemetry.as_mut() {
+                        tel.metrics.observe("job_latency", end - m.arrival);
+                    }
+                    let (jid, tenant) = (m.spec.id, m.spec.tenant);
+                    trace_into(&mut self.telemetry, end, || TraceEventKind::JobComplete {
+                        job: jid,
+                        tenant,
+                    });
+                }
+                let member_ids: Vec<JobId> = job.members.iter().map(|m| m.spec.id).collect();
+                self.resident.remove(&id);
+                for mid in member_ids {
+                    self.backend.on_job_resolved(mid);
+                }
+                // Work conservation: the freed capacity flows to the
+                // survivors now, not at their next iteration boundaries.
+                self.rebalance_shares();
+                self.try_admit()?;
+                return Ok(());
+            }
+            at = end;
+        }
+        // The commit cursor advanced and the window has room: dispatch
+        // the next fresh rounds from the last decode's end.
+        self.fill_window(id, at)
+    }
+
+    pub(crate) fn on_timeout(
+        &mut self,
+        id: JobId,
+        generation: u64,
+        arm: u64,
+    ) -> Result<(), ServeError> {
         let Some(job) = self.resident.get(&id) else {
             return Ok(());
         };
-        let Some(iter) = job.iter.as_ref() else {
+        let Some(iter) = job.window.iter().find(|r| r.generation == generation) else {
             return Ok(());
         };
-        if iter.generation != generation {
+        // Superseded deadline: recovery or a share rebalance re-armed
+        // this round behind a later instant (and bumped the sequence).
+        if iter.armed_seq != arm {
             return Ok(());
         }
-        // Superseded deadline: a share rebalance stretched the in-flight
-        // spans and re-armed behind them.
-        if self.now + 1e-9 < iter.armed_deadline {
+        // Completed but waiting on an earlier sibling to retire: the
+        // round has its coverage, there is nothing left to recover.
+        if iter.parked_at.is_some() {
             return Ok(());
         }
-        self.recover(id, true)
+        self.recover(id, generation, true)
     }
 
     pub(crate) fn on_churn(&mut self, worker: usize, up: bool) -> Result<(), ServeError> {
@@ -936,80 +1187,95 @@ impl ServiceEngine {
             }
         });
         if up {
-            // Capacity returned: wake jobs stalled on feasibility.
-            let waiting: Vec<JobId> = self
+            // Capacity returned: wake rounds stalled on feasibility, in
+            // round order per job (a failed re-dispatch re-stalls them).
+            let waiting: Vec<(JobId, Vec<usize>)> = self
                 .resident
-                .iter()
-                .filter(|(_, j)| j.waiting_for_capacity)
-                .map(|(&id, _)| id)
+                .iter_mut()
+                .filter(|(_, j)| !j.stalled_rounds.is_empty())
+                .map(|(&id, j)| (id, std::mem::take(&mut j.stalled_rounds)))
                 .collect();
-            for id in waiting {
-                let at = self.now;
-                self.start_iteration(id, at)?;
+            for (id, rounds) in waiting {
+                for round_index in rounds {
+                    self.dispatch_round(id, round_index, now)?;
+                }
             }
             return Ok(());
         }
-        // Departure: invalidate the worker's in-flight tasks and check
-        // each affected job for lost coverage.
+        // Departure: invalidate the worker's in-flight tasks across every
+        // window round and check each affected round for lost coverage.
         let ids: Vec<JobId> = self.resident.keys().copied().collect();
         for id in ids {
-            let Some(iter) = self.resident.get_mut(&id).and_then(|j| j.iter.as_mut()) else {
+            let Some(job) = self.resident.get_mut(&id) else {
                 continue;
             };
-            let mut affected = false;
-            if iter.valid[worker] && !iter.done[worker] && iter.finish[worker].is_finite() {
-                iter.valid[worker] = false;
-                refund_busy(
-                    &mut self.report.busy_time[worker],
-                    &mut iter.busy_charged[worker],
-                    iter.finish[worker],
-                    self.now,
-                    iter.share,
-                );
-                self.backend.on_cancel(id, iter.generation, worker, false);
+            let mut doomed: Vec<u64> = Vec::new();
+            for iter in &mut job.window {
+                // Parked rounds have no live tasks (cancelled at park).
+                if iter.parked_at.is_some() {
+                    continue;
+                }
                 let generation = iter.generation;
-                trace_into(&mut self.telemetry, now, || TraceEventKind::TaskCancel {
-                    job: id,
-                    worker,
-                    generation,
-                    redo: false,
+                let mut affected = false;
+                if iter.valid[worker] && !iter.done[worker] && iter.finish[worker].is_finite() {
+                    iter.valid[worker] = false;
+                    refund_busy(
+                        &mut self.report.busy_time[worker],
+                        &mut iter.busy_charged[worker],
+                        iter.finish[worker],
+                        now,
+                        iter.share,
+                    );
+                    self.backend.on_cancel(id, generation, worker, false);
+                    trace_into(&mut self.telemetry, now, || TraceEventKind::TaskCancel {
+                        job: id,
+                        worker,
+                        generation,
+                        redo: false,
+                    });
+                    affected = true;
+                }
+                if iter.redo_valid[worker] && !iter.redo_done[worker] {
+                    iter.redo_valid[worker] = false;
+                    refund_busy(
+                        &mut self.report.busy_time[worker],
+                        &mut iter.redo_busy_charged[worker],
+                        iter.redo_finish[worker],
+                        now,
+                        iter.share,
+                    );
+                    self.backend.on_cancel(id, generation, worker, true);
+                    // The cancelled recompute never happens: drop its chunks
+                    // from the redo bookkeeping, or a later merged redo on
+                    // this worker would mark `redo_done` and `done_cover`
+                    // would credit coverage nobody computed.
+                    iter.redo_chunks[worker].clear();
+                    iter.redo_finish[worker] = f64::INFINITY;
+                    trace_into(&mut self.telemetry, now, || TraceEventKind::TaskCancel {
+                        job: id,
+                        worker,
+                        generation,
+                        redo: true,
+                    });
+                    affected = true;
+                }
+                if !affected {
+                    continue;
+                }
+                let is_doomed = (0..iter.assignment.chunks_per_partition).any(|c| {
+                    iter.done_cover(c)
+                        + iter.pending_redo_cover(c)
+                        + iter.inflight_original_cover(c)
+                        < iter.k_eff
                 });
-                affected = true;
+                if is_doomed {
+                    doomed.push(generation);
+                }
             }
-            if iter.redo_valid[worker] && !iter.redo_done[worker] {
-                iter.redo_valid[worker] = false;
-                refund_busy(
-                    &mut self.report.busy_time[worker],
-                    &mut iter.redo_busy_charged[worker],
-                    iter.redo_finish[worker],
-                    self.now,
-                    iter.share,
-                );
-                self.backend.on_cancel(id, iter.generation, worker, true);
-                // The cancelled recompute never happens: drop its chunks
-                // from the redo bookkeeping, or a later merged redo on
-                // this worker would mark `redo_done` and `done_cover`
-                // would credit coverage nobody computed.
-                iter.redo_chunks[worker].clear();
-                iter.redo_finish[worker] = f64::INFINITY;
-                let generation = iter.generation;
-                trace_into(&mut self.telemetry, now, || TraceEventKind::TaskCancel {
-                    job: id,
-                    worker,
-                    generation,
-                    redo: true,
-                });
-                affected = true;
-            }
-            if !affected {
-                continue;
-            }
-            let doomed = (0..iter.assignment.chunks_per_partition).any(|c| {
-                iter.done_cover(c) + iter.pending_redo_cover(c) + iter.inflight_original_cover(c)
-                    < iter.k_eff
-            });
-            if doomed {
-                self.recover(id, false)?;
+            for generation in doomed {
+                // A rung-5 restart inside an earlier recovery may have
+                // failed the whole job; `recover` re-validates.
+                self.recover(id, generation, false)?;
             }
         }
         Ok(())

@@ -18,7 +18,9 @@
 //! * `recovery` — the §4.3 robustness ladder (cancel-and-reassign,
 //!   wait-out, retry);
 //! * `rebalance` — work-conserving share rebalancing and
-//!   deadline-aware share boosting.
+//!   deadline-aware share boosting;
+//! * `pipeline` — the cross-round in-flight window policy
+//!   ([`PipelinePolicy`]) and the per-round scratch pool.
 //!
 //! # Timing model
 //!
@@ -111,12 +113,14 @@
 
 pub mod backend;
 mod core;
+mod pipeline;
 mod rebalance;
 mod recovery;
 #[cfg(test)]
 mod tests;
 
 pub use backend::BackendKind;
+pub use pipeline::PipelinePolicy;
 
 use crate::admission::{BatchKey, BatchPolicy, QueuePolicy, QueuedJob, RateLimit, TokenBucket};
 use crate::event::{EventKind, EventQueue, JobId};
@@ -254,6 +258,11 @@ pub struct ServeConfig {
     /// [`BatchPolicy`]). Off by default — the unbatched engine is
     /// byte-identical to the pre-batching behavior.
     pub batch: BatchPolicy,
+    /// Cross-round pipelining: how many of a job's iterations may be in
+    /// flight concurrently (see [`PipelinePolicy`]). Results always
+    /// commit in round order. Off by default — `Off` and `Depth(1)` are
+    /// byte-identical to the barrier engine.
+    pub pipeline: PipelinePolicy,
     /// Record structured trace events and a metrics registry during the
     /// run, surfaced as [`ServiceReport::telemetry`]. Off by default;
     /// the disabled path never constructs an event (emission sites take
@@ -281,6 +290,7 @@ impl ServeConfig {
             tenant_rate_limits: BTreeMap::new(),
             deadline_boost: None,
             batch: BatchPolicy::Off,
+            pipeline: PipelinePolicy::Off,
             telemetry: false,
         }
     }
@@ -375,6 +385,9 @@ pub struct ServiceEngine {
     /// window, and without this dedup each re-plan would enqueue
     /// another identical no-op flush.
     pending_flushes: Vec<(BatchKey, f64)>,
+    /// Retired rounds' per-worker bookkeeping vectors, pooled for reuse
+    /// by the next dispatch (see [`pipeline::IterScratch`]).
+    scratch: Vec<pipeline::IterScratch>,
 }
 
 impl std::fmt::Debug for ServiceEngine {
@@ -447,6 +460,11 @@ impl ServiceEngine {
                 }
             }
         }
+        if cfg.pipeline == PipelinePolicy::Depth(0) {
+            return Err(ServeError::InvalidConfig(
+                "pipeline depth must be ≥ 1 (use PipelinePolicy::Off to disable)".into(),
+            ));
+        }
         if let Some(boost) = &cfg.deadline_boost {
             if !(boost.slack_threshold.is_finite()
                 && boost.slack_threshold > 0.0
@@ -506,6 +524,7 @@ impl ServiceEngine {
             },
             buckets,
             pending_flushes: Vec::new(),
+            scratch: Vec::new(),
         })
     }
 
@@ -573,6 +592,8 @@ impl ServiceEngine {
         );
         m.inc_by("rebalances", self.report.rebalances as u64);
         m.inc_by("batch_rounds", self.report.batch_rounds as u64);
+        m.inc_by("rounds_parked", self.report.rounds_parked);
+        m.inc_by("scratch_reuses", self.report.scratch_reuses);
         const RUNGS: [&str; 5] = [
             "rung_1_normal",
             "rung_2_degraded",
@@ -586,6 +607,7 @@ impl ServiceEngine {
         m.set_gauge("makespan", self.report.makespan);
         m.set_gauge("utilization", self.report.utilization());
         m.set_gauge("throughput", self.report.throughput());
+        m.set_gauge("pipeline_stall_seconds", self.report.pipeline_stall_time);
         self.report.telemetry = Some(tel);
     }
 
@@ -623,7 +645,11 @@ impl ServiceEngine {
                     redo,
                 } => self.on_task_complete(job, worker, generation, redo, t)?,
                 EventKind::WorkerSpeedChange { worker, speed } => self.speeds[worker] = speed,
-                EventKind::Timeout { job, generation } => self.on_timeout(job, generation)?,
+                EventKind::Timeout {
+                    job,
+                    generation,
+                    arm,
+                } => self.on_timeout(job, generation, arm)?,
                 EventKind::WorkerChurn { worker, up } => self.on_churn(worker, up)?,
                 EventKind::EpochTick { epoch } => self.on_epoch_tick(epoch),
                 // A batch window expired: drop the spent flush markers,
@@ -656,11 +682,14 @@ impl ServiceEngine {
 
     fn sample_queue_depth(&mut self) {
         self.report.queue_depth.push((self.now, self.pending.len()));
+        let in_flight: usize = self.resident.values().map(|j| j.window.len()).sum();
         if let Some(tel) = self.telemetry.as_mut() {
             tel.metrics
                 .sample("queue_depth", self.now, self.pending.len() as f64);
             tel.metrics
                 .sample("resident_jobs", self.now, self.resident.len() as f64);
+            tel.metrics
+                .sample("pipeline_depth", self.now, in_flight as f64);
         }
     }
 }

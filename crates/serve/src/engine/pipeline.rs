@@ -1,0 +1,171 @@
+//! Cross-round pipelined serving: the bounded in-flight window policy
+//! and the per-round scratch pool.
+//!
+//! The paper's serving loop is a hard barrier: round `i + 1` of a job
+//! cannot dispatch until round `i` has collected, decoded, and
+//! verified — so one straggled round stalls the whole job even when
+//! most of its workers are idle. The sequential-gradient-coding line of
+//! related work removes the barrier by coding *across* rounds: fast
+//! workers stream ahead up to a window of `B` in-flight rounds while a
+//! straggled round is re-served inside the window, trading a bounded
+//! commit delay for near-zero per-round stalls.
+//!
+//! [`PipelinePolicy`] is that window bound. Each resident job may hold
+//! up to `depth` concurrently running iterations; round `i + 1`
+//! dispatches as soon as round `i`'s tasks are issued (serialized
+//! per-worker — a worker computes one job's rounds in dispatch order at
+//! the job's capacity share), and decode/verify results commit strictly
+//! in round order: a completion for round `i + 1` parks until round `i`
+//! retires. The §4.3 recovery ladder operates per in-flight round.
+//!
+//! [`PipelinePolicy::Off`] (and `Depth(1)`) reproduce the barrier
+//! engine byte-for-byte: event streams, traces, and reports are pinned
+//! against the pre-pipelining outputs in CI.
+
+/// Bounded in-flight iteration window per resident job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PipelinePolicy {
+    /// One iteration in flight at a time — the barrier engine, and the
+    /// default. Byte-identical to `Depth(1)`.
+    #[default]
+    Off,
+    /// Up to `d ≥ 1` concurrently running iterations per job, committed
+    /// in order.
+    Depth(usize),
+}
+
+impl PipelinePolicy {
+    /// The window bound this policy allows (`Off` → 1).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match *self {
+            PipelinePolicy::Off => 1,
+            PipelinePolicy::Depth(d) => d,
+        }
+    }
+
+    /// Whether rounds can actually overlap (depth ≥ 2). Pipeline-only
+    /// trace events and accounting are gated on this so `Off`/`Depth(1)`
+    /// stay byte-identical to the barrier engine.
+    #[must_use]
+    pub fn overlapping(&self) -> bool {
+        self.depth() > 1
+    }
+}
+
+impl std::fmt::Display for PipelinePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PipelinePolicy::Off => f.write_str("off"),
+            PipelinePolicy::Depth(d) => write!(f, "depth-{d}"),
+        }
+    }
+}
+
+/// Retired rounds' per-worker bookkeeping vectors, kept for reuse.
+///
+/// Every round needs ~10 pool-width vectors (scheduled finishes, done /
+/// valid flags, redo bookkeeping, busy charges, start offsets). The
+/// barrier engine allocated them fresh per round; under pipelining a
+/// job touches `depth ×` as many live rounds, so the engine keeps a
+/// small pool of retired rounds' vectors and re-initializes them in
+/// place — contents after [`IterScratch::reset`] are element-for-element
+/// identical to fresh allocation, so reuse is invisible to the timing
+/// model. Reuses are counted in `ServiceReport::scratch_reuses`.
+#[derive(Debug, Default)]
+pub(crate) struct IterScratch {
+    pub(crate) finish: Vec<f64>,
+    pub(crate) done: Vec<bool>,
+    pub(crate) valid: Vec<bool>,
+    pub(crate) redo_chunks: Vec<Vec<usize>>,
+    pub(crate) redo_finish: Vec<f64>,
+    pub(crate) redo_done: Vec<bool>,
+    pub(crate) redo_valid: Vec<bool>,
+    pub(crate) busy_charged: Vec<f64>,
+    pub(crate) redo_busy_charged: Vec<f64>,
+    pub(crate) ded_offset: Vec<f64>,
+}
+
+/// Upper bound on pooled scratch sets: enough for every resident job's
+/// whole window in any realistic configuration, small enough that a
+/// churn-heavy run cannot hoard memory.
+pub(crate) const SCRATCH_POOL_CAP: usize = 64;
+
+impl IterScratch {
+    /// Re-initializes every vector for an `n`-worker round, preserving
+    /// capacity. The post-state is exactly what fresh construction
+    /// produces.
+    pub(crate) fn reset(&mut self, n: usize) {
+        fn refill<T: Copy>(v: &mut Vec<T>, n: usize, x: T) {
+            v.clear();
+            v.resize(n, x);
+        }
+        refill(&mut self.finish, n, f64::INFINITY);
+        refill(&mut self.done, n, false);
+        refill(&mut self.valid, n, true);
+        refill(&mut self.redo_finish, n, f64::INFINITY);
+        refill(&mut self.redo_done, n, false);
+        refill(&mut self.redo_valid, n, false);
+        refill(&mut self.busy_charged, n, 0.0);
+        refill(&mut self.redo_busy_charged, n, 0.0);
+        refill(&mut self.ded_offset, n, 0.0);
+        // Inner chunk lists keep their capacity — the per-round
+        // allocation the pool exists to avoid.
+        self.redo_chunks.truncate(n);
+        for v in &mut self.redo_chunks {
+            v.clear();
+        }
+        self.redo_chunks.resize_with(n, Vec::new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_depth_and_overlap() {
+        assert_eq!(PipelinePolicy::Off.depth(), 1);
+        assert_eq!(PipelinePolicy::Depth(1).depth(), 1);
+        assert_eq!(PipelinePolicy::Depth(4).depth(), 4);
+        assert!(!PipelinePolicy::Off.overlapping());
+        assert!(!PipelinePolicy::Depth(1).overlapping());
+        assert!(PipelinePolicy::Depth(2).overlapping());
+        assert_eq!(PipelinePolicy::default(), PipelinePolicy::Off);
+        assert_eq!(PipelinePolicy::Off.to_string(), "off");
+        assert_eq!(PipelinePolicy::Depth(3).to_string(), "depth-3");
+    }
+
+    #[test]
+    fn scratch_reset_matches_fresh_construction() {
+        let mut s = IterScratch::default();
+        s.reset(3);
+        // Dirty every vector as a retired round would.
+        s.finish[1] = 7.0;
+        s.done[2] = true;
+        s.valid[0] = false;
+        s.redo_chunks[1].extend([4, 5]);
+        s.redo_finish[0] = 1.0;
+        s.redo_done[1] = true;
+        s.redo_valid[2] = true;
+        s.busy_charged[0] = 0.25;
+        s.redo_busy_charged[2] = 0.5;
+        s.ded_offset[1] = 0.125;
+        let kept_cap = s.redo_chunks[1].capacity();
+        s.reset(4);
+        assert_eq!(s.finish, vec![f64::INFINITY; 4]);
+        assert_eq!(s.done, vec![false; 4]);
+        assert_eq!(s.valid, vec![true; 4]);
+        assert_eq!(s.redo_chunks, vec![Vec::<usize>::new(); 4]);
+        assert_eq!(s.redo_finish, vec![f64::INFINITY; 4]);
+        assert_eq!(s.redo_done, vec![false; 4]);
+        assert_eq!(s.redo_valid, vec![false; 4]);
+        assert_eq!(s.busy_charged, vec![0.0; 4]);
+        assert_eq!(s.redo_busy_charged, vec![0.0; 4]);
+        assert_eq!(s.ded_offset, vec![0.0; 4]);
+        assert!(
+            s.redo_chunks[1].capacity() >= kept_cap,
+            "inner chunk lists keep their allocation across resets"
+        );
+    }
+}

@@ -6,7 +6,10 @@
 //! firing — every running iteration's share is recomputed and its
 //! in-flight tasks rescaled at the current instant, so capacity is
 //! never left idle waiting for an iteration boundary and the pool is
-//! never over-subscribed by stale snapshots.
+//! never over-subscribed by stale snapshots. Under pipelined serving a
+//! job's *whole in-flight window* rescales together: every window round
+//! runs at the job's single share, so the job's capacity draw is
+//! constant regardless of pipeline depth.
 
 use super::core::{BatchMember, ResidentJob};
 use super::{trace_into, ServiceEngine};
@@ -100,80 +103,100 @@ impl ServiceEngine {
         for id in ids {
             let weight = self.effective_weight(&self.resident[&id]);
             let new_share = weight / total;
-            let Some(iter) = self.resident.get_mut(&id).and_then(|j| j.iter.as_mut()) else {
+            let Some(job) = self.resident.get_mut(&id) else {
                 continue;
             };
-            let old_share = iter.share;
-            if (new_share - old_share).abs() <= 1e-12 * new_share.max(old_share) {
-                continue;
-            }
-            let stretch = old_share / new_share;
-            let generation = iter.generation;
-            let mut touched = false;
-            let mut latest = now;
-            for w in 0..iter.assignment.workers() {
-                if iter.valid[w]
-                    && !iter.done[w]
-                    && iter.finish[w].is_finite()
-                    && iter.finish[w] > now
-                {
-                    let nf = now + (iter.finish[w] - now) * stretch;
-                    iter.finish[w] = nf;
-                    latest = latest.max(nf);
-                    touched = true;
-                    self.queue.push(
-                        nf,
-                        EventKind::TaskComplete {
-                            job: id,
-                            worker: w,
-                            generation,
-                            redo: false,
-                        },
-                    );
+            let mut job_touched = false;
+            // Deferred re-arms: (window position, latest stretched
+            // finish). The Rebalance trace and any re-armed Timeout
+            // events are emitted after the whole window rescaled, so the
+            // per-job trace/event order matches the barrier engine
+            // exactly at depth 1.
+            let mut rearm: Vec<(usize, f64)> = Vec::new();
+            for (pos, iter) in job.window.iter_mut().enumerate() {
+                let old_share = iter.share;
+                if (new_share - old_share).abs() <= 1e-12 * new_share.max(old_share) {
+                    continue;
                 }
-                if iter.redo_valid[w]
-                    && !iter.redo_done[w]
-                    && iter.redo_finish[w].is_finite()
-                    && iter.redo_finish[w] > now
-                {
-                    let nf = now + (iter.redo_finish[w] - now) * stretch;
-                    iter.redo_finish[w] = nf;
-                    latest = latest.max(nf);
-                    touched = true;
-                    self.queue.push(
-                        nf,
-                        EventKind::TaskComplete {
-                            job: id,
-                            worker: w,
-                            generation,
-                            redo: true,
-                        },
-                    );
+                let stretch = old_share / new_share;
+                let generation = iter.generation;
+                let mut touched = false;
+                let mut latest = now;
+                for w in 0..iter.assignment.workers() {
+                    if iter.valid[w]
+                        && !iter.done[w]
+                        && iter.finish[w].is_finite()
+                        && iter.finish[w] > now
+                    {
+                        let nf = now + (iter.finish[w] - now) * stretch;
+                        iter.finish[w] = nf;
+                        latest = latest.max(nf);
+                        touched = true;
+                        self.queue.push(
+                            nf,
+                            EventKind::TaskComplete {
+                                job: id,
+                                worker: w,
+                                generation,
+                                redo: false,
+                            },
+                        );
+                    }
+                    if iter.redo_valid[w]
+                        && !iter.redo_done[w]
+                        && iter.redo_finish[w].is_finite()
+                        && iter.redo_finish[w] > now
+                    {
+                        let nf = now + (iter.redo_finish[w] - now) * stretch;
+                        iter.redo_finish[w] = nf;
+                        latest = latest.max(nf);
+                        touched = true;
+                        self.queue.push(
+                            nf,
+                            EventKind::TaskComplete {
+                                job: id,
+                                worker: w,
+                                generation,
+                                redo: true,
+                            },
+                        );
+                    }
+                }
+                // Close the old share segment so speed observations integrate
+                // the true dedicated time across the change.
+                iter.share_integral += (now - iter.share_anchor).max(0.0) * old_share;
+                iter.share_anchor = iter.share_anchor.max(now);
+                iter.share = new_share;
+                if !touched {
+                    continue;
+                }
+                job_touched = true;
+                // Stretched spans can outrun the armed §4.3 deadline;
+                // re-arm behind them so a squeezed (not straggling)
+                // round is not spuriously cancelled.
+                if latest >= iter.armed_deadline {
+                    rearm.push((pos, latest));
                 }
             }
-            // Close the old share segment so speed observations integrate
-            // the true dedicated time across the change.
-            iter.share_integral += (now - iter.share_anchor).max(0.0) * old_share;
-            iter.share_anchor = iter.share_anchor.max(now);
-            iter.share = new_share;
-            if !touched {
+            if !job_touched {
                 continue;
             }
             self.report.rebalances += 1;
             trace_into(&mut self.telemetry, now, || TraceEventKind::Rebalance {
                 resident: resident_count,
             });
-            // Stretched spans can outrun the armed §4.3 deadline; re-arm
-            // behind them so a squeezed (not straggling) iteration is
-            // not spuriously cancelled.
-            if latest >= iter.armed_deadline {
+            for (pos, latest) in rearm {
+                let iter = &mut job.window[pos];
                 let deadline = now + (1.0 + margin) * (latest - now).max(f64::MIN_POSITIVE);
                 iter.armed_deadline = deadline;
+                iter.armed_seq += 1;
+                let (generation, arm) = (iter.generation, iter.armed_seq);
                 self.queue.push(
                     deadline,
                     EventKind::Timeout {
                         job: id,
                         generation,
+                        arm,
                     },
                 );
             }

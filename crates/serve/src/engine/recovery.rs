@@ -3,35 +3,59 @@
 //! when nobody has spare capacity, and restart the iteration when a
 //! churn storm took everyone.
 //!
+//! Under pipelined serving every rung operates *per in-flight round*:
+//! recovery is keyed by the round's generation, touches only that
+//! round's tasks, and a rung-5 restart re-dispatches the same round
+//! index while later window rounds keep running (their results park
+//! until the restarted round commits).
+//!
 //! Every cancellation and reassignment is mirrored to the execution
 //! backend, so a real-threads run cancels the same worker tasks (via
 //! the [`s2c2_cluster::threaded::ThreadedCluster`] cooperative-cancel
 //! hook) and dispatches the same redo work the timing model schedules.
 
-use super::core::{refund_busy, RunningIteration};
+use super::core::{reclaim_scratch, refund_busy, RunningIteration};
 use super::{thread_speedup, trace_into, SchedulerMode, ServeError, ServiceEngine};
 use crate::event::{EventKind, JobId};
 use crate::metrics::JobRecord;
 use s2c2_telemetry::TraceEventKind;
 
 impl ServiceEngine {
-    /// Deadline-miss / churn recovery: the robustness ladder's rungs 3–5.
+    /// Deadline-miss / churn recovery for one in-flight round: the
+    /// robustness ladder's rungs 3–5.
     #[allow(clippy::too_many_lines)]
-    pub(crate) fn recover(&mut self, id: JobId, from_timeout: bool) -> Result<(), ServeError> {
+    pub(crate) fn recover(
+        &mut self,
+        id: JobId,
+        generation: u64,
+        from_timeout: bool,
+    ) -> Result<(), ServeError> {
         let now = self.now;
         let speedup = thread_speedup(self.cfg.worker_threads);
         let cancel_late = matches!(self.cfg.scheduler, SchedulerMode::SharedS2c2 { .. });
-        let cols = self.resident[&id].leader().cols;
         let margin = self.cfg.timeout_margin;
         let elements_per_sec = self.compute.elements_per_sec;
         let comm = self.comm;
         let speeds = self.speeds.clone();
         let up = self.up.clone();
 
-        // s2c2-allow: no-panic-paths -- engine invariant: recovery fires from a timeout armed while this job was resident
-        let job = self.resident.get_mut(&id).expect("resident job");
-        // s2c2-allow: no-panic-paths -- engine invariant: the timeout's generation check upstream proves an iteration is in flight
-        let iter = job.iter.as_mut().expect("running iteration");
+        // Both lookups are graceful: a churn sweep may queue several
+        // doomed generations for one job, and an earlier rung-5 restart
+        // can have failed the whole job (or replaced the round) before a
+        // later entry is processed.
+        let Some(job) = self.resident.get_mut(&id) else {
+            return Ok(());
+        };
+        let cols = job.members[0].spec.cols;
+        let Some(pos) = job.window.iter().position(|r| r.generation == generation) else {
+            return Ok(());
+        };
+        if job.window[pos].parked_at.is_some() {
+            // Coverage already complete; the round is only waiting for an
+            // earlier sibling to retire. Nothing to recover.
+            return Ok(());
+        }
+        let iter = &mut job.window[pos];
         let n = iter.assignment.workers();
         let c = iter.assignment.chunks_per_partition;
         let rpc = iter.rows_per_chunk;
@@ -72,13 +96,15 @@ impl ServiceEngine {
             // Everything outstanding is already being handled; re-arm the
             // safety net behind the open tasks.
             let deadline = reschedule_after_inflight(iter);
-            let generation = iter.generation;
             iter.armed_deadline = deadline;
+            iter.armed_seq += 1;
+            let arm = iter.armed_seq;
             self.queue.push(
                 deadline,
                 EventKind::Timeout {
                     job: id,
                     generation,
+                    arm,
                 },
             );
             return Ok(());
@@ -145,7 +171,6 @@ impl ServiceEngine {
                             iter.share,
                         );
                         self.backend.on_cancel(id, iter.generation, w, false);
-                        let generation = iter.generation;
                         trace_into(&mut self.telemetry, now, || TraceEventKind::TaskCancel {
                             job: id,
                             worker: w,
@@ -161,8 +186,13 @@ impl ServiceEngine {
                         // spans would misattribute the mixed-share
                         // window. Comm legs are charged at the current
                         // share (exact when the share never changed).
-                        let ded_total = iter.dedicated_by(iter.finish[w]).max(f64::MIN_POSITIVE);
-                        let ded_elapsed = iter.dedicated_by(now).max(f64::MIN_POSITIVE);
+                        // Pipelined rounds subtract the queueing offset
+                        // spent waiting behind earlier window rounds
+                        // (identically 0 at depth 1).
+                        let ded_total = (iter.dedicated_by(iter.finish[w]) - iter.ded_offset[w])
+                            .max(f64::MIN_POSITIVE);
+                        let ded_elapsed =
+                            (iter.dedicated_by(now) - iter.ded_offset[w]).max(f64::MIN_POSITIVE);
                         let ded_comm = (t_in + t_reply) * iter.share;
                         let compute_ded = (ded_total - ded_comm).max(f64::MIN_POSITIVE);
                         let rate = work / compute_ded;
@@ -175,7 +205,6 @@ impl ServiceEngine {
                     self.tracker.observe(&obs);
                 }
             }
-            let generation = iter.generation;
             // Rung 3 of the ladder: chunks actually move to finished
             // workers this recovery pass.
             self.report.recovery_rung_counts[2] += 1;
@@ -246,11 +275,14 @@ impl ServiceEngine {
             }
             let deadline = now + (1.0 + margin) * (latest_redo - now).max(f64::MIN_POSITIVE);
             iter.armed_deadline = deadline;
+            iter.armed_seq += 1;
+            let arm = iter.armed_seq;
             self.queue.push(
                 deadline,
                 EventKind::Timeout {
                     job: id,
                     generation,
+                    arm,
                 },
             );
             return Ok(());
@@ -270,7 +302,6 @@ impl ServiceEngine {
                 // wait-out. Counted once per iteration (the flag), not
                 // once per re-armed deadline.
                 self.report.recovery_rung_counts[3] += 1;
-                let generation = iter.generation;
                 trace_into(&mut self.telemetry, now, || TraceEventKind::RecoveryRung {
                     job: id,
                     generation,
@@ -278,34 +309,83 @@ impl ServiceEngine {
                 });
             }
             let deadline = reschedule_after_inflight(iter);
-            let generation = iter.generation;
             iter.armed_deadline = deadline;
+            iter.armed_seq += 1;
+            let arm = iter.armed_seq;
             self.queue.push(
                 deadline,
                 EventKind::Timeout {
                     job: id,
                     generation,
+                    arm,
                 },
             );
             return Ok(());
         }
 
-        // Rung 5: churn storm took everyone — restart the iteration.
-        let generation = iter.generation;
+        // Rung 5: churn storm took everyone — restart this round. Later
+        // window rounds keep running: their completions park behind the
+        // commit cursor until the restarted round retires.
         self.report.recovery_rung_counts[4] += 1;
         trace_into(&mut self.telemetry, now, || TraceEventKind::RecoveryRung {
             job: id,
             generation,
             rung: 5,
         });
+        let failed_round = job.window.remove(pos);
+        let round_index = failed_round.round_index;
+        reclaim_scratch(&mut self.scratch, failed_round);
         self.backend.on_iteration_abandoned(id, generation);
-        job.iter = None;
         job.iter_retries += 1;
         job.total_retries += 1;
         if job.iter_retries > self.cfg.max_retries {
             // The retry budget is a property of the residency: when it
             // is exhausted, every member of the batch fails together,
-            // each with its own record.
+            // each with its own record. The rest of the window is torn
+            // down with it — cancel every surviving in-flight task and
+            // abandon each round at the backend.
+            while !job.window.is_empty() {
+                let mut r = job.window.remove(0);
+                let gen_r = r.generation;
+                for w in 0..r.assignment.workers() {
+                    if r.valid[w] && !r.done[w] && r.finish[w].is_finite() {
+                        r.valid[w] = false;
+                        refund_busy(
+                            &mut self.report.busy_time[w],
+                            &mut r.busy_charged[w],
+                            r.finish[w],
+                            now,
+                            r.share,
+                        );
+                        self.backend.on_cancel(id, gen_r, w, false);
+                        trace_into(&mut self.telemetry, now, || TraceEventKind::TaskCancel {
+                            job: id,
+                            worker: w,
+                            generation: gen_r,
+                            redo: false,
+                        });
+                    }
+                    if r.redo_valid[w] && !r.redo_done[w] && r.redo_finish[w].is_finite() {
+                        r.redo_valid[w] = false;
+                        refund_busy(
+                            &mut self.report.busy_time[w],
+                            &mut r.redo_busy_charged[w],
+                            r.redo_finish[w],
+                            now,
+                            r.share,
+                        );
+                        self.backend.on_cancel(id, gen_r, w, true);
+                        trace_into(&mut self.telemetry, now, || TraceEventKind::TaskCancel {
+                            job: id,
+                            worker: w,
+                            generation: gen_r,
+                            redo: true,
+                        });
+                    }
+                }
+                self.backend.on_iteration_abandoned(id, gen_r);
+                reclaim_scratch(&mut self.scratch, r);
+            }
             for m in &job.members {
                 let record = JobRecord {
                     id: m.spec.id,
@@ -338,7 +418,7 @@ impl ServiceEngine {
             self.rebalance_shares();
             self.try_admit()?;
         } else {
-            self.start_iteration(id, now)?;
+            self.dispatch_round(id, round_index, now)?;
         }
         Ok(())
     }

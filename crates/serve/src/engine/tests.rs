@@ -1336,3 +1336,198 @@ fn rung_trace_events_mirror_ladder_transitions() {
         "timeout recovery must surface as rung-3 redo or rung-4 wait-out"
     );
 }
+
+// ---- pipelined serving --------------------------------------------------
+
+fn pipelined_cfg(depth: usize, predictor: PredictorSource) -> ServeConfig {
+    let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 { predictor });
+    cfg.pipeline = PipelinePolicy::Depth(depth);
+    cfg
+}
+
+#[test]
+fn zero_pipeline_depth_rejected_at_config() {
+    let mut cfg = ServeConfig::new(SchedulerMode::ConventionalMds);
+    cfg.pipeline = PipelinePolicy::Depth(0);
+    assert!(matches!(
+        ServiceEngine::new(pool(8, &[]), cfg),
+        Err(ServeError::InvalidConfig(_))
+    ));
+}
+
+#[test]
+fn depth_one_reproduces_the_barrier_engine_exactly() {
+    // `Depth(1)` routes through the window machinery but must be
+    // indistinguishable from `Off` — same records, same virtual clock,
+    // same event count, same trace stream, bit for bit. Uniform
+    // predictions on a straggler pool drag the recovery ladder (and its
+    // re-armed timeouts) into the comparison.
+    let run_with = |pipeline: PipelinePolicy| {
+        let n = 12;
+        let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+            predictor: PredictorSource::Uniform,
+        });
+        cfg.pipeline = pipeline;
+        cfg.telemetry = true;
+        let engine = ServiceEngine::new(pool(n, &[2, 7]), cfg).unwrap();
+        engine.run(&workload(15, 1.2, n, 11)).unwrap()
+    };
+    let off = run_with(PipelinePolicy::Off);
+    let one = run_with(PipelinePolicy::Depth(1));
+    assert!(off.timeouts > 0, "the scenario must exercise recovery");
+    assert_eq!(off.jobs, one.jobs);
+    assert_eq!(off.makespan.to_bits(), one.makespan.to_bits());
+    assert_eq!(off.events_processed, one.events_processed);
+    assert_eq!(off.timeouts, one.timeouts);
+    assert_eq!(off.recovery_rung_counts, one.recovery_rung_counts);
+    assert_eq!(off.rebalances, one.rebalances);
+    let (ta, tb) = (off.telemetry.unwrap(), one.telemetry.unwrap());
+    assert_eq!(ta.trace, tb.trace, "trace streams must be identical");
+    // And a window of one can never overlap or park anything.
+    assert_eq!(one.rounds_parked, 0);
+    assert_eq!(one.pipeline_overlap_time, 0.0);
+    assert_eq!(one.pipeline_stall_time, 0.0);
+}
+
+#[test]
+fn pipelined_rounds_retire_in_order() {
+    // Depth 4 with mispredictions: later rounds can finish first, but
+    // IterationComplete must still walk 0, 1, 2, ... per job.
+    use std::collections::BTreeMap;
+    let n = 12;
+    let mut cfg = pipelined_cfg(4, PredictorSource::Uniform);
+    cfg.telemetry = true;
+    let engine = ServiceEngine::new(pool(n, &[2, 7]), cfg).unwrap();
+    let report = engine.run(&workload(12, 1.2, n, 13)).unwrap();
+    assert_eq!(report.completed(), 12);
+    assert!(report.timeouts > 0, "uniform predictions must mispredict");
+    assert!(
+        report.pipeline_overlap_time > 0.0,
+        "a deep window must overlap successive rounds"
+    );
+    let tel = report.telemetry.as_ref().unwrap();
+    let mut next: BTreeMap<u64, usize> = BTreeMap::new();
+    for ev in tel.trace.events() {
+        if let s2c2_telemetry::TraceEventKind::IterationComplete { job, iteration, .. } = ev.kind {
+            let e = next.entry(job).or_insert(0);
+            assert_eq!(iteration, *e, "job {job} committed a round out of order");
+            *e += 1;
+        }
+    }
+    assert!(!next.is_empty(), "the run must commit iterations");
+}
+
+#[test]
+fn window_depth_caps_in_flight_rounds() {
+    // Backpressure: with clean predictions (no restarts), the number of
+    // started-but-uncommitted rounds per job never exceeds the depth.
+    use std::collections::BTreeMap;
+    let n = 8;
+    let mut cfg = pipelined_cfg(2, PredictorSource::LastValue);
+    cfg.telemetry = true;
+    let engine = ServiceEngine::new(pool(n, &[]), cfg).unwrap();
+    let report = engine.run(&workload(8, 1.0, n, 17)).unwrap();
+    assert_eq!(report.completed(), 8);
+    let tel = report.telemetry.as_ref().unwrap();
+    let mut in_flight: BTreeMap<u64, usize> = BTreeMap::new();
+    for ev in tel.trace.events() {
+        match ev.kind {
+            s2c2_telemetry::TraceEventKind::IterationStart { job, .. } => {
+                let e = in_flight.entry(job).or_insert(0);
+                *e += 1;
+                assert!(*e <= 2, "job {job} exceeded the window depth");
+            }
+            s2c2_telemetry::TraceEventKind::IterationComplete { job, .. } => {
+                *in_flight.entry(job).or_insert(0) -= 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        report.pipeline_overlap_time > 0.0,
+        "depth 2 must actually overlap rounds"
+    );
+}
+
+#[test]
+fn straggled_round_is_reserved_while_successors_stream() {
+    // Mispredicted stragglers at depth 2 on the verified backend: the
+    // §4.3 ladder re-serves the lagging round inside the window and
+    // every decoded iteration still checks against the reference.
+    let n = 8;
+    let mut cfg = pipelined_cfg(2, PredictorSource::Uniform);
+    cfg.backend = BackendKind::SimVerified;
+    let engine = ServiceEngine::new(pool(n, &[0, 4]), cfg).unwrap();
+    let report = engine.run(&tiny_workload(5, n)).unwrap();
+    assert_eq!(report.completed(), 5);
+    assert!(report.timeouts > 0, "uniform predictions must mispredict");
+    assert_eq!(report.verified_iterations, 5 * 2);
+    assert!(report.max_decode_error < 1e-6);
+}
+
+#[test]
+fn pipelined_engine_survives_churn_across_window_rounds() {
+    // The survives_churn scenario at depth 2, traced: a worker dying
+    // with live tasks in *two* rounds of one job's window must have
+    // both invalidated at the same instant, and the service must still
+    // resolve every job.
+    use std::collections::BTreeMap;
+    let n = 12;
+    let mut cfg = pipelined_cfg(2, PredictorSource::LastValue);
+    cfg.churn = Some(ChurnConfig {
+        p_fail: 0.05,
+        p_recover: 0.4,
+        min_up: 10,
+    });
+    cfg.max_retries = 10;
+    cfg.telemetry = true;
+    let engine = ServiceEngine::new(pool(n, &[3]), cfg).unwrap();
+    let report = engine.run(&workload(25, 1.0, n, 21)).unwrap();
+    assert_eq!(
+        report.completed() + report.failed(),
+        25,
+        "every job resolves"
+    );
+    assert!(
+        report.completed() >= 23,
+        "churn floor keeps most jobs alive"
+    );
+    // Find a churn instant that swept tasks from two generations of the
+    // same job — the multi-round cancellation the window introduces.
+    let tel = report.telemetry.as_ref().unwrap();
+    let events = tel.trace.events();
+    let mut two_round_kill = false;
+    for (i, ev) in events.iter().enumerate() {
+        let s2c2_telemetry::TraceEventKind::WorkerDown { worker } = ev.kind else {
+            continue;
+        };
+        let mut gens: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for later in &events[i + 1..] {
+            if later.time.to_bits() != ev.time.to_bits() {
+                break;
+            }
+            if let s2c2_telemetry::TraceEventKind::TaskCancel {
+                job,
+                worker: w,
+                generation,
+                ..
+            } = later.kind
+            {
+                if w == worker {
+                    let g = gens.entry(job).or_default();
+                    if !g.contains(&generation) {
+                        g.push(generation);
+                    }
+                }
+            }
+        }
+        if gens.values().any(|g| g.len() >= 2) {
+            two_round_kill = true;
+            break;
+        }
+    }
+    assert!(
+        two_round_kill,
+        "the scenario must kill a worker holding tasks in two window rounds"
+    );
+}

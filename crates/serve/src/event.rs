@@ -48,6 +48,13 @@ pub enum EventKind {
         job: JobId,
         /// Iteration generation the deadline was armed for.
         generation: u64,
+        /// Arming sequence number within the generation. Every (re)arm
+        /// of a round's deadline bumps the round's counter; a timeout
+        /// whose `arm` no longer matches is stale and ignored. This
+        /// keys the guard by round rather than by job-level deadline
+        /// value, so a timeout raced against its own re-arm at the same
+        /// virtual instant can never fire against a successor round.
+        arm: u64,
     },
     /// A worker left (`up == false`) or rejoined (`up == true`) the pool.
     WorkerChurn {

@@ -79,7 +79,8 @@ pub use admission::{
     batch_key, BatchKey, BatchPolicy, QueuePolicy, QueuedJob, RateLimit, ResidentInfo,
 };
 pub use engine::{
-    BackendKind, ChurnConfig, DeadlineBoost, SchedulerMode, ServeConfig, ServeError, ServiceEngine,
+    BackendKind, ChurnConfig, DeadlineBoost, PipelinePolicy, SchedulerMode, ServeConfig,
+    ServeError, ServiceEngine,
 };
 pub use event::{EventKind, EventQueue, JobId};
 pub use metrics::{percentile, JobRecord, ServiceReport, TenantSummary};
@@ -91,7 +92,8 @@ pub use workload::{generate_workload, ArrivalPattern, JobPreset, JobSpec};
 pub mod prelude {
     pub use crate::admission::{BatchPolicy, QueuePolicy, RateLimit};
     pub use crate::engine::{
-        BackendKind, ChurnConfig, DeadlineBoost, SchedulerMode, ServeConfig, ServiceEngine,
+        BackendKind, ChurnConfig, DeadlineBoost, PipelinePolicy, SchedulerMode, ServeConfig,
+        ServiceEngine,
     };
     pub use crate::metrics::{ServiceReport, TenantSummary};
     pub use crate::workload::{generate_workload, ArrivalPattern, JobPreset, JobSpec};

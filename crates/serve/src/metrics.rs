@@ -215,6 +215,22 @@ pub struct ServiceReport {
     /// (dispatch to decoded result), the denominator the virtual phase
     /// split accounts for.
     pub iteration_time_total: f64,
+    /// Completed rounds that parked behind an unretired predecessor
+    /// under pipelined serving ([`crate::engine::PipelinePolicy`]);
+    /// always 0 at depth 1.
+    pub rounds_parked: u64,
+    /// Total virtual seconds completed rounds spent parked waiting for
+    /// in-order commit (the per-round park durations summed).
+    pub pipeline_stall_time: f64,
+    /// Virtual seconds of cross-round overlap the pipeline bought: for
+    /// every retired round, the time between its dispatch and the
+    /// previous round's retirement (0 at depth 1, where rounds are
+    /// strictly sequential).
+    pub pipeline_overlap_time: f64,
+    /// Per-round task/coverage vector sets served from the engine's
+    /// scratch pool instead of freshly allocated (every round after a
+    /// job's first reuses a retired round's buffers).
+    pub scratch_reuses: u64,
     /// Trace buffer + metrics registry, present when the run had
     /// telemetry enabled ([`crate::engine::ServeConfig::telemetry`]).
     pub telemetry: Option<Telemetry>,

@@ -540,4 +540,79 @@ proptest! {
             "aggregate rung counters must match the event log"
         );
     }
+
+    /// Property 8: pipelining is output-invariant. For any small job
+    /// stream, a window of depth 2 or 4 completes the same job set as
+    /// the depth-1 barrier run with per-job decoded outputs identical
+    /// to 1e-12 — on the master-side verified backend and the
+    /// real-threads backend, including mispredicted rounds that climb
+    /// the recovery ladder while later window rounds are in flight.
+    #[test]
+    fn pipelined_runs_match_depth_one_outputs(
+        jobs in 2usize..5,
+        rows in 40usize..160,
+        cols in 4usize..10,
+        chunks in 2usize..5,
+        deep in prop_oneof![Just(2usize), Just(4usize)],
+        seed in 0u64..64,
+        mispredict in any::<bool>(),
+    ) {
+        let n = 6;
+        let preset = JobPreset {
+            name: "pipeprop",
+            rows,
+            cols,
+            k_frac: 0.67,
+            chunks_per_partition: chunks,
+            // Three rounds: enough for the window to actually pipeline.
+            iterations: 3,
+            weight: 1.0,
+            deadline: None,
+            matrix_id: Some(seed ^ 0x919E),
+        };
+        let workload: Vec<(f64, JobSpec)> = (0..jobs as u64)
+            .map(|i| (0.03 * i as f64, preset.instantiate(i, (i % 2) as u32, n)))
+            .collect();
+        let run = |backend: BackendKind, depth: usize| {
+            let pool = s2c2_cluster::ClusterSpec::builder(n)
+                .compute_bound()
+                .seed(seed ^ 0xF1FE)
+                .straggler_slowdown(4.0)
+                .stragglers(&[2], 0.2)
+                .build();
+            let mut cfg = ServeConfig::new(SchedulerMode::SharedS2c2 {
+                predictor: if mispredict {
+                    PredictorSource::Uniform
+                } else {
+                    PredictorSource::LastValue
+                },
+            });
+            cfg.backend = backend;
+            cfg.pipeline = PipelinePolicy::Depth(depth);
+            ServiceEngine::new(pool, cfg).unwrap().run(&workload).unwrap()
+        };
+        for backend in [BackendKind::SimVerified, BackendKind::Threaded] {
+            let base = run(backend, 1);
+            let piped = run(backend, deep);
+            prop_assert_eq!(base.completed(), jobs, "{}: depth-1 run serves all", backend);
+            prop_assert_eq!(piped.completed(), jobs, "{}: depth-{} run serves all", backend, deep);
+            prop_assert_eq!(
+                base.verified_iterations, piped.verified_iterations,
+                "{}: every round decoded and checked at both depths", backend
+            );
+            prop_assert!(piped.max_decode_error < 1e-6);
+            prop_assert_eq!(base.job_outputs.len(), piped.job_outputs.len());
+            for ((ia, a), (ib, b)) in base.job_outputs.iter().zip(piped.job_outputs.iter()) {
+                prop_assert_eq!(ia, ib);
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b.iter()) {
+                    prop_assert!(
+                        (x - y).abs() <= 1e-12,
+                        "{}: job {} output drifted across depths: {} vs {}",
+                        backend, ia, x, y
+                    );
+                }
+            }
+        }
+    }
 }

@@ -175,6 +175,43 @@ pub enum TraceEventKind {
         /// Number of resident rounds after the rebalance.
         resident: usize,
     },
+    /// A completed round parked because an earlier round of the same job
+    /// had not retired yet (pipelined serving commits in order). Only
+    /// emitted at pipeline depth ≥ 2.
+    RoundParked {
+        /// Leader job id.
+        job: u64,
+        /// Zero-based iteration index of the parked round.
+        iteration: usize,
+        /// Dispatch generation.
+        generation: u64,
+    },
+    /// A round retired (decode/verify committed) under pipelined serving.
+    /// Only emitted at pipeline depth ≥ 2; at depth 1 the plain
+    /// `Decode`/`Verify`/`IterationComplete` sequence already tells the
+    /// whole story.
+    RoundRetired {
+        /// Leader job id.
+        job: u64,
+        /// Zero-based iteration index of the retired round.
+        iteration: usize,
+        /// Dispatch generation.
+        generation: u64,
+        /// Virtual seconds the round spent parked behind its
+        /// predecessors (0 when it retired immediately).
+        parked: f64,
+    },
+    /// The head round of a job's pipeline window completed while later
+    /// rounds sat parked behind it — the in-order-commit stall this
+    /// window head was responsible for. Only emitted at depth ≥ 2.
+    PipelineStall {
+        /// Leader job id.
+        job: u64,
+        /// Dispatch generation of the head round that was blocking.
+        generation: u64,
+        /// Virtual seconds since the earliest parked successor finished.
+        seconds: f64,
+    },
 }
 
 /// A trace event: virtual timestamp plus typed payload.

@@ -190,6 +190,37 @@ pub fn jsonl(events: &[TraceEvent]) -> String {
                     r#"{{"t":{t},"type":"rebalance","resident":{resident}}}"#
                 );
             }
+            TraceEventKind::RoundParked {
+                job,
+                iteration,
+                generation,
+            } => {
+                let _ = writeln!(
+                    out,
+                    r#"{{"t":{t},"type":"round_parked","job":{job},"iteration":{iteration},"generation":{generation}}}"#
+                );
+            }
+            TraceEventKind::RoundRetired {
+                job,
+                iteration,
+                generation,
+                parked,
+            } => {
+                let _ = writeln!(
+                    out,
+                    r#"{{"t":{t},"type":"round_retired","job":{job},"iteration":{iteration},"generation":{generation},"parked":{parked}}}"#
+                );
+            }
+            TraceEventKind::PipelineStall {
+                job,
+                generation,
+                seconds,
+            } => {
+                let _ = writeln!(
+                    out,
+                    r#"{{"t":{t},"type":"pipeline_stall","job":{job},"generation":{generation},"seconds":{seconds}}}"#
+                );
+            }
         }
     }
     out

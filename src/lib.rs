@@ -65,7 +65,7 @@ pub mod prelude {
     pub use s2c2_linalg::{Matrix, Vector};
     pub use s2c2_serve::prelude::{
         generate_workload, ArrivalPattern, BackendKind, ChurnConfig, DeadlineBoost, JobPreset,
-        JobSpec, QueuePolicy, RateLimit, SchedulerMode, ServeConfig, ServiceEngine, ServiceReport,
-        TenantSummary,
+        JobSpec, PipelinePolicy, QueuePolicy, RateLimit, SchedulerMode, ServeConfig, ServiceEngine,
+        ServiceReport, TenantSummary,
     };
 }
