@@ -1,0 +1,427 @@
+//! A workspace call graph over the item trees, with may-panic
+//! propagation.
+//!
+//! Nodes are the functions the item-tree parser recovered (free fns,
+//! impl methods, trait default methods) across every non-test,
+//! non-vendor workspace file. Edges are *name-resolved*: a call site
+//! `foo(…)`, `x.foo(…)`, or `Path::foo(…)` produces an edge to **every**
+//! workspace function named `foo`. That over-approximates — two
+//! unrelated `push` methods alias — but over-approximation is the sound
+//! direction for reachability: a path the graph reports may be spurious
+//! (then waive it at the panic site with a justification), but a real
+//! path is never missed by resolution, only by constructs the parser
+//! cannot see (function pointers, trait objects resolved outside the
+//! workspace).
+//!
+//! May-panic seeds are the same constructs `no-panic-paths` bans
+//! (`unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`),
+//! found in each node's own body; a seed covered by a justified
+//! `no-panic-paths` or `panic-reachability` waiver is treated as proven
+//! unreachable and does not propagate. Entry points are the unrestricted
+//! `pub fn`s of `crates/serve/src/` — the surface a service embedder can
+//! actually call.
+
+use crate::item_tree::{FnDef, ItemTree};
+use crate::lexer::TokenKind;
+use std::collections::BTreeMap;
+
+/// One may-panic construct inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What was found (`.unwrap()`, `panic!`, …).
+    pub what: String,
+}
+
+/// One function node.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Workspace-relative file the function lives in.
+    pub file: String,
+    /// Bare name.
+    pub name: String,
+    /// Module/impl-qualified name.
+    pub qualified: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Unrestricted `pub`.
+    pub is_pub: bool,
+    /// Unwaived may-panic constructs in this function's own body.
+    pub panic_sites: Vec<PanicSite>,
+    /// Callee names referenced from the body (deduplicated, sorted).
+    pub callees: Vec<String>,
+}
+
+/// The assembled graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All nodes, sorted by (file, line).
+    pub nodes: Vec<FnNode>,
+    /// name → node indices bearing that name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Total resolved edges (sum over nodes of resolved callee fan-out).
+    pub edge_count: usize,
+}
+
+/// One reported entry-point → panic-site path.
+#[derive(Debug, Clone)]
+pub struct PanicPath {
+    /// Node index of the panic site's function.
+    pub site_fn: usize,
+    /// The specific construct.
+    pub site: PanicSite,
+    /// Node indices from entry point (first) to the panicking function
+    /// (last).
+    pub path: Vec<usize>,
+}
+
+/// Rust keywords and control constructs that look like `ident (` call
+/// heads but are not calls.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "let", "else", "move", "fn",
+    "impl", "where", "unsafe", "box", "dyn", "ref", "mut", "use", "pub", "mod", "struct", "enum",
+    "trait", "type", "const", "static", "break", "continue", "await", "async", "yield", "true",
+    "false",
+];
+
+/// Macros whose invocation means "this code can panic here".
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// A per-file view the graph builder needs: the parsed tree plus the
+/// line ranges justified waivers cover for the two panic rules.
+pub struct FileForGraph<'a> {
+    /// Workspace-relative path.
+    pub path: &'a str,
+    /// Parsed item tree.
+    pub tree: &'a ItemTree,
+    /// `(from_line, to_line)` spans covered by justified
+    /// `no-panic-paths` / `panic-reachability` waivers.
+    pub panic_waiver_lines: Vec<(u32, u32)>,
+}
+
+/// Builds the call graph from per-file item trees. Test functions and
+/// test-path files are the caller's responsibility to exclude (pass only
+/// what should be in the graph).
+#[must_use]
+pub fn build(files: &[FileForGraph<'_>]) -> CallGraph {
+    let mut nodes = Vec::new();
+    for f in files {
+        for fun in &f.tree.fns {
+            if fun.in_test {
+                continue;
+            }
+            let (panic_sites, callees) = scan_body(f, fun);
+            nodes.push(FnNode {
+                file: f.path.to_string(),
+                name: fun.name.clone(),
+                qualified: fun.qualified.clone(),
+                line: fun.line,
+                is_pub: fun.is_pub_unrestricted,
+                panic_sites,
+                callees,
+            });
+        }
+    }
+    nodes.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        by_name.entry(n.name.clone()).or_default().push(i);
+    }
+    let edge_count = nodes
+        .iter()
+        .map(|n| {
+            n.callees
+                .iter()
+                .map(|c| by_name.get(c).map_or(0, Vec::len))
+                .sum::<usize>()
+        })
+        .sum();
+    CallGraph {
+        nodes,
+        by_name,
+        edge_count,
+    }
+}
+
+/// Walks one fn body for panic seeds and callee names.
+fn scan_body(f: &FileForGraph<'_>, fun: &FnDef) -> (Vec<PanicSite>, Vec<String>) {
+    let tree = f.tree;
+    let (start, end) = fun.body;
+    let mut sites = Vec::new();
+    let mut callees: Vec<String> = Vec::new();
+    let waived = |line: u32| {
+        f.panic_waiver_lines
+            .iter()
+            .any(|&(from, to)| line >= from && line <= to)
+    };
+    let mut ci = start;
+    while ci < end {
+        let t = tree.tok(ci);
+        if t.kind != TokenKind::Ident {
+            ci += 1;
+            continue;
+        }
+        let next_is =
+            |off: usize, c: char| ci + off < end && tree.tok(ci + off).kind == TokenKind::Punct(c);
+        // Macro invocation `ident !`.
+        if next_is(1, '!') {
+            if PANIC_MACROS.contains(&t.text.as_str()) && !waived(t.line) {
+                sites.push(PanicSite {
+                    line: t.line,
+                    col: t.col,
+                    what: format!("{}!", t.text),
+                });
+            }
+            ci += 2;
+            continue;
+        }
+        // Method or path call: `.ident(…)`, `ident(…)`, `::ident(…)`,
+        // with an optional turbofish between name and parens.
+        let after_name = ci + 1;
+        let call_paren = if next_is(1, '(') {
+            Some(after_name)
+        } else if next_is(1, ':')
+            && next_is(2, ':')
+            && ci + 3 < end
+            && tree.tok(ci + 3).kind == TokenKind::Punct('<')
+        {
+            // `name::<T>(…)` turbofish.
+            let mut depth = 0usize;
+            let mut j = ci + 3;
+            while j < end {
+                match tree.tok(j).kind {
+                    TokenKind::Punct('<') => depth += 1,
+                    TokenKind::Punct('>') => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            (j + 1 < end && tree.tok(j + 1).kind == TokenKind::Punct('(')).then_some(j + 1)
+        } else {
+            None
+        };
+        if let Some(_paren) = call_paren {
+            let name = t.text.as_str();
+            let is_method = ci > start && tree.tok(ci - 1).kind == TokenKind::Punct('.');
+            if (name == "unwrap" || name == "expect") && is_method {
+                if !waived(t.line) {
+                    sites.push(PanicSite {
+                        line: t.line,
+                        col: t.col,
+                        what: format!(".{name}()"),
+                    });
+                }
+            } else if !NON_CALL_IDENTS.contains(&name) && !callees.iter().any(|c| c == name) {
+                callees.push(name.to_string());
+            }
+        }
+        ci += 1;
+    }
+    callees.sort();
+    (sites, callees)
+}
+
+/// Entry points: unrestricted-`pub` functions in files matching
+/// `entry_prefix`.
+#[must_use]
+pub fn entry_points(graph: &CallGraph, entry_prefix: &str) -> Vec<usize> {
+    graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.is_pub && n.file.starts_with(entry_prefix))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Multi-source BFS from the entry points; returns, for every function
+/// with unwaived panic sites reachable from some entry point, the
+/// shortest entry→…→site path (one [`PanicPath`] per site).
+#[must_use]
+pub fn panic_paths(graph: &CallGraph, entries: &[usize]) -> Vec<PanicPath> {
+    let n = graph.nodes.len();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for &e in entries {
+        if !visited[e] {
+            visited[e] = true;
+            queue.push_back(e);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let callees = graph.nodes[u].callees.clone();
+        for name in &callees {
+            if let Some(targets) = graph.by_name.get(name) {
+                for &v in targets {
+                    if !visited[v] {
+                        visited[v] = true;
+                        parent[v] = Some(u);
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if !visited[i] || node.panic_sites.is_empty() {
+            continue;
+        }
+        let mut path = vec![i];
+        let mut cur = i;
+        while let Some(p) = parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        for site in &node.panic_sites {
+            out.push(PanicPath {
+                site_fn: i,
+                site: site.clone(),
+                path: path.clone(),
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        (&graph.nodes[a.site_fn].file, a.site.line, a.site.col).cmp(&(
+            &graph.nodes[b.site_fn].file,
+            b.site.line,
+            b.site.col,
+        ))
+    });
+    out
+}
+
+/// Renders a path as `a → b → c` using qualified names.
+#[must_use]
+pub fn render_path(graph: &CallGraph, path: &[usize]) -> String {
+    path.iter()
+        .map(|&i| graph.nodes[i].qualified.as_str())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item_tree::parse;
+
+    fn graph_of(files: &[(&str, &str)]) -> (CallGraph, Vec<ItemTree>) {
+        let trees: Vec<ItemTree> = files.iter().map(|(_, src)| parse(src)).collect();
+        let views: Vec<FileForGraph<'_>> = files
+            .iter()
+            .zip(&trees)
+            .map(|((path, _), tree)| FileForGraph {
+                path,
+                tree,
+                panic_waiver_lines: Vec::new(),
+            })
+            .collect();
+        (build(&views), trees)
+    }
+
+    #[test]
+    fn direct_panic_site_is_seeded() {
+        let (g, _t) = graph_of(&[(
+            "crates/serve/src/lib.rs",
+            "pub fn run(x: Option<u8>) -> u8 { x.unwrap() }",
+        )]);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].panic_sites.len(), 1);
+        assert_eq!(g.nodes[0].panic_sites[0].what, ".unwrap()");
+        let entries = entry_points(&g, "crates/serve/src/");
+        let paths = panic_paths(&g, &entries);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].path, vec![0]);
+    }
+
+    #[test]
+    fn panic_propagates_across_crates() {
+        let (g, _t) = graph_of(&[
+            (
+                "crates/serve/src/engine/core.rs",
+                "pub fn serve_entry() { helper_decode(3) }",
+            ),
+            (
+                "crates/coding/src/lib.rs",
+                "pub fn helper_decode(n: usize) -> usize { inner(n) }\nfn inner(n: usize) -> usize { if n == 0 { panic!(\"zero\") } else { n } }",
+            ),
+        ]);
+        let entries = entry_points(&g, "crates/serve/src/");
+        let paths = panic_paths(&g, &entries);
+        assert_eq!(paths.len(), 1, "{paths:?}");
+        let rendered = render_path(&g, &paths[0].path);
+        assert_eq!(rendered, "serve_entry -> helper_decode -> inner");
+        assert_eq!(paths[0].site.what, "panic!");
+    }
+
+    #[test]
+    fn unreachable_panic_is_not_reported() {
+        let (g, _t) = graph_of(&[
+            ("crates/serve/src/lib.rs", "pub fn run() -> u8 { 1 }"),
+            (
+                "crates/coding/src/lib.rs",
+                "pub fn never_called() { panic!(\"dead\") }",
+            ),
+        ]);
+        let entries = entry_points(&g, "crates/serve/src/");
+        assert!(panic_paths(&g, &entries).is_empty());
+    }
+
+    #[test]
+    fn waived_site_does_not_seed() {
+        let src = "pub fn run(x: Option<u8>) -> u8 { x.unwrap() }";
+        let tree = parse(src);
+        let views = [FileForGraph {
+            path: "crates/serve/src/lib.rs",
+            tree: &tree,
+            panic_waiver_lines: vec![(1, 1)],
+        }];
+        let g = build(&views);
+        assert!(g.nodes[0].panic_sites.is_empty());
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name() {
+        let (g, _t) = graph_of(&[
+            (
+                "crates/serve/src/lib.rs",
+                "pub struct E;\nimpl E {\n  pub fn step(&self) { self.advance() }\n  fn advance(&self) { unreachable!() }\n}",
+            ),
+        ]);
+        let entries = entry_points(&g, "crates/serve/src/");
+        let paths = panic_paths(&g, &entries);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(render_path(&g, &paths[0].path), "E::step -> E::advance");
+    }
+
+    #[test]
+    fn turbofish_calls_and_keywords() {
+        let (g, _t) = graph_of(&[(
+            "crates/serve/src/lib.rs",
+            "pub fn f(xs: &[u64]) -> u64 { if xs.len() > 1 { total::<u64>(xs) } else { 0 } }\nfn total<T>(xs: &[T]) -> u64 { xs.len() as u64 }",
+        )]);
+        let f = &g.nodes[0];
+        assert!(f.callees.contains(&"total".to_string()), "{:?}", f.callees);
+        assert!(!f.callees.contains(&"if".to_string()));
+    }
+
+    #[test]
+    fn test_fns_stay_out_of_the_graph() {
+        let (g, _t) = graph_of(&[(
+            "crates/serve/src/lib.rs",
+            "pub fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap() }\n}",
+        )]);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].name, "live");
+    }
+}

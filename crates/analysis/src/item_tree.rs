@@ -1,0 +1,1235 @@
+//! A lightweight item-tree parser over the lexer's token stream.
+//!
+//! [`crate::lexer`] guarantees that nothing inside strings or comments
+//! reaches this layer; this module recovers just enough *structure* for
+//! the semantic rules: which functions exist (with signatures, bodies,
+//! and visibility), which enums declare which variants, which struct
+//! fields have which types, where every `match` expression sits and what
+//! its arms look like, and what `pub use` re-exports.
+//!
+//! The parser is deliberately tolerant: it never errors, it skips what
+//! it does not understand, and it tracks only the block structure it
+//! needs (module path, impl type, brace/paren/bracket balance, generic
+//! angle brackets in signature position). That is enough to be exact on
+//! this workspace's code and fixture corpus — generics, where-clauses,
+//! nested matches, match guards, and macro bodies are all covered by
+//! tests — while staying a few hundred lines instead of a real frontend.
+
+use crate::lexer::{lex, test_region_mask, Token, TokenKind};
+
+/// One parsed enum definition.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Enum name (`EventKind`).
+    pub name: String,
+    /// Variant names, in declaration order.
+    pub variants: Vec<String>,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Declared with `pub` (any visibility qualifier).
+    pub is_pub: bool,
+}
+
+/// One parsed function (free fn, impl method, or trait default method).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare function name (`fill_window`).
+    pub name: String,
+    /// Module/impl-qualified name (`engine::ServiceEngine::fill_window`).
+    pub qualified: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Declared with `pub` (any visibility qualifier, `pub(crate)`
+    /// included).
+    pub is_pub: bool,
+    /// Declared with exactly `pub` (no restriction) — the workspace-API
+    /// surface the call-graph entry points are drawn from.
+    pub is_pub_unrestricted: bool,
+    /// Inside a `#[cfg(test)]` region or `#[test]` item.
+    pub in_test: bool,
+    /// Token range of the body (`start..end` indices into the *code*
+    /// token index list, braces excluded); empty for bodyless trait fns.
+    pub body: (usize, usize),
+    /// Parameter `(name, type-text)` pairs, `self` receivers excluded.
+    pub params: Vec<(String, String)>,
+    /// Return type text (everything between `->` and the body), if any.
+    pub ret: Option<String>,
+    /// Name of the surrounding `impl` type, if the fn is a method.
+    pub impl_type: Option<String>,
+}
+
+/// One parsed `struct` definition's named fields.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Named `(field, type-text)` pairs (tuple structs yield none).
+    pub fields: Vec<(String, String)>,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Declared with `pub`.
+    pub is_pub: bool,
+}
+
+/// One arm of a `match` expression.
+#[derive(Debug, Clone)]
+pub struct MatchArm {
+    /// Code-token index range of the pattern (guard excluded).
+    pub pattern: (usize, usize),
+    /// Whether an `if` guard follows the pattern.
+    pub has_guard: bool,
+    /// 1-based line the pattern starts on.
+    pub line: u32,
+}
+
+/// One `match` expression.
+#[derive(Debug, Clone)]
+pub struct MatchExpr {
+    /// 1-based line/column of the `match` keyword.
+    pub line: u32,
+    /// Column of the `match` keyword.
+    pub col: u32,
+    /// Code-token index range of the scrutinee.
+    pub scrutinee: (usize, usize),
+    /// The arms, in order.
+    pub arms: Vec<MatchArm>,
+    /// Inside a test region.
+    pub in_test: bool,
+}
+
+/// Kind tag for a public item, for the API-surface inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PubItemKind {
+    /// `pub fn`.
+    Fn,
+    /// `pub struct`.
+    Struct,
+    /// `pub enum`.
+    Enum,
+    /// `pub trait`.
+    Trait,
+    /// `pub const` / `pub static`.
+    Const,
+    /// `pub type`.
+    TypeAlias,
+    /// `pub mod`.
+    Module,
+    /// `pub macro_rules!`-exported or other.
+    Other,
+}
+
+impl PubItemKind {
+    /// Stable lowercase tag for JSON output.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            PubItemKind::Fn => "fn",
+            PubItemKind::Struct => "struct",
+            PubItemKind::Enum => "enum",
+            PubItemKind::Trait => "trait",
+            PubItemKind::Const => "const",
+            PubItemKind::TypeAlias => "type",
+            PubItemKind::Module => "mod",
+            PubItemKind::Other => "other",
+        }
+    }
+}
+
+/// One `pub` item, for the API-surface audit.
+#[derive(Debug, Clone)]
+pub struct PubItem {
+    /// Item name.
+    pub name: String,
+    /// What kind of item it is.
+    pub kind: PubItemKind,
+    /// 1-based line of the item keyword.
+    pub line: u32,
+    /// `true` only for unrestricted `pub` (not `pub(crate)` etc.).
+    pub unrestricted: bool,
+    /// Inside a test region.
+    pub in_test: bool,
+}
+
+/// One leaf of a `pub use` re-export tree.
+#[derive(Debug, Clone)]
+pub struct ReExport {
+    /// The source-side leaf name (`TraceBuffer` in
+    /// `pub use s2c2_telemetry::TraceBuffer as Buf`), or `*` for globs.
+    pub name: String,
+    /// The full dotted path prefix the leaf came from, `::`-joined.
+    pub path: String,
+    /// 1-based line of the leaf.
+    pub line: u32,
+}
+
+/// Everything the parser recovered from one file.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    /// All tokens (comments included), as lexed.
+    pub tokens: Vec<Token>,
+    /// Indices of non-comment tokens — every `(usize, usize)` range in
+    /// this struct indexes into this list.
+    pub code: Vec<usize>,
+    /// Per-token test-region mask (parallel to `tokens`).
+    pub test_mask: Vec<bool>,
+    /// Enum definitions.
+    pub enums: Vec<EnumDef>,
+    /// Struct definitions with named fields.
+    pub structs: Vec<StructDef>,
+    /// Functions, in source order.
+    pub fns: Vec<FnDef>,
+    /// `match` expressions, in source order (nested ones included).
+    pub matches: Vec<MatchExpr>,
+    /// `pub` items for the API-surface inventory.
+    pub pub_items: Vec<PubItem>,
+    /// `pub use` re-export leaves.
+    pub reexports: Vec<ReExport>,
+}
+
+impl ItemTree {
+    /// The token at code index `ci`.
+    #[must_use]
+    pub fn tok(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// Whether the code token at `ci` sits in a test region.
+    #[must_use]
+    pub fn in_test(&self, ci: usize) -> bool {
+        self.test_mask[self.code[ci]]
+    }
+}
+
+/// Parses one file into its item tree.
+#[must_use]
+pub fn parse(src: &str) -> ItemTree {
+    let tokens = lex(src);
+    let test_mask = test_region_mask(&tokens);
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut tree = ItemTree {
+        tokens,
+        code,
+        test_mask,
+        ..ItemTree::default()
+    };
+    let mut p = Parser { tree: &mut tree };
+    p.parse_items(0, usize::MAX, &mut Vec::new(), None);
+    let mut m = tree.matches.clone();
+    m.sort_by_key(|x| (x.line, x.col));
+    tree.matches = m;
+    tree
+}
+
+struct Parser<'a> {
+    tree: &'a mut ItemTree,
+}
+
+fn is_punct(t: &Token, c: char) -> bool {
+    t.kind == TokenKind::Punct(c)
+}
+
+impl Parser<'_> {
+    fn len(&self) -> usize {
+        self.tree.code.len()
+    }
+
+    fn tok_text(&self, ci: usize) -> &str {
+        &self.tree.tokens[self.tree.code[ci]].text
+    }
+
+    fn tok_kind(&self, ci: usize) -> TokenKind {
+        self.tree.tokens[self.tree.code[ci]].kind
+    }
+
+    fn tok_pos(&self, ci: usize) -> (u32, u32) {
+        let t = &self.tree.tokens[self.tree.code[ci]];
+        (t.line, t.col)
+    }
+
+    fn punct_at(&self, ci: usize, c: char) -> bool {
+        ci < self.len() && is_punct(&self.tree.tokens[self.tree.code[ci]], c)
+    }
+
+    fn ident_at(&self, ci: usize) -> bool {
+        ci < self.len() && self.tok_kind(ci) == TokenKind::Ident
+    }
+
+    /// Skips a balanced `<...>` generic list starting at `ci` (which must
+    /// point at `<`), returning the index just past the matching `>`.
+    /// `->` arrows inside (`Fn() -> T` bounds) do not close angles.
+    fn skip_angles(&self, mut ci: usize) -> usize {
+        let mut depth = 0usize;
+        while ci < self.len() {
+            if self.punct_at(ci, '<') {
+                depth += 1;
+            } else if self.punct_at(ci, '>') && !(ci > 0 && self.punct_at(ci - 1, '-')) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return ci + 1;
+                }
+            } else if self.punct_at(ci, '(') || self.punct_at(ci, '[') || self.punct_at(ci, '{') {
+                ci = self.skip_balanced(ci);
+                continue;
+            } else if self.punct_at(ci, ';') {
+                // Safety valve: a `;` at angle depth means we misparsed
+                // (comparison operator, not generics). Bail.
+                return ci;
+            }
+            ci += 1;
+        }
+        ci
+    }
+
+    /// Skips a balanced bracket group starting at `ci` (which must point
+    /// at `(`, `[`, or `{`), returning the index just past the closer.
+    fn skip_balanced(&self, mut ci: usize) -> usize {
+        let mut depth = 0i64;
+        while ci < self.len() {
+            match self.tok_kind(ci) {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return ci + 1;
+                    }
+                }
+                _ => {}
+            }
+            ci += 1;
+        }
+        ci
+    }
+
+    /// Parses items from code index `ci` until `end` (exclusive) or a
+    /// closing `}` at this nesting level. `modules` is the enclosing
+    /// module path; `impl_type` the enclosing impl's type name, if any.
+    fn parse_items(
+        &mut self,
+        mut ci: usize,
+        end: usize,
+        modules: &mut Vec<String>,
+        impl_type: Option<&str>,
+    ) -> usize {
+        let mut vis: Option<bool> = None; // Some(unrestricted) after `pub`
+        while ci < self.len() && ci < end {
+            let text = self.tok_text(ci).to_string();
+            let kind = self.tok_kind(ci);
+            match (kind, text.as_str()) {
+                (TokenKind::Punct('}'), _) => return ci + 1,
+                (TokenKind::Punct('#'), _) if self.punct_at(ci + 1, '[') => {
+                    ci = self.skip_balanced(ci + 1);
+                }
+                (TokenKind::Ident, "pub") => {
+                    // `pub(crate)` / `pub(super)` / `pub(in path)`.
+                    if self.punct_at(ci + 1, '(') {
+                        vis = Some(false);
+                        ci = self.skip_balanced(ci + 1);
+                    } else {
+                        vis = Some(true);
+                        ci += 1;
+                    }
+                    continue; // keep `vis` for the item that follows
+                }
+                (TokenKind::Ident, "mod") => {
+                    let name = self.ident_text(ci + 1).unwrap_or_default();
+                    self.record_pub(&name, PubItemKind::Module, ci, vis);
+                    if self.punct_at(ci + 2, '{') {
+                        modules.push(name);
+                        ci = self.parse_items(ci + 3, end, modules, None);
+                        modules.pop();
+                    } else {
+                        ci += 2; // `mod name;`
+                        while ci < self.len() && !self.punct_at(ci, ';') {
+                            ci += 1;
+                        }
+                        ci += 1;
+                    }
+                }
+                (TokenKind::Ident, "enum") => {
+                    ci = self.parse_enum(ci, vis);
+                }
+                (TokenKind::Ident, "struct") => {
+                    ci = self.parse_struct(ci, vis);
+                }
+                (TokenKind::Ident, "union") => {
+                    ci = self.skip_to_item_end(ci + 1);
+                }
+                (TokenKind::Ident, "trait") => {
+                    let name = self.ident_text(ci + 1).unwrap_or_default();
+                    self.record_pub(&name, PubItemKind::Trait, ci, vis);
+                    // Trait bodies hold fn signatures and default bodies:
+                    // recurse so default methods land in the fn list.
+                    let mut j = ci + 2;
+                    while j < self.len() && !self.punct_at(j, '{') && !self.punct_at(j, ';') {
+                        if self.punct_at(j, '<') {
+                            j = self.skip_angles(j);
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    if self.punct_at(j, '{') {
+                        ci = self.parse_items(j + 1, end, modules, Some(&name));
+                    } else {
+                        ci = j + 1;
+                    }
+                }
+                (TokenKind::Ident, "impl") => {
+                    ci = self.parse_impl(ci, end, modules);
+                }
+                (TokenKind::Ident, "fn") => {
+                    ci = self.parse_fn(ci, modules, impl_type, vis);
+                }
+                (TokenKind::Ident, "const" | "static")
+                    if self.ident_at(ci + 1) && self.tok_text(ci + 1) != "fn" =>
+                {
+                    let name = self.ident_text(ci + 1).unwrap_or_default();
+                    self.record_pub(&name, PubItemKind::Const, ci, vis);
+                    ci = self.skip_to_item_end(ci + 1);
+                }
+                (TokenKind::Ident, "type") => {
+                    let name = self.ident_text(ci + 1).unwrap_or_default();
+                    self.record_pub(&name, PubItemKind::TypeAlias, ci, vis);
+                    ci = self.skip_to_item_end(ci + 1);
+                }
+                (TokenKind::Ident, "use") => {
+                    ci = self.parse_use(ci, vis);
+                }
+                (TokenKind::Ident, "match") => {
+                    // A `match` in item position can only happen inside a
+                    // body we are scanning linearly; parse it for the
+                    // match list, then continue past its scrutinee so
+                    // nested matches inside the arms are found too.
+                    self.parse_match(ci);
+                    ci += 1;
+                }
+                (TokenKind::Ident, "unsafe" | "async" | "extern" | "default") => {
+                    ci += 1;
+                    continue; // visibility persists across qualifiers
+                }
+                _ => {
+                    ci += 1;
+                }
+            }
+            vis = None;
+        }
+        ci
+    }
+
+    fn ident_text(&self, ci: usize) -> Option<String> {
+        (self.ident_at(ci)).then(|| self.tok_text(ci).to_string())
+    }
+
+    fn record_pub(&mut self, name: &str, kind: PubItemKind, ci: usize, vis: Option<bool>) {
+        let Some(unrestricted) = vis else { return };
+        if name.is_empty() {
+            return;
+        }
+        let (line, _) = self.tok_pos(ci);
+        let in_test = self.tree.in_test(ci);
+        self.tree.pub_items.push(PubItem {
+            name: name.to_string(),
+            kind,
+            line,
+            unrestricted,
+            in_test,
+        });
+    }
+
+    /// Skips to just past the end of a `;`-or-brace-terminated item whose
+    /// keyword was already consumed.
+    fn skip_to_item_end(&self, mut ci: usize) -> usize {
+        while ci < self.len() {
+            if self.punct_at(ci, ';') {
+                return ci + 1;
+            }
+            if self.punct_at(ci, '{') {
+                return self.skip_balanced(ci);
+            }
+            if self.punct_at(ci, '<') {
+                ci = self.skip_angles(ci);
+                continue;
+            }
+            if self.punct_at(ci, '(') || self.punct_at(ci, '[') {
+                ci = self.skip_balanced(ci);
+                continue;
+            }
+            ci += 1;
+        }
+        ci
+    }
+
+    fn parse_enum(&mut self, ci: usize, vis: Option<bool>) -> usize {
+        let Some(name) = self.ident_text(ci + 1) else {
+            return ci + 1;
+        };
+        self.record_pub(&name, PubItemKind::Enum, ci, vis);
+        let (line, _) = self.tok_pos(ci);
+        let mut j = ci + 2;
+        if self.punct_at(j, '<') {
+            j = self.skip_angles(j);
+        }
+        // Skip a possible where clause up to the brace.
+        while j < self.len() && !self.punct_at(j, '{') && !self.punct_at(j, ';') {
+            if self.punct_at(j, '<') {
+                j = self.skip_angles(j);
+            } else {
+                j += 1;
+            }
+        }
+        if !self.punct_at(j, '{') {
+            return j + 1;
+        }
+        let body_end = self.skip_balanced(j);
+        let mut variants = Vec::new();
+        let mut k = j + 1;
+        let mut expect_variant = true;
+        while k + 1 < body_end {
+            if self.punct_at(k, '#') && self.punct_at(k + 1, '[') {
+                k = self.skip_balanced(k + 1);
+                continue;
+            }
+            if expect_variant && self.ident_at(k) {
+                variants.push(self.tok_text(k).to_string());
+                expect_variant = false;
+                k += 1;
+                continue;
+            }
+            if self.punct_at(k, '(') || self.punct_at(k, '{') || self.punct_at(k, '[') {
+                k = self.skip_balanced(k);
+                continue;
+            }
+            if self.punct_at(k, ',') {
+                expect_variant = true;
+            }
+            k += 1;
+        }
+        self.tree.enums.push(EnumDef {
+            name,
+            variants,
+            line,
+            is_pub: vis.is_some(),
+        });
+        body_end
+    }
+
+    fn parse_struct(&mut self, ci: usize, vis: Option<bool>) -> usize {
+        let Some(name) = self.ident_text(ci + 1) else {
+            return ci + 1;
+        };
+        self.record_pub(&name, PubItemKind::Struct, ci, vis);
+        let (line, _) = self.tok_pos(ci);
+        let mut j = ci + 2;
+        if self.punct_at(j, '<') {
+            j = self.skip_angles(j);
+        }
+        // Tuple struct `struct X(T);` or unit `struct X;`.
+        if self.punct_at(j, '(') {
+            let after = self.skip_balanced(j);
+            self.tree.structs.push(StructDef {
+                name,
+                fields: Vec::new(),
+                line,
+                is_pub: vis.is_some(),
+            });
+            return self.skip_to_item_end(after);
+        }
+        while j < self.len() && !self.punct_at(j, '{') && !self.punct_at(j, ';') {
+            if self.punct_at(j, '<') {
+                j = self.skip_angles(j);
+            } else {
+                j += 1;
+            }
+        }
+        if !self.punct_at(j, '{') {
+            return j + 1;
+        }
+        let body_end = self.skip_balanced(j);
+        let mut fields = Vec::new();
+        let mut k = j + 1;
+        while k + 1 < body_end {
+            if self.punct_at(k, '#') && self.punct_at(k + 1, '[') {
+                k = self.skip_balanced(k + 1);
+                continue;
+            }
+            if self.ident_at(k) && self.tok_text(k) == "pub" {
+                if self.punct_at(k + 1, '(') {
+                    k = self.skip_balanced(k + 1);
+                } else {
+                    k += 1;
+                }
+                continue;
+            }
+            // `name : Type ,`
+            if self.ident_at(k) && self.punct_at(k + 1, ':') && !self.punct_at(k + 2, ':') {
+                let fname = self.tok_text(k).to_string();
+                let ty_start = k + 2;
+                let mut t = ty_start;
+                while t + 1 < body_end {
+                    if self.punct_at(t, ',') {
+                        break;
+                    }
+                    if self.punct_at(t, '<') {
+                        t = self.skip_angles(t);
+                        continue;
+                    }
+                    if self.punct_at(t, '(') || self.punct_at(t, '[') || self.punct_at(t, '{') {
+                        t = self.skip_balanced(t);
+                        continue;
+                    }
+                    t += 1;
+                }
+                let ty = self.collect_text(ty_start, t.min(body_end.saturating_sub(1)));
+                fields.push((fname, ty));
+                k = t + 1;
+                continue;
+            }
+            k += 1;
+        }
+        self.tree.structs.push(StructDef {
+            name,
+            fields,
+            line,
+            is_pub: vis.is_some(),
+        });
+        body_end
+    }
+
+    fn collect_text(&self, start: usize, end: usize) -> String {
+        let mut out = String::new();
+        for ci in start..end.min(self.len()) {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(self.tok_text(ci));
+        }
+        out
+    }
+
+    fn parse_impl(&mut self, ci: usize, end: usize, modules: &mut Vec<String>) -> usize {
+        let mut j = ci + 1;
+        if self.punct_at(j, '<') {
+            j = self.skip_angles(j);
+        }
+        // Collect the head up to `{`, remembering whether a `for` splits
+        // trait from type.
+        let mut type_start = j;
+        while j < self.len() && !self.punct_at(j, '{') && !self.punct_at(j, ';') {
+            if self.ident_at(j) && self.tok_text(j) == "for" {
+                type_start = j + 1;
+            } else if self.ident_at(j) && self.tok_text(j) == "where" {
+                break;
+            }
+            if self.punct_at(j, '<') {
+                j = self.skip_angles(j);
+            } else if self.punct_at(j, '(') || self.punct_at(j, '[') {
+                j = self.skip_balanced(j);
+            } else {
+                j += 1;
+            }
+        }
+        while j < self.len() && !self.punct_at(j, '{') && !self.punct_at(j, ';') {
+            if self.punct_at(j, '<') {
+                j = self.skip_angles(j);
+            } else {
+                j += 1;
+            }
+        }
+        // First ident of the type path (skipping `&`, `dyn`, `mut`).
+        let mut t = type_start;
+        let mut type_name = String::new();
+        while t < j {
+            if self.ident_at(t) {
+                let txt = self.tok_text(t);
+                if txt != "dyn" && txt != "mut" {
+                    type_name = txt.to_string();
+                    break;
+                }
+            }
+            t += 1;
+        }
+        if self.punct_at(j, '{') {
+            self.parse_items(j + 1, end, modules, Some(&type_name))
+        } else {
+            j + 1
+        }
+    }
+
+    fn parse_fn(
+        &mut self,
+        ci: usize,
+        modules: &[String],
+        impl_type: Option<&str>,
+        vis: Option<bool>,
+    ) -> usize {
+        let Some(name) = self.ident_text(ci + 1) else {
+            return ci + 1;
+        };
+        self.record_pub(&name, PubItemKind::Fn, ci, vis);
+        let (line, _) = self.tok_pos(ci);
+        let mut j = ci + 2;
+        if self.punct_at(j, '<') {
+            j = self.skip_angles(j);
+        }
+        if !self.punct_at(j, '(') {
+            return j;
+        }
+        let params_end = self.skip_balanced(j); // just past `)`
+        let params = self.parse_params(j + 1, params_end.saturating_sub(1));
+        // Return type: `-> Type` until `{`, `;`, or `where`.
+        let mut k = params_end;
+        let mut ret = None;
+        if self.punct_at(k, '-') && self.punct_at(k + 1, '>') {
+            let ty_start = k + 2;
+            let mut t = ty_start;
+            while t < self.len() {
+                if self.punct_at(t, '{') || self.punct_at(t, ';') {
+                    break;
+                }
+                if self.ident_at(t) && self.tok_text(t) == "where" {
+                    break;
+                }
+                if self.punct_at(t, '<') {
+                    t = self.skip_angles(t);
+                    continue;
+                }
+                if self.punct_at(t, '(') || self.punct_at(t, '[') {
+                    t = self.skip_balanced(t);
+                    continue;
+                }
+                t += 1;
+            }
+            ret = Some(self.collect_text(ty_start, t));
+            k = t;
+        }
+        // Where clause.
+        while k < self.len() && !self.punct_at(k, '{') && !self.punct_at(k, ';') {
+            if self.punct_at(k, '<') {
+                k = self.skip_angles(k);
+            } else if self.punct_at(k, '(') || self.punct_at(k, '[') {
+                k = self.skip_balanced(k);
+            } else {
+                k += 1;
+            }
+        }
+        let (body, after) = if self.punct_at(k, '{') {
+            let end = self.skip_balanced(k);
+            ((k + 1, end.saturating_sub(1)), end)
+        } else {
+            ((k, k), k + 1) // trait signature, no body
+        };
+        // Scan the body for `match` expressions.
+        let mut b = body.0;
+        while b < body.1 {
+            if self.ident_at(b) && self.tok_text(b) == "match" {
+                self.parse_match(b);
+            }
+            b += 1;
+        }
+        let mut qualified = modules.join("::");
+        if let Some(t) = impl_type {
+            if !t.is_empty() {
+                if !qualified.is_empty() {
+                    qualified.push_str("::");
+                }
+                qualified.push_str(t);
+            }
+        }
+        if !qualified.is_empty() {
+            qualified.push_str("::");
+        }
+        qualified.push_str(&name);
+        self.tree.fns.push(FnDef {
+            name,
+            qualified,
+            line,
+            is_pub: vis.is_some(),
+            is_pub_unrestricted: vis == Some(true),
+            in_test: self.tree.in_test(ci),
+            body,
+            params,
+            ret,
+            impl_type: impl_type
+                .filter(|t| !t.is_empty())
+                .map(std::string::ToString::to_string),
+        });
+        after
+    }
+
+    fn parse_params(&self, start: usize, end: usize) -> Vec<(String, String)> {
+        let mut params = Vec::new();
+        let mut k = start;
+        while k < end {
+            // Each parameter: `name : Type` (skip `self` receivers,
+            // `mut` qualifiers, and pattern params we don't need).
+            if self.punct_at(k, '#') && self.punct_at(k + 1, '[') {
+                k = self.skip_balanced(k + 1);
+                continue;
+            }
+            if self.ident_at(k) && (self.tok_text(k) == "mut" || self.tok_text(k) == "ref") {
+                k += 1;
+                continue;
+            }
+            if self.ident_at(k) && self.punct_at(k + 1, ':') && !self.punct_at(k + 2, ':') {
+                let pname = self.tok_text(k).to_string();
+                let ty_start = k + 2;
+                let mut t = ty_start;
+                while t < end {
+                    if self.punct_at(t, ',') {
+                        break;
+                    }
+                    if self.punct_at(t, '<') {
+                        t = self.skip_angles(t);
+                        continue;
+                    }
+                    if self.punct_at(t, '(') || self.punct_at(t, '[') || self.punct_at(t, '{') {
+                        t = self.skip_balanced(t);
+                        continue;
+                    }
+                    t += 1;
+                }
+                params.push((pname, self.collect_text(ty_start, t)));
+                k = t + 1;
+                continue;
+            }
+            // Skip anything else (self, &, lifetimes, destructuring pats).
+            if self.punct_at(k, '(') || self.punct_at(k, '[') || self.punct_at(k, '{') {
+                k = self.skip_balanced(k);
+                continue;
+            }
+            if self.punct_at(k, '<') {
+                k = self.skip_angles(k);
+                continue;
+            }
+            k += 1;
+        }
+        params
+    }
+
+    /// Parses a `use` declaration starting at `ci` (the `use` keyword).
+    /// Only `pub use` trees are recorded, as re-export leaves.
+    fn parse_use(&mut self, ci: usize, vis: Option<bool>) -> usize {
+        // Find the end first so malformed trees cannot run away.
+        let mut end = ci + 1;
+        while end < self.len() && !self.punct_at(end, ';') {
+            end += 1;
+        }
+        if vis.is_some() {
+            let mut prefix: Vec<String> = Vec::new();
+            self.parse_use_tree(ci + 1, end, &mut prefix);
+        }
+        end + 1
+    }
+
+    /// Recursively walks one `use` tree level, recording leaves.
+    fn parse_use_tree(&mut self, mut k: usize, end: usize, prefix: &mut Vec<String>) -> usize {
+        let depth_at_entry = prefix.len();
+        let mut segment: Option<String> = None;
+        while k < end {
+            if self.ident_at(k) {
+                let txt = self.tok_text(k).to_string();
+                if txt == "as" {
+                    // Alias: skip the alias ident; the *source* name was
+                    // already staged in `segment`.
+                    k += 2;
+                    continue;
+                }
+                segment = Some(txt);
+                k += 1;
+                continue;
+            }
+            if self.punct_at(k, ':') && self.punct_at(k + 1, ':') {
+                if let Some(s) = segment.take() {
+                    prefix.push(s);
+                }
+                k += 2;
+                continue;
+            }
+            if self.punct_at(k, '{') {
+                k = self.parse_use_tree(k + 1, end, prefix);
+                continue;
+            }
+            if self.punct_at(k, '*') {
+                segment = Some("*".to_string());
+                k += 1;
+                continue;
+            }
+            if self.punct_at(k, ',') || self.punct_at(k, '}') {
+                if let Some(name) = segment.take() {
+                    self.record_reexport(name, prefix, k);
+                }
+                prefix.truncate(depth_at_entry);
+                if self.punct_at(k, '}') {
+                    return k + 1;
+                }
+                k += 1;
+                continue;
+            }
+            k += 1;
+        }
+        if let Some(name) = segment.take() {
+            self.record_reexport(name, prefix, end.saturating_sub(1).max(1));
+        }
+        prefix.truncate(depth_at_entry);
+        end
+    }
+
+    fn record_reexport(&mut self, name: String, prefix: &[String], near: usize) {
+        if name == "self" {
+            // `self` re-exports the module named by the prefix.
+            if let Some(last) = prefix.last() {
+                let line = self.tok_pos(near.min(self.len().saturating_sub(1))).0;
+                self.tree.reexports.push(ReExport {
+                    name: last.clone(),
+                    path: prefix[..prefix.len() - 1].join("::"),
+                    line,
+                });
+            }
+            return;
+        }
+        let line = self.tok_pos(near.min(self.len().saturating_sub(1))).0;
+        self.tree.reexports.push(ReExport {
+            name,
+            path: prefix.join("::"),
+            line,
+        });
+    }
+
+    /// Parses the `match` expression whose keyword sits at code index
+    /// `ci` and records it. Returns without recording when no arm block
+    /// is found (e.g. `match` inside an unparsable macro fragment).
+    fn parse_match(&mut self, ci: usize) {
+        let (line, col) = self.tok_pos(ci);
+        // Scrutinee: up to the first `{` at bracket depth 0.
+        let mut j = ci + 1;
+        while j < self.len() {
+            if self.punct_at(j, '{') {
+                break;
+            }
+            if self.punct_at(j, '(') || self.punct_at(j, '[') {
+                j = self.skip_balanced(j);
+                continue;
+            }
+            if self.punct_at(j, ';') || self.punct_at(j, '}') {
+                return; // not actually a match expression
+            }
+            j += 1;
+        }
+        if !self.punct_at(j, '{') {
+            return;
+        }
+        let scrutinee = (ci + 1, j);
+        let block_end = self.skip_balanced(j).saturating_sub(1); // index of `}`
+        let mut arms = Vec::new();
+        let mut k = j + 1;
+        while k < block_end {
+            // Skip leading attributes on the arm.
+            while self.punct_at(k, '#') && self.punct_at(k + 1, '[') {
+                k = self.skip_balanced(k + 1);
+            }
+            if k >= block_end {
+                break;
+            }
+            let pat_start = k;
+            let (pat_line, _) = self.tok_pos(k);
+            let mut has_guard = false;
+            let mut pat_end = k;
+            // Pattern (and optional guard) up to `=>` at depth 0.
+            while k < block_end {
+                if self.punct_at(k, '=') && self.punct_at(k + 1, '>') {
+                    break;
+                }
+                if self.punct_at(k, '(') || self.punct_at(k, '[') || self.punct_at(k, '{') {
+                    k = self.skip_balanced(k);
+                    continue;
+                }
+                if self.ident_at(k) && self.tok_text(k) == "if" && !has_guard {
+                    has_guard = true;
+                    pat_end = k;
+                }
+                k += 1;
+            }
+            if !has_guard {
+                pat_end = k;
+            }
+            if k >= block_end {
+                break;
+            }
+            k += 2; // past `=>`
+                    // Arm body: a braced block, or an expression up to `,` at
+                    // depth 0 (nested matches, calls, and blocks all ride on
+                    // bracket balancing).
+            if self.punct_at(k, '{') {
+                k = self.skip_balanced(k);
+                if self.punct_at(k, ',') {
+                    k += 1;
+                }
+            } else {
+                while k < block_end {
+                    if self.punct_at(k, ',') {
+                        k += 1;
+                        break;
+                    }
+                    if self.punct_at(k, '(') || self.punct_at(k, '[') || self.punct_at(k, '{') {
+                        k = self.skip_balanced(k);
+                        continue;
+                    }
+                    k += 1;
+                }
+            }
+            arms.push(MatchArm {
+                pattern: (pat_start, pat_end),
+                has_guard,
+                line: pat_line,
+            });
+        }
+        let in_test = self.tree.in_test(ci);
+        self.tree.matches.push(MatchExpr {
+            line,
+            col,
+            scrutinee,
+            arms,
+            in_test,
+        });
+    }
+}
+
+/// Whether a match arm's pattern is an unguarded catch-all: a lone `_`,
+/// or a lone lowercase/underscore-starting identifier binding (Rust
+/// style reserves CamelCase for variants, so `Uncoded => …` under a
+/// glob import is not mistaken for a binding).
+#[must_use]
+pub fn is_catch_all(tree: &ItemTree, arm: &MatchArm) -> bool {
+    if arm.has_guard {
+        return false;
+    }
+    let (s, e) = arm.pattern;
+    if e != s + 1 {
+        return false;
+    }
+    let t = tree.tok(s);
+    match t.kind {
+        TokenKind::Punct('_') => true,
+        TokenKind::Ident => {
+            let txt = &t.text;
+            txt == "_"
+                || txt
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_')
+        }
+        _ => false,
+    }
+}
+
+/// Enum names referenced by a match's arm patterns as `Name::…` paths,
+/// restricted to `registered` names. Returns them in registry order.
+#[must_use]
+pub fn arm_enum_refs(tree: &ItemTree, m: &MatchExpr, registered: &[&str]) -> Vec<String> {
+    let mut found = Vec::new();
+    for name in registered {
+        let mentioned = m.arms.iter().any(|arm| {
+            let (s, e) = arm.pattern;
+            (s..e).any(|ci| {
+                tree.tok(ci).kind == TokenKind::Ident
+                    && tree.tok(ci).text == *name
+                    && ci + 2 < e
+                    && is_punct(tree.tok(ci + 1), ':')
+                    && is_punct(tree.tok(ci + 2), ':')
+            })
+        });
+        if mentioned {
+            found.push((*name).to_string());
+        }
+    }
+    found
+}
+
+/// Variant names of `enum_name` matched by the arms (`Enum::Variant`
+/// occurrences anywhere in any pattern).
+#[must_use]
+pub fn arm_variants(tree: &ItemTree, m: &MatchExpr, enum_name: &str) -> Vec<String> {
+    let mut vars = Vec::new();
+    for arm in &m.arms {
+        let (s, e) = arm.pattern;
+        for ci in s..e {
+            if tree.tok(ci).kind == TokenKind::Ident
+                && tree.tok(ci).text == enum_name
+                && ci + 3 < e
+                && is_punct(tree.tok(ci + 1), ':')
+                && is_punct(tree.tok(ci + 2), ':')
+                && tree.tok(ci + 3).kind == TokenKind::Ident
+            {
+                let v = tree.tok(ci + 3).text.clone();
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+    }
+    vars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_enum_variants_with_payloads_and_attrs() {
+        let src = "pub enum EventKind {\n  JobArrival(JobSpec),\n  #[allow(dead_code)]\n  TaskComplete { job: u64, redo: bool },\n  BatchFlush,\n}";
+        let tree = parse(src);
+        assert_eq!(tree.enums.len(), 1);
+        assert_eq!(tree.enums[0].name, "EventKind");
+        assert_eq!(
+            tree.enums[0].variants,
+            vec!["JobArrival", "TaskComplete", "BatchFlush"]
+        );
+        assert!(tree.enums[0].is_pub);
+    }
+
+    #[test]
+    fn parses_generic_enum_and_where_clause() {
+        let src =
+            "enum Wrap<T: Clone, const N: usize> where T: Send {\n  One(T),\n  Many([T; N]),\n}";
+        let tree = parse(src);
+        assert_eq!(tree.enums[0].variants, vec!["One", "Many"]);
+    }
+
+    #[test]
+    fn parses_fn_signature_params_and_ret() {
+        let src = "pub fn f<T: Into<String>>(a: usize, xs: &[f64], t: T) -> Vec<f64> where T: Send { xs.to_vec() }";
+        let tree = parse(src);
+        assert_eq!(tree.fns.len(), 1);
+        let f = &tree.fns[0];
+        assert_eq!(f.name, "f");
+        assert!(f.is_pub_unrestricted);
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[1], ("xs".to_string(), "& [ f64 ]".to_string()));
+        assert_eq!(f.ret.as_deref(), Some("Vec < f64 >"));
+    }
+
+    #[test]
+    fn qualifies_methods_by_module_and_impl() {
+        let src = "mod engine {\n  pub struct Engine;\n  impl Engine {\n    pub(crate) fn run(&self) {}\n  }\n  impl Drop for Engine {\n    fn drop(&mut self) {}\n  }\n}";
+        let tree = parse(src);
+        let names: Vec<&str> = tree.fns.iter().map(|f| f.qualified.as_str()).collect();
+        assert!(names.contains(&"engine::Engine::run"), "{names:?}");
+        assert!(names.contains(&"engine::Engine::drop"), "{names:?}");
+        let run = tree.fns.iter().find(|f| f.name == "run").expect("run");
+        assert!(run.is_pub && !run.is_pub_unrestricted);
+    }
+
+    #[test]
+    fn parses_struct_fields_with_generic_types() {
+        let src = "pub struct S {\n  pub map: BTreeMap<u64, Vec<f64>>,\n  speeds: Vec<f64>,\n}";
+        let tree = parse(src);
+        assert_eq!(tree.structs.len(), 1);
+        let s = &tree.structs[0];
+        assert_eq!(s.fields.len(), 2);
+        assert!(s.fields[0].1.contains("BTreeMap"));
+        assert_eq!(s.fields[1].0, "speeds");
+    }
+
+    #[test]
+    fn match_arms_guards_and_catch_all() {
+        let src = "fn f(k: EventKind) -> u32 {\n  match k {\n    EventKind::JobArrival(s) if s.ok() => 1,\n    EventKind::BatchFlush => 2,\n    _ => 0,\n  }\n}";
+        let tree = parse(src);
+        assert_eq!(tree.matches.len(), 1);
+        let m = &tree.matches[0];
+        assert_eq!(m.arms.len(), 3);
+        assert!(m.arms[0].has_guard);
+        assert!(!is_catch_all(&tree, &m.arms[0]));
+        assert!(is_catch_all(&tree, &m.arms[2]));
+        assert_eq!(arm_enum_refs(&tree, m, &["EventKind"]), vec!["EventKind"]);
+        assert_eq!(
+            arm_variants(&tree, m, "EventKind"),
+            vec!["JobArrival", "BatchFlush"]
+        );
+    }
+
+    #[test]
+    fn nested_matches_are_both_found() {
+        let src = "fn f(a: u8, b: u8) -> u8 {\n  match a {\n    0 => match b { 1 => 1, other => other },\n    x => x,\n  }\n}";
+        let tree = parse(src);
+        assert_eq!(tree.matches.len(), 2);
+        // The inner match's binding arm is a catch-all; the `1` literal
+        // arm is not.
+        let inner = &tree.matches[1];
+        assert_eq!(inner.arms.len(), 2);
+        assert!(!is_catch_all(&tree, &inner.arms[0]));
+        assert!(is_catch_all(&tree, &inner.arms[1]));
+    }
+
+    #[test]
+    fn uppercase_lone_ident_is_not_a_catch_all() {
+        // Unit variants under a glob import look like lone idents;
+        // CamelCase exempts them from catch-all classification.
+        let src = "fn f(m: SchedulerMode) -> u8 { match m { Uncoded => 0, rest => 1 } }";
+        let tree = parse(src);
+        let m = &tree.matches[0];
+        assert!(!is_catch_all(&tree, &m.arms[0]));
+        assert!(is_catch_all(&tree, &m.arms[1]));
+    }
+
+    #[test]
+    fn match_scrutinee_with_closure_and_method_chain() {
+        let src = "fn f(xs: &[u8]) -> usize {\n  match xs.iter().map(|x| { *x as usize }).max() {\n    Some(n) => n,\n    None => 0,\n  }\n}";
+        let tree = parse(src);
+        assert_eq!(tree.matches.len(), 1);
+        assert_eq!(tree.matches[0].arms.len(), 2);
+    }
+
+    #[test]
+    fn arm_bodies_with_blocks_and_trailing_exprs() {
+        let src = "fn f(k: u8) -> u8 {\n  match k {\n    0 => { let x = 1; x },\n    1 => (2, 3).0,\n    _ => 9,\n  }\n}";
+        let tree = parse(src);
+        assert_eq!(tree.matches[0].arms.len(), 3);
+    }
+
+    #[test]
+    fn test_regions_mark_matches_and_fns() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t(k: u8) -> u8 { match k { _ => 0 } }\n}";
+        let tree = parse(src);
+        assert!(tree.matches[0].in_test);
+        let t = tree.fns.iter().find(|f| f.name == "t").expect("t parsed");
+        assert!(t.in_test);
+        let live = tree.fns.iter().find(|f| f.name == "live").expect("live");
+        assert!(!live.in_test);
+    }
+
+    #[test]
+    fn pub_use_reexports_parse_leaves() {
+        let src = "pub use s2c2_serve::{ServeConfig, engine::ServiceEngine as Engine};\npub use s2c2_telemetry::TraceBuffer;\nuse std::fmt;\n";
+        let tree = parse(src);
+        let names: Vec<&str> = tree.reexports.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"ServeConfig"), "{names:?}");
+        assert!(names.contains(&"ServiceEngine"), "{names:?}");
+        assert!(names.contains(&"TraceBuffer"), "{names:?}");
+        // Plain `use` is not a re-export.
+        assert!(!names.contains(&"fmt"));
+    }
+
+    #[test]
+    fn macro_bodies_do_not_derail_item_parsing() {
+        let src = "fn f() {\n  println!(\"{} {}\", 1, vec![1, 2][0]);\n  write!(out, \"{{\\\"a\\\": {}}}\", 3).ok();\n}\nfn g() {}\n";
+        let tree = parse(src);
+        assert_eq!(tree.fns.len(), 2);
+    }
+
+    #[test]
+    fn trait_default_methods_are_recorded() {
+        let src = "pub trait Sink {\n  fn record(&mut self, e: u8);\n  fn record_with(&mut self, f: impl FnOnce() -> u8) { self.record(f()) }\n}";
+        let tree = parse(src);
+        let names: Vec<&str> = tree.fns.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"record"));
+        assert!(names.contains(&"record_with"));
+        let rw = tree
+            .fns
+            .iter()
+            .find(|f| f.name == "record_with")
+            .expect("rw");
+        assert!(rw.body.1 > rw.body.0, "default body captured");
+        assert_eq!(rw.impl_type.as_deref(), Some("Sink"));
+    }
+}

@@ -12,23 +12,37 @@
 //! * [`lexer`] — a hand-rolled Rust lexer (nested block comments, raw
 //!   strings with `#` guards, char-vs-lifetime disambiguation) so rules
 //!   match tokens, never text inside strings or comments;
-//! * [`rules`] — the rule engine: per-rule path scoping, inline
+//! * [`rules`] — the token-rule engine: per-rule path scoping, inline
 //!   `// s2c2-allow: <rule> -- <justification>` waivers, and the five
-//!   workspace rules (`no-wall-clock`, `no-unordered-iteration`,
+//!   token rules (`no-wall-clock`, `no-unordered-iteration`,
 //!   `no-partial-float-order`, `no-panic-paths`, `unsafe-audit`);
+//! * [`item_tree`] — a tolerant recursive-descent parser producing the
+//!   per-file item tree (modules, fns, enums, structs, impls, matches,
+//!   pub items, re-exports) the semantic rules walk;
+//! * [`call_graph`] — the workspace call graph with may-panic
+//!   propagation from serve's public entry points;
+//! * [`semantic`] — the workspace-level rules (`exhaustive-event-match`,
+//!   `panic-reachability`, `unordered-float-reduction`, `stale-waiver`,
+//!   `api-surface-audit`);
 //! * [`scan`] — deterministic workspace walking;
-//! * [`report`] — rustc-style diagnostics, the summary table, and the
-//!   `results/unsafe_audit.json` inventory.
+//! * [`report`] — rustc-style diagnostics, the summary table, JSON
+//!   diagnostics, and the `results/unsafe_audit.json` /
+//!   `results/api_surface.json` inventories.
 //!
 //! Run it as `cargo run -p s2c2-analysis -- check` (non-zero exit on
-//! findings) or `-- report` (summary table); CI gates on `check`.
+//! findings; `--json` for machine-readable diagnostics) or `-- report`
+//! (summary table plus call-graph stats); CI gates on `check`.
 
 #![warn(missing_docs)]
 
+pub mod call_graph;
+pub mod item_tree;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod semantic;
 
-pub use rules::{analyze_source, FileAnalysis, Finding, Severity, UnsafeSite};
+pub use rules::{analyze_source, FileAnalysis, Finding, Severity, UnsafeSite, WaiverInfo};
 pub use scan::{scan_workspace, ScanResult};
+pub use semantic::{analyze_workspace_sources, SemanticStats, WorkspaceAnalysis};

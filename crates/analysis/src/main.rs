@@ -1,6 +1,8 @@
 //! CLI driver: `check` gates on deny findings, `report` summarizes.
 
-use s2c2_analysis::report::{render_finding, render_report, unsafe_audit_json};
+use s2c2_analysis::report::{
+    api_surface_json, findings_json, render_finding, render_report, unsafe_audit_json,
+};
 use s2c2_analysis::rules::Severity;
 use s2c2_analysis::scan::scan_workspace;
 use std::collections::BTreeMap;
@@ -11,15 +13,16 @@ const USAGE: &str = "\
 s2c2-analysis — workspace linter for determinism, panic-freedom, and float ordering
 
 USAGE:
-    cargo run -p s2c2-analysis -- check [--warnings] [--root <dir>]
+    cargo run -p s2c2-analysis -- check [--warnings] [--json] [--root <dir>]
     cargo run -p s2c2-analysis -- report [--root <dir>]
 
 SUBCOMMANDS:
     check     print findings rustc-style; exit 1 if any unwaived deny finding
-    report    print the rule x crate summary table and waiver tallies
+    report    print the rule x crate summary table, call-graph stats, and waiver tallies
 
 OPTIONS:
     --warnings    in check, list advisory (warn) findings individually
+    --json        in check, emit machine-readable diagnostics on stdout instead
     --root <dir>  workspace root to scan (default: auto-detected)
 ";
 
@@ -28,6 +31,7 @@ fn main() -> ExitCode {
     let mut cmd: Option<&str> = None;
     let mut root: Option<PathBuf> = None;
     let mut show_warnings = false;
+    let mut json = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -36,6 +40,7 @@ fn main() -> ExitCode {
                 cmd = Some(if a == "check" { "check" } else { "report" });
             }
             "--warnings" => show_warnings = true,
+            "--json" => json = true,
             "--root" => match it.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -67,14 +72,16 @@ fn main() -> ExitCode {
         }
     };
 
-    // The inventory is refreshed by both subcommands so it can never go
-    // stale relative to the tree that was checked.
+    // The inventories are refreshed by both subcommands so they can
+    // never go stale relative to the tree that was checked.
     let results_dir = root.join("results");
-    let inventory = unsafe_audit_json(&scan.unsafe_sites);
+    let unsafe_inventory = unsafe_audit_json(&scan.unsafe_sites);
+    let api_inventory = api_surface_json(&scan.api);
     if let Err(e) = std::fs::create_dir_all(&results_dir)
-        .and_then(|()| std::fs::write(results_dir.join("unsafe_audit.json"), inventory))
+        .and_then(|()| std::fs::write(results_dir.join("unsafe_audit.json"), unsafe_inventory))
+        .and_then(|()| std::fs::write(results_dir.join("api_surface.json"), api_inventory))
     {
-        eprintln!("error: writing results/unsafe_audit.json: {e}");
+        eprintln!("error: writing results inventories: {e}");
         return ExitCode::from(2);
     }
 
@@ -82,6 +89,18 @@ fn main() -> ExitCode {
         "report" => {
             print!("{}", render_report(&scan));
             ExitCode::SUCCESS
+        }
+        _ if json => {
+            print!("{}", findings_json(&scan));
+            let deny = scan
+                .findings
+                .iter()
+                .any(|f| f.severity == Severity::Deny && !f.waived);
+            if deny {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         _ => run_check(&scan, show_warnings),
     }

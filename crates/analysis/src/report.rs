@@ -1,8 +1,10 @@
 //! Diagnostic rendering: rustc-style findings, the `report` summary
-//! table, and the machine-readable unsafe-audit inventory.
+//! table, machine-readable diagnostics for `check --json`, and the
+//! unsafe-audit / API-surface inventories.
 
 use crate::rules::{rules, Finding, Severity, UnsafeSite};
 use crate::scan::ScanResult;
+use crate::semantic::ApiSurface;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -109,6 +111,31 @@ pub fn render_report(scan: &ScanResult) -> String {
         with_safety
     );
 
+    let st = &scan.stats;
+    let _ = writeln!(out);
+    let _ = writeln!(out, "call graph:");
+    let _ = writeln!(
+        out,
+        "  {} fn(s), {} edge(s), {} serve entry point(s)",
+        st.graph_fns, st.graph_edges, st.entry_points
+    );
+    let _ = writeln!(
+        out,
+        "  {} panic site(s), {} reachable from an entry point",
+        st.panic_sites, st.reachable_panic_sites
+    );
+    let _ = writeln!(
+        out,
+        "  {} registered enum(s), {} non-test match(es) over them",
+        st.registered_enums, st.matches_over_registered
+    );
+    let _ = writeln!(
+        out,
+        "  {} pub item(s), {} unreferenced, {} re-export(s) checked \
+         (results/api_surface.json)",
+        st.pub_items, st.unreferenced_pub_items, st.reexports
+    );
+
     let _ = writeln!(out);
     let _ = writeln!(out, "rule catalog:");
     for rule in rules() {
@@ -159,6 +186,119 @@ pub fn unsafe_audit_json(sites: &[UnsafeSite]) -> String {
             s.col,
             s.has_safety,
             json_escape(&s.head)
+        );
+    }
+    if !sorted.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// The machine-readable API-surface inventory, deterministic field and
+/// row order (items by file/line, re-exports by file/line).
+#[must_use]
+pub fn api_surface_json(api: &ApiSurface) -> String {
+    let mut items: Vec<_> = api.items.iter().collect();
+    items.sort_by(|a, b| (&a.file, a.line, &a.name).cmp(&(&b.file, b.line, &b.name)));
+    let mut reexports: Vec<_> = api.reexports.iter().collect();
+    reexports.sort_by(|a, b| (&a.file, a.line, &a.name).cmp(&(&b.file, b.line, &b.name)));
+
+    let mut out =
+        String::from("{\n  \"tool\": \"s2c2-analysis\",\n  \"rule\": \"api-surface-audit\",\n");
+    let _ = writeln!(out, "  \"pub_items\": {},", items.len());
+    let _ = writeln!(
+        out,
+        "  \"unreferenced\": {},",
+        items.iter().filter(|i| !i.referenced).count()
+    );
+    out.push_str("  \"items\": [");
+    for (i, it) in items.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"name\": \"{}\", \"kind\": \"{}\", \"file\": \"{}\", \"line\": {}, \"referenced\": {}}}",
+            json_escape(&it.name),
+            it.kind,
+            json_escape(&it.file),
+            it.line,
+            it.referenced
+        );
+    }
+    if !items.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"reexports\": [");
+    for (i, re) in reexports.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"name\": \"{}\", \"path\": \"{}\", \"file\": \"{}\", \"line\": {}, \"resolved\": {}}}",
+            json_escape(&re.name),
+            json_escape(&re.path),
+            json_escape(&re.file),
+            re.line,
+            re.resolved
+        );
+    }
+    if !reexports.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Machine-readable diagnostics for `check --json`: summary counts,
+/// call-graph stats, and every finding (waived included) in
+/// deterministic order.
+#[must_use]
+pub fn findings_json(scan: &ScanResult) -> String {
+    let mut sorted: Vec<&Finding> = scan.findings.iter().collect();
+    sorted.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    let deny = sorted
+        .iter()
+        .filter(|f| f.severity == Severity::Deny && !f.waived)
+        .count();
+    let warn = sorted
+        .iter()
+        .filter(|f| f.severity == Severity::Warn && !f.waived)
+        .count();
+    let waived = sorted.iter().filter(|f| f.waived).count();
+
+    let mut out = String::from("{\n  \"tool\": \"s2c2-analysis\",\n");
+    let _ = writeln!(out, "  \"files\": {},", scan.files);
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{\"deny\": {deny}, \"warn\": {warn}, \"waived\": {waived}}},"
+    );
+    let st = &scan.stats;
+    let _ = writeln!(
+        out,
+        "  \"call_graph\": {{\"fns\": {}, \"edges\": {}, \"entry_points\": {}, \
+         \"panic_sites\": {}, \"reachable_panic_sites\": {}}},",
+        st.graph_fns, st.graph_edges, st.entry_points, st.panic_sites, st.reachable_panic_sites
+    );
+    out.push_str("  \"findings\": [");
+    for (i, f) in sorted.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let severity = match f.severity {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        };
+        let justification = match &f.justification {
+            Some(j) => format!(", \"justification\": \"{}\"", json_escape(j)),
+            None => String::new(),
+        };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"rule\": \"{}\", \"severity\": \"{severity}\", \"file\": \"{}\", \
+             \"line\": {}, \"col\": {}, \"waived\": {}, \"message\": \"{}\"{justification}}}",
+            f.rule,
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            f.waived,
+            json_escape(&f.message)
         );
     }
     if !sorted.is_empty() {
@@ -221,5 +361,70 @@ mod tests {
         let j = unsafe_audit_json(&[]);
         assert!(j.contains("\"total_sites\": 0"));
         assert!(j.contains("\"sites\": []"));
+    }
+
+    #[test]
+    fn api_surface_json_sorts_and_counts() {
+        use crate::semantic::{ApiItem, ApiReExport};
+        let api = ApiSurface {
+            items: vec![
+                ApiItem {
+                    name: "zeta".to_string(),
+                    kind: "fn",
+                    file: "b.rs".to_string(),
+                    line: 3,
+                    referenced: false,
+                },
+                ApiItem {
+                    name: "alpha".to_string(),
+                    kind: "struct",
+                    file: "a.rs".to_string(),
+                    line: 1,
+                    referenced: true,
+                },
+            ],
+            reexports: vec![ApiReExport {
+                name: "alpha".to_string(),
+                path: "crate::a".to_string(),
+                file: "lib.rs".to_string(),
+                line: 2,
+                resolved: true,
+            }],
+        };
+        let j = api_surface_json(&api);
+        assert!(j.contains("\"pub_items\": 2"));
+        assert!(j.contains("\"unreferenced\": 1"));
+        let a = j.find("a.rs").expect("a.rs listed");
+        let b = j.find("b.rs").expect("b.rs listed");
+        assert!(a < b, "items sorted by file");
+        assert!(j.contains("\"resolved\": true"));
+    }
+
+    #[test]
+    fn findings_json_has_summary_and_sorted_findings() {
+        let mk = |file: &str, line: u32, waived: bool| Finding {
+            rule: "no-wall-clock",
+            severity: Severity::Deny,
+            message: "msg \"quoted\"".to_string(),
+            help: "h",
+            file: file.to_string(),
+            line,
+            col: 1,
+            waived,
+            justification: waived.then(|| "why".to_string()),
+        };
+        let scan = ScanResult {
+            findings: vec![mk("b.rs", 1, false), mk("a.rs", 2, true)],
+            files: 2,
+            ..ScanResult::default()
+        };
+        let j = findings_json(&scan);
+        assert!(j.contains("\"summary\": {\"deny\": 1, \"warn\": 0, \"waived\": 1}"));
+        assert!(j.contains("\"call_graph\""));
+        assert!(j.contains("msg \\\"quoted\\\""));
+        assert!(j.contains("\"justification\": \"why\""));
+        let a = j.find("a.rs").expect("a.rs listed");
+        let b = j.find("b.rs").expect("b.rs listed");
+        assert!(a < b, "findings sorted by file");
     }
 }

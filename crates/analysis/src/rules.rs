@@ -162,6 +162,57 @@ pub fn rules() -> &'static [RuleSpec] {
             exclude: &[],
             scan_tests: true,
         },
+        // --- Semantic rules (implemented in crate::semantic over the
+        // item tree and call graph; listed here so waivers naming them
+        // parse and `report` documents them). Their scoping lives in
+        // crate::semantic, so include/exclude here are documentation.
+        RuleSpec {
+            name: "exhaustive-event-match",
+            summary: "matches over registered engine enums list every variant, no catch-alls",
+            help: "list every variant explicitly so adding one forces this site to be revisited",
+            include: &[
+                "crates/serve/src/",
+                "crates/telemetry/src/",
+                "crates/core/src/",
+                "crates/bench/src/",
+            ],
+            exclude: &[],
+            scan_tests: false,
+        },
+        RuleSpec {
+            name: "panic-reachability",
+            summary: "no call path from a serve public entry point reaches a panic site",
+            help: "return a typed error along the path, or waive at the site naming the \
+                   invariant that makes the panic unreachable",
+            include: &["crates/", "src/"],
+            exclude: &["crates/analysis/", "vendor/"],
+            scan_tests: false,
+        },
+        RuleSpec {
+            name: "unordered-float-reduction",
+            summary: "f64 sum/product/fold chains must have provably order-stable sources",
+            help: "root the chain in a slice/Vec/BTree (or annotate the binding) so \
+                   order-stability is provable",
+            include: &["crates/", "src/"],
+            exclude: &["vendor/"],
+            scan_tests: false,
+        },
+        RuleSpec {
+            name: "stale-waiver",
+            summary: "waivers whose covered lines no longer trigger their rule are findings",
+            help: "delete the waiver; resurrect it only with a live finding to justify",
+            include: &["crates/", "src/", "examples/", "tests/"],
+            exclude: &[],
+            scan_tests: true,
+        },
+        RuleSpec {
+            name: "api-surface-audit",
+            summary: "advisory: unreferenced pub items and unresolved facade re-exports",
+            help: "re-export from the facade, demote to pub(crate), or delete",
+            include: &["crates/", "src/"],
+            exclude: &["vendor/"],
+            scan_tests: false,
+        },
     ]
 }
 
@@ -178,25 +229,33 @@ pub struct FileAnalysis {
     pub findings: Vec<Finding>,
     /// Every `unsafe` occurrence, for the audit inventory.
     pub unsafe_sites: Vec<UnsafeSite>,
+    /// Parsed waivers with their coverage spans and usage flags. The
+    /// semantic pass marks further usage and turns the still-unused
+    /// ones into `stale-waiver` findings.
+    pub waivers: Vec<WaiverInfo>,
 }
 
 /// A parsed `// s2c2-allow: <rule> -- <justification>` comment.
-struct Waiver {
-    rule: String,
-    justification: String,
+#[derive(Debug, Clone)]
+pub struct WaiverInfo {
+    /// Rule the waiver names.
+    pub rule: String,
+    /// Mandatory justification text.
+    pub justification: String,
     /// Line the comment sits on.
-    line: u32,
+    pub line: u32,
     /// Last line the waiver covers (its own line, or the next code line
     /// when the comment stands alone above the code).
-    covers_to: u32,
-    used: bool,
+    pub covers_to: u32,
+    /// Whether any finding was silenced by this waiver.
+    pub used: bool,
 }
 
 const WAIVER_PREFIX: &str = "s2c2-allow:";
 
 /// Extracts waivers from comment tokens; malformed ones become
 /// `waiver-syntax` findings.
-fn parse_waivers(tokens: &[Token], file: &str, findings: &mut Vec<Finding>) -> Vec<Waiver> {
+fn parse_waivers(tokens: &[Token], file: &str, findings: &mut Vec<Finding>) -> Vec<WaiverInfo> {
     let mut waivers = Vec::new();
     for (i, tok) in tokens.iter().enumerate() {
         if !tok.is_comment() {
@@ -251,7 +310,7 @@ fn parse_waivers(tokens: &[Token], file: &str, findings: &mut Vec<Finding>) -> V
                 .min()
                 .unwrap_or(tok.line)
         };
-        waivers.push(Waiver {
+        waivers.push(WaiverInfo {
             rule: rule_part.to_string(),
             justification: justification.to_string(),
             line: tok.line,
@@ -324,6 +383,7 @@ pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
     FileAnalysis {
         findings,
         unsafe_sites,
+        waivers,
     }
 }
 

@@ -5,7 +5,8 @@
 //! byte-identical across runs — the linter holds itself to the
 //! invariant it enforces.
 
-use crate::rules::{analyze_source, Finding, UnsafeSite};
+use crate::rules::{Finding, UnsafeSite};
+use crate::semantic::{analyze_workspace_sources, ApiSurface, SemanticStats};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -23,12 +24,16 @@ const SKIP_PREFIXES: &[&str] = &["crates/analysis/tests/fixtures"];
 /// Combined result of scanning a workspace tree.
 #[derive(Debug, Default)]
 pub struct ScanResult {
-    /// Findings across all files, waived included.
+    /// Findings across all files (token and semantic), waived included.
     pub findings: Vec<Finding>,
     /// Every `unsafe` site, for the audit inventory.
     pub unsafe_sites: Vec<UnsafeSite>,
     /// Number of files analyzed.
     pub files: usize,
+    /// Call-graph and audit statistics from the semantic pass.
+    pub stats: SemanticStats,
+    /// API-surface inventory from the semantic pass.
+    pub api: ApiSurface,
 }
 
 /// Collects all `.rs` files under the scan roots, workspace-relative,
@@ -83,15 +88,20 @@ pub fn path_str(p: &Path) -> String {
         .join("/")
 }
 
-/// Analyzes every `.rs` file under `root`.
+/// Analyzes every `.rs` file under `root`: the token pass plus the
+/// workspace-level semantic pass.
 pub fn scan_workspace(root: &Path) -> io::Result<ScanResult> {
-    let mut result = ScanResult::default();
+    let mut sources = Vec::new();
     for rel in collect_files(root)? {
         let src = fs::read_to_string(root.join(&rel))?;
-        let analysis = analyze_source(&path_str(&rel), &src);
-        result.findings.extend(analysis.findings);
-        result.unsafe_sites.extend(analysis.unsafe_sites);
-        result.files += 1;
+        sources.push((path_str(&rel), src));
     }
-    Ok(result)
+    let analysis = analyze_workspace_sources(&sources);
+    Ok(ScanResult {
+        findings: analysis.findings,
+        unsafe_sites: analysis.unsafe_sites,
+        files: analysis.files,
+        stats: analysis.stats,
+        api: analysis.api,
+    })
 }

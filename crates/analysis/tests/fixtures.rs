@@ -8,10 +8,29 @@
 //! exactly as in production.
 
 use s2c2_analysis::rules::{analyze_source, Severity, WAIVER_SYNTAX};
+use s2c2_analysis::semantic::analyze_workspace_sources;
+use s2c2_analysis::WorkspaceAnalysis;
 
 /// The strictest synthetic path: every rule applies to an engine
 /// decision file.
 const ENGINE_PATH: &str = "crates/serve/src/engine/core.rs";
+
+/// Runs the full workspace pass over synthetic `(path, source)` pairs.
+fn ws(files: &[(&str, &str)]) -> WorkspaceAnalysis {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| ((*p).to_string(), (*s).to_string()))
+        .collect();
+    analyze_workspace_sources(&owned)
+}
+
+fn ws_active_deny(out: &WorkspaceAnalysis, rule: &str) -> Vec<(String, u32, String)> {
+    out.findings
+        .iter()
+        .filter(|f| f.rule == rule && f.severity == Severity::Deny && !f.waived)
+        .map(|f| (f.file.clone(), f.line, f.message.clone()))
+        .collect()
+}
 
 fn active_deny(path: &str, src: &str) -> Vec<(String, u32, String)> {
     analyze_source(path, src)
@@ -170,6 +189,134 @@ fn lexer_edge_cases_produce_zero_findings() {
     );
 }
 
+// --- semantic fixtures: item tree + call graph rules ---------------------
+
+#[test]
+fn semantic_catch_all_over_registered_enum_fires() {
+    let out = ws(&[(
+        "crates/serve/src/event.rs",
+        include_str!("fixtures/bad_event_catch_all.rs"),
+    )]);
+    let hits = ws_active_deny(&out, "exhaustive-event-match");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].2.contains("EventKind"), "{}", hits[0].2);
+}
+
+#[test]
+fn semantic_deleted_variant_arm_fires() {
+    // The acceptance case: deleting a variant's arm (no catch-all left
+    // behind) is caught by variant-coverage alone.
+    let out = ws(&[(
+        "crates/serve/src/event.rs",
+        include_str!("fixtures/bad_event_missing_variant.rs"),
+    )]);
+    let hits = ws_active_deny(&out, "exhaustive-event-match");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(
+        hits[0].2.contains("BatchFlush"),
+        "missing variant named: {}",
+        hits[0].2
+    );
+}
+
+#[test]
+fn semantic_panic_reachability_traces_cross_crate() {
+    let entry = include_str!("fixtures/entry_serve.rs");
+    let helper = include_str!("fixtures/bad_panic_reach.rs");
+    let out = ws(&[
+        ("crates/serve/src/lib.rs", entry),
+        ("crates/coding/src/decode.rs", helper),
+    ]);
+    let hits = ws_active_deny(&out, "panic-reachability");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, "crates/coding/src/decode.rs");
+    assert!(
+        hits[0].2.contains("handle_request")
+            && hits[0].2.contains("->")
+            && hits[0].2.contains("inner_step"),
+        "path rendered: {}",
+        hits[0].2
+    );
+    // Without the serve entry the same helper is unreachable: clean.
+    let alone = ws(&[("crates/coding/src/decode.rs", helper)]);
+    assert!(ws_active_deny(&alone, "panic-reachability").is_empty());
+}
+
+#[test]
+fn semantic_hash_rooted_reduction_fires_outside_hashmap_ban_scope() {
+    let out = ws(&[(
+        "crates/cluster/src/weights.rs",
+        include_str!("fixtures/bad_float_reduction.rs"),
+    )]);
+    // The token rule does not apply in crates/cluster — only the
+    // semantic reduction rule catches this.
+    assert!(ws_active_deny(&out, "no-unordered-iteration").is_empty());
+    let hits = ws_active_deny(&out, "unordered-float-reduction");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+}
+
+#[test]
+fn semantic_stale_waiver_fires() {
+    let out = ws(&[(
+        "crates/serve/src/engine/core.rs",
+        include_str!("fixtures/bad_stale_waiver.rs"),
+    )]);
+    let hits = ws_active_deny(&out, "stale-waiver");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(
+        hits[0].2.contains("no-unordered-iteration"),
+        "stale rule named: {}",
+        hits[0].2
+    );
+}
+
+#[test]
+fn semantic_waivers_silence_and_are_not_stale() {
+    let out = ws(&[(
+        "crates/serve/src/shims.rs",
+        include_str!("fixtures/waived_semantic.rs"),
+    )]);
+    let active: Vec<_> = out
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny && !f.waived)
+        .collect();
+    assert!(active.is_empty(), "expected zero active: {active:?}");
+    let waived: Vec<_> = out.findings.iter().filter(|f| f.waived).collect();
+    assert_eq!(waived.len(), 4, "{waived:?}");
+    assert!(waived.iter().all(|f| f
+        .justification
+        .as_deref()
+        .is_some_and(|j| j.contains("fixture"))));
+}
+
+#[test]
+fn semantic_edge_cases_produce_zero_findings() {
+    let out = ws(&[(
+        ENGINE_PATH,
+        include_str!("fixtures/clean_semantic_edges.rs"),
+    )]);
+    let semantic: Vec<_> = out
+        .findings
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.rule,
+                "exhaustive-event-match"
+                    | "panic-reachability"
+                    | "unordered-float-reduction"
+                    | "stale-waiver"
+            )
+        })
+        .collect();
+    assert!(
+        semantic.is_empty(),
+        "false positives in semantic edge cases: {semantic:?}"
+    );
+    // All four matches over EventKind were seen and judged exhaustive.
+    assert!(out.stats.matches_over_registered >= 3);
+}
+
 // --- the tree itself ------------------------------------------------------
 
 #[test]
@@ -199,4 +346,17 @@ fn live_workspace_scans_clean() {
         .findings
         .iter()
         .all(|f| !f.file.contains("tests/fixtures")));
+    // The semantic pass ran over the live tree: the call graph is
+    // populated, serve has entry points, and every registered enum
+    // definition was found.
+    assert!(scan.stats.graph_fns > 100, "{:?}", scan.stats);
+    assert!(scan.stats.entry_points > 10, "{:?}", scan.stats);
+    assert_eq!(scan.stats.registered_enums, 7, "{:?}", scan.stats);
+    assert!(scan.stats.matches_over_registered > 10, "{:?}", scan.stats);
+    // Waiver hygiene: every waiver in the tree covers a live finding
+    // (stale-waiver would otherwise have denied above).
+    assert!(scan
+        .findings
+        .iter()
+        .all(|f| f.rule != "stale-waiver" || f.waived));
 }

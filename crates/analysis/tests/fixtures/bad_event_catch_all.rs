@@ -1,0 +1,15 @@
+//! Semantic fixture: a wildcard arm over a registered engine enum.
+//! `exhaustive-event-match` must fire at the `_` arm.
+
+pub enum EventKind {
+    JobArrival,
+    TaskComplete,
+    BatchFlush,
+}
+
+pub fn interpret(k: EventKind) -> u32 {
+    match k {
+        EventKind::JobArrival => 1,
+        _ => 0,
+    }
+}

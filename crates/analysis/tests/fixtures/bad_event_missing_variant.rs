@@ -1,0 +1,16 @@
+//! Semantic fixture: a deleted variant arm. No catch-all, but the
+//! `BatchFlush` arm is gone — `exhaustive-event-match` must report the
+//! missing variant without ever invoking rustc.
+
+pub enum EventKind {
+    JobArrival,
+    TaskComplete,
+    BatchFlush,
+}
+
+pub fn interpret(k: EventKind) -> u32 {
+    match k {
+        EventKind::JobArrival => 1,
+        EventKind::TaskComplete => 2,
+    }
+}

@@ -1,0 +1,9 @@
+//! Semantic fixture: an f64 reduction whose chain roots in a hash
+//! container — `unordered-float-reduction` must deny it even in crates
+//! where HashMap itself is allowed.
+
+use std::collections::HashMap;
+
+pub fn total(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}

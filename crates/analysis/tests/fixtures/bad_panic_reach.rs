@@ -1,0 +1,11 @@
+//! Semantic fixture: a helper-crate panic site. Unreachable on its own;
+//! paired with `entry_serve.rs` the call graph must trace
+//! entry → decode_block → inner_step and report the `.unwrap()`.
+
+pub fn decode_block(x: usize) -> usize {
+    inner_step(x)
+}
+
+fn inner_step(x: usize) -> usize {
+    x.checked_add(1).unwrap()
+}

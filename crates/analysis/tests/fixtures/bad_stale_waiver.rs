@@ -1,0 +1,7 @@
+//! Semantic fixture: a waiver whose hazard is gone. The `HashMap` it
+//! once covered was deleted, so `stale-waiver` must deny the comment.
+
+// s2c2-allow: no-unordered-iteration -- fixture: covered a HashMap that no longer exists
+pub fn nothing_hazardous_here() -> u32 {
+    7
+}

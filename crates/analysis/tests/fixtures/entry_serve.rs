@@ -1,0 +1,6 @@
+//! Semantic fixture: a serve-side public entry point, the root set for
+//! `panic-reachability` when paired with `bad_panic_reach.rs`.
+
+pub fn handle_request(x: usize) -> usize {
+    decode_block(x)
+}

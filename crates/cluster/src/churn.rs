@@ -123,6 +123,7 @@ impl ChurnProcess {
             let pick = (0..self.up.len())
                 .filter(|&w| !self.up[w])
                 .min_by_key(|&w| (self.since[w], w))
+                // s2c2-allow: panic-reachability -- up_count < min_up <= n implies a down worker exists
                 .expect("min_up <= n guarantees a candidate");
             self.up[pick] = true;
             self.since[pick] = epoch;

@@ -145,6 +145,7 @@ where
                             }
                         }
                     })
+                    // s2c2-allow: panic-reachability -- OS thread-spawn failure at startup has no recovery path
                     .expect("failed to spawn worker thread"),
             );
             senders.push(tx);
@@ -189,6 +190,7 @@ where
         let cancel = Arc::new(AtomicBool::new(false));
         self.cancels
             .lock()
+            // s2c2-allow: panic-reachability -- lock holders never panic, so the mutex cannot poison
             .expect("cancel registry poisoned")
             .insert(task_id, Arc::clone(&cancel));
         self.senders[worker]
@@ -197,6 +199,7 @@ where
                 cancel,
                 payload,
             })
+            // s2c2-allow: panic-reachability -- workers only exit after their sender is dropped at shutdown
             .expect("worker thread has terminated");
         task_id
     }
@@ -211,6 +214,7 @@ where
         match self
             .cancels
             .lock()
+            // s2c2-allow: panic-reachability -- lock holders never panic, so the mutex cannot poison
             .expect("cancel registry poisoned")
             .remove(&task_id)
         {
@@ -226,6 +230,7 @@ where
     fn retire(&self, task_id: u64) {
         self.cancels
             .lock()
+            // s2c2-allow: panic-reachability -- lock holders never panic, so the mutex cannot poison
             .expect("cancel registry poisoned")
             .remove(&task_id);
     }
@@ -251,6 +256,7 @@ where
     /// Panics if all workers have terminated and the channel drained.
     #[must_use]
     pub fn recv(&self) -> WorkerReply<R> {
+        // s2c2-allow: panic-reachability -- documented Panics contract: callers hold live workers
         let r = self.results.recv().expect("all workers terminated");
         self.retire(r.task_id);
         r

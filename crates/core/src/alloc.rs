@@ -119,6 +119,7 @@ fn apportion_capped(weights: &[f64], total: usize, cap: usize) -> Vec<usize> {
                 // the allocator mid-run.
                 fa.total_cmp(&fb).then(a.cmp(&b))
             })
+            // s2c2-allow: panic-reachability -- leftover > 0 with total <= n*cap implies an uncapped worker
             .expect("total <= n*cap guarantees a slot");
         counts[pick] += 1;
         leftover -= 1;

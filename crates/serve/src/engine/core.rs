@@ -530,7 +530,7 @@ impl ServiceEngine {
                 let c = spec.chunks_per_partition * self.n();
                 (1, c, spec.rows.div_ceil(c))
             }
-            _ => {
+            SchedulerMode::ConventionalMds | SchedulerMode::SharedS2c2 { .. } => {
                 let c = spec.chunks_per_partition;
                 let partition_rows = spec.rows.div_ceil(spec.k);
                 (spec.k, c, partition_rows.div_ceil(c))
@@ -785,7 +785,7 @@ impl ServiceEngine {
         // armed past every scheduled finish.
         let span = match self.cfg.scheduler {
             SchedulerMode::SharedS2c2 { .. } => max_planned_span,
-            _ => max_actual_span,
+            SchedulerMode::Uncoded | SchedulerMode::ConventionalMds => max_actual_span,
         };
         let deadline = at + (1.0 + self.cfg.timeout_margin) * span;
         iter.armed_deadline = deadline;
@@ -1040,7 +1040,7 @@ impl ServiceEngine {
                 .map_err(ServeError::Backend)?;
             let decode_time = match self.cfg.scheduler {
                 SchedulerMode::Uncoded => 0.0,
-                _ => {
+                SchedulerMode::ConventionalMds | SchedulerMode::SharedS2c2 { .. } => {
                     let flops = decode_flops(&iter);
                     flops / self.decode_flops_per_sec
                 }

@@ -493,7 +493,7 @@ impl ServiceEngine {
         };
         let predictor = match &cfg.scheduler {
             SchedulerMode::SharedS2c2 { predictor } => predictor.clone(),
-            _ => PredictorSource::Uniform,
+            SchedulerMode::Uncoded | SchedulerMode::ConventionalMds => PredictorSource::Uniform,
         };
         let buckets = cfg
             .tenant_rate_limits

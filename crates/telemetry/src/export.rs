@@ -281,7 +281,24 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
             | TraceEventKind::WorkerDown { worker } => {
                 workers.insert(worker);
             }
-            _ => {}
+            // No worker or tenant identity to collect.
+            TraceEventKind::Malformed { .. }
+            | TraceEventKind::RateLimited { .. }
+            | TraceEventKind::Rejected { .. }
+            | TraceEventKind::Admitted { .. }
+            | TraceEventKind::BatchFormed { .. }
+            | TraceEventKind::BatchFlush { .. }
+            | TraceEventKind::IterationStart { .. }
+            | TraceEventKind::RecoveryRung { .. }
+            | TraceEventKind::Decode { .. }
+            | TraceEventKind::Verify { .. }
+            | TraceEventKind::IterationComplete { .. }
+            | TraceEventKind::JobComplete { .. }
+            | TraceEventKind::JobFailed { .. }
+            | TraceEventKind::Rebalance { .. }
+            | TraceEventKind::RoundParked { .. }
+            | TraceEventKind::RoundRetired { .. }
+            | TraceEventKind::PipelineStall { .. } => {}
         }
     }
 
@@ -456,7 +473,20 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     r#"{{"name":"rung {rung}","cat":"recovery","ph":"i","s":"t","pid":{PID_TENANTS},"tid":{tid},"ts":{ts},"args":{{"job":{job}}}}}"#
                 ));
             }
-            _ => {}
+            // Not rendered as chrome spans or instants.
+            TraceEventKind::Admitted { .. }
+            | TraceEventKind::BatchFormed { .. }
+            | TraceEventKind::BatchFlush { .. }
+            | TraceEventKind::IterationStart { .. }
+            | TraceEventKind::Decode { .. }
+            | TraceEventKind::Verify { .. }
+            | TraceEventKind::IterationComplete { .. }
+            | TraceEventKind::WorkerUp { .. }
+            | TraceEventKind::WorkerDown { .. }
+            | TraceEventKind::Rebalance { .. }
+            | TraceEventKind::RoundParked { .. }
+            | TraceEventKind::RoundRetired { .. }
+            | TraceEventKind::PipelineStall { .. } => {}
         }
     }
     // Anything still in flight when the trace ends renders to the last
